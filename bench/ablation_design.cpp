@@ -1,0 +1,124 @@
+// Ablations for the design choices DESIGN.md calls out, beyond the
+// paper's own Figure 6 ablation:
+//
+//   A. Shortcut-rule retention during synthesis minimization — this
+//      repository keeps derivable candidates whose cost differential
+//      is compilation-sized, because one shortcut application replaces
+//      a whole rewrite chain at compile time (cf. the paper's §5.2
+//      shortcut observation).
+//   B. Per-class e-matching caps — combinatorial Vec patterns must not
+//      starve later chunks of the program.
+//   C. Value numbering in the back-end — extraction emits a DAG per
+//      chunk; without CSE across chunks, shared loads and
+//      subexpressions are recomputed.
+//   D. The lane-move penalty in the abstract cost model — removing it
+//      makes gathers look free, misguiding extraction (Definition 1's
+//      "faithfulness affects quality").
+
+#include "common.h"
+
+using namespace isaria;
+using namespace isaria::bench;
+
+int
+main()
+{
+    IsaSpec isa;
+    KernelSpec spec = KernelSpec::conv2d(4, 4, 3, 3);
+    KernelHarness h(spec);
+    RunOutcome base = h.runScalarBaseline();
+    std::printf("Design ablations on %s (scalar baseline %llu cycles)\n\n",
+                spec.label().c_str(),
+                static_cast<unsigned long long>(base.cycles));
+
+    // --- A: shortcut retention in synthesis.
+    {
+        SynthConfig on, off;
+        on.timeoutSeconds = off.timeoutSeconds = 18;
+        off.keepShortcutCandidates = false;
+        SynthReport withShortcuts = synthesizeRules(isa, on);
+        SynthReport without = synthesizeRules(isa, off);
+        CompilerConfig config;
+        IsariaCompiler a(
+            assignPhases(withShortcuts.rules, config.costModel), config);
+        IsariaCompiler b(assignPhases(without.rules, config.costModel),
+                         config);
+        RunOutcome ra = h.runCompiler(a);
+        RunOutcome rb = h.runCompiler(b);
+        std::printf("A. shortcut retention: keep=%llu cycles (%zu rules)"
+                    "  strict-minimize=%llu cycles (%zu rules)\n",
+                    static_cast<unsigned long long>(ra.cycles),
+                    withShortcuts.rules.size(),
+                    static_cast<unsigned long long>(rb.cycles),
+                    without.rules.size());
+    }
+
+    RuleSet rules = synthesizedRules(isa, kDefaultSynthBudget);
+
+    // --- B: per-class match caps.
+    {
+        CompilerConfig capped;
+        CompilerConfig uncapped;
+        uncapped.expansionLimits.maxMatchesPerClass = SIZE_MAX;
+        uncapped.compilationLimits.maxMatchesPerClass = SIZE_MAX;
+        uncapped.optLimits.maxMatchesPerClass = SIZE_MAX;
+        IsariaCompiler a(assignPhases(rules, capped.costModel), capped);
+        IsariaCompiler b(assignPhases(rules, uncapped.costModel),
+                         uncapped);
+        RunOutcome ra = h.runCompiler(a);
+        RunOutcome rb = h.runCompiler(b);
+        std::printf("B. per-class caps: capped=%llu cycles (%.1fs)  "
+                    "uncapped=%llu cycles (%.1fs)\n",
+                    static_cast<unsigned long long>(ra.cycles),
+                    ra.compileStats.seconds,
+                    static_cast<unsigned long long>(rb.cycles),
+                    rb.compileStats.seconds);
+    }
+
+    // --- C: value numbering in lowering.
+    {
+        CompilerConfig config;
+        IsariaCompiler compiler(assignPhases(rules, config.costModel),
+                                config);
+        RecExpr compiled = compiler.compile(h.scalarProgram());
+        for (bool vn : {true, false}) {
+            LowerOptions options;
+            options.totalOutputs = h.kernel().totalOutputs();
+            options.scalarizeRawChunks = true;
+            options.valueNumbering = vn;
+            RunOutcome out =
+                h.runProgramChecked(lowerProgram(compiled, options));
+            std::printf("C. value numbering %-5s %llu cycles, %zu "
+                        "instructions (correct: %s)\n",
+                        vn ? "on:" : "off:",
+                        static_cast<unsigned long long>(out.cycles),
+                        out.instructions, out.correct ? "yes" : "NO");
+        }
+    }
+
+    // --- D: lane-move penalty in the cost model.
+    {
+        for (std::uint64_t penalty : {std::uint64_t{25},
+                                      std::uint64_t{1}}) {
+            CompilerConfig config;
+            CostParams params;
+            params.laneMove = penalty;
+            config.costModel = DspCostModel(params);
+            IsariaCompiler compiler(
+                assignPhases(rules, config.costModel), config);
+            RunOutcome out = h.runCompiler(compiler);
+            std::printf("D. lane-move penalty %2llu: %llu cycles "
+                        "(correct: %s)\n",
+                        static_cast<unsigned long long>(penalty),
+                        static_cast<unsigned long long>(out.cycles),
+                        out.correct ? "yes" : "NO");
+        }
+    }
+
+    std::printf("\nExpected: each ablation degrades cycles or compile "
+                "time — shortcuts buy search depth, per-class caps\n"
+                "buy coverage, value numbering removes recomputation, "
+                "and the lane-move penalty keeps extraction honest\n"
+                "about data movement.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+#ifndef ISARIA_BENCH_COMMON_H
+#define ISARIA_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses.
+ *
+ * Each bench binary regenerates one table or figure of the paper
+ * (see DESIGN.md §4). The synthesized rule set for a given ISA and
+ * budget is cached on disk next to the binary so that the figure
+ * binaries can be re-run cheaply; delete the .rules files to force
+ * re-synthesis.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baseline/diospyros.h"
+#include "baseline/harness.h"
+#include "compiler/pipeline.h"
+
+namespace isaria::bench
+{
+
+/** Default offline budget for the figure harnesses, in seconds. */
+inline constexpr double kDefaultSynthBudget = 25.0;
+
+/** Synthesizes (or loads from cache) rules for @p isa. */
+inline RuleSet
+synthesizedRules(const IsaSpec &isa, double budgetSeconds,
+                 bool useCache = true)
+{
+    std::string cachePath = "isaria-" + isa.name() + "-" +
+                            std::to_string(static_cast<int>(budgetSeconds)) +
+                            "s.rules";
+    if (useCache) {
+        std::ifstream in(cachePath);
+        if (in) {
+            std::stringstream text;
+            text << in.rdbuf();
+            std::fprintf(stderr, "[bench] loaded cached rules: %s\n",
+                         cachePath.c_str());
+            return RuleSet::fromString(text.str());
+        }
+    }
+    std::fprintf(stderr,
+                 "[bench] synthesizing rules for %s (budget %.0fs)...\n",
+                 isa.name().c_str(), budgetSeconds);
+    SynthConfig config;
+    config.timeoutSeconds = budgetSeconds;
+    SynthReport report = synthesizeRules(isa, config);
+    std::fprintf(stderr, "[bench] %zu rules (enum %.1fs, shrink %.1fs)\n",
+                 report.rules.size(), report.enumerateSeconds,
+                 report.shrinkSeconds);
+    if (useCache) {
+        std::ofstream out(cachePath);
+        out << report.rules.toString();
+    }
+    return report.rules;
+}
+
+/** The Isaria compiler for @p isa at the default bench settings. */
+inline IsariaCompiler
+benchIsariaCompiler(const IsaSpec &isa,
+                    double budgetSeconds = kDefaultSynthBudget,
+                    CompilerConfig config = {})
+{
+    RuleSet rules = synthesizedRules(isa, budgetSeconds);
+    return IsariaCompiler(assignPhases(rules, config.costModel), config);
+}
+
+/** A fast per-kernel compiler configuration for large sweeps. */
+inline CompilerConfig
+fastCompilerConfig()
+{
+    CompilerConfig config;
+    config.expansionLimits.timeoutSeconds = 0.4;
+    config.compilationLimits.timeoutSeconds = 0.8;
+    config.compilationLimits.maxNodes = 40'000;
+    config.optLimits.timeoutSeconds = 0.5;
+    config.maxLoopIterations = 6;
+    return config;
+}
+
+/** Formats a speedup cell ("--" when unsupported, "!" when wrong). */
+inline std::string
+speedupCell(const RunOutcome &outcome, std::uint64_t baseCycles)
+{
+    if (!outcome.supported)
+        return "    --";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%5.2fx%s",
+                  static_cast<double>(baseCycles) / outcome.cycles,
+                  outcome.correct ? "" : "!");
+    return buf;
+}
+
+} // namespace isaria::bench
+
+#endif // ISARIA_BENCH_COMMON_H

@@ -1,0 +1,74 @@
+// Figure 4: performance of DSP kernels compiled by Isaria, compared
+// to the SLP auto-vectorizer (the clang-autovec comparator), the
+// hand-written Nature library kernels, and the Diospyros hand-rule
+// compiler — all normalized to the unvectorized scalar baseline and
+// measured on the cycle-level simulator.
+//
+// Output: one row per benchmark in the paper's ladder order, with one
+// speedup column per comparator ("--" where Nature omits the shape).
+
+#include "common.h"
+
+using namespace isaria;
+using namespace isaria::bench;
+
+int
+main()
+{
+    IsaSpec isa;
+    IsariaCompiler isariaCompiler = benchIsariaCompiler(isa);
+    IsariaCompiler diosCompiler = makeDiospyrosCompiler();
+
+    std::printf("Figure 4: speedup over unvectorized Clang baseline\n");
+    std::printf("%-18s %10s %8s %8s %8s %8s\n", "kernel", "base(cyc)",
+                "autovec", "Nature", "Diospyr", "Isaria");
+
+    double isariaOverNatureBest = 0;
+    double sumIsariaVsDios = 0;
+    int count = 0;
+    bool allCorrect = true;
+
+    for (const KernelSpec &spec : defaultSuite()) {
+        KernelHarness h(spec);
+        RunOutcome base = h.runScalarBaseline();
+        RunOutcome slp = h.runSlp();
+        RunOutcome nature = h.runNature();
+        RunOutcome dios = h.runCompiler(diosCompiler);
+        RunOutcome isaria_ = h.runCompiler(isariaCompiler);
+
+        allCorrect &= base.correct && slp.correct && dios.correct &&
+                      isaria_.correct &&
+                      (!nature.supported || nature.correct);
+        if (nature.supported && nature.cycles > 0) {
+            isariaOverNatureBest =
+                std::max(isariaOverNatureBest,
+                         static_cast<double>(nature.cycles) /
+                             isaria_.cycles);
+        }
+        sumIsariaVsDios += static_cast<double>(dios.cycles) /
+                           isaria_.cycles;
+        ++count;
+
+        std::printf("%-18s %10llu %8s %8s %8s %8s\n", spec.label().c_str(),
+                    static_cast<unsigned long long>(base.cycles),
+                    speedupCell(slp, base.cycles).c_str(),
+                    speedupCell(nature, base.cycles).c_str(),
+                    speedupCell(dios, base.cycles).c_str(),
+                    speedupCell(isaria_, base.cycles).c_str());
+        std::fflush(stdout);
+    }
+
+    std::printf("\nSummary: all outputs differentially correct: %s\n",
+                allCorrect ? "yes" : "NO");
+    std::printf("Isaria vs Diospyros mean speedup: %.2fx\n",
+                sumIsariaVsDios / count);
+    std::printf("Best Isaria-over-Nature ratio: %.2fx\n",
+                isariaOverNatureBest);
+    std::printf("Expected shape (paper): Isaria competitive with "
+                "Diospyros, strongest on small irregular kernels; the\n"
+                "auto-vectorizer strong only on regular MatMul/QProd; "
+                "Nature absent on small shapes, winning at the largest\n"
+                "sizes (its loop-structured kernels do not pay the "
+                "unrolled search's data-movement compromises).\n");
+    return allCorrect ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Figure 6: the pruning ablation (Section 5.2). For the 2D
+// convolution ladder, compare kernel performance and compile time
+// with the Fig. 3 pruning loop enabled vs disabled (one e-graph kept
+// across loop iterations). Runs that hit the node budget are flagged
+// "OOM" — the deterministic stand-in for the paper's out-of-memory
+// events. A final row reproduces the Section 2.2/5.2 no-phases
+// strawman, which finds no vectorization at all.
+
+#include "common.h"
+
+using namespace isaria;
+using namespace isaria::bench;
+
+int
+main()
+{
+    IsaSpec isa;
+    RuleSet rules = synthesizedRules(isa, kDefaultSynthBudget);
+
+    CompilerConfig onConfig;
+    PhasedRules phased = assignPhases(rules, onConfig.costModel);
+    IsariaCompiler pruningOn(phased, onConfig);
+
+    CompilerConfig offConfig;
+    offConfig.pruning = false;
+    // Without pruning the single e-graph must absorb every loop
+    // iteration; its budget is the "memory limit".
+    offConfig.compilationLimits.maxNodes = 150'000;
+    IsariaCompiler pruningOff(phased, offConfig);
+
+    std::vector<KernelSpec> ladder = {
+        KernelSpec::conv2d(3, 3, 2, 2), KernelSpec::conv2d(3, 3, 3, 3),
+        KernelSpec::conv2d(4, 4, 2, 2), KernelSpec::conv2d(4, 4, 3, 3),
+        KernelSpec::conv2d(8, 8, 2, 2), KernelSpec::conv2d(8, 8, 3, 3),
+    };
+
+    std::printf("Figure 6: effect of pruning (2DConv ladder)\n");
+    std::printf("%-16s %12s %12s %10s %10s %6s\n", "kernel",
+                "cyc(prune)", "cyc(keep)", "t(prune)", "t(keep)", "OOM");
+
+    for (const KernelSpec &spec : ladder) {
+        KernelHarness h(spec);
+        RunOutcome on = h.runCompiler(pruningOn);
+        RunOutcome off = h.runCompiler(pruningOff);
+        std::printf("%-16s %12llu %12llu %9.1fs %9.1fs %6s\n",
+                    spec.label().c_str(),
+                    static_cast<unsigned long long>(on.cycles),
+                    static_cast<unsigned long long>(off.cycles),
+                    on.compileStats.seconds, off.compileStats.seconds,
+                    off.compileStats.ranOutOfMemory ? "keep!" : "-");
+        std::fflush(stdout);
+    }
+
+    // The no-phases strawman: a single saturation over all rules.
+    CompilerConfig strawConfig;
+    strawConfig.phasing = false;
+    strawConfig.compilationLimits.maxNodes = 150'000;
+    strawConfig.compilationLimits.timeoutSeconds = 10.0;
+    IsariaCompiler noPhases(phased, strawConfig);
+    KernelHarness h(KernelSpec::conv2d(3, 3, 2, 2));
+    CompileStats straw;
+    RecExpr out = noPhases.compile(h.scalarProgram(), &straw);
+    CompileStats withPhases;
+    pruningOn.compile(h.scalarProgram(), &withPhases);
+    std::printf("\nNo-phases strawman on 2DConv 3x3 2x2: cost %llu -> "
+                "%llu (%s, vectorized: %s); phased reaches %llu — "
+                "%.1fx better\n",
+                static_cast<unsigned long long>(straw.initialCost),
+                static_cast<unsigned long long>(straw.finalCost),
+                straw.ranOutOfMemory ? "hit memory limit" : "in budget",
+                out.containsVectorOp() ? "partially" : "no",
+                static_cast<unsigned long long>(withPhases.finalCost),
+                static_cast<double>(straw.finalCost) /
+                    withPhases.finalCost);
+    std::printf("Expected shape (paper): without pruning, larger "
+                "kernels exhaust memory while tiny ones occasionally\n"
+                "extract marginally better code; without phases, no "
+                "vectorized program is found at all.\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) for the substrate the paper's
+// compile times are made of: e-graph insertion, congruence rebuild,
+// e-matching, equality saturation, and extraction. These are not a
+// paper figure; they exist to track the performance of the substrate
+// the figure harnesses depend on.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/diospyros.h"
+#include "egraph/extract.h"
+#include "egraph/runner.h"
+#include "frontend/kernels.h"
+#include "isa/cost_model.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+namespace
+{
+
+RecExpr
+convProgram(int n, int k)
+{
+    return liftKernel(make2DConv(n, n, k, k), 4);
+}
+
+void
+BM_EGraphAddExpr(benchmark::State &state)
+{
+    RecExpr program = convProgram(static_cast<int>(state.range(0)), 3);
+    for (auto _ : state) {
+        EGraph eg;
+        benchmark::DoNotOptimize(eg.addExpr(program));
+    }
+    state.counters["nodes"] = static_cast<double>(program.size());
+}
+BENCHMARK(BM_EGraphAddExpr)->Arg(4)->Arg(8)->Arg(10);
+
+void
+BM_CongruenceRebuild(benchmark::State &state)
+{
+    RecExpr program = convProgram(8, 3);
+    for (auto _ : state) {
+        state.PauseTiming();
+        EGraph eg;
+        eg.addExpr(program);
+        // Merge a handful of leaf classes to make work.
+        EClassId a = eg.addExpr(parseSexpr("(Get I 0)"));
+        EClassId b = eg.addExpr(parseSexpr("(Get I 1)"));
+        EClassId c = eg.addExpr(parseSexpr("(Get F 0)"));
+        state.ResumeTiming();
+        eg.merge(a, b);
+        eg.merge(b, c);
+        eg.rebuild();
+        benchmark::DoNotOptimize(eg.numNodes());
+    }
+}
+BENCHMARK(BM_CongruenceRebuild);
+
+void
+BM_EMatchCommutativity(benchmark::State &state)
+{
+    EGraph eg;
+    eg.addExpr(convProgram(static_cast<int>(state.range(0)), 3));
+    eg.rebuild();
+    CompiledPattern pattern(parseSexpr("(+ ?a ?b)"));
+    for (auto _ : state) {
+        auto matches = pattern.search(eg, 100000);
+        benchmark::DoNotOptimize(matches.size());
+    }
+}
+BENCHMARK(BM_EMatchCommutativity)->Arg(4)->Arg(8);
+
+void
+BM_EqSatDiospyrosRules(benchmark::State &state)
+{
+    auto rules = compileRules(diospyrosHandRules().rules());
+    RecExpr program = convProgram(3, 2);
+    EqSatLimits limits;
+    limits.maxIters = 2;
+    limits.maxNodes = 50'000;
+    for (auto _ : state) {
+        EGraph eg;
+        eg.addExpr(program);
+        auto report = runEqSat(eg, rules, limits);
+        benchmark::DoNotOptimize(report.nodes);
+    }
+}
+BENCHMARK(BM_EqSatDiospyrosRules)->Unit(benchmark::kMillisecond);
+
+void
+BM_Extract(benchmark::State &state)
+{
+    auto rules = compileRules(diospyrosHandRules().rules());
+    RecExpr program = convProgram(4, 2);
+    EGraph eg;
+    EClassId root = eg.addExpr(program);
+    EqSatLimits limits;
+    limits.maxIters = 3;
+    runEqSat(eg, rules, limits);
+    DspCostModel cost;
+    for (auto _ : state) {
+        auto best = extractBest(eg, root, cost);
+        benchmark::DoNotOptimize(best->cost);
+    }
+    state.counters["egraph_nodes"] = static_cast<double>(eg.numNodes());
+}
+BENCHMARK(BM_Extract)->Unit(benchmark::kMillisecond);
+
+void
+BM_LiftKernel(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        RecExpr p = liftKernel(make2DConv(n, n, 3, 3), 4);
+        benchmark::DoNotOptimize(p.size());
+    }
+}
+BENCHMARK(BM_LiftKernel)->Arg(8)->Arg(16);
+
+} // namespace
+} // namespace isaria
+
+BENCHMARK_MAIN();

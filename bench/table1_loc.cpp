@@ -1,0 +1,122 @@
+// Table 1: lines of code for the components of the framework,
+// excluding comments and empty lines — mirroring the paper's
+// breakdown (ISA specification, cost function, offline framework,
+// compile implementation). Counts are computed from this repository's
+// own sources at run time.
+
+#include <filesystem>
+#include <fstream>
+
+#include "common.h"
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Counts non-comment, non-empty lines of one file. */
+std::size_t
+locOfFile(const fs::path &path)
+{
+    std::ifstream in(path);
+    std::size_t count = 0;
+    std::string line;
+    bool inBlockComment = false;
+    while (std::getline(in, line)) {
+        std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos)
+            continue;
+        std::string_view body(line);
+        body.remove_prefix(start);
+        if (inBlockComment) {
+            if (body.find("*/") != std::string_view::npos)
+                inBlockComment = false;
+            continue;
+        }
+        if (body.starts_with("//"))
+            continue;
+        if (body.starts_with("/*")) {
+            if (body.find("*/") == std::string_view::npos)
+                inBlockComment = true;
+            continue;
+        }
+        if (body.starts_with("*")) // doxygen continuation
+            continue;
+        ++count;
+    }
+    return count;
+}
+
+std::size_t
+locOfDirs(std::initializer_list<const char *> dirs)
+{
+    std::size_t total = 0;
+    for (const char *dir : dirs) {
+        fs::path root = fs::path(ISARIA_SOURCE_DIR) / dir;
+        if (!fs::exists(root))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(root)) {
+            if (!entry.is_regular_file())
+                continue;
+            auto ext = entry.path().extension();
+            if (ext == ".cpp" || ext == ".h")
+                total += locOfFile(entry.path());
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 1: lines of code per component (comments and "
+                "blank lines excluded)\n\n");
+    std::printf("%-44s %8s %10s\n", "Component", "LoC", "(paper)");
+
+    struct Row
+    {
+        const char *label;
+        std::initializer_list<const char *> dirs;
+        int paper;
+    };
+    const Row rows[] = {
+        {"ISA specification (interpreter + ISA config)",
+         {"src/interp", "src/isa"},
+         73},
+        {"Cost function", {"src/phase"}, 90},
+        {"Offline framework (synthesis + verification)",
+         {"src/synth", "src/verify"},
+         1113},
+        {"Compile implementation (scheduler + e-graph)",
+         {"src/compiler", "src/egraph"},
+         819},
+        {"— substrates the paper reused (front/back end,",
+         {"src/term", "src/frontend", "src/lower", "src/vm",
+          "src/baseline", "src/support"},
+         0},
+    };
+
+    std::size_t total = 0;
+    for (const Row &row : rows) {
+        std::size_t loc = locOfDirs(row.dirs);
+        total += loc;
+        if (row.paper > 0) {
+            std::printf("%-44s %8zu %9d\n", row.label, loc, row.paper);
+        } else {
+            std::printf("%-44s %8zu %10s\n", row.label, loc, "n/a");
+            std::printf("%-44s\n",
+                        "   simulator, comparators: built from scratch "
+                        "here)");
+        }
+    }
+    std::printf("%-44s %8zu %9d\n", "Total", total, 2095);
+    std::printf("\nNote: the paper's Isaria is a 2.1 kLoC extension "
+                "atop existing Rust infrastructure (egg, Ruler,\n"
+                "Diospyros, the Tensilica toolchain); this repository "
+                "reimplements that infrastructure too, so the\n"
+                "component totals are larger while the roles map "
+                "one-to-one.\n");
+    return 0;
+}

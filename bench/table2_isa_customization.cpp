@@ -1,0 +1,71 @@
+// Table 2: exploring ISA customizations (Section 5.4). Four compilers
+// are generated — one per combination of the VecMulSub and VecSqrtSgn
+// custom instructions — by editing only the ISA configuration, and QR
+// decomposition is recompiled with each. Speedups are normalized to
+// the base instruction set, exactly as in the paper.
+
+#include "common.h"
+
+using namespace isaria;
+using namespace isaria::bench;
+
+namespace
+{
+
+std::uint64_t
+qrCycles(const IsaSpec &isa, const KernelHarness &h)
+{
+    IsariaCompiler compiler = benchIsariaCompiler(isa);
+    RunOutcome out = h.runCompiler(compiler);
+    if (!out.correct)
+        std::printf("  (warning: %s output mismatch %.2g)\n",
+                    isa.name().c_str(), out.maxError);
+    return out.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    KernelHarness h(KernelSpec::qrd(4));
+
+    IsaConfig base;
+    IsaConfig onlyMulSub;
+    onlyMulSub.enableMulSub = true;
+    IsaConfig onlySqrtSgn;
+    onlySqrtSgn.enableSqrtSgn = true;
+    IsaConfig both;
+    both.enableMulSub = true;
+    both.enableSqrtSgn = true;
+
+    std::printf("Table 2: QR decomposition speedup from custom "
+                "instructions\n(each cell is a freshly generated "
+                "compiler; normalized to the base ISA)\n\n");
+
+    std::uint64_t baseCycles = qrCycles(IsaSpec(base), h);
+    std::uint64_t ms = qrCycles(IsaSpec(onlyMulSub), h);
+    std::uint64_t ss = qrCycles(IsaSpec(onlySqrtSgn), h);
+    std::uint64_t bothCycles = qrCycles(IsaSpec(both), h);
+
+    auto pct = [&](std::uint64_t cycles) {
+        return 100.0 * (static_cast<double>(baseCycles) / cycles - 1.0);
+    };
+
+    std::printf("%-16s %14s %14s\n", "", "VecMulSub", "no VecMulSub");
+    std::printf("%-16s %+13.1f%% %+13.1f%%\n", "VecSqrtSgn",
+                pct(bothCycles), pct(ss));
+    std::printf("%-16s %+13.1f%% %14s\n", "no VecSqrtSgn", pct(ms), "--");
+
+    std::printf("\nbase=%llu  +mulsub=%llu  +sqrtsgn=%llu  +both=%llu "
+                "cycles\n",
+                static_cast<unsigned long long>(baseCycles),
+                static_cast<unsigned long long>(ms),
+                static_cast<unsigned long long>(ss),
+                static_cast<unsigned long long>(bothCycles));
+    std::printf("Expected shape (paper): single-digit-percent "
+                "improvements — VecSqrtSgn ~1.7%%, VecMulSub ~0.5%%,\n"
+                "both ~2%% — obtained without writing a single compiler "
+                "rule by hand.\n");
+    return 0;
+}

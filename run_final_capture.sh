@@ -1,0 +1,15 @@
+#!/bin/sh
+# Final capture: full test log + every bench harness, as prescribed.
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+cd /root/repo/build
+for b in bench/fig4_kernel_performance bench/fig5_compile_time \
+         bench/fig6_pruning bench/fig7_rulegen_budget \
+         bench/fig8_rule_phases bench/fig9_alpha_beta \
+         bench/table1_loc bench/table2_isa_customization \
+         bench/ablation_design bench/micro_egraph; do
+    echo "######## $b"
+    ./$b
+    echo
+done 2>&1 | tee /root/repo/bench_output.txt
+echo CAPTURE_COMPLETE

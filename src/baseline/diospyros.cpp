@@ -1,0 +1,86 @@
+#include "baseline/diospyros.h"
+
+namespace isaria
+{
+
+RuleSet
+diospyrosHandRules()
+{
+    // The curated rule list mirrors the shape of Diospyros's 28
+    // hand-written rules: scalar algebra to expose packings, per-op
+    // vectorization of full lanes, "or-zero" variants for ragged last
+    // lanes, and MAC fusion as a vector-level optimization.
+    static const char *kRules[] = {
+        // Scalar exploration.
+        "(+ ?a ?b) ~> (+ ?b ?a)",
+        "(* ?a ?b) ~> (* ?b ?a)",
+        "(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))",
+        "(+ ?a (+ ?b ?c)) ~> (+ (+ ?a ?b) ?c)",
+        "(* (* ?a ?b) ?c) ~> (* ?a (* ?b ?c))",
+        "(* ?a (* ?b ?c)) ~> (* (* ?a ?b) ?c)",
+        "(- ?a ?b) ~> (+ ?a (neg ?b))",
+        "(+ ?a (neg ?b)) ~> (- ?a ?b)",
+        "(neg (neg ?a)) ~> ?a",
+        "(* ?a (+ ?b ?c)) ~> (+ (* ?a ?b) (* ?a ?c))",
+        "(+ (* ?a ?b) (* ?a ?c)) ~> (* ?a (+ ?b ?c))",
+
+        // Vectorization of homogeneous lanes.
+        "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3)) ~> "
+        "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+        "(Vec (- ?a0 ?b0) (- ?a1 ?b1) (- ?a2 ?b2) (- ?a3 ?b3)) ~> "
+        "(VecMinus (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+        "(Vec (* ?a0 ?b0) (* ?a1 ?b1) (* ?a2 ?b2) (* ?a3 ?b3)) ~> "
+        "(VecMul (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+        "(Vec (/ ?a0 ?b0) (/ ?a1 ?b1) (/ ?a2 ?b2) (/ ?a3 ?b3)) ~> "
+        "(VecDiv (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))",
+        "(Vec (neg ?a0) (neg ?a1) (neg ?a2) (neg ?a3)) ~> "
+        "(VecNeg (Vec ?a0 ?a1 ?a2 ?a3))",
+        "(Vec (sgn ?a0) (sgn ?a1) (sgn ?a2) (sgn ?a3)) ~> "
+        "(VecSgn (Vec ?a0 ?a1 ?a2 ?a3))",
+        "(Vec (sqrt ?a0) (sqrt ?a1) (sqrt ?a2) (sqrt ?a3)) ~> "
+        "(VecSqrt (Vec ?a0 ?a1 ?a2 ?a3))",
+
+        // Ragged ("or zero") last-lane variants.
+        "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) ?d) ~> "
+        "(VecAdd (Vec ?a0 ?a1 ?a2 ?d) (Vec ?b0 ?b1 ?b2 0))",
+        "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) ?c ?d) ~> "
+        "(VecAdd (Vec ?a0 ?a1 ?c ?d) (Vec ?b0 ?b1 0 0))",
+        "(Vec (* ?a0 ?b0) (* ?a1 ?b1) (* ?a2 ?b2) ?d) ~> "
+        "(VecMul (Vec ?a0 ?a1 ?a2 ?d) (Vec ?b0 ?b1 ?b2 1))",
+        "(Vec (* ?a0 ?b0) (* ?a1 ?b1) ?c ?d) ~> "
+        "(VecMul (Vec ?a0 ?a1 ?c ?d) (Vec ?b0 ?b1 1 1))",
+
+        // Vector-level optimization.
+        "(VecAdd ?a ?b) ~> (VecAdd ?b ?a)",
+        "(VecMul ?a ?b) ~> (VecMul ?b ?a)",
+        "(VecAdd ?a (VecMul ?b ?c)) ~> (VecMAC ?a ?b ?c)",
+        "(VecMAC ?a ?b ?c) ~> (VecMAC ?a ?c ?b)",
+        "(VecMinus (Vec 0 0 0 0) ?a) ~> (VecNeg ?a)",
+        "(VecAdd ?a (Vec 0 0 0 0)) ~> ?a",
+        "(VecMAC (Vec 0 0 0 0) ?a ?b) ~> (VecMul ?a ?b)",
+    };
+
+    RuleSet out;
+    int index = 0;
+    for (const char *text : kRules) {
+        Rule rule = parseRule(text);
+        rule.name = "dios-" + std::to_string(index++);
+        rule.verifiedExactly = true; // hand-audited
+        out.add(std::move(rule));
+    }
+    return out;
+}
+
+IsariaCompiler
+makeDiospyrosCompiler(const CompilerConfig &config)
+{
+    CompilerConfig cfg = config;
+    // Diospyros runs one saturation over its whole (curated) rule
+    // set with iteration limits and no pruning loop.
+    cfg.phasing = false;
+    cfg.pruning = false;
+    PhasedRules phased = assignPhases(diospyrosHandRules(), cfg.costModel);
+    return IsariaCompiler(std::move(phased), cfg);
+}
+
+} // namespace isaria

@@ -1,0 +1,28 @@
+#ifndef ISARIA_BASELINE_DIOSPYROS_H
+#define ISARIA_BASELINE_DIOSPYROS_H
+
+/**
+ * @file
+ * The Diospyros comparator: a hand-written rewrite system.
+ *
+ * Reproduces the architecture of the Diospyros compiler the paper
+ * compares against (and builds on): a small, expert-curated rule set
+ * (28 rules in the original) applied in a single equality saturation
+ * with iteration limits, rather than Isaria's synthesized rules with
+ * phase scheduling and pruning.
+ */
+
+#include "compiler/compiler.h"
+
+namespace isaria
+{
+
+/** The hand-written Diospyros-style rule set (width-4 Fusion G3). */
+RuleSet diospyrosHandRules();
+
+/** Builds the Diospyros comparator compiler. */
+IsariaCompiler makeDiospyrosCompiler(const CompilerConfig &config = {});
+
+} // namespace isaria
+
+#endif // ISARIA_BASELINE_DIOSPYROS_H

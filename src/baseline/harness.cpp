@@ -1,0 +1,200 @@
+#include "baseline/harness.h"
+
+#include <cmath>
+
+#include "baseline/nature.h"
+#include "baseline/slp.h"
+#include "support/panic.h"
+#include "support/rng.h"
+#include "vm/reference.h"
+
+namespace isaria
+{
+
+KernelSpec
+KernelSpec::conv2d(int rows, int cols, int krows, int kcols)
+{
+    return KernelSpec{Family::Conv2D, rows, cols, krows, kcols};
+}
+
+KernelSpec
+KernelSpec::matmul(int n, int m, int k)
+{
+    return KernelSpec{Family::MatMul, n, m, k, 0};
+}
+
+KernelSpec
+KernelSpec::qprod()
+{
+    return KernelSpec{Family::QProd, 0, 0, 0, 0};
+}
+
+KernelSpec
+KernelSpec::qrd(int n)
+{
+    return KernelSpec{Family::QrD, n, 0, 0, 0};
+}
+
+std::string
+KernelSpec::label() const
+{
+    switch (family) {
+      case Family::Conv2D:
+        return "2DConv " + std::to_string(p0) + "x" + std::to_string(p1) +
+               " " + std::to_string(p2) + "x" + std::to_string(p3);
+      case Family::MatMul:
+        return "MatMul " + std::to_string(p0) + "x" + std::to_string(p1) +
+               "x" + std::to_string(p2);
+      case Family::QProd:
+        return "QProd";
+      case Family::QrD:
+        return "QrD " + std::to_string(p0) + "x" + std::to_string(p0);
+    }
+    return "?";
+}
+
+Kernel
+KernelSpec::build() const
+{
+    switch (family) {
+      case Family::Conv2D: return make2DConv(p0, p1, p2, p3);
+      case Family::MatMul: return makeMatMul(p0, p1, p2);
+      case Family::QProd: return makeQProd();
+      case Family::QrD: return makeQrD(p0);
+    }
+    ISARIA_PANIC("bad kernel family");
+}
+
+std::optional<VmProgram>
+KernelSpec::natureProgram(int width) const
+{
+    switch (family) {
+      case Family::Conv2D: return nature2DConv(p0, p1, p2, p3, width);
+      case Family::MatMul: return natureMatMul(p0, p1, p2, width);
+      case Family::QProd: return natureQProd(width);
+      case Family::QrD: return natureQrD(p0, width);
+    }
+    return std::nullopt;
+}
+
+std::vector<KernelSpec>
+defaultSuite()
+{
+    // The paper's ladders, scaled to laptop budgets (DESIGN.md §2):
+    // 2D convolutions over increasing input and filter sizes, square
+    // matrix multiplies, the quaternion product, and QR.
+    return {
+        KernelSpec::conv2d(3, 3, 2, 2),
+        KernelSpec::conv2d(3, 3, 3, 3),
+        KernelSpec::conv2d(4, 4, 2, 2),
+        KernelSpec::conv2d(4, 4, 3, 3),
+        KernelSpec::conv2d(8, 8, 2, 2),
+        KernelSpec::conv2d(8, 8, 3, 3),
+        KernelSpec::conv2d(10, 10, 2, 2),
+        KernelSpec::conv2d(10, 10, 3, 3),
+        KernelSpec::matmul(2, 2, 2),
+        KernelSpec::matmul(3, 3, 3),
+        KernelSpec::matmul(4, 4, 4),
+        KernelSpec::matmul(6, 6, 6),
+        KernelSpec::matmul(8, 8, 8),
+        KernelSpec::qprod(),
+        KernelSpec::qrd(3),
+        KernelSpec::qrd(4),
+    };
+}
+
+KernelHarness::KernelHarness(const KernelSpec &spec, int width,
+                             std::uint64_t seed)
+    : spec_(spec), width_(width), kernel_(spec.build()),
+      program_(liftKernel(kernel_, width))
+{
+    // Deterministic pseudo-random inputs in [-2, -0.25] U [0.25, 2]:
+    // bounded away from zero so QR's pivots are well conditioned.
+    Rng rng(seed);
+    for (const auto &[name, size] : kernel_.inputs) {
+        std::vector<double> cells(size);
+        for (double &cell : cells) {
+            double mag =
+                0.25 + 1.75 * (rng.nextBelow(10'000) / 10'000.0);
+            cell = rng.nextBelow(2) ? mag : -mag;
+        }
+        inputs_[internSymbol(name)] = std::move(cells);
+    }
+    reference_ = evalProgramDoubles(program_, inputs_);
+}
+
+RunOutcome
+KernelHarness::runProgramChecked(const VmProgram &program) const
+{
+    VmRunResult run = runProgram(program, inputs_);
+    RunOutcome out;
+    out.cycles = run.cycles;
+    out.instructions = run.instructions;
+
+    int total = kernel_.totalOutputs();
+    const auto &produced = run.memory.at(outputArraySymbol());
+    double worst = 0;
+    bool ok = static_cast<int>(produced.size()) >= total;
+    for (int i = 0; ok && i < total; ++i) {
+        double want = reference_[i];
+        double got = produced[i];
+        if (std::isnan(want) || std::isnan(got)) {
+            ok = !std::isnan(want) == !std::isnan(got);
+            continue;
+        }
+        double scale = std::max(1.0, std::fabs(want));
+        worst = std::max(worst, std::fabs(want - got) / scale);
+    }
+    out.maxError = worst;
+    out.correct = ok && worst < 1e-6;
+    return out;
+}
+
+RunOutcome
+KernelHarness::runScalarBaseline() const
+{
+    LowerOptions options;
+    options.width = width_;
+    options.scalarOnly = true;
+    options.totalOutputs = kernel_.totalOutputs();
+    return runProgramChecked(lowerProgram(program_, options));
+}
+
+RunOutcome
+KernelHarness::runSlp() const
+{
+    RecExpr packed = slpVectorize(program_);
+    LowerOptions options;
+    options.width = width_;
+    options.scalarizeRawChunks = true;
+    options.totalOutputs = kernel_.totalOutputs();
+    return runProgramChecked(lowerProgram(packed, options));
+}
+
+RunOutcome
+KernelHarness::runNature() const
+{
+    auto program = spec_.natureProgram(width_);
+    if (!program) {
+        RunOutcome out;
+        out.supported = false;
+        return out;
+    }
+    return runProgramChecked(*program);
+}
+
+RunOutcome
+KernelHarness::runCompiler(const IsariaCompiler &compiler) const
+{
+    CompileStats stats;
+    RecExpr compiled = compiler.compile(program_, &stats);
+    LowerOptions options;
+    options.width = width_;
+    options.totalOutputs = kernel_.totalOutputs();
+    options.scalarizeRawChunks = true;
+    RunOutcome out = runProgramChecked(lowerProgram(compiled, options));
+    out.compileStats = stats;
+    return out;
+}
+
+} // namespace isaria

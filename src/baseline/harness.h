@@ -1,0 +1,103 @@
+#ifndef ISARIA_BASELINE_HARNESS_H
+#define ISARIA_BASELINE_HARNESS_H
+
+/**
+ * @file
+ * End-to-end experiment harness: one kernel, all comparators.
+ *
+ * Mirrors the paper's methodology (Section 5): every comparator
+ * produces virtual-DSP code for the same kernel, the cycle simulator
+ * measures it, outputs are differentially checked against reference
+ * evaluation, and speedups are normalized to the unvectorized scalar
+ * baseline.
+ */
+
+#include <optional>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "frontend/kernels.h"
+#include "lower/lower.h"
+#include "vm/machine.h"
+
+namespace isaria
+{
+
+/** Identifies a benchmark kernel instance. */
+struct KernelSpec
+{
+    enum class Family
+    {
+        Conv2D,
+        MatMul,
+        QProd,
+        QrD,
+    };
+
+    Family family;
+    int p0 = 0, p1 = 0, p2 = 0, p3 = 0;
+
+    static KernelSpec conv2d(int rows, int cols, int krows, int kcols);
+    static KernelSpec matmul(int n, int m, int k);
+    static KernelSpec qprod();
+    static KernelSpec qrd(int n);
+
+    /** Short label in the paper's style, e.g. "2DConv 8x8 3x3". */
+    std::string label() const;
+
+    Kernel build() const;
+
+    /** The Nature library routine, if this shape is supported. */
+    std::optional<VmProgram> natureProgram(int width) const;
+};
+
+/** The Figure 4 benchmark ladder (scaled; see DESIGN.md §2). */
+std::vector<KernelSpec> defaultSuite();
+
+/** Outcome of running one comparator on one kernel. */
+struct RunOutcome
+{
+    bool supported = true;
+    bool correct = false;
+    std::uint64_t cycles = 0;
+    double maxError = 0;
+    std::size_t instructions = 0;
+    CompileStats compileStats;
+};
+
+/** Drives one kernel through lifting, compilation, and simulation. */
+class KernelHarness
+{
+  public:
+    explicit KernelHarness(const KernelSpec &spec, int width = 4,
+                           std::uint64_t seed = 0xBE11A);
+
+    const KernelSpec &spec() const { return spec_; }
+    const Kernel &kernel() const { return kernel_; }
+    /** The lifted scalar program (List of raw Vec chunks). */
+    const RecExpr &scalarProgram() const { return program_; }
+    int width() const { return width_; }
+
+    /** Unvectorized baseline (the Figure 4 denominator). */
+    RunOutcome runScalarBaseline() const;
+    /** Greedy SLP auto-vectorizer (the clang-autovec comparator). */
+    RunOutcome runSlp() const;
+    /** Hand-written library kernel, if the shape is supported. */
+    RunOutcome runNature() const;
+    /** Any rewrite-based compiler (Isaria or Diospyros). */
+    RunOutcome runCompiler(const IsariaCompiler &compiler) const;
+    /** Checks and times an externally produced program. */
+    RunOutcome runProgramChecked(const VmProgram &program) const;
+
+  private:
+    KernelSpec spec_;
+    int width_;
+    Kernel kernel_;
+    RecExpr program_;
+    VmMemory inputs_;
+    std::vector<double> reference_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_BASELINE_HARNESS_H

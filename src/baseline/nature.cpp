@@ -1,0 +1,338 @@
+#include "baseline/nature.h"
+
+#include "lower/lower.h"
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+/** Small emitter with fresh-register bookkeeping. */
+class Emitter
+{
+  public:
+    explicit Emitter(int width) { prog_.width = width; }
+
+    int width() const { return prog_.width; }
+
+    std::int32_t
+    lds(SymbolId arr, int idx)
+    {
+        std::int32_t dst = freshS();
+        code({VmOp::LoadScalar, dst, -1, -1, -1, arr, idx, {}});
+        return dst;
+    }
+
+    std::int32_t
+    ldcs(double value)
+    {
+        std::int32_t dst = freshS();
+        code({VmOp::LoadConstS, dst, -1, -1, -1, 0, 0, {value}});
+        return dst;
+    }
+
+    std::int32_t
+    ldv(SymbolId arr, int idx)
+    {
+        std::int32_t dst = freshV();
+        code({VmOp::LoadVec, dst, -1, -1, -1, arr, idx, {}});
+        return dst;
+    }
+
+    std::int32_t
+    ldcv(std::vector<double> lanes)
+    {
+        std::int32_t dst = freshV();
+        code({VmOp::LoadConstV, dst, -1, -1, -1, 0, 0, std::move(lanes)});
+        return dst;
+    }
+
+    std::int32_t
+    splat(std::int32_t s)
+    {
+        std::int32_t dst = freshV();
+        code({VmOp::Splat, dst, s, -1, -1, 0, 0, {}});
+        return dst;
+    }
+
+    /** Builds a vector from scalar registers lane by lane. */
+    std::int32_t
+    gather(const std::vector<std::int32_t> &scalars)
+    {
+        std::int32_t dst = ldcv(std::vector<double>(width(), 0.0));
+        for (std::size_t l = 0; l < scalars.size(); ++l) {
+            code({VmOp::InsertLane, dst, scalars[l], -1, -1, 0,
+                  static_cast<std::int32_t>(l), {}});
+        }
+        return dst;
+    }
+
+    std::int32_t
+    sop(VmOp op, std::int32_t a, std::int32_t b = -1, std::int32_t c = -1)
+    {
+        std::int32_t dst = freshS();
+        code({op, dst, a, b, c, 0, 0, {}});
+        return dst;
+    }
+
+    std::int32_t
+    vop(VmOp op, std::int32_t a, std::int32_t b = -1, std::int32_t c = -1)
+    {
+        std::int32_t dst = freshV();
+        code({op, dst, a, b, c, 0, 0, {}});
+        return dst;
+    }
+
+    void
+    sts(std::int32_t s, SymbolId arr, int idx)
+    {
+        code({VmOp::StoreScalar, -1, s, -1, -1, arr, idx, {}});
+    }
+
+    void
+    stv(std::int32_t v, SymbolId arr, int idx)
+    {
+        code({VmOp::StoreVec, -1, v, -1, -1, arr, idx, {}});
+    }
+
+    VmProgram
+    finish()
+    {
+        prog_.numScalarRegs = nextS_;
+        prog_.numVectorRegs = nextV_;
+        return std::move(prog_);
+    }
+
+  private:
+    void
+    code(VmInst inst)
+    {
+        prog_.code.push_back(std::move(inst));
+    }
+
+    std::int32_t freshS() { return nextS_++; }
+    std::int32_t freshV() { return nextV_++; }
+
+    VmProgram prog_;
+    std::int32_t nextS_ = 0;
+    std::int32_t nextV_ = 0;
+};
+
+} // namespace
+
+std::optional<VmProgram>
+natureMatMul(int n, int m, int k, int width)
+{
+    if (k % width != 0)
+        return std::nullopt; // irregular shape: the library omits it
+    Emitter e(width);
+    SymbolId A = internSymbol("A");
+    SymbolId B = internSymbol("B");
+    SymbolId out = outputArraySymbol();
+
+    for (int i = 0; i < n; ++i) {
+        for (int jb = 0; jb < k; jb += width) {
+            std::int32_t acc = e.ldcv(std::vector<double>(width, 0.0));
+            for (int l = 0; l < m; ++l) {
+                std::int32_t va = e.splat(e.lds(A, i * m + l));
+                std::int32_t vb = e.ldv(B, l * k + jb);
+                acc = e.vop(VmOp::VMac, acc, va, vb);
+            }
+            e.stv(acc, out, i * k + jb);
+        }
+    }
+    return e.finish();
+}
+
+std::optional<VmProgram>
+nature2DConv(int rows, int cols, int krows, int kcols, int width)
+{
+    if (rows < 8 || cols < 8)
+        return std::nullopt; // library omits small irregular shapes
+    int orows = rows + krows - 1;
+    int ocols = cols + kcols - 1;
+    Emitter e(width);
+    SymbolId I = internSymbol("I");
+    SymbolId F = internSymbol("F");
+    SymbolId P = internSymbol("natPadded");
+    SymbolId out = outputArraySymbol();
+
+    // Stage 1: copy the input into a zero-padded working buffer (the
+    // standard library trick that removes all boundary conditions).
+    // Simulator arrays are zero-initialized, so only the interior is
+    // copied, with vector copies and a scalar tail.
+    int pcols = cols + 2 * (kcols - 1);
+    int rowBase = krows - 1, colBase = kcols - 1;
+    for (int r = 0; r < rows; ++r) {
+        int src = r * cols;
+        int dst = (r + rowBase) * pcols + colBase;
+        int c = 0;
+        for (; c + width <= cols; c += width)
+            e.stv(e.ldv(I, src + c), P, dst + c);
+        for (; c < cols; ++c)
+            e.sts(e.lds(I, src + c), P, dst + c);
+    }
+
+    // Preload the (small) filter as broadcast registers.
+    std::vector<std::int32_t> fsplat(krows * kcols);
+    for (int t = 0; t < krows * kcols; ++t)
+        fsplat[t] = e.splat(e.lds(F, t));
+
+    // Stage 2: every output block is interior in the padded buffer:
+    // O[r][c] = sum_{i,j} F[i][j] * P[r + (krows-1-i)][c + (kcols-1-j)].
+    auto emitBlock = [&](int r, int c) {
+        std::int32_t acc = e.ldcv(std::vector<double>(width, 0.0));
+        for (int i = 0; i < krows; ++i) {
+            for (int j = 0; j < kcols; ++j) {
+                int pr = r + (krows - 1 - i);
+                int pc = c + (kcols - 1 - j);
+                std::int32_t rowv = e.ldv(P, pr * pcols + pc);
+                acc = e.vop(VmOp::VMac, acc, fsplat[i * kcols + j], rowv);
+            }
+        }
+        e.stv(acc, out, r * ocols + c);
+    };
+
+    for (int r = 0; r < orows; ++r) {
+        for (int c = 0; c < ocols; c += width) {
+            // The final block overlaps its predecessor rather than
+            // spilling past the row (ocols >= 8 > width here).
+            emitBlock(r, std::min(c, ocols - width));
+        }
+    }
+    return e.finish();
+}
+
+std::optional<VmProgram>
+natureQProd(int width)
+{
+    if (width != 4)
+        return std::nullopt;
+    Emitter e(width);
+    SymbolId P = internSymbol("P");
+    SymbolId Q = internSymbol("Q");
+    SymbolId out = outputArraySymbol();
+
+    // r = p0*[ q0  q1  q2  q3]
+    //   + p1*[-q1  q0 -q3  q2]
+    //   + p2*[-q2  q3  q0 -q1]
+    //   + p3*[-q3 -q2  q1  q0]
+    std::vector<std::int32_t> q(4), nq(4);
+    for (int i = 0; i < 4; ++i)
+        q[i] = e.lds(Q, i);
+    for (int i = 0; i < 4; ++i)
+        nq[i] = e.sop(VmOp::SNeg, q[i]);
+
+    std::int32_t qv = e.ldv(Q, 0);
+    std::int32_t s1 = e.gather({nq[1], q[0], nq[3], q[2]});
+    std::int32_t s2 = e.gather({nq[2], q[3], q[0], nq[1]});
+    std::int32_t s3 = e.gather({nq[3], nq[2], q[1], q[0]});
+
+    std::int32_t acc = e.vop(VmOp::VMul, e.splat(e.lds(P, 0)), qv);
+    acc = e.vop(VmOp::VMac, acc, e.splat(e.lds(P, 1)), s1);
+    acc = e.vop(VmOp::VMac, acc, e.splat(e.lds(P, 2)), s2);
+    acc = e.vop(VmOp::VMac, acc, e.splat(e.lds(P, 3)), s3);
+    e.stv(acc, out, 0);
+    return e.finish();
+}
+
+std::optional<VmProgram>
+natureQrD(int n, int width)
+{
+    if (n != width)
+        return std::nullopt; // the library ships the width-matched size
+    Emitter e(width);
+    SymbolId A = internSymbol("A");
+    SymbolId out = outputArraySymbol();
+
+    // Row-major working copies in registers: R rows and Q rows as
+    // vectors, scalar mirrors of R's current column for the norms.
+    std::vector<std::int32_t> rrow(n), qrow(n);
+    for (int i = 0; i < n; ++i)
+        rrow[i] = e.ldv(A, i * n);
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> unit(width, 0.0);
+        unit[i] = 1.0;
+        qrow[i] = e.ldcv(unit);
+    }
+
+    // Scalar column extraction helper: lane j of a row vector is not
+    // directly addressable, so rows are staged through scratch memory
+    // (what a register-pressure-aware library would spill anyway).
+    SymbolId scratch = internSymbol("natScratch");
+    auto laneOf = [&](std::int32_t rowReg, int rowIdx, int lane) {
+        e.stv(rowReg, scratch, rowIdx * n);
+        return e.lds(scratch, rowIdx * n + lane);
+    };
+
+    for (int k = 0; k < n - 1; ++k) {
+        // Scalar part: norm of column k below the diagonal, alpha,
+        // the Householder vector v, and beta = 2 / (v.v).
+        std::vector<std::int32_t> col(n, -1);
+        for (int i = k; i < n; ++i)
+            col[i] = laneOf(rrow[i], i, k);
+        std::int32_t normSq = e.sop(VmOp::SMul, col[k], col[k]);
+        for (int i = k + 1; i < n; ++i) {
+            normSq = e.sop(VmOp::SAdd, normSq,
+                           e.sop(VmOp::SMul, col[i], col[i]));
+        }
+        std::int32_t alpha =
+            e.sop(VmOp::SMul, e.sop(VmOp::SNeg, e.sop(VmOp::SSgn, col[k])),
+                  e.sop(VmOp::SSqrt, normSq));
+        std::vector<std::int32_t> v(n, -1);
+        v[k] = e.sop(VmOp::SSub, col[k], alpha);
+        for (int i = k + 1; i < n; ++i)
+            v[i] = col[i];
+        std::int32_t vnorm = e.sop(VmOp::SMul, v[k], v[k]);
+        for (int i = k + 1; i < n; ++i) {
+            vnorm = e.sop(VmOp::SAdd, vnorm,
+                          e.sop(VmOp::SMul, v[i], v[i]));
+        }
+        std::int32_t beta = e.sop(VmOp::SDiv, e.ldcs(2.0), vnorm);
+
+        // Vector part: srow = sum_i v[i] * R[i][:], then each row
+        // R[i][:] -= (beta * v[i]) * srow.
+        std::int32_t srow = e.vop(VmOp::VMul, e.splat(v[k]), rrow[k]);
+        for (int i = k + 1; i < n; ++i)
+            srow = e.vop(VmOp::VMac, srow, e.splat(v[i]), rrow[i]);
+        for (int i = k; i < n; ++i) {
+            std::int32_t coef = e.splat(e.sop(VmOp::SMul, beta, v[i]));
+            rrow[i] = e.vop(VmOp::VSub, rrow[i],
+                            e.vop(VmOp::VMul, coef, srow));
+        }
+
+        // Q rows: w[i] = Q[i][:] . v (scalar dots via scratch), then
+        // Q[i][:] -= beta * w[i] * v[:].
+        std::int32_t vvec = e.gather(v);
+        for (int i = 0; i < n; ++i) {
+            std::int32_t dot = -1;
+            for (int j = k; j < n; ++j) {
+                std::int32_t qij = laneOf(qrow[i], n + i, j);
+                std::int32_t prod = e.sop(VmOp::SMul, qij, v[j]);
+                dot = dot < 0 ? prod : e.sop(VmOp::SAdd, dot, prod);
+            }
+            std::int32_t coef = e.splat(e.sop(VmOp::SMul, beta, dot));
+            // Zero the below-k lanes of v so columns < k stay intact.
+            std::int32_t vmask = vvec;
+            if (k > 0) {
+                std::vector<std::int32_t> masked(v);
+                for (int j = 0; j < k; ++j)
+                    masked[j] = e.ldcs(0.0);
+                vmask = e.gather(masked);
+            }
+            qrow[i] = e.vop(VmOp::VSub, qrow[i],
+                            e.vop(VmOp::VMul, coef, vmask));
+        }
+    }
+
+    // Emit Q then R to the output layout (Q rows, then R rows).
+    for (int i = 0; i < n; ++i)
+        e.stv(qrow[i], out, i * n);
+    for (int i = 0; i < n; ++i)
+        e.stv(rrow[i], out, n * n + i * n);
+    return e.finish();
+}
+
+} // namespace isaria

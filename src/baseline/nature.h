@@ -1,0 +1,40 @@
+#ifndef ISARIA_BASELINE_NATURE_H
+#define ISARIA_BASELINE_NATURE_H
+
+/**
+ * @file
+ * Hand-written vectorized library kernels ("Nature").
+ *
+ * Stands in for the Nature kernel library shipped with the Tensilica
+ * SDK: expert-written vector code for the regular shapes a library
+ * would support, and deliberately *absent* for small irregular shapes
+ * (the paper notes Nature omits those). Each generator returns
+ * nullopt when the shape is unsupported, which the Figure 4 harness
+ * reports as a missing bar, as in the paper.
+ */
+
+#include <optional>
+
+#include "vm/vm_isa.h"
+
+namespace isaria
+{
+
+/** C = A(n x m) * B(m x k); supported when k is a multiple of the
+ *  vector width. */
+std::optional<VmProgram> natureMatMul(int n, int m, int k, int width = 4);
+
+/** Full 2D convolution; supported for inputs at least 8x8 (interior
+ *  blocks vectorized, borders scalar). */
+std::optional<VmProgram> nature2DConv(int rows, int cols, int krows,
+                                      int kcols, int width = 4);
+
+/** Hamilton quaternion product (always supported). */
+std::optional<VmProgram> natureQProd(int width = 4);
+
+/** Householder QR; supported for n equal to the vector width. */
+std::optional<VmProgram> natureQrD(int n, int width = 4);
+
+} // namespace isaria
+
+#endif // ISARIA_BASELINE_NATURE_H

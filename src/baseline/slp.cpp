@@ -1,0 +1,109 @@
+#include "baseline/slp.h"
+
+#include <optional>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+class SlpPacker
+{
+  public:
+    SlpPacker(const RecExpr &src, RecExpr &out) : src_(src), out_(out) {}
+
+    /**
+     * Packs the group of scalar lanes into one vector value in the
+     * output expression, or fails (nullopt) when the lanes are not
+     * isomorphic.
+     */
+    std::optional<NodeId>
+    pack(const std::vector<NodeId> &lanes)
+    {
+        // Leaves pack unconditionally: a Vec literal of leaves is a
+        // load, a constant, or at worst a gather.
+        bool allLeaves = true;
+        for (NodeId lane : lanes) {
+            const TermNode &n = src_.node(lane);
+            allLeaves &= n.op == Op::Const || n.op == Op::Get ||
+                         n.op == Op::Symbol;
+        }
+        if (allLeaves) {
+            std::vector<NodeId> kids;
+            kids.reserve(lanes.size());
+            for (NodeId lane : lanes)
+                kids.push_back(copyLeaf(lane));
+            return out_.add(Op::Vec, std::move(kids));
+        }
+
+        // Interior nodes must be isomorphic: same operator across
+        // every lane.
+        Op op = src_.node(lanes[0]).op;
+        if (!isScalarArithOp(op))
+            return std::nullopt;
+        for (NodeId lane : lanes) {
+            if (src_.node(lane).op != op)
+                return std::nullopt;
+        }
+        Op vop = vectorCounterpart(op);
+        if (vop == Op::NumOps)
+            return std::nullopt;
+
+        std::size_t arity = src_.node(lanes[0]).children.size();
+        std::vector<NodeId> packedArgs;
+        for (std::size_t argIndex = 0; argIndex < arity; ++argIndex) {
+            std::vector<NodeId> group;
+            group.reserve(lanes.size());
+            for (NodeId lane : lanes)
+                group.push_back(src_.node(lane).children[argIndex]);
+            auto packed = pack(group);
+            if (!packed)
+                return std::nullopt;
+            packedArgs.push_back(*packed);
+        }
+        return out_.add(vop, std::move(packedArgs));
+    }
+
+    NodeId
+    copySubtree(NodeId id)
+    {
+        return out_.addSubtree(src_, id);
+    }
+
+  private:
+    NodeId
+    copyLeaf(NodeId id)
+    {
+        const TermNode &n = src_.node(id);
+        return out_.add(n.op, {}, n.payload);
+    }
+
+    const RecExpr &src_;
+    RecExpr &out_;
+};
+
+} // namespace
+
+RecExpr
+slpVectorize(const RecExpr &scalarProgram)
+{
+    const TermNode &root = scalarProgram.root();
+    ISARIA_ASSERT(root.op == Op::List, "SLP expects a List program");
+
+    RecExpr out;
+    SlpPacker packer(scalarProgram, out);
+    std::vector<NodeId> chunks;
+    for (NodeId chunk : root.children) {
+        const TermNode &n = scalarProgram.node(chunk);
+        ISARIA_ASSERT(n.op == Op::Vec, "SLP expects raw Vec chunks");
+        auto packed = packer.pack(n.children);
+        chunks.push_back(packed ? *packed : packer.copySubtree(chunk));
+    }
+    out.add(Op::List, std::move(chunks));
+    return out;
+}
+
+} // namespace isaria

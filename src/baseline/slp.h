@@ -1,0 +1,32 @@
+#ifndef ISARIA_BASELINE_SLP_H
+#define ISARIA_BASELINE_SLP_H
+
+/**
+ * @file
+ * A greedy superword-level-parallelism auto-vectorizer.
+ *
+ * Stands in for the xt-clang auto-vectorizer comparator: on the
+ * unrolled kernel it packs isomorphic lane expressions into vector
+ * operations (Larsen & Amarasinghe's SLP, the strategy production
+ * compilers use on straight-line code). Regular kernels (matrix
+ * multiply, quaternion product) pack fully; irregular lanes — borders
+ * of a convolution, the mixed expressions of QR — fail isomorphism
+ * and stay scalar, reproducing the comparator's signature behaviour
+ * in Figure 4.
+ */
+
+#include "term/rec_expr.h"
+
+namespace isaria
+{
+
+/**
+ * Packs each top-level Vec chunk of the scalar program into vector
+ * ops where the lanes are isomorphic; chunks that do not pack stay
+ * raw Vec literals (lower with scalarizeRawChunks).
+ */
+RecExpr slpVectorize(const RecExpr &scalarProgram);
+
+} // namespace isaria
+
+#endif // ISARIA_BASELINE_SLP_H

@@ -1,0 +1,107 @@
+#include "compiler/compiler.h"
+
+#include "egraph/extract.h"
+#include "support/panic.h"
+#include "support/timer.h"
+
+namespace isaria
+{
+
+IsariaCompiler::IsariaCompiler(PhasedRules rules, CompilerConfig config)
+    : rules_(std::move(rules)), config_(config)
+{
+    expansion_ = compileRules(rules_.ofPhase(Phase::Expansion));
+    compilation_ = compileRules(rules_.ofPhase(Phase::Compilation));
+    optimization_ = compileRules(rules_.ofPhase(Phase::Optimization));
+    for (const PhasedRule &pr : rules_.all)
+        everything_.emplace_back(pr.rule);
+}
+
+RecExpr
+IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
+{
+    Stopwatch watch;
+    CompileStats local;
+    CompileStats &st = stats ? *stats : local;
+    st = CompileStats{};
+
+    const DspCostModel &cost = config_.costModel;
+    st.initialCost = cost.exprCost(program);
+
+    auto note = [&](const EqSatReport &report) {
+        ++st.eqsatCalls;
+        st.peakNodes = std::max(st.peakNodes, report.nodes);
+        st.ranOutOfMemory |= report.stop == StopReason::NodeLimit;
+        st.reports.push_back(report);
+    };
+
+    auto extractOrDie = [&](const EGraph &eg, EClassId root) {
+        auto got = extractBest(eg, root, cost);
+        ISARIA_ASSERT(got.has_value(), "extraction found no program");
+        return std::move(*got);
+    };
+
+    RecExpr current = program;
+
+    if (!config_.phasing) {
+        // Strawman (Section 2.2): a single equality saturation over
+        // the entire synthesized rule set.
+        EGraph eg;
+        EClassId root = eg.addExpr(current);
+        note(runEqSat(eg, everything_, config_.compilationLimits));
+        Extracted best = extractOrDie(eg, root);
+        st.finalCost = best.cost;
+        st.seconds = watch.elapsedSeconds();
+        return std::move(best.expr);
+    }
+
+    std::uint64_t oldCost = st.initialCost;
+
+    if (config_.pruning) {
+        // The Fig. 3 loop: fresh e-graph, expansion, compilation,
+        // extract, prune by restarting from the extraction.
+        for (int iter = 0; iter < config_.maxLoopIterations; ++iter) {
+            ++st.loopIterations;
+            EGraph eg;
+            EClassId root = eg.addExpr(current);
+            note(runEqSat(eg, expansion_, config_.expansionLimits));
+            note(runEqSat(eg, compilation_, config_.compilationLimits));
+            Extracted best = extractOrDie(eg, root);
+            current = std::move(best.expr);
+            if (best.cost == oldCost)
+                break;
+            oldCost = best.cost;
+        }
+    } else {
+        // Ablation (Section 5.2): retain the e-graph across loop
+        // iterations — alternate the phases with no pruning.
+        EGraph eg;
+        EClassId root = eg.addExpr(current);
+        for (int iter = 0; iter < config_.maxLoopIterations; ++iter) {
+            ++st.loopIterations;
+            note(runEqSat(eg, expansion_, config_.expansionLimits));
+            note(runEqSat(eg, compilation_, config_.compilationLimits));
+            Extracted best = extractOrDie(eg, root);
+            std::uint64_t newCost = best.cost;
+            current = std::move(best.expr);
+            if (newCost == oldCost)
+                break;
+            oldCost = newCost;
+        }
+    }
+
+    // Final phase: optimize the chosen vectorization.
+    {
+        EGraph eg;
+        EClassId root = eg.addExpr(current);
+        note(runEqSat(eg, optimization_, config_.optLimits));
+        Extracted best = extractOrDie(eg, root);
+        st.finalCost = best.cost;
+        current = std::move(best.expr);
+    }
+
+    st.seconds = watch.elapsedSeconds();
+    return current;
+}
+
+} // namespace isaria

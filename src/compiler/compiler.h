@@ -1,0 +1,103 @@
+#ifndef ISARIA_COMPILER_COMPILER_H
+#define ISARIA_COMPILER_COMPILER_H
+
+/**
+ * @file
+ * The Isaria compile-time scheduler: the Compile algorithm of Fig. 3.
+ *
+ * An IsariaCompiler is what the offline pipeline emits: a phased rule
+ * system plus the cost model. Compilation loops
+ *
+ *   fresh e-graph <- program
+ *   saturate expansion rules; saturate compilation rules
+ *   extract the cheapest program; prune (restart from it)
+ *
+ * until the extracted cost stops improving, then runs one saturation
+ * of optimization rules. Both pruning and phasing can be disabled to
+ * reproduce the Section 5.2 ablations.
+ */
+
+#include <vector>
+
+#include "egraph/runner.h"
+#include "phase/phase.h"
+
+namespace isaria
+{
+
+/** Knobs of the compile-time scheduler. */
+struct CompilerConfig
+{
+    DspCostModel costModel;
+    /**
+     * Per-phase EqSat budgets (the paper applies a 180 s timeout per
+     * call; defaults here are laptop-scale). Expansion is kept
+     * shallow — it only needs to surface permutations and padding —
+     * while compilation runs deep enough for the per-op compile rules
+     * to recurse to the leaves of each lane.
+     */
+    EqSatLimits expansionLimits = {.maxNodes = 30'000,
+                                   .maxIters = 2,
+                                   .timeoutSeconds = 0.8,
+                                   .maxMatchesPerRule = 20'000,
+                                   .maxMatchesPerClass = 24};
+    EqSatLimits compilationLimits = {.maxNodes = 60'000,
+                                     .maxIters = 10,
+                                     .timeoutSeconds = 2.0,
+                                     .maxMatchesPerRule = 8'000,
+                                     .maxMatchesPerClass = 32};
+    /** Budgets for the final optimization saturation. */
+    EqSatLimits optLimits = {.maxNodes = 100'000,
+                             .maxIters = 5,
+                             .timeoutSeconds = 1.5,
+                             .maxMatchesPerRule = 30'000,
+                             .maxMatchesPerClass = 48};
+    /** Safety cap on the improve loop of Fig. 3. */
+    int maxLoopIterations = 10;
+    /** Greedy pruning between loop iterations (Section 3.3). */
+    bool pruning = true;
+    /** Phase-scheduled saturation; false = one saturation over the
+     *  whole rule set (the Section 2.2 / 5.2 strawman). */
+    bool phasing = true;
+};
+
+/** Observability for the experiments. */
+struct CompileStats
+{
+    std::uint64_t initialCost = 0;
+    std::uint64_t finalCost = 0;
+    int loopIterations = 0;
+    int eqsatCalls = 0;
+    double seconds = 0;
+    std::size_t peakNodes = 0;
+    /** A saturation hit its node budget — the "ran out of memory"
+     *  condition of the paper's ablations. */
+    bool ranOutOfMemory = false;
+    std::vector<EqSatReport> reports;
+};
+
+/** A generated vectorizing compiler for one ISA instance. */
+class IsariaCompiler
+{
+  public:
+    IsariaCompiler(PhasedRules rules, CompilerConfig config);
+
+    /** Vectorizes @p program (Fig. 3). */
+    RecExpr compile(const RecExpr &program,
+                    CompileStats *stats = nullptr) const;
+
+    const PhasedRules &rules() const { return rules_; }
+    const CompilerConfig &config() const { return config_; }
+
+  private:
+    PhasedRules rules_;
+    CompilerConfig config_;
+    std::vector<CompiledRule> expansion_;
+    std::vector<CompiledRule> compilation_;
+    std::vector<CompiledRule> optimization_;
+    std::vector<CompiledRule> everything_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_COMPILER_COMPILER_H

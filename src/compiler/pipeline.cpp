@@ -1,0 +1,17 @@
+#include "compiler/pipeline.h"
+
+namespace isaria
+{
+
+GeneratedCompiler
+generateCompiler(const IsaSpec &isa, const SynthConfig &synthConfig,
+                 const CompilerConfig &config)
+{
+    SynthReport synth = synthesizeRules(isa, synthConfig);
+    PhasedRules phased = assignPhases(synth.rules, config.costModel);
+    IsariaCompiler compiler(phased, config);
+    return GeneratedCompiler{std::move(synth), std::move(phased),
+                             std::move(compiler)};
+}
+
+} // namespace isaria

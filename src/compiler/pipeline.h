@@ -1,0 +1,35 @@
+#ifndef ISARIA_COMPILER_PIPELINE_H
+#define ISARIA_COMPILER_PIPELINE_H
+
+/**
+ * @file
+ * The end-to-end offline pipeline of Fig. 2: ISA specification + cost
+ * model in, vectorizing compiler out.
+ */
+
+#include "compiler/compiler.h"
+#include "synth/synthesize.h"
+
+namespace isaria
+{
+
+/** Everything the offline stage produced. */
+struct GeneratedCompiler
+{
+    SynthReport synth;
+    PhasedRules phased;
+    IsariaCompiler compiler;
+};
+
+/**
+ * Runs rule synthesis and phase discovery for @p isa and assembles
+ * the compile-time scheduler — the whole "offline compiler
+ * generation" half of Fig. 2.
+ */
+GeneratedCompiler generateCompiler(const IsaSpec &isa,
+                                   const SynthConfig &synthConfig = {},
+                                   const CompilerConfig &config = {});
+
+} // namespace isaria
+
+#endif // ISARIA_COMPILER_PIPELINE_H

@@ -1,0 +1,185 @@
+#include "egraph/egraph.h"
+
+#include <algorithm>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+EClassId
+EGraph::add(ENode node)
+{
+    ENode canon = node.canonical(uf_);
+    auto it = memo_.find(canon);
+    if (it != memo_.end())
+        return uf_.find(it->second);
+
+    EClassId id = uf_.makeSet();
+    classes_.emplace_back();
+    classes_[id].nodes.push_back(canon);
+    for (EClassId child : canon.children)
+        classes_[child].parents.emplace_back(canon, id);
+    memo_.emplace(std::move(canon), id);
+    return id;
+}
+
+EClassId
+EGraph::addExpr(const RecExpr &expr)
+{
+    ISARIA_ASSERT(!expr.empty(), "adding empty expression");
+    return addExpr(expr, expr.rootId());
+}
+
+EClassId
+EGraph::addExpr(const RecExpr &expr, NodeId root)
+{
+    // Iterative bottom-up insertion over the whole prefix of the
+    // term, then return the class of the requested root.
+    std::vector<EClassId> classOf(root + 1);
+    for (NodeId id = 0; id <= root; ++id) {
+        const TermNode &n = expr.node(id);
+        ISARIA_ASSERT(n.op != Op::Wildcard,
+                      "wildcards cannot be added to an e-graph");
+        ENode node;
+        node.op = n.op;
+        node.payload = n.payload;
+        node.children.reserve(n.children.size());
+        for (NodeId child : n.children)
+            node.children.push_back(classOf[child]);
+        classOf[id] = add(std::move(node));
+    }
+    return classOf[root];
+}
+
+bool
+EGraph::merge(EClassId a, EClassId b)
+{
+    EClassId ra = uf_.find(a);
+    EClassId rb = uf_.find(b);
+    if (ra == rb)
+        return false;
+
+    EClassId keep = uf_.join(ra, rb);
+    EClassId gone = (keep == ra) ? rb : ra;
+
+    // Move nodes and parents into the surviving class.
+    auto &keepClass = classes_[keep];
+    auto &goneClass = classes_[gone];
+    keepClass.nodes.insert(keepClass.nodes.end(),
+                           std::make_move_iterator(goneClass.nodes.begin()),
+                           std::make_move_iterator(goneClass.nodes.end()));
+    keepClass.parents.insert(
+        keepClass.parents.end(),
+        std::make_move_iterator(goneClass.parents.begin()),
+        std::make_move_iterator(goneClass.parents.end()));
+    goneClass.nodes.clear();
+    goneClass.nodes.shrink_to_fit();
+    goneClass.parents.clear();
+    goneClass.parents.shrink_to_fit();
+
+    worklist_.push_back(keep);
+    return true;
+}
+
+void
+EGraph::rebuild()
+{
+    while (!worklist_.empty()) {
+        std::vector<EClassId> todo;
+        todo.swap(worklist_);
+        std::sort(todo.begin(), todo.end());
+        todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+        for (EClassId id : todo)
+            repair(uf_.find(id));
+    }
+}
+
+void
+EGraph::repair(EClassId id)
+{
+    // Detach the stale parent list first: merges below may move
+    // parent lists around, invalidating references into classes_.
+    std::vector<std::pair<ENode, EClassId>> parents;
+    parents.swap(classes_[id].parents);
+
+    // Re-canonicalize parents. A collision — two parents becoming the
+    // same canonical e-node — means they are congruent: merge them.
+    std::unordered_map<ENode, EClassId, ENodeHash> newParents;
+    newParents.reserve(parents.size());
+    for (auto &[pnode, pclass] : parents) {
+        memo_.erase(pnode);
+        ENode canon = pnode.canonical(uf_);
+        EClassId canonClass = uf_.find(pclass);
+        auto it = newParents.find(canon);
+        if (it != newParents.end()) {
+            merge(canonClass, it->second);
+            it->second = uf_.find(it->second);
+        } else {
+            newParents.emplace(std::move(canon), canonClass);
+        }
+    }
+
+    // Reinstall into the hashcons; an existing entry for the same
+    // canonical node is another congruence to merge, never overwrite.
+    for (auto &[node, cid] : newParents) {
+        auto [mit, inserted] = memo_.try_emplace(node, cid);
+        if (!inserted) {
+            merge(mit->second, cid);
+            mit->second = uf_.find(mit->second);
+        }
+    }
+
+    // repair() may run on a class that has since been merged away;
+    // route the refreshed parent list to the current representative.
+    EClass &target = classes_[uf_.find(id)];
+    for (auto &[node, cid] : newParents)
+        target.parents.emplace_back(node, uf_.find(cid));
+
+    // Deduplicate this class's own nodes under canonicalization.
+    EClass &self = classes_[uf_.find(id)];
+    std::unordered_map<ENode, bool, ENodeHash> dedup;
+    std::vector<ENode> nodes;
+    nodes.reserve(self.nodes.size());
+    for (ENode &node : self.nodes) {
+        ENode canon = node.canonical(uf_);
+        if (dedup.emplace(canon, true).second)
+            nodes.push_back(std::move(canon));
+    }
+    self.nodes = std::move(nodes);
+}
+
+std::vector<EClassId>
+EGraph::canonicalClasses() const
+{
+    std::vector<EClassId> out;
+    for (EClassId id = 0; id < uf_.size(); ++id) {
+        if (uf_.find(id) == id)
+            out.push_back(id);
+    }
+    return out;
+}
+
+std::size_t
+EGraph::numNodes() const
+{
+    std::size_t total = 0;
+    for (EClassId id = 0; id < uf_.size(); ++id) {
+        if (uf_.find(id) == id)
+            total += classes_[id].nodes.size();
+    }
+    return total;
+}
+
+std::size_t
+EGraph::numClasses() const
+{
+    std::size_t total = 0;
+    for (EClassId id = 0; id < uf_.size(); ++id) {
+        if (uf_.find(id) == id)
+            ++total;
+    }
+    return total;
+}
+
+} // namespace isaria

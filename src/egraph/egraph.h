@@ -1,0 +1,96 @@
+#ifndef ISARIA_EGRAPH_EGRAPH_H
+#define ISARIA_EGRAPH_EGRAPH_H
+
+/**
+ * @file
+ * The e-graph: a congruence-closed union of program spaces.
+ *
+ * This is a from-scratch reimplementation of the data structure behind
+ * the egg library (Willsey et al., POPL 2021) that Isaria and
+ * Diospyros build on: hash-consed e-nodes grouped into e-classes by a
+ * union-find, with congruence restored lazily by rebuild() after a
+ * batch of merges.
+ */
+
+#include <unordered_map>
+#include <vector>
+
+#include "egraph/enode.h"
+#include "term/rec_expr.h"
+
+namespace isaria
+{
+
+/** A set of equivalent e-nodes plus back-pointers to their users. */
+struct EClass
+{
+    /** Canonicalized member nodes (deduplicated at rebuild). */
+    std::vector<ENode> nodes;
+    /** Nodes (in other classes) that have this class as a child. */
+    std::vector<std::pair<ENode, EClassId>> parents;
+};
+
+/** Hash-consed congruence-closed e-graph. */
+class EGraph
+{
+  public:
+    /** Adds (or finds) an e-node; children must be existing classes. */
+    EClassId add(ENode node);
+
+    /** Adds a whole term bottom-up; returns the root's class. */
+    EClassId addExpr(const RecExpr &expr);
+
+    /** Adds the subtree of @p expr rooted at @p root. */
+    EClassId addExpr(const RecExpr &expr, NodeId root);
+
+    /** Canonical id of @p id. */
+    EClassId find(EClassId id) const { return uf_.find(id); }
+
+    /**
+     * Asserts @p a and @p b equal. Returns true if the graph changed
+     * (the classes were distinct). Congruence is restored lazily:
+     * call rebuild() after a batch of merges.
+     */
+    bool merge(EClassId a, EClassId b);
+
+    /** Restores congruence and hash-cons invariants. */
+    void rebuild();
+
+    /** The e-class with canonical id @p id. */
+    const EClass &
+    eclass(EClassId id) const
+    {
+        return classes_[find(id)];
+    }
+
+    /** All canonical class ids (valid only after rebuild). */
+    std::vector<EClassId> canonicalClasses() const;
+
+    /** Total e-nodes across canonical classes. */
+    std::size_t numNodes() const;
+
+    /** Number of canonical classes. */
+    std::size_t numClasses() const;
+
+    /** True if the ids are in the same class. */
+    bool
+    same(EClassId a, EClassId b) const
+    {
+        return find(a) == find(b);
+    }
+
+    /** True when merges since the last rebuild() are pending. */
+    bool dirty() const { return !worklist_.empty(); }
+
+  private:
+    void repair(EClassId id);
+
+    UnionFind uf_;
+    std::vector<EClass> classes_;
+    std::unordered_map<ENode, EClassId, ENodeHash> memo_;
+    std::vector<EClassId> worklist_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_EGRAPH_EGRAPH_H

@@ -1,0 +1,181 @@
+#include "egraph/ematch.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+constexpr EClassId kUnbound = std::numeric_limits<EClassId>::max();
+
+/** Recursive backtracking matcher. */
+class Matcher
+{
+  public:
+    Matcher(const EGraph &egraph, const RecExpr &pattern,
+            const std::vector<std::int32_t> &slotIds,
+            std::vector<PatternMatch> &out, std::size_t maxMatches,
+            std::size_t *stepBudget)
+        : egraph_(egraph), pattern_(pattern), slotIds_(slotIds),
+          out_(out), maxMatches_(maxMatches), stepBudget_(stepBudget),
+          bindings_(slotIds.size(), kUnbound)
+    {}
+
+    void
+    matchRoot(EClassId root)
+    {
+        root_ = egraph_.find(root);
+        matchNode(pattern_.rootId(), root_, [this] { emit(); });
+    }
+
+  private:
+    std::size_t
+    slotOf(std::int32_t wildcardId) const
+    {
+        for (std::size_t i = 0; i < slotIds_.size(); ++i) {
+            if (slotIds_[i] == wildcardId)
+                return i;
+        }
+        ISARIA_PANIC("wildcard id has no slot");
+    }
+
+    bool
+    full() const
+    {
+        if (stepBudget_ && *stepBudget_ == 0)
+            return true;
+        return out_.size() >= maxMatches_;
+    }
+
+    /** Charges one unit of search work; false when exhausted. */
+    bool
+    step()
+    {
+        if (!stepBudget_)
+            return true;
+        if (*stepBudget_ == 0)
+            return false;
+        --*stepBudget_;
+        return true;
+    }
+
+    void
+    emit()
+    {
+        if (full())
+            return;
+        out_.push_back(PatternMatch{root_, bindings_});
+    }
+
+    /**
+     * Matches pattern node @p pid against e-class @p cls, invoking
+     * @p k for every consistent extension of the bindings. The
+     * continuation is type-erased: the recursion depth follows the
+     * pattern's runtime shape, which templates cannot.
+     */
+    using Cont = std::function<void()>;
+
+    void
+    matchNode(NodeId pid, EClassId cls, const Cont &k)
+    {
+        if (full() || !step())
+            return;
+        const TermNode &pnode = pattern_.node(pid);
+        cls = egraph_.find(cls);
+
+        if (pnode.op == Op::Wildcard) {
+            std::size_t slot =
+                slotOf(static_cast<std::int32_t>(pnode.payload));
+            if (bindings_[slot] != kUnbound) {
+                if (egraph_.find(bindings_[slot]) == cls)
+                    k();
+                return;
+            }
+            bindings_[slot] = cls;
+            k();
+            bindings_[slot] = kUnbound;
+            return;
+        }
+
+        for (const ENode &enode : egraph_.eclass(cls).nodes) {
+            if (full())
+                return;
+            if (enode.op != pnode.op || enode.payload != pnode.payload ||
+                enode.children.size() != pnode.children.size()) {
+                continue;
+            }
+            matchChildren(pnode, enode, 0, k);
+        }
+    }
+
+    void
+    matchChildren(const TermNode &pnode, const ENode &enode,
+                  std::size_t index, const Cont &k)
+    {
+        if (index == pnode.children.size()) {
+            k();
+            return;
+        }
+        matchNode(pnode.children[index], enode.children[index],
+                  [&, this] { matchChildren(pnode, enode, index + 1, k); });
+    }
+
+    const EGraph &egraph_;
+    const RecExpr &pattern_;
+    const std::vector<std::int32_t> &slotIds_;
+    std::vector<PatternMatch> &out_;
+    std::size_t maxMatches_;
+    std::size_t *stepBudget_;
+    std::vector<EClassId> bindings_;
+    EClassId root_ = 0;
+};
+
+} // namespace
+
+CompiledPattern::CompiledPattern(RecExpr pattern)
+    : pattern_(std::move(pattern)), slotIds_(pattern_.wildcardIds())
+{}
+
+std::size_t
+CompiledPattern::slotOf(std::int32_t wildcardId) const
+{
+    auto it = std::find(slotIds_.begin(), slotIds_.end(), wildcardId);
+    ISARIA_ASSERT(it != slotIds_.end(), "unknown wildcard id");
+    return static_cast<std::size_t>(it - slotIds_.begin());
+}
+
+void
+CompiledPattern::searchClass(const EGraph &egraph, EClassId root,
+                             std::vector<PatternMatch> &out,
+                             std::size_t maxMatches,
+                             std::size_t *stepBudget) const
+{
+    Matcher matcher(egraph, pattern_, slotIds_, out, maxMatches,
+                    stepBudget);
+    matcher.matchRoot(root);
+}
+
+std::vector<PatternMatch>
+CompiledPattern::search(const EGraph &egraph, std::size_t maxMatches,
+                        std::size_t maxMatchesPerClass) const
+{
+    std::vector<PatternMatch> out;
+    for (EClassId id : egraph.canonicalClasses()) {
+        if (out.size() >= maxMatches)
+            break;
+        std::size_t cap =
+            (maxMatchesPerClass >= maxMatches - out.size())
+                ? maxMatches
+                : out.size() + maxMatchesPerClass;
+        searchClass(egraph, id, out, cap);
+    }
+    return out;
+}
+
+} // namespace isaria

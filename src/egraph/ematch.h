@@ -1,0 +1,73 @@
+#ifndef ISARIA_EGRAPH_EMATCH_H
+#define ISARIA_EGRAPH_EMATCH_H
+
+/**
+ * @file
+ * E-matching: finding all embeddings of a pattern in an e-graph.
+ *
+ * Patterns are DSL terms with Op::Wildcard leaves. A match binds each
+ * wildcard to an e-class and names the e-class the pattern root
+ * matched in. The matcher is a straightforward backtracking walk over
+ * e-nodes, sufficient for the small, shallow patterns rule synthesis
+ * produces.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "egraph/egraph.h"
+
+namespace isaria
+{
+
+/** One embedding of a pattern: root class + per-slot bindings. */
+struct PatternMatch
+{
+    EClassId root;
+    /** Binding for wildcard slot i (see CompiledPattern::slotIds). */
+    std::vector<EClassId> bindings;
+};
+
+/** A pattern preprocessed for repeated searching. */
+class CompiledPattern
+{
+  public:
+    /** Compiles @p pattern; wildcard ids are assigned dense slots. */
+    explicit CompiledPattern(RecExpr pattern);
+
+    const RecExpr &pattern() const { return pattern_; }
+
+    /** Wildcard id for each slot. */
+    const std::vector<std::int32_t> &slotIds() const { return slotIds_; }
+
+    /** Slot index of wildcard @p wildcardId (must exist). */
+    std::size_t slotOf(std::int32_t wildcardId) const;
+
+    /**
+     * Finds matches rooted in class @p root, appending to @p out.
+     * Stops early once @p out reaches @p maxMatches entries.
+     */
+    void searchClass(const EGraph &egraph, EClassId root,
+                     std::vector<PatternMatch> &out,
+                     std::size_t maxMatches,
+                     std::size_t *stepBudget = nullptr) const;
+
+    /**
+     * Searches every canonical class, gathering at most
+     * @p maxMatchesPerClass embeddings rooted in any one class (so
+     * combinatorial patterns cannot starve later classes) and at most
+     * @p maxMatches overall.
+     */
+    std::vector<PatternMatch> search(const EGraph &egraph,
+                                     std::size_t maxMatches,
+                                     std::size_t maxMatchesPerClass =
+                                         SIZE_MAX) const;
+
+  private:
+    RecExpr pattern_;
+    std::vector<std::int32_t> slotIds_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_EGRAPH_EMATCH_H

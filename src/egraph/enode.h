@@ -1,0 +1,56 @@
+#ifndef ISARIA_EGRAPH_ENODE_H
+#define ISARIA_EGRAPH_ENODE_H
+
+/**
+ * @file
+ * E-nodes: operator applications whose children are e-class ids.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "egraph/union_find.h"
+#include "support/hash.h"
+#include "term/op.h"
+
+namespace isaria
+{
+
+/** An operator applied to e-classes. */
+struct ENode
+{
+    Op op = Op::Const;
+    std::int64_t payload = 0;
+    std::vector<EClassId> children;
+
+    bool operator==(const ENode &other) const = default;
+
+    /** Returns a copy with every child replaced by its canonical id. */
+    ENode
+    canonical(const UnionFind &uf) const
+    {
+        ENode out{op, payload, children};
+        for (EClassId &child : out.children)
+            child = uf.find(child);
+        return out;
+    }
+};
+
+struct ENodeHash
+{
+    std::size_t
+    operator()(const ENode &node) const
+    {
+        std::size_t h = hashMix(static_cast<std::uint64_t>(node.op) *
+                                    0x100000001ull +
+                                static_cast<std::uint64_t>(node.payload));
+        for (EClassId child : node.children)
+            hashCombine(h, hashMix(child));
+        return h;
+    }
+};
+
+} // namespace isaria
+
+#endif // ISARIA_EGRAPH_ENODE_H

@@ -1,0 +1,107 @@
+#include "egraph/extract.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+struct Choice
+{
+    std::uint64_t cost = kInfiniteCost;
+    const ENode *node = nullptr;
+};
+
+} // namespace
+
+std::optional<Extracted>
+extractBest(const EGraph &egraph, EClassId root, const CostFn &cost)
+{
+    ISARIA_ASSERT(!egraph.dirty(), "extracting from a dirty e-graph");
+    std::vector<EClassId> classes = egraph.canonicalClasses();
+    std::unordered_map<EClassId, Choice> best;
+    best.reserve(classes.size());
+
+    // Bottom-up fixpoint: keep relaxing class costs until stable.
+    bool changed = true;
+    std::vector<std::uint64_t> childCosts;
+    while (changed) {
+        changed = false;
+        for (EClassId id : classes) {
+            Choice &cur = best[id];
+            for (const ENode &node : egraph.eclass(id).nodes) {
+                childCosts.clear();
+                bool ready = true;
+                for (EClassId child : node.children) {
+                    auto it = best.find(egraph.find(child));
+                    if (it == best.end() ||
+                        it->second.cost == kInfiniteCost) {
+                        ready = false;
+                        break;
+                    }
+                    childCosts.push_back(it->second.cost);
+                }
+                if (!ready)
+                    continue;
+                std::uint64_t c =
+                    cost.nodeCost(node.op, node.payload, childCosts);
+                if (c < cur.cost) {
+                    cur.cost = c;
+                    cur.node = &node;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    EClassId canonicalRoot = egraph.find(root);
+    auto rootIt = best.find(canonicalRoot);
+    if (rootIt == best.end() || rootIt->second.cost == kInfiniteCost)
+        return std::nullopt;
+
+    // Rebuild the chosen term with DAG sharing: each class contributes
+    // one node to the output expression.
+    Extracted out;
+    out.cost = rootIt->second.cost;
+    std::unordered_map<EClassId, NodeId> built;
+
+    // Post-order emission via explicit stack.
+    struct Frame
+    {
+        EClassId cls;
+        std::size_t nextChild;
+    };
+    std::vector<Frame> stack{{canonicalRoot, 0}};
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        EClassId cls = frame.cls;
+        if (built.count(cls)) {
+            stack.pop_back();
+            continue;
+        }
+        const ENode *node = best[cls].node;
+        ISARIA_ASSERT(node != nullptr, "extraction chose nothing");
+        if (frame.nextChild < node->children.size()) {
+            EClassId child = egraph.find(node->children[frame.nextChild]);
+            ++frame.nextChild;
+            if (!built.count(child))
+                stack.push_back({child, 0});
+            continue;
+        }
+        std::vector<NodeId> kids;
+        kids.reserve(node->children.size());
+        for (EClassId child : node->children)
+            kids.push_back(built.at(egraph.find(child)));
+        built[cls] = out.expr.add(node->op, std::move(kids), node->payload);
+        stack.pop_back();
+    }
+
+    return out;
+}
+
+} // namespace isaria

@@ -1,0 +1,70 @@
+#ifndef ISARIA_EGRAPH_EXTRACT_H
+#define ISARIA_EGRAPH_EXTRACT_H
+
+/**
+ * @file
+ * Extraction: selecting the minimum-cost program from an e-graph.
+ *
+ * Works with any cost function of the form
+ * cost(node) = f(op, payload, best costs of children), which covers
+ * the strictly monotonic cost models Definition 2 requires. The
+ * extractor runs a bottom-up fixpoint over classes, then rebuilds the
+ * best term with DAG sharing.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "egraph/egraph.h"
+
+namespace isaria
+{
+
+/** Sentinel for "no finite-cost term known yet". */
+constexpr std::uint64_t kInfiniteCost = UINT64_MAX;
+
+/** Saturating addition on extraction costs. */
+inline std::uint64_t
+satAddCost(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t out;
+    if (__builtin_add_overflow(a, b, &out))
+        return kInfiniteCost;
+    return out;
+}
+
+/** Cost-model interface for extraction (Definition 1). */
+class CostFn
+{
+  public:
+    virtual ~CostFn() = default;
+
+    /**
+     * Cost of an e-node given its children's best costs. Must return
+     * a value strictly greater than every child cost for extraction
+     * on cyclic e-graphs to terminate with meaningful results.
+     */
+    virtual std::uint64_t
+    nodeCost(Op op, std::int64_t payload,
+             std::span<const std::uint64_t> childCosts) const = 0;
+};
+
+/** A term selected from the e-graph plus its cost. */
+struct Extracted
+{
+    RecExpr expr;
+    std::uint64_t cost = kInfiniteCost;
+};
+
+/**
+ * Extracts the minimum-cost term of @p root's class. Returns nullopt
+ * only if the class contains no finite-cost term (e.g. every node sits
+ * on a cycle).
+ */
+std::optional<Extracted> extractBest(const EGraph &egraph, EClassId root,
+                                     const CostFn &cost);
+
+} // namespace isaria
+
+#endif // ISARIA_EGRAPH_EXTRACT_H

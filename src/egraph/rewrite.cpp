@@ -1,0 +1,56 @@
+#include "egraph/rewrite.h"
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+CompiledRule::CompiledRule(Rule rule)
+    : rule_(std::move(rule)), lhs_(rule_.lhs)
+{
+    ISARIA_ASSERT(rule_.wellFormed(), "compiling ill-formed rule");
+    // Precompute, for every rhs node, the lhs binding slot of its
+    // wildcard (indexed by position in the rhs node array).
+    rhsSlots_.resize(rule_.rhs.size(), 0);
+    for (NodeId id = 0; id < static_cast<NodeId>(rule_.rhs.size()); ++id) {
+        const TermNode &n = rule_.rhs.node(id);
+        if (n.op == Op::Wildcard) {
+            rhsSlots_[id] =
+                lhs_.slotOf(static_cast<std::int32_t>(n.payload));
+        }
+    }
+}
+
+bool
+CompiledRule::apply(EGraph &egraph, const PatternMatch &match) const
+{
+    const RecExpr &rhs = rule_.rhs;
+    std::vector<EClassId> classOf(rhs.size());
+    for (NodeId id = 0; id < static_cast<NodeId>(rhs.size()); ++id) {
+        const TermNode &n = rhs.node(id);
+        if (n.op == Op::Wildcard) {
+            classOf[id] = match.bindings[rhsSlots_[id]];
+            continue;
+        }
+        ENode enode;
+        enode.op = n.op;
+        enode.payload = n.payload;
+        enode.children.reserve(n.children.size());
+        for (NodeId child : n.children)
+            enode.children.push_back(classOf[child]);
+        classOf[id] = egraph.add(std::move(enode));
+    }
+    return egraph.merge(match.root, classOf[rhs.rootId()]);
+}
+
+std::vector<CompiledRule>
+compileRules(const std::vector<Rule> &rules)
+{
+    std::vector<CompiledRule> out;
+    out.reserve(rules.size());
+    for (const Rule &rule : rules)
+        out.emplace_back(rule);
+    return out;
+}
+
+} // namespace isaria

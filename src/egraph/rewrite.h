@@ -1,0 +1,47 @@
+#ifndef ISARIA_EGRAPH_REWRITE_H
+#define ISARIA_EGRAPH_REWRITE_H
+
+/**
+ * @file
+ * Rewrite rules compiled for application over an e-graph.
+ */
+
+#include <string>
+#include <vector>
+
+#include "egraph/ematch.h"
+#include "term/pattern.h"
+
+namespace isaria
+{
+
+/** A rule with its left side compiled for searching. */
+class CompiledRule
+{
+  public:
+    /** Compiles @p rule (which must be well-formed). */
+    explicit CompiledRule(Rule rule);
+
+    const Rule &source() const { return rule_; }
+    const CompiledPattern &lhs() const { return lhs_; }
+    const std::string &name() const { return rule_.name; }
+
+    /**
+     * Instantiates the right-hand side under @p match and merges it
+     * with the match root. Returns true if the e-graph changed.
+     */
+    bool apply(EGraph &egraph, const PatternMatch &match) const;
+
+  private:
+    Rule rule_;
+    CompiledPattern lhs_;
+    /** Binding slot (into PatternMatch::bindings) per rhs wildcard. */
+    std::vector<std::size_t> rhsSlots_;
+};
+
+/** Compiles a batch of rules. */
+std::vector<CompiledRule> compileRules(const std::vector<Rule> &rules);
+
+} // namespace isaria
+
+#endif // ISARIA_EGRAPH_REWRITE_H

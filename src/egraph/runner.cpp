@@ -1,0 +1,144 @@
+#include "egraph/runner.h"
+
+namespace isaria
+{
+
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Saturated: return "saturated";
+      case StopReason::NodeLimit: return "node-limit";
+      case StopReason::IterLimit: return "iter-limit";
+      case StopReason::TimeLimit: return "time-limit";
+    }
+    return "?";
+}
+
+std::string
+EqSatReport::toString() const
+{
+    return std::string(stopReasonName(stop)) + " after " +
+           std::to_string(iterations) + " iters, " +
+           std::to_string(nodes) + " nodes, " + std::to_string(classes) +
+           " classes";
+}
+
+EqSatReport
+runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
+         const EqSatLimits &limits)
+{
+    Stopwatch watch;
+    Deadline deadline(limits.timeoutSeconds);
+    EqSatReport report;
+
+    egraph.rebuild();
+
+    for (int iter = 0; iter < limits.maxIters; ++iter) {
+        if (deadline.expired()) {
+            report.stop = StopReason::TimeLimit;
+            break;
+        }
+        if (egraph.numNodes() >= limits.maxNodes) {
+            report.stop = StopReason::NodeLimit;
+            break;
+        }
+
+        // Search phase: gather matches for every rule against the
+        // frozen e-graph, so application order cannot bias results.
+        // An op -> classes index lets each rule visit only classes
+        // that contain its root operator (wildcard-rooted rules still
+        // visit everything).
+        std::vector<EClassId> classes = egraph.canonicalClasses();
+        std::vector<std::uint32_t> opMask(classes.size(), 0);
+        std::vector<std::vector<EClassId>> byOp(
+            static_cast<std::size_t>(Op::NumOps));
+        for (std::size_t c = 0; c < classes.size(); ++c) {
+            for (const ENode &node : egraph.eclass(classes[c]).nodes)
+                opMask[c] |= 1u << static_cast<unsigned>(node.op);
+        }
+        for (std::size_t c = 0; c < classes.size(); ++c) {
+            std::uint32_t mask = opMask[c];
+            while (mask) {
+                unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+                mask &= mask - 1;
+                byOp[bit].push_back(classes[c]);
+            }
+        }
+
+        std::vector<std::vector<PatternMatch>> allMatches(rules.size());
+        bool timedOut = false;
+        for (std::size_t r = 0; r < rules.size() && !timedOut; ++r) {
+            Op rootOp = rules[r].lhs().pattern().root().op;
+            const std::vector<EClassId> &candidates =
+                rootOp == Op::Wildcard
+                    ? classes
+                    : byOp[static_cast<unsigned>(rootOp)];
+            auto &matches = allMatches[r];
+            std::size_t scanned = 0;
+            std::size_t steps = limits.maxSearchStepsPerRule;
+            for (EClassId id : candidates) {
+                if (matches.size() >= limits.maxMatchesPerRule ||
+                    steps == 0) {
+                    break;
+                }
+                std::size_t cap = std::min(
+                    limits.maxMatchesPerRule,
+                    matches.size() + limits.maxMatchesPerClass);
+                rules[r].lhs().searchClass(egraph, id, matches, cap,
+                                           &steps);
+                if ((++scanned & 63) == 0 && deadline.expired()) {
+                    timedOut = true;
+                    break;
+                }
+            }
+            if (deadline.expired())
+                timedOut = true;
+        }
+        if (timedOut) {
+            report.stop = StopReason::TimeLimit;
+            break;
+        }
+
+        // Apply phase: round-robin across rules so that when the node
+        // budget cuts application short, every rule got a fair share
+        // rather than only the rules that happened to come first.
+        bool changed = false;
+        std::size_t nodesBefore = egraph.numNodes();
+        bool pending = true;
+        std::size_t applied = 0;
+        for (std::size_t index = 0; pending; ++index) {
+            pending = false;
+            for (std::size_t r = 0; r < rules.size(); ++r) {
+                if (index >= allMatches[r].size())
+                    continue;
+                pending = true;
+                changed |= rules[r].apply(egraph, allMatches[r][index]);
+                if ((++applied & 1023) == 0 &&
+                    (deadline.expired() ||
+                     egraph.numNodes() >= limits.maxNodes)) {
+                    pending = false;
+                    break;
+                }
+            }
+            if (egraph.numNodes() >= limits.maxNodes)
+                break;
+        }
+        egraph.rebuild();
+        report.iterations = iter + 1;
+        changed |= egraph.numNodes() != nodesBefore;
+
+        if (!changed) {
+            report.stop = StopReason::Saturated;
+            break;
+        }
+        report.stop = StopReason::IterLimit;
+    }
+
+    report.nodes = egraph.numNodes();
+    report.classes = egraph.numClasses();
+    report.seconds = watch.elapsedSeconds();
+    return report;
+}
+
+} // namespace isaria

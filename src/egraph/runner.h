@@ -1,0 +1,73 @@
+#ifndef ISARIA_EGRAPH_RUNNER_H
+#define ISARIA_EGRAPH_RUNNER_H
+
+/**
+ * @file
+ * The equality-saturation loop (the EqSat procedure of Fig. 3).
+ *
+ * Each iteration searches every rule against the current e-graph,
+ * applies all matches, and rebuilds. The loop stops on saturation (no
+ * change), or on a node, iteration, or wall-clock budget — the budgets
+ * are how Isaria's compile-time scheduler and the paper's "ran out of
+ * memory" ablations are realized deterministically.
+ */
+
+#include <string>
+#include <vector>
+
+#include "egraph/rewrite.h"
+#include "support/timer.h"
+
+namespace isaria
+{
+
+/** Budgets for one equality-saturation run. */
+struct EqSatLimits
+{
+    /** Stop when the e-graph holds this many e-nodes ("memory"). */
+    std::size_t maxNodes = 1'000'000;
+    /** Maximum saturation iterations. */
+    int maxIters = 30;
+    /** Wall-clock budget in seconds (<= 0 for unlimited). */
+    double timeoutSeconds = 0;
+    /** Cap on matches gathered per rule per iteration. */
+    std::size_t maxMatchesPerRule = 200'000;
+    /** Cap on matches rooted in any single e-class per rule, so
+     *  combinatorial patterns cannot starve later classes. */
+    std::size_t maxMatchesPerClass = 256;
+    /** Backtracking-step budget per rule per iteration; bounds
+     *  pathological e-matching independent of match counts. */
+    std::size_t maxSearchStepsPerRule = 1'000'000;
+};
+
+/** Why a saturation run stopped. */
+enum class StopReason
+{
+    Saturated,
+    NodeLimit,
+    IterLimit,
+    TimeLimit,
+};
+
+/** Outcome summary of one saturation run. */
+struct EqSatReport
+{
+    StopReason stop = StopReason::Saturated;
+    int iterations = 0;
+    std::size_t nodes = 0;
+    std::size_t classes = 0;
+    double seconds = 0;
+
+    std::string toString() const;
+};
+
+/** Human-readable stop reason. */
+const char *stopReasonName(StopReason reason);
+
+/** Runs equality saturation with @p rules over @p egraph. */
+EqSatReport runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
+                     const EqSatLimits &limits);
+
+} // namespace isaria
+
+#endif // ISARIA_EGRAPH_RUNNER_H

@@ -1,0 +1,40 @@
+#include "egraph/union_find.h"
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+EClassId
+UnionFind::makeSet()
+{
+    auto id = static_cast<EClassId>(parents_.size());
+    parents_.push_back(id);
+    return id;
+}
+
+EClassId
+UnionFind::find(EClassId id) const
+{
+    ISARIA_ASSERT(id < parents_.size(), "union-find id out of range");
+    while (parents_[id] != id) {
+        parents_[id] = parents_[parents_[id]]; // path halving
+        id = parents_[id];
+    }
+    return id;
+}
+
+EClassId
+UnionFind::join(EClassId a, EClassId b)
+{
+    EClassId ra = find(a);
+    EClassId rb = find(b);
+    if (ra == rb)
+        return ra;
+    if (ra > rb)
+        std::swap(ra, rb);
+    parents_[rb] = ra;
+    return ra;
+}
+
+} // namespace isaria

@@ -1,0 +1,289 @@
+#include "frontend/kernel_ir.h"
+
+#include <unordered_map>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+KExpr
+makeExpr(KExprNode::Kind kind, KExpr a = nullptr, KExpr b = nullptr)
+{
+    auto node = std::make_shared<KExprNode>();
+    node->kind = kind;
+    node->a = std::move(a);
+    node->b = std::move(b);
+    return node;
+}
+
+} // namespace
+
+KExpr
+kConst(std::int64_t value)
+{
+    auto node = std::make_shared<KExprNode>();
+    node->kind = KExprNode::Kind::Const;
+    node->value = value;
+    return node;
+}
+
+KExpr
+kVar(std::string name)
+{
+    auto node = std::make_shared<KExprNode>();
+    node->kind = KExprNode::Kind::Var;
+    node->name = std::move(name);
+    return node;
+}
+
+KExpr
+kRef(std::string array, KExpr index)
+{
+    auto node = std::make_shared<KExprNode>();
+    node->kind = KExprNode::Kind::Ref;
+    node->name = std::move(array);
+    node->a = std::move(index);
+    return node;
+}
+
+KExpr kAdd(KExpr a, KExpr b)
+{ return makeExpr(KExprNode::Kind::Add, std::move(a), std::move(b)); }
+KExpr kSub(KExpr a, KExpr b)
+{ return makeExpr(KExprNode::Kind::Sub, std::move(a), std::move(b)); }
+KExpr kMul(KExpr a, KExpr b)
+{ return makeExpr(KExprNode::Kind::Mul, std::move(a), std::move(b)); }
+KExpr kDiv(KExpr a, KExpr b)
+{ return makeExpr(KExprNode::Kind::Div, std::move(a), std::move(b)); }
+KExpr kNeg(KExpr a)
+{ return makeExpr(KExprNode::Kind::Neg, std::move(a)); }
+KExpr kSqrt(KExpr a)
+{ return makeExpr(KExprNode::Kind::Sqrt, std::move(a)); }
+KExpr kSgn(KExpr a)
+{ return makeExpr(KExprNode::Kind::Sgn, std::move(a)); }
+
+KStmt
+kStore(std::string array, KExpr index, KExpr value)
+{
+    auto node = std::make_shared<KStmtNode>();
+    node->kind = KStmtNode::Kind::Store;
+    node->array = std::move(array);
+    node->index = std::move(index);
+    node->value = std::move(value);
+    return node;
+}
+
+KStmt
+kAccum(std::string array, KExpr index, KExpr value)
+{
+    KExpr read = kRef(array, index);
+    return kStore(std::move(array), index, kAdd(read, std::move(value)));
+}
+
+KStmt
+kFor(std::string var, std::int64_t lo, std::int64_t hi,
+     std::vector<KStmt> body)
+{
+    auto node = std::make_shared<KStmtNode>();
+    node->kind = KStmtNode::Kind::For;
+    node->var = std::move(var);
+    node->lo = lo;
+    node->hi = hi;
+    node->body = std::move(body);
+    return node;
+}
+
+int
+Kernel::totalOutputs() const
+{
+    int total = 0;
+    for (const auto &[name, size] : outputs)
+        total += size;
+    return total;
+}
+
+namespace
+{
+
+/** Symbolic state: every array element is a DSL node id. */
+class Lifter
+{
+  public:
+    Lifter(const Kernel &kernel, int width)
+        : kernel_(kernel), width_(width)
+    {}
+
+    RecExpr
+    run()
+    {
+        // Seed arrays: inputs as Get leaves, outputs/scratch as zero.
+        for (const auto &[name, size] : kernel_.inputs) {
+            SymbolId sym = internSymbol(name);
+            auto &cells = arrays_[name];
+            for (int i = 0; i < size; ++i)
+                cells.push_back(expr_.addGet(sym, i));
+        }
+        NodeId zero = expr_.addConst(0);
+        for (const auto &[name, size] : kernel_.outputs)
+            arrays_[name].assign(size, zero);
+        for (const auto &[name, size] : kernel_.scratch)
+            arrays_[name].assign(size, zero);
+
+        for (const KStmt &stmt : kernel_.body)
+            execStmt(stmt);
+
+        // Gather output elements, chunk into Vec groups, pad with 0.
+        std::vector<NodeId> elements;
+        for (const auto &[name, size] : kernel_.outputs) {
+            const auto &cells = arrays_.at(name);
+            elements.insert(elements.end(), cells.begin(), cells.end());
+        }
+        std::vector<NodeId> chunks;
+        for (std::size_t base = 0; base < elements.size();
+             base += width_) {
+            std::vector<NodeId> lanes;
+            for (int l = 0; l < width_; ++l) {
+                std::size_t i = base + l;
+                lanes.push_back(i < elements.size() ? elements[i] : zero);
+            }
+            chunks.push_back(expr_.add(Op::Vec, std::move(lanes)));
+        }
+        expr_.add(Op::List, std::move(chunks));
+        return std::move(expr_);
+    }
+
+  private:
+    void
+    execStmt(const KStmt &stmt)
+    {
+        switch (stmt->kind) {
+          case KStmtNode::Kind::Store: {
+            std::int64_t index = evalIndex(stmt->index);
+            auto it = arrays_.find(stmt->array);
+            ISARIA_ASSERT(it != arrays_.end(), "store to unknown array");
+            ISARIA_ASSERT(index >= 0 && static_cast<std::size_t>(index) <
+                                            it->second.size(),
+                          "store out of bounds");
+            it->second[index] = evalValue(stmt->value);
+            return;
+          }
+          case KStmtNode::Kind::For: {
+            for (std::int64_t i = stmt->lo; i < stmt->hi; ++i) {
+                loopVars_[stmt->var] = i;
+                for (const KStmt &inner : stmt->body)
+                    execStmt(inner);
+            }
+            loopVars_.erase(stmt->var);
+            return;
+          }
+        }
+        ISARIA_PANIC("bad statement kind");
+    }
+
+    std::int64_t
+    evalIndex(const KExpr &expr)
+    {
+        switch (expr->kind) {
+          case KExprNode::Kind::Const:
+            return expr->value;
+          case KExprNode::Kind::Var: {
+            auto it = loopVars_.find(expr->name);
+            ISARIA_ASSERT(it != loopVars_.end(), "unknown loop variable");
+            return it->second;
+          }
+          case KExprNode::Kind::Add:
+            return evalIndex(expr->a) + evalIndex(expr->b);
+          case KExprNode::Kind::Sub:
+            return evalIndex(expr->a) - evalIndex(expr->b);
+          case KExprNode::Kind::Mul:
+            return evalIndex(expr->a) * evalIndex(expr->b);
+          default:
+            ISARIA_PANIC("index expression must be affine integer");
+        }
+    }
+
+    bool
+    isConst(NodeId id, std::int64_t value) const
+    {
+        const TermNode &n = expr_.node(id);
+        return n.op == Op::Const && n.payload == value;
+    }
+
+    NodeId
+    evalValue(const KExpr &expr)
+    {
+        switch (expr->kind) {
+          case KExprNode::Kind::Const:
+            return expr_.addConst(expr->value);
+          case KExprNode::Kind::Var:
+            return expr_.addConst(evalIndex(expr));
+          case KExprNode::Kind::Ref: {
+            std::int64_t index = evalIndex(expr->a);
+            auto it = arrays_.find(expr->name);
+            ISARIA_ASSERT(it != arrays_.end(), "read of unknown array");
+            ISARIA_ASSERT(index >= 0 && static_cast<std::size_t>(index) <
+                                            it->second.size(),
+                          "read out of bounds");
+            return it->second[index];
+          }
+          case KExprNode::Kind::Add: {
+            NodeId a = evalValue(expr->a);
+            NodeId b = evalValue(expr->b);
+            if (isConst(a, 0))
+                return b;
+            if (isConst(b, 0))
+                return a;
+            return expr_.add(Op::Add, {a, b});
+          }
+          case KExprNode::Kind::Sub: {
+            NodeId a = evalValue(expr->a);
+            NodeId b = evalValue(expr->b);
+            if (isConst(b, 0))
+                return a;
+            return expr_.add(Op::Sub, {a, b});
+          }
+          case KExprNode::Kind::Mul: {
+            NodeId a = evalValue(expr->a);
+            NodeId b = evalValue(expr->b);
+            if (isConst(a, 0) || isConst(b, 0))
+                return expr_.addConst(0);
+            if (isConst(a, 1))
+                return b;
+            if (isConst(b, 1))
+                return a;
+            return expr_.add(Op::Mul, {a, b});
+          }
+          case KExprNode::Kind::Div:
+            return expr_.add(Op::Div,
+                             {evalValue(expr->a), evalValue(expr->b)});
+          case KExprNode::Kind::Neg:
+            return expr_.add(Op::Neg, {evalValue(expr->a)});
+          case KExprNode::Kind::Sqrt:
+            return expr_.add(Op::Sqrt, {evalValue(expr->a)});
+          case KExprNode::Kind::Sgn:
+            return expr_.add(Op::Sgn, {evalValue(expr->a)});
+        }
+        ISARIA_PANIC("bad expression kind");
+    }
+
+    const Kernel &kernel_;
+    int width_;
+    RecExpr expr_;
+    std::unordered_map<std::string, std::vector<NodeId>> arrays_;
+    std::unordered_map<std::string, std::int64_t> loopVars_;
+};
+
+} // namespace
+
+RecExpr
+liftKernel(const Kernel &kernel, int vectorWidth)
+{
+    ISARIA_ASSERT(vectorWidth >= 1, "bad vector width");
+    Lifter lifter(kernel, vectorWidth);
+    return lifter.run();
+}
+
+} // namespace isaria

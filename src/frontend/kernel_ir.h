@@ -1,0 +1,120 @@
+#ifndef ISARIA_FRONTEND_KERNEL_IR_H
+#define ISARIA_FRONTEND_KERNEL_IR_H
+
+/**
+ * @file
+ * A miniature imperative kernel IR and its symbolic evaluator.
+ *
+ * This plays the role of the Diospyros front-end the paper reuses: DSP
+ * kernels are written imperatively (arrays, constant-bound loops,
+ * assignments), then *lifted* by symbolic evaluation — loops unrolled,
+ * variables resolved — into the pure vector DSL the rewrite system
+ * works on (Section 2.1).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "term/rec_expr.h"
+
+namespace isaria
+{
+
+/** Expression of the kernel IR (shared immutable AST). */
+struct KExprNode;
+using KExpr = std::shared_ptr<const KExprNode>;
+
+struct KExprNode
+{
+    enum class Kind
+    {
+        Const, ///< Integer literal.
+        Var,   ///< Loop variable.
+        Ref,   ///< Array element a[i].
+        Add,
+        Sub,
+        Mul,
+        Div,
+        Neg,
+        Sqrt,
+        Sgn,
+    };
+
+    Kind kind;
+    std::int64_t value = 0;  ///< Const payload.
+    std::string name;        ///< Var / Ref array name.
+    KExpr a, b;              ///< Operands (b null for unary; for Ref,
+                             ///< a is the index expression).
+};
+
+KExpr kConst(std::int64_t value);
+KExpr kVar(std::string name);
+KExpr kRef(std::string array, KExpr index);
+KExpr kAdd(KExpr a, KExpr b);
+KExpr kSub(KExpr a, KExpr b);
+KExpr kMul(KExpr a, KExpr b);
+KExpr kDiv(KExpr a, KExpr b);
+KExpr kNeg(KExpr a);
+KExpr kSqrt(KExpr a);
+KExpr kSgn(KExpr a);
+
+/** Statement of the kernel IR. */
+struct KStmtNode;
+using KStmt = std::shared_ptr<const KStmtNode>;
+
+struct KStmtNode
+{
+    enum class Kind
+    {
+        Store, ///< array[index] = value.
+        For,   ///< for (var = lo; var < hi; ++var) body.
+    };
+
+    Kind kind;
+    // Store:
+    std::string array;
+    KExpr index;
+    KExpr value;
+    // For:
+    std::string var;
+    std::int64_t lo = 0, hi = 0;
+    std::vector<KStmt> body;
+};
+
+KStmt kStore(std::string array, KExpr index, KExpr value);
+/** Read-modify-write accumulate: array[index] += value. */
+KStmt kAccum(std::string array, KExpr index, KExpr value);
+KStmt kFor(std::string var, std::int64_t lo, std::int64_t hi,
+           std::vector<KStmt> body);
+
+/** An imperative kernel: declarations plus a statement list. */
+struct Kernel
+{
+    std::string name;
+    /** Input arrays (name, length); elements become Get leaves. */
+    std::vector<std::pair<std::string, int>> inputs;
+    /** Output arrays (name, length), zero-initialized. */
+    std::vector<std::pair<std::string, int>> outputs;
+    /** Scratch arrays (name, length), zero-initialized. */
+    std::vector<std::pair<std::string, int>> scratch;
+    std::vector<KStmt> body;
+
+    /** Total output element count (all output arrays, in order). */
+    int totalOutputs() const;
+};
+
+/**
+ * Lifts @p kernel to the vector DSL: symbolic evaluation unrolls
+ * every loop, tracks array contents as DSL subexpressions, and packs
+ * the output elements into width-@p vectorWidth Vec chunks (padded
+ * with zeros) under a top-level List.
+ *
+ * Trivial algebraic folds (x+0, x*1, x*0) are applied during lifting,
+ * as a real front-end's constant folding would.
+ */
+RecExpr liftKernel(const Kernel &kernel, int vectorWidth);
+
+} // namespace isaria
+
+#endif // ISARIA_FRONTEND_KERNEL_IR_H

@@ -1,0 +1,177 @@
+#include "frontend/kernels.h"
+
+#include <string>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+Kernel
+make2DConv(int rows, int cols, int krows, int kcols)
+{
+    ISARIA_ASSERT(rows >= 1 && cols >= 1 && krows >= 1 && kcols >= 1,
+                  "bad convolution shape");
+    int orows = rows + krows - 1;
+    int ocols = cols + kcols - 1;
+
+    Kernel kernel;
+    kernel.name = "2d-conv " + std::to_string(rows) + "x" +
+                  std::to_string(cols) + " " + std::to_string(krows) + "x" +
+                  std::to_string(kcols);
+    kernel.inputs = {{"I", rows * cols}, {"F", krows * kcols}};
+    kernel.outputs = {{"O", orows * ocols}};
+
+    // Scatter formulation of full convolution: every input pixel
+    // contributes to the filter-footprint of output pixels, which
+    // needs no boundary conditionals.
+    auto r = kVar("r"), c = kVar("c"), i = kVar("i"), j = kVar("j");
+    KExpr oIdx = kAdd(kMul(kAdd(r, i), kConst(ocols)), kAdd(c, j));
+    KExpr iIdx = kAdd(kMul(r, kConst(cols)), c);
+    KExpr fIdx = kAdd(kMul(i, kConst(kcols)), j);
+    KStmt inner = kAccum("O", oIdx, kMul(kRef("I", iIdx), kRef("F", fIdx)));
+    kernel.body = {kFor(
+        "r", 0, rows,
+        {kFor("c", 0, cols,
+              {kFor("i", 0, krows, {kFor("j", 0, kcols, {inner})})})})};
+    return kernel;
+}
+
+Kernel
+makeMatMul(int n, int m, int k)
+{
+    Kernel kernel;
+    kernel.name = "mat-mul " + std::to_string(n) + "x" + std::to_string(m) +
+                  " " + std::to_string(m) + "x" + std::to_string(k);
+    kernel.inputs = {{"A", n * m}, {"B", m * k}};
+    kernel.outputs = {{"C", n * k}};
+
+    auto i = kVar("i"), j = kVar("j"), l = kVar("l");
+    KExpr cIdx = kAdd(kMul(i, kConst(k)), j);
+    KExpr aIdx = kAdd(kMul(i, kConst(m)), l);
+    KExpr bIdx = kAdd(kMul(l, kConst(k)), j);
+    KStmt inner = kAccum("C", cIdx, kMul(kRef("A", aIdx), kRef("B", bIdx)));
+    kernel.body = {
+        kFor("i", 0, n,
+             {kFor("j", 0, k, {kFor("l", 0, m, {inner})})})};
+    return kernel;
+}
+
+Kernel
+makeQProd()
+{
+    Kernel kernel;
+    kernel.name = "q-prod";
+    kernel.inputs = {{"P", 4}, {"Q", 4}};
+    kernel.outputs = {{"R", 4}};
+
+    auto p = [](int i) { return kRef("P", kConst(i)); };
+    auto q = [](int i) { return kRef("Q", kConst(i)); };
+    auto mul = [&](int i, int j) { return kMul(p(i), q(j)); };
+
+    // Hamilton product.
+    kernel.body = {
+        kStore("R", kConst(0),
+               kSub(kSub(kSub(mul(0, 0), mul(1, 1)), mul(2, 2)),
+                    mul(3, 3))),
+        kStore("R", kConst(1),
+               kSub(kAdd(kAdd(mul(0, 1), mul(1, 0)), mul(2, 3)),
+                    mul(3, 2))),
+        kStore("R", kConst(2),
+               kAdd(kAdd(kSub(mul(0, 2), mul(1, 3)), mul(2, 0)),
+                    mul(3, 1))),
+        kStore("R", kConst(3),
+               kAdd(kSub(kAdd(mul(0, 3), mul(1, 2)), mul(2, 1)),
+                    mul(3, 0))),
+    };
+    return kernel;
+}
+
+Kernel
+makeQrD(int n)
+{
+    ISARIA_ASSERT(n >= 2, "QR needs n >= 2");
+    Kernel kernel;
+    kernel.name = "qr-decomp " + std::to_string(n) + "x" + std::to_string(n);
+    kernel.inputs = {{"A", n * n}};
+    kernel.outputs = {{"Q", n * n}, {"R", n * n}};
+    kernel.scratch = {{"v", n}, {"t", 1}, {"beta", 1}};
+
+    std::vector<KStmt> &body = kernel.body;
+    auto at = [n](const char *arr, int i, int j) {
+        return kRef(arr, kConst(i * n + j));
+    };
+    auto store = [n](const char *arr, int i, int j, KExpr value) {
+        return kStore(arr, kConst(i * n + j), std::move(value));
+    };
+
+    // R = A; Q = I.
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            body.push_back(store("R", i, j, at("A", i, j)));
+            if (i == j)
+                body.push_back(store("Q", i, j, kConst(1)));
+        }
+    }
+
+    // Householder reflections, fully unrolled (the paper's pipeline
+    // likewise unrolls; see the scalability discussion in §5.1).
+    for (int k = 0; k < n - 1; ++k) {
+        // normSq = sum_i R[i][k]^2 over i in [k, n).
+        KExpr normSq = kMul(at("R", k, k), at("R", k, k));
+        for (int i = k + 1; i < n; ++i)
+            normSq = kAdd(normSq, kMul(at("R", i, k), at("R", i, k)));
+        body.push_back(kStore("t", kConst(0), normSq));
+
+        // alpha = -sgn(R[k][k]) * sqrt(normSq): the paper's custom
+        // VecSqrtSgn pattern, sqrt(a) * sign(-b).
+        KExpr alpha = kMul(kNeg(kSgn(at("R", k, k))),
+                           kSqrt(kRef("t", kConst(0))));
+
+        // v = x - alpha*e1 (stored in scratch v[k..n)).
+        body.push_back(kStore("v", kConst(k), kSub(at("R", k, k), alpha)));
+        for (int i = k + 1; i < n; ++i)
+            body.push_back(kStore("v", kConst(i), at("R", i, k)));
+
+        // beta = 2 / (v . v).
+        KExpr vnorm = kMul(kRef("v", kConst(k)), kRef("v", kConst(k)));
+        for (int i = k + 1; i < n; ++i) {
+            vnorm = kAdd(vnorm,
+                         kMul(kRef("v", kConst(i)), kRef("v", kConst(i))));
+        }
+        body.push_back(kStore("beta", kConst(0), kDiv(kConst(2), vnorm)));
+
+        // R <- (I - beta v v^T) R for columns [k, n).
+        for (int j = k; j < n; ++j) {
+            KExpr s = kMul(kRef("v", kConst(k)), at("R", k, j));
+            for (int i = k + 1; i < n; ++i)
+                s = kAdd(s, kMul(kRef("v", kConst(i)), at("R", i, j)));
+            body.push_back(kStore("t", kConst(0),
+                                  kMul(kRef("beta", kConst(0)), s)));
+            for (int i = k; i < n; ++i) {
+                body.push_back(store(
+                    "R", i, j,
+                    kSub(at("R", i, j), kMul(kRef("v", kConst(i)),
+                                             kRef("t", kConst(0))))));
+            }
+        }
+
+        // Q <- Q (I - beta v v^T) for all rows.
+        for (int i = 0; i < n; ++i) {
+            KExpr s = kMul(at("Q", i, k), kRef("v", kConst(k)));
+            for (int j = k + 1; j < n; ++j)
+                s = kAdd(s, kMul(at("Q", i, j), kRef("v", kConst(j))));
+            body.push_back(kStore("t", kConst(0),
+                                  kMul(kRef("beta", kConst(0)), s)));
+            for (int j = k; j < n; ++j) {
+                body.push_back(store(
+                    "Q", i, j,
+                    kSub(at("Q", i, j), kMul(kRef("t", kConst(0)),
+                                             kRef("v", kConst(j))))));
+            }
+        }
+    }
+    return kernel;
+}
+
+} // namespace isaria

@@ -1,0 +1,39 @@
+#ifndef ISARIA_FRONTEND_KERNELS_H
+#define ISARIA_FRONTEND_KERNELS_H
+
+/**
+ * @file
+ * The benchmark kernels of the paper's evaluation (Section 5):
+ * 2D convolution, matrix multiplication, quaternion product, and QR
+ * decomposition — the same suite Diospyros uses, inspired by computer
+ * vision and machine perception workloads.
+ */
+
+#include "frontend/kernel_ir.h"
+
+namespace isaria
+{
+
+/**
+ * Full 2D convolution: input @p rows x @p cols, filter
+ * @p krows x @p kcols, output (rows+krows-1) x (cols+kcols-1).
+ * Arrays: I (input), F (filter); output O.
+ */
+Kernel make2DConv(int rows, int cols, int krows, int kcols);
+
+/** Matrix multiply C = A * B with A: n x m, B: m x k. */
+Kernel makeMatMul(int n, int m, int k);
+
+/** Quaternion product r = p * q (4-element Hamilton product). */
+Kernel makeQProd();
+
+/**
+ * QR decomposition of an n x n matrix A by Householder reflections,
+ * emitting Q and R. Uses sqrt, division, and sign — the kernel the
+ * paper's ISA-customization study targets (Section 5.4).
+ */
+Kernel makeQrD(int n);
+
+} // namespace isaria
+
+#endif // ISARIA_FRONTEND_KERNELS_H

@@ -1,0 +1,101 @@
+#include "interp/cvec.h"
+
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace isaria
+{
+
+const std::vector<Rational> &
+nicePool()
+{
+    static const std::vector<Rational> pool = {
+        Rational(0),  Rational(1),  Rational(-1), Rational(2),
+        Rational(-2), Rational(3),  Rational(-3), Rational(4),
+        Rational(9),  Rational(16), Rational(25), Rational(-4),
+        Rational::make(1, 2), Rational::make(-1, 2),
+        Rational::make(1, 4), Rational::make(9, 4),
+        Rational(5),  Rational(7),  Rational(-5), Rational(36),
+    };
+    return pool;
+}
+
+std::vector<Env>
+makeWildcardEnvs(int numScalar, int numVector, int width, int numEnvs,
+                 std::uint64_t seed)
+{
+    const auto &pool = nicePool();
+    Rng rng(seed);
+    std::vector<Env> envs;
+    envs.reserve(numEnvs);
+    for (int e = 0; e < numEnvs; ++e) {
+        Env env;
+        auto pick = [&]() -> Rational {
+            // The first environments are systematic to catch the
+            // common traps (x+x vs x*x at 0/2, sign flips, etc.).
+            switch (e) {
+              case 0: return Rational(0);
+              case 1: return Rational(1);
+              case 2: return Rational(-1);
+              default:
+                return pool[rng.nextBelow(pool.size())];
+            }
+        };
+        for (int s = 0; s < numScalar; ++s)
+            env.wildcards[s] = Value::scalar(pick());
+        for (int v = 0; v < numVector; ++v) {
+            std::vector<Rational> lanes;
+            lanes.reserve(width);
+            for (int lane = 0; lane < width; ++lane)
+                lanes.push_back(pick());
+            env.wildcards[kVectorWildcardBase + v] =
+                Value::vector(std::move(lanes));
+        }
+        envs.push_back(std::move(env));
+    }
+    return envs;
+}
+
+CVec
+fingerprint(const RecExpr &expr, const std::vector<Env> &envs)
+{
+    CVec out;
+    out.reserve(envs.size());
+    for (const Env &env : envs)
+        out.push_back(evalTerm(expr, env));
+    return out;
+}
+
+bool
+cvecAgree(const CVec &a, const CVec &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].agreesWith(b[i]))
+            return false;
+    }
+    return true;
+}
+
+int
+cvecDefinedCount(const CVec &cvec)
+{
+    int count = 0;
+    for (const Value &v : cvec) {
+        if (v.fullyDefined())
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+cvecHash(const CVec &cvec)
+{
+    std::size_t h = hashMix(cvec.size());
+    for (const Value &v : cvec)
+        hashCombine(h, v.hash());
+    return h;
+}
+
+} // namespace isaria

@@ -1,0 +1,59 @@
+#ifndef ISARIA_INTERP_CVEC_H
+#define ISARIA_INTERP_CVEC_H
+
+/**
+ * @file
+ * Characteristic vectors ("cvecs") for rule synthesis.
+ *
+ * Following Ruler, the synthesizer fingerprints every enumerated term
+ * by its value on a fixed battery of environments. Terms whose
+ * fingerprints agree become candidate rewrite rules. Values come from
+ * a pool of "nice" rationals (integers, halves, perfect squares) so
+ * that sqrt and division are defined often enough to be informative.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/eval.h"
+
+namespace isaria
+{
+
+/**
+ * Wildcard ids at or above this base are vector-sorted in synthesis
+ * environments; ids below it are scalar-sorted. This keeps one Env
+ * able to bind both sorts without clashes.
+ */
+constexpr std::int32_t kVectorWildcardBase = 1000;
+
+/** One value per fingerprint environment. */
+using CVec = std::vector<Value>;
+
+/** Pool of sample rationals used to build environments. */
+const std::vector<Rational> &nicePool();
+
+/**
+ * Builds @p numEnvs environments binding scalar wildcards 0..S-1 and
+ * vector wildcards kVectorWildcardBase..+V-1 (each @p width lanes).
+ * The first few environments are systematic (zeros, ones, negatives)
+ * and the rest pseudo-random from the pool, deterministically seeded.
+ */
+std::vector<Env> makeWildcardEnvs(int numScalar, int numVector, int width,
+                                  int numEnvs, std::uint64_t seed);
+
+/** Evaluates @p expr on every environment. */
+CVec fingerprint(const RecExpr &expr, const std::vector<Env> &envs);
+
+/** Position-wise agreement (undefined matches only undefined). */
+bool cvecAgree(const CVec &a, const CVec &b);
+
+/** Number of fully defined samples. */
+int cvecDefinedCount(const CVec &cvec);
+
+/** Hash compatible with cvecAgree. */
+std::size_t cvecHash(const CVec &cvec);
+
+} // namespace isaria
+
+#endif // ISARIA_INTERP_CVEC_H

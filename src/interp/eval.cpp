@@ -1,0 +1,273 @@
+#include "interp/eval.h"
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+/** Lane-wise application of a binary rational operation. */
+template <typename Fn>
+Value
+zipLanes(const Value &a, const Value &b, Fn fn)
+{
+    if (a.sort != b.sort || a.width() != b.width())
+        return Value::undefVector(std::max(a.width(), b.width()));
+    Value out;
+    out.sort = a.sort;
+    out.lanes.reserve(a.width());
+    for (std::size_t i = 0; i < a.width(); ++i)
+        out.lanes.push_back(fn(a.lanes[i], b.lanes[i]));
+    return out;
+}
+
+/** Lane-wise application of a unary rational operation. */
+template <typename Fn>
+Value
+mapLanes(const Value &a, Fn fn)
+{
+    Value out;
+    out.sort = a.sort;
+    out.lanes.reserve(a.width());
+    for (const Rational &lane : a.lanes)
+        out.lanes.push_back(fn(lane));
+    return out;
+}
+
+Rational
+sqrtSgnScalar(const Rational &a, const Rational &b)
+{
+    // sqrt(a) * sign(-b), the custom instruction of Section 5.4.
+    return a.sqrt() * (-b).sgn();
+}
+
+Value
+requireSort(Value v, Sort sort)
+{
+    if (v.sort != sort) {
+        return sort == Sort::Scalar ? Value::undef()
+                                    : Value::undefVector(v.width());
+    }
+    return v;
+}
+
+struct Interp
+{
+    const RecExpr &expr;
+    const Env &env;
+    std::vector<Value> memo;
+    std::vector<bool> done;
+
+    Interp(const RecExpr &e, const Env &en)
+        : expr(e), env(en), memo(e.size()), done(e.size(), false)
+    {}
+
+    const Value &
+    eval(NodeId id)
+    {
+        if (done[id])
+            return memo[id];
+        memo[id] = compute(id);
+        done[id] = true;
+        return memo[id];
+    }
+
+    Value
+    compute(NodeId id)
+    {
+        const TermNode &n = expr.node(id);
+        switch (n.op) {
+          case Op::Const:
+            return Value::scalar(Rational(n.payload));
+          case Op::Symbol: {
+            auto it = env.scalars.find(static_cast<SymbolId>(n.payload));
+            if (it == env.scalars.end())
+                return Value::undef();
+            return Value::scalar(it->second);
+          }
+          case Op::Get: {
+            auto it = env.arrays.find(getArray(n.payload));
+            if (it == env.arrays.end())
+                return Value::undef();
+            std::int32_t index = getIndex(n.payload);
+            if (index < 0 ||
+                static_cast<std::size_t>(index) >= it->second.size()) {
+                return Value::undef();
+            }
+            return Value::scalar(it->second[index]);
+          }
+          case Op::Wildcard: {
+            auto it = env.wildcards.find(
+                static_cast<std::int32_t>(n.payload));
+            if (it == env.wildcards.end())
+                return Value::undef();
+            return it->second;
+          }
+
+          case Op::Add:
+            return scalarBin(n, [](auto a, auto b) { return a + b; });
+          case Op::Sub:
+            return scalarBin(n, [](auto a, auto b) { return a - b; });
+          case Op::Mul:
+            return scalarBin(n, [](auto a, auto b) { return a * b; });
+          case Op::Div:
+            return scalarBin(n, [](auto a, auto b) { return a / b; });
+          case Op::Neg:
+            return scalarUn(n, [](auto a) { return -a; });
+          case Op::Sgn:
+            return scalarUn(n, [](auto a) { return a.sgn(); });
+          case Op::Sqrt:
+            return scalarUn(n, [](auto a) { return a.sqrt(); });
+          case Op::MulSub: {
+            // (MulSub acc a b) = acc - a*b.
+            Value acc = requireSort(eval(n.children[0]), Sort::Scalar);
+            Value a = requireSort(eval(n.children[1]), Sort::Scalar);
+            Value b = requireSort(eval(n.children[2]), Sort::Scalar);
+            return Value::scalar(acc.lanes[0] - a.lanes[0] * b.lanes[0]);
+          }
+          case Op::SqrtSgn: {
+            Value a = requireSort(eval(n.children[0]), Sort::Scalar);
+            Value b = requireSort(eval(n.children[1]), Sort::Scalar);
+            return Value::scalar(sqrtSgnScalar(a.lanes[0], b.lanes[0]));
+          }
+
+          case Op::Vec: {
+            Value out;
+            out.sort = Sort::Vector;
+            out.lanes.reserve(n.children.size());
+            for (NodeId child : n.children) {
+                Value lane = requireSort(eval(child), Sort::Scalar);
+                out.lanes.push_back(lane.lanes[0]);
+            }
+            return out;
+          }
+          case Op::Concat: {
+            Value a = eval(n.children[0]);
+            Value b = eval(n.children[1]);
+            if (!a.isVector() || !b.isVector())
+                return Value::undefVector(a.width() + b.width());
+            Value out;
+            out.sort = Sort::Vector;
+            out.lanes = a.lanes;
+            out.lanes.insert(out.lanes.end(), b.lanes.begin(),
+                             b.lanes.end());
+            return out;
+          }
+
+          case Op::VecAdd:
+            return vectorBin(n, [](auto a, auto b) { return a + b; });
+          case Op::VecMinus:
+            return vectorBin(n, [](auto a, auto b) { return a - b; });
+          case Op::VecMul:
+            return vectorBin(n, [](auto a, auto b) { return a * b; });
+          case Op::VecDiv:
+            return vectorBin(n, [](auto a, auto b) { return a / b; });
+          case Op::VecNeg:
+            return vectorUn(n, [](auto a) { return -a; });
+          case Op::VecSgn:
+            return vectorUn(n, [](auto a) { return a.sgn(); });
+          case Op::VecSqrt:
+            return vectorUn(n, [](auto a) { return a.sqrt(); });
+          case Op::VecMAC: {
+            // (VecMAC acc a b) = acc + a*b, lane-wise.
+            Value prod = zipLanes(vec(n.children[1]), vec(n.children[2]),
+                                  [](auto a, auto b) { return a * b; });
+            return zipLanes(vec(n.children[0]), prod,
+                            [](auto a, auto b) { return a + b; });
+          }
+          case Op::VecMulSub: {
+            Value prod = zipLanes(vec(n.children[1]), vec(n.children[2]),
+                                  [](auto a, auto b) { return a * b; });
+            return zipLanes(vec(n.children[0]), prod,
+                            [](auto a, auto b) { return a - b; });
+          }
+          case Op::VecSqrtSgn:
+            return zipLanes(vec(n.children[0]), vec(n.children[1]),
+                            sqrtSgnScalar);
+
+          case Op::List:
+            // Lists are evaluated by evalProgram, element-wise.
+            return Value::undef();
+
+          default:
+            ISARIA_PANIC("unhandled op in interpreter");
+        }
+    }
+
+    Value
+    vec(NodeId id)
+    {
+        Value v = eval(id);
+        if (!v.isVector())
+            return Value::undefVector(v.width());
+        return v;
+    }
+
+    template <typename Fn>
+    Value
+    scalarBin(const TermNode &n, Fn fn)
+    {
+        Value a = requireSort(eval(n.children[0]), Sort::Scalar);
+        Value b = requireSort(eval(n.children[1]), Sort::Scalar);
+        return Value::scalar(fn(a.lanes[0], b.lanes[0]));
+    }
+
+    template <typename Fn>
+    Value
+    scalarUn(const TermNode &n, Fn fn)
+    {
+        Value a = requireSort(eval(n.children[0]), Sort::Scalar);
+        return Value::scalar(fn(a.lanes[0]));
+    }
+
+    template <typename Fn>
+    Value
+    vectorBin(const TermNode &n, Fn fn)
+    {
+        return zipLanes(vec(n.children[0]), vec(n.children[1]), fn);
+    }
+
+    template <typename Fn>
+    Value
+    vectorUn(const TermNode &n, Fn fn)
+    {
+        return mapLanes(vec(n.children[0]), fn);
+    }
+};
+
+} // namespace
+
+Value
+evalTerm(const RecExpr &expr, NodeId root, const Env &env)
+{
+    Interp interp(expr, env);
+    return interp.eval(root);
+}
+
+Value
+evalTerm(const RecExpr &expr, const Env &env)
+{
+    ISARIA_ASSERT(!expr.empty(), "evaluating empty term");
+    return evalTerm(expr, expr.rootId(), env);
+}
+
+std::vector<Value>
+evalProgram(const RecExpr &expr, const Env &env)
+{
+    ISARIA_ASSERT(!expr.empty(), "evaluating empty program");
+    const TermNode &root = expr.root();
+    Interp interp(expr, env);
+    std::vector<Value> out;
+    if (root.op == Op::List) {
+        out.reserve(root.children.size());
+        for (NodeId child : root.children)
+            out.push_back(interp.eval(child));
+    } else {
+        out.push_back(interp.eval(expr.rootId()));
+    }
+    return out;
+}
+
+} // namespace isaria

@@ -1,0 +1,56 @@
+#ifndef ISARIA_INTERP_EVAL_H
+#define ISARIA_INTERP_EVAL_H
+
+/**
+ * @file
+ * The executable ISA specification: an interpreter for the vector DSL.
+ *
+ * This plays the role of the Rosette interpreter the paper takes as
+ * input (Section 3, Fig. 2): it defines the semantics of every scalar
+ * and vector instruction, and everything downstream — rule synthesis,
+ * soundness checking, differential testing of compiled code — is
+ * derived from it.
+ */
+
+#include <unordered_map>
+#include <vector>
+
+#include "interp/value.h"
+#include "term/rec_expr.h"
+
+namespace isaria
+{
+
+/** Variable bindings for one evaluation. */
+struct Env
+{
+    /** Free scalar variables (Op::Symbol). */
+    std::unordered_map<SymbolId, Rational> scalars;
+    /** Arrays addressed by Op::Get. */
+    std::unordered_map<SymbolId, std::vector<Rational>> arrays;
+    /** Pattern variables (Op::Wildcard), sort-polymorphic. */
+    std::unordered_map<std::int32_t, Value> wildcards;
+};
+
+/**
+ * Evaluates the subtree of @p expr rooted at @p root under @p env.
+ *
+ * Out-of-domain situations (unknown variable, array out of bounds,
+ * sort or width mismatch, division by zero, irrational square root,
+ * arithmetic overflow) produce undefined lanes rather than errors, per
+ * the option semantics used by rule synthesis.
+ */
+Value evalTerm(const RecExpr &expr, NodeId root, const Env &env);
+
+/** Evaluates the root of @p expr. */
+Value evalTerm(const RecExpr &expr, const Env &env);
+
+/**
+ * Evaluates a whole program. A top-level List yields one value per
+ * element; any other root yields a single value.
+ */
+std::vector<Value> evalProgram(const RecExpr &expr, const Env &env);
+
+} // namespace isaria
+
+#endif // ISARIA_INTERP_EVAL_H

@@ -1,0 +1,99 @@
+#include "interp/value.h"
+
+#include "support/hash.h"
+
+namespace isaria
+{
+
+Value
+Value::scalar(Rational r)
+{
+    Value v;
+    v.sort = Sort::Scalar;
+    v.lanes = {r};
+    return v;
+}
+
+Value
+Value::vector(std::vector<Rational> lanes)
+{
+    Value v;
+    v.sort = Sort::Vector;
+    v.lanes = std::move(lanes);
+    return v;
+}
+
+Value
+Value::undef()
+{
+    return scalar(Rational::invalid());
+}
+
+Value
+Value::undefVector(std::size_t width)
+{
+    return vector(std::vector<Rational>(width, Rational::invalid()));
+}
+
+bool
+Value::fullyDefined() const
+{
+    for (const Rational &lane : lanes) {
+        if (!lane.valid())
+            return false;
+    }
+    return !lanes.empty();
+}
+
+bool
+Value::fullyUndefined() const
+{
+    for (const Rational &lane : lanes) {
+        if (lane.valid())
+            return false;
+    }
+    return true;
+}
+
+bool
+Value::agreesWith(const Value &other) const
+{
+    if (sort != other.sort || lanes.size() != other.lanes.size())
+        return false;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        bool av = lanes[i].valid();
+        bool bv = other.lanes[i].valid();
+        if (av != bv)
+            return false;
+        if (av && lanes[i] != other.lanes[i])
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+Value::hash() const
+{
+    std::size_t h = hashMix(static_cast<std::uint64_t>(sort) + 17 +
+                            lanes.size() * 131);
+    for (const Rational &lane : lanes)
+        hashCombine(h, lane.hash());
+    return h;
+}
+
+std::string
+Value::toString() const
+{
+    if (isScalar())
+        return lanes.empty() ? "#undef" : lanes[0].toString();
+    std::string out = "[";
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (i)
+            out += ' ';
+        out += lanes[i].toString();
+    }
+    out += ']';
+    return out;
+}
+
+} // namespace isaria

@@ -1,0 +1,59 @@
+#ifndef ISARIA_INTERP_VALUE_H
+#define ISARIA_INTERP_VALUE_H
+
+/**
+ * @file
+ * Runtime values of the DSL interpreter.
+ *
+ * A value is a scalar (one lane) or a vector (one lane per element).
+ * Undefinedness is per-lane — an invalid Rational — and a structurally
+ * broken evaluation (sort mismatch, width mismatch) yields a value
+ * whose every lane is invalid.
+ */
+
+#include <string>
+#include <vector>
+
+#include "support/rational.h"
+#include "term/op.h"
+
+namespace isaria
+{
+
+/** A scalar or vector runtime value. */
+struct Value
+{
+    Sort sort = Sort::Scalar;
+    std::vector<Rational> lanes;
+
+    static Value scalar(Rational r);
+    static Value vector(std::vector<Rational> lanes);
+    /** Fully undefined scalar. */
+    static Value undef();
+    /** Fully undefined vector of the given width. */
+    static Value undefVector(std::size_t width);
+
+    bool isScalar() const { return sort == Sort::Scalar; }
+    bool isVector() const { return sort == Sort::Vector; }
+    std::size_t width() const { return lanes.size(); }
+
+    /** True iff every lane is a valid rational. */
+    bool fullyDefined() const;
+    /** True iff no lane is a valid rational. */
+    bool fullyUndefined() const;
+
+    /**
+     * Observational agreement: same sort and width, and each lane pair
+     * is either equal or both undefined.
+     */
+    bool agreesWith(const Value &other) const;
+
+    /** Hash compatible with agreesWith-as-equivalence. */
+    std::size_t hash() const;
+
+    std::string toString() const;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_INTERP_VALUE_H

@@ -1,0 +1,102 @@
+#include "isa/cost_model.h"
+
+#include <vector>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+std::uint64_t
+DspCostModel::nodeCost(Op op, std::int64_t,
+                       std::span<const std::uint64_t> childCosts) const
+{
+    const CostParams &p = params_;
+
+    auto sumChildren = [&]() {
+        std::uint64_t total = 0;
+        for (std::uint64_t c : childCosts)
+            total = satAddCost(total, c);
+        return total;
+    };
+
+    switch (op) {
+      case Op::Const:
+      case Op::Symbol:
+      case Op::Get:
+      case Op::Wildcard:
+        return p.leaf;
+
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::Neg:
+      case Op::Sgn:
+        return satAddCost(p.scalarAlu, sumChildren());
+      case Op::Div:
+        return satAddCost(p.scalarDiv, sumChildren());
+      case Op::Sqrt:
+        return satAddCost(p.scalarSqrt, sumChildren());
+      case Op::MulSub:
+        return satAddCost(p.scalarMulSub, sumChildren());
+      case Op::SqrtSgn:
+        return satAddCost(p.scalarSqrtSgn, sumChildren());
+
+      case Op::Vec: {
+        // Leaves ride along with a vector load; computed values must
+        // each be moved into a lane.
+        std::uint64_t total = p.vecBase;
+        for (std::uint64_t c : childCosts) {
+            if (c <= p.leaf)
+                total = satAddCost(total, c);
+            else
+                total = satAddCost(total, satAddCost(c, p.laneMove));
+        }
+        return total;
+      }
+      case Op::Concat:
+        return satAddCost(p.concat, sumChildren());
+
+      case Op::VecAdd:
+      case Op::VecMinus:
+      case Op::VecMul:
+      case Op::VecNeg:
+      case Op::VecSgn:
+        return satAddCost(p.vecAlu, sumChildren());
+      case Op::VecDiv:
+        return satAddCost(p.vecDiv, sumChildren());
+      case Op::VecSqrt:
+        return satAddCost(p.vecSqrt, sumChildren());
+      case Op::VecMAC:
+      case Op::VecMulSub:
+        return satAddCost(p.vecMac, sumChildren());
+      case Op::VecSqrtSgn:
+        return satAddCost(p.vecSqrtSgn, sumChildren());
+
+      case Op::List:
+        return satAddCost(p.listBase, sumChildren());
+
+      default:
+        ISARIA_PANIC("cost of unknown op");
+    }
+}
+
+std::uint64_t
+DspCostModel::exprCost(const RecExpr &expr) const
+{
+    ISARIA_ASSERT(!expr.empty(), "cost of empty term");
+    // Tree semantics: a shared node is paid once per use, matching
+    // what extraction computes for the equivalent unfolded term.
+    std::vector<std::uint64_t> costs(expr.size());
+    std::vector<std::uint64_t> kids;
+    for (NodeId id = 0; id < static_cast<NodeId>(expr.size()); ++id) {
+        const TermNode &n = expr.node(id);
+        kids.clear();
+        for (NodeId child : n.children)
+            kids.push_back(costs[child]);
+        costs[id] = nodeCost(n.op, n.payload, kids);
+    }
+    return costs[expr.rootId()];
+}
+
+} // namespace isaria

@@ -1,0 +1,88 @@
+#ifndef ISARIA_ISA_COST_MODEL_H
+#define ISARIA_ISA_COST_MODEL_H
+
+/**
+ * @file
+ * The abstract cost model (Definition 1) for the target DSP.
+ *
+ * Costs are estimated cycles, scaled so every node adds at least one
+ * unit — the strict monotonicity of Definition 2 that extraction
+ * relies on. Two structural facts about the Fusion G3 drive the
+ * numbers:
+ *
+ *  - Scalar floating-point ops run on the slow scalar path while the
+ *    SIMD unit retires one lane-wise op per cycle, so a scalar ALU op
+ *    is modeled as several times the cost of a vector ALU op. This
+ *    gap is what separates expansion-rule aggregates from
+ *    optimization-rule aggregates (beta sits between them, §3.2).
+ *
+ *  - Building a `Vec` literal out of *computed* scalars requires
+ *    moving each value into a vector register lane by lane, while a
+ *    literal of leaves (array elements, constants) can be loaded
+ *    directly. The lane-move penalty is what gives compilation rules
+ *    their large cost differential (alpha, §3.2).
+ */
+
+#include <span>
+
+#include "egraph/extract.h"
+#include "term/rec_expr.h"
+
+namespace isaria
+{
+
+/** Tunable weights of the DSP cost model. */
+struct CostParams
+{
+    std::uint64_t leaf = 1;       ///< Const / Symbol / Get / Wildcard.
+    std::uint64_t scalarAlu = 12; ///< + - * neg sgn on the scalar path.
+    std::uint64_t scalarDiv = 20;
+    std::uint64_t scalarSqrt = 26;
+    std::uint64_t scalarMulSub = 14;
+    std::uint64_t scalarSqrtSgn = 26;
+    std::uint64_t vecAlu = 1;  ///< Lane-wise SIMD op, fully pipelined.
+    std::uint64_t vecDiv = 6;
+    std::uint64_t vecSqrt = 8;
+    std::uint64_t vecMac = 1;
+    std::uint64_t vecSqrtSgn = 8;
+    /** Inserting one *computed* scalar into a vector lane. */
+    std::uint64_t laneMove = 25;
+    /** Base cost of assembling / loading a Vec literal. */
+    std::uint64_t vecBase = 1;
+    std::uint64_t concat = 4;
+    std::uint64_t listBase = 1;
+
+    /** Phase threshold on cost differential (Section 3.2). */
+    std::int64_t alpha = 15;
+    /** Phase threshold on aggregate cost (Section 3.2). */
+    std::int64_t beta = 12;
+};
+
+/**
+ * Strictly monotonic cost function over DSL terms and e-nodes.
+ *
+ * Shared by extraction (via the CostFn interface), phase assignment
+ * (on patterns, where wildcards cost one leaf), and the compiler's
+ * improvement test.
+ */
+class DspCostModel : public CostFn
+{
+  public:
+    DspCostModel(CostParams params = {}) : params_(params) {}
+
+    const CostParams &params() const { return params_; }
+
+    std::uint64_t
+    nodeCost(Op op, std::int64_t payload,
+             std::span<const std::uint64_t> childCosts) const override;
+
+    /** Cost of a whole term (tree semantics, shared nodes re-counted). */
+    std::uint64_t exprCost(const RecExpr &expr) const;
+
+  private:
+    CostParams params_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_ISA_COST_MODEL_H

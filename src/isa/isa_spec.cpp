@@ -1,0 +1,54 @@
+#include "isa/isa_spec.h"
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+IsaSpec::IsaSpec(IsaConfig config) : config_(config)
+{
+    ISARIA_ASSERT(config_.vectorWidth >= 1, "bad vector width");
+
+    scalarOps_ = {Op::Add, Op::Sub, Op::Mul, Op::Div,
+                  Op::Neg, Op::Sgn, Op::Sqrt};
+    vectorOps_ = {Op::VecAdd, Op::VecMinus, Op::VecMul, Op::VecDiv,
+                  Op::VecNeg, Op::VecSgn,   Op::VecSqrt, Op::VecMAC};
+    if (config_.enableMulSub) {
+        scalarOps_.push_back(Op::MulSub);
+        vectorOps_.push_back(Op::VecMulSub);
+    }
+    if (config_.enableSqrtSgn) {
+        scalarOps_.push_back(Op::SqrtSgn);
+        vectorOps_.push_back(Op::VecSqrtSgn);
+    }
+}
+
+bool
+IsaSpec::opEnabled(Op op) const
+{
+    switch (op) {
+      case Op::MulSub:
+      case Op::VecMulSub:
+        return config_.enableMulSub;
+      case Op::SqrtSgn:
+      case Op::VecSqrtSgn:
+        return config_.enableSqrtSgn;
+      case Op::Wildcard:
+        return false;
+      default:
+        return true;
+    }
+}
+
+std::string
+IsaSpec::name() const
+{
+    std::string out = "fusion-g3";
+    if (config_.enableMulSub)
+        out += "+mulsub";
+    if (config_.enableSqrtSgn)
+        out += "+sqrtsgn";
+    return out;
+}
+
+} // namespace isaria

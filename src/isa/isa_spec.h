@@ -1,0 +1,65 @@
+#ifndef ISARIA_ISA_ISA_SPEC_H
+#define ISARIA_ISA_ISA_SPEC_H
+
+/**
+ * @file
+ * The target instruction set, as a configuration over the DSL.
+ *
+ * The baseline models the Tensilica Fusion G3's single-precision
+ * vector pipeline (4-wide SIMD) as used by Diospyros and Isaria. The
+ * two custom instructions of Section 5.4 — VecMulSub and VecSqrtSgn —
+ * can be toggled on, which is exactly how a DSP engineer explores an
+ * ISA customization: flip the flag (a few lines of interpreter and
+ * cost model in the paper), re-run the offline pipeline, get a new
+ * compiler.
+ */
+
+#include <string>
+#include <vector>
+
+#include "term/op.h"
+
+namespace isaria
+{
+
+/** Which optional instructions the target DSP provides. */
+struct IsaConfig
+{
+    /** SIMD width in lanes (Fusion G3 single-precision: 4). */
+    int vectorWidth = 4;
+    /** Custom multiply-subtract (Section 5.4). */
+    bool enableMulSub = false;
+    /** Custom square-root-sign-product (Section 5.4). */
+    bool enableSqrtSgn = false;
+};
+
+/** An instruction set instance: enabled ops + width. */
+class IsaSpec
+{
+  public:
+    explicit IsaSpec(IsaConfig config = {});
+
+    const IsaConfig &config() const { return config_; }
+    int vectorWidth() const { return config_.vectorWidth; }
+
+    /** True if @p op exists on this target. */
+    bool opEnabled(Op op) const;
+
+    /** Scalar arithmetic ops available to rule synthesis. */
+    const std::vector<Op> &scalarOps() const { return scalarOps_; }
+
+    /** Lane-wise vector ops available to rule synthesis. */
+    const std::vector<Op> &vectorOps() const { return vectorOps_; }
+
+    /** Short identifier, e.g. "fusion-g3+mulsub". */
+    std::string name() const;
+
+  private:
+    IsaConfig config_;
+    std::vector<Op> scalarOps_;
+    std::vector<Op> vectorOps_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_ISA_ISA_SPEC_H

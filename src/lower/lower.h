@@ -1,0 +1,63 @@
+#ifndef ISARIA_LOWER_LOWER_H
+#define ISARIA_LOWER_LOWER_H
+
+/**
+ * @file
+ * Lowering: from the vector DSL onto the virtual DSP ISA.
+ *
+ * This is the Diospyros back-end role: `Vec` literals — which the
+ * rewrite system treats abstractly — become concrete data movement.
+ * A Vec of contiguous elements of one array becomes a vector load; a
+ * Vec of constants becomes a constant load; anything else pays one
+ * lane insertion per computed element, which is exactly the cost
+ * structure the abstract cost model charges.
+ *
+ * Common subexpressions are emitted once (the extracted term is a
+ * DAG), and program outputs are written to the `__out` array, one
+ * width-sized chunk per top-level List element.
+ */
+
+#include "term/rec_expr.h"
+#include "vm/vm_isa.h"
+
+namespace isaria
+{
+
+/** Options for one lowering. */
+struct LowerOptions
+{
+    int width = 4;
+    /**
+     * Forbid vector instructions: every Vec chunk is computed lane by
+     * lane on the scalar path (the unvectorized-clang baseline).
+     */
+    bool scalarOnly = false;
+    /**
+     * Number of real (unpadded) output elements; padded lanes beyond
+     * this are not stored when a chunk is lowered lane-by-lane.
+     * -1 = store everything.
+     */
+    int totalOutputs = -1;
+    /**
+     * Top-level chunks that are still raw Vec literals (i.e. the SLP
+     * baseline failed to pack them) are computed and stored on the
+     * scalar path instead of paying lane inserts plus a vector store.
+     */
+    bool scalarizeRawChunks = false;
+    /**
+     * Local value numbering (CSE) during code generation. On by
+     * default; the design-ablation bench turns it off to quantify
+     * how much the back-end's CSE contributes.
+     */
+    bool valueNumbering = true;
+};
+
+/** Name of the simulator array receiving program outputs. */
+SymbolId outputArraySymbol();
+
+/** Lowers a compiled DSL program (a List of vector chunks). */
+VmProgram lowerProgram(const RecExpr &program, const LowerOptions &options);
+
+} // namespace isaria
+
+#endif // ISARIA_LOWER_LOWER_H

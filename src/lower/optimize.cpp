@@ -1,0 +1,334 @@
+#include "lower/optimize.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/panic.h"
+#include "vm/machine.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+/** Register operands read by an instruction, with their class. */
+struct Uses
+{
+    // Indices into sregs (scalar) or vregs (vector); -1 when unused.
+    std::int32_t scalar[3] = {-1, -1, -1};
+    std::int32_t vector[3] = {-1, -1, -1};
+    bool readsDst = false; ///< InsertLane reads and writes its dst.
+};
+
+Uses
+usesOf(const VmInst &inst)
+{
+    Uses u;
+    bool scalarOperands = vmOpIsScalarCompute(inst.op) ||
+                          inst.op == VmOp::StoreScalar ||
+                          inst.op == VmOp::InsertLane ||
+                          inst.op == VmOp::Splat;
+    auto *slot = scalarOperands ? u.scalar : u.vector;
+    slot[0] = inst.a;
+    slot[1] = inst.b;
+    slot[2] = inst.c;
+    u.readsDst = inst.op == VmOp::InsertLane;
+    return u;
+}
+
+/** True when the instruction writes a scalar register. */
+bool
+defsScalar(const VmInst &inst)
+{
+    return inst.dst >= 0 && (vmOpIsScalarCompute(inst.op) ||
+                             inst.op == VmOp::LoadScalar ||
+                             inst.op == VmOp::LoadConstS);
+}
+
+bool
+defsVector(const VmInst &inst)
+{
+    return inst.dst >= 0 && !defsScalar(inst);
+}
+
+bool
+isStore(const VmInst &inst)
+{
+    return inst.op == VmOp::StoreScalar || inst.op == VmOp::StoreVec;
+}
+
+bool
+isLoad(const VmInst &inst)
+{
+    return inst.op == VmOp::LoadScalar || inst.op == VmOp::LoadVec;
+}
+
+} // namespace
+
+VmProgram
+fuseMultiplyAdd(const VmProgram &program, VmOptStats *stats)
+{
+    const auto &code = program.code;
+    std::size_t n = code.size();
+
+    // Def and use counts for vector registers (the fusion operates on
+    // the vector pipeline only).
+    std::vector<int> defCount(program.numVectorRegs, 0);
+    std::vector<int> useCount(program.numVectorRegs, 0);
+    std::vector<std::size_t> defSite(program.numVectorRegs, SIZE_MAX);
+    for (std::size_t i = 0; i < n; ++i) {
+        const VmInst &inst = code[i];
+        if (defsVector(inst)) {
+            ++defCount[inst.dst];
+            defSite[inst.dst] = i;
+        }
+        Uses u = usesOf(inst);
+        for (std::int32_t r : u.vector) {
+            if (r >= 0)
+                ++useCount[r];
+        }
+        if (u.readsDst && inst.dst >= 0)
+            ++useCount[inst.dst];
+    }
+
+    std::vector<bool> removed(n, false);
+    VmProgram out;
+    out.width = program.width;
+    out.numScalarRegs = program.numScalarRegs;
+    out.numVectorRegs = program.numVectorRegs;
+
+    auto singleDefMul = [&](std::int32_t reg, std::size_t before) {
+        if (reg < 0 || defCount[reg] != 1 || useCount[reg] != 1)
+            return SIZE_MAX;
+        std::size_t site = defSite[reg];
+        if (site >= before || removed[site] ||
+            code[site].op != VmOp::VMul) {
+            return SIZE_MAX;
+        }
+        // The multiplier's operands must not be redefined in between.
+        for (std::size_t j = site + 1; j < before; ++j) {
+            if (code[j].dst >= 0 && defsVector(code[j]) &&
+                (code[j].dst == code[site].a ||
+                 code[j].dst == code[site].b)) {
+                return SIZE_MAX;
+            }
+        }
+        return site;
+    };
+
+    std::vector<VmInst> rewritten(code.begin(), code.end());
+    for (std::size_t i = 0; i < n; ++i) {
+        VmInst &inst = rewritten[i];
+        if (inst.op != VmOp::VAdd)
+            continue;
+        // x = mul + y   or   x = y + mul.
+        for (int operand = 0; operand < 2; ++operand) {
+            std::int32_t mulReg = operand == 0 ? inst.a : inst.b;
+            std::int32_t other = operand == 0 ? inst.b : inst.a;
+            std::size_t site = singleDefMul(mulReg, i);
+            if (site == SIZE_MAX)
+                continue;
+            inst.op = VmOp::VMac;
+            inst.a = other;
+            inst.b = rewritten[site].a;
+            inst.c = rewritten[site].b;
+            removed[site] = true;
+            if (stats)
+                ++stats->fusedMacs;
+            break;
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!removed[i])
+            out.code.push_back(rewritten[i]);
+    }
+    return out;
+}
+
+VmProgram
+eliminateDeadCode(const VmProgram &program, VmOptStats *stats)
+{
+    const auto &code = program.code;
+    std::size_t n = code.size();
+    std::vector<bool> live(n, false);
+    std::vector<bool> sLive(program.numScalarRegs, false);
+    std::vector<bool> vLive(program.numVectorRegs, false);
+
+    for (std::size_t i = n; i-- > 0;) {
+        const VmInst &inst = code[i];
+        bool needed = isStore(inst);
+        if (!needed && inst.dst >= 0) {
+            needed = defsScalar(inst) ? sLive[inst.dst]
+                                      : vLive[inst.dst];
+        }
+        if (!needed)
+            continue;
+        live[i] = true;
+        if (inst.dst >= 0 && !usesOf(inst).readsDst) {
+            // A plain definition satisfies the demand above it.
+            (defsScalar(inst) ? sLive : vLive)[inst.dst] = false;
+        }
+        Uses u = usesOf(inst);
+        for (std::int32_t r : u.scalar) {
+            if (r >= 0)
+                sLive[r] = true;
+        }
+        for (std::int32_t r : u.vector) {
+            if (r >= 0)
+                vLive[r] = true;
+        }
+        if (u.readsDst && inst.dst >= 0)
+            vLive[inst.dst] = true;
+    }
+
+    VmProgram out;
+    out.width = program.width;
+    out.numScalarRegs = program.numScalarRegs;
+    out.numVectorRegs = program.numVectorRegs;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (live[i])
+            out.code.push_back(code[i]);
+        else if (stats)
+            ++stats->deadRemoved;
+    }
+    return out;
+}
+
+VmProgram
+scheduleDualIssue(const VmProgram &program, const LatencyModel &latency,
+                  VmOptStats *stats)
+{
+    const auto &code = program.code;
+    std::size_t n = code.size();
+
+    // --- Build the dependency DAG.
+    std::vector<std::vector<std::int32_t>> succs(n);
+    std::vector<int> pending(n, 0);
+    auto edge = [&](std::size_t from, std::size_t to) {
+        succs[from].push_back(static_cast<std::int32_t>(to));
+        ++pending[to];
+    };
+
+    std::vector<std::int32_t> lastScalarDef(program.numScalarRegs, -1);
+    std::vector<std::int32_t> lastVectorDef(program.numVectorRegs, -1);
+    std::int32_t lastStore = -1;
+    std::vector<std::int32_t> loadsSinceStore;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const VmInst &inst = code[i];
+        Uses u = usesOf(inst);
+        for (std::int32_t r : u.scalar) {
+            if (r >= 0 && lastScalarDef[r] >= 0)
+                edge(lastScalarDef[r], i);
+        }
+        for (std::int32_t r : u.vector) {
+            if (r >= 0 && lastVectorDef[r] >= 0)
+                edge(lastVectorDef[r], i);
+        }
+        if (u.readsDst && inst.dst >= 0 && lastVectorDef[inst.dst] >= 0)
+            edge(lastVectorDef[inst.dst], i);
+
+        // Memory ordering: loads depend on the previous store; stores
+        // depend on every load and store since the previous store.
+        if (isLoad(inst)) {
+            if (lastStore >= 0)
+                edge(lastStore, i);
+            loadsSinceStore.push_back(static_cast<std::int32_t>(i));
+        }
+        if (isStore(inst)) {
+            if (lastStore >= 0)
+                edge(lastStore, i);
+            for (std::int32_t load : loadsSinceStore)
+                edge(load, i);
+            loadsSinceStore.clear();
+            lastStore = static_cast<std::int32_t>(i);
+        }
+
+        if (inst.dst >= 0) {
+            auto &defs = defsScalar(inst) ? lastScalarDef : lastVectorDef;
+            // WAW/WAR: order against the previous definition (covers
+            // InsertLane chains; SSA code has none).
+            if (defs[inst.dst] >= 0 && !u.readsDst)
+                edge(defs[inst.dst], i);
+            defs[inst.dst] = static_cast<std::int32_t>(i);
+        }
+    }
+
+    // --- Priorities: longest latency path to any sink.
+    std::vector<std::int64_t> priority(n, 0);
+    for (std::size_t i = n; i-- > 0;) {
+        std::int64_t best = 0;
+        for (std::int32_t s : succs[i])
+            best = std::max(best, priority[s]);
+        priority[i] = best + latency.latencyOf(code[i].op);
+    }
+
+    // --- Greedy list scheduling, one compute + one move per step.
+    std::vector<std::int32_t> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (pending[i] == 0)
+            ready.push_back(static_cast<std::int32_t>(i));
+    }
+    auto byPriority = [&](std::int32_t a, std::int32_t b) {
+        if (priority[a] != priority[b])
+            return priority[a] > priority[b];
+        return a < b; // stable tiebreak
+    };
+
+    VmProgram out;
+    out.width = program.width;
+    out.numScalarRegs = program.numScalarRegs;
+    out.numVectorRegs = program.numVectorRegs;
+    out.code.reserve(n);
+
+    std::size_t moves = 0;
+    std::vector<std::int32_t> emittedOrder;
+    while (!ready.empty()) {
+        std::sort(ready.begin(), ready.end(), byPriority);
+        // Pick the best compute and the best move-slot instruction
+        // available this round.
+        std::int32_t pickCompute = -1, pickMove = -1;
+        for (std::int32_t cand : ready) {
+            bool move = vmOpIsMoveSlot(code[cand].op);
+            if (move && pickMove < 0)
+                pickMove = cand;
+            if (!move && pickCompute < 0)
+                pickCompute = cand;
+            if (pickMove >= 0 && pickCompute >= 0)
+                break;
+        }
+        for (std::int32_t pick : {pickMove, pickCompute}) {
+            if (pick < 0)
+                continue;
+            ready.erase(std::find(ready.begin(), ready.end(), pick));
+            out.code.push_back(code[pick]);
+            emittedOrder.push_back(pick);
+            for (std::int32_t s : succs[pick]) {
+                if (--pending[s] == 0)
+                    ready.push_back(s);
+            }
+        }
+    }
+    ISARIA_ASSERT(out.code.size() == n, "scheduler dropped instructions");
+
+    if (stats) {
+        for (std::size_t i = 0; i < n; ++i)
+            moves += emittedOrder[i] != static_cast<std::int32_t>(i);
+        stats->moved += moves;
+    }
+    return out;
+}
+
+VmProgram
+optimizeProgram(const VmProgram &program, const LatencyModel &latency,
+                VmOptStats *stats)
+{
+    VmProgram out = fuseMultiplyAdd(program, stats);
+    out = eliminateDeadCode(out, stats);
+    out = scheduleDualIssue(out, latency, stats);
+    return out;
+}
+
+} // namespace isaria

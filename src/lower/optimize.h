@@ -1,0 +1,63 @@
+#ifndef ISARIA_LOWER_OPTIMIZE_H
+#define ISARIA_LOWER_OPTIMIZE_H
+
+/**
+ * @file
+ * Post-lowering machine-level optimizations for the virtual DSP.
+ *
+ * These are the classic back-end passes a production toolchain would
+ * run after instruction selection, provided as opt-in extensions
+ * (they are not part of the paper's pipeline, whose backend work all
+ * happens in the e-graph):
+ *
+ *  - peephole fusion: VMul feeding a single VAdd/VSub becomes
+ *    VMac/VMulSub, which helps comparators that select instructions
+ *    without an e-graph (the SLP baseline, hand-written code);
+ *  - dead-code elimination: results never consumed by a store or a
+ *    later instruction are dropped;
+ *  - dual-issue list scheduling: independent instructions are
+ *    reordered to hide latencies and pair the compute slot with the
+ *    load/store/move slot.
+ *
+ * All passes preserve the program's memory behaviour (stores keep
+ * their relative order; every store's operands are computed first).
+ */
+
+#include "vm/machine.h"
+
+namespace isaria
+{
+
+/** Statistics from one optimization run. */
+struct VmOptStats
+{
+    std::size_t fusedMacs = 0;
+    std::size_t deadRemoved = 0;
+    std::size_t moved = 0;
+};
+
+/** Fuses VMul+VAdd / VMul+VSub pairs into VMac / VMulSub. */
+VmProgram fuseMultiplyAdd(const VmProgram &program,
+                          VmOptStats *stats = nullptr);
+
+/** Removes instructions whose results are never observed. */
+VmProgram eliminateDeadCode(const VmProgram &program,
+                            VmOptStats *stats = nullptr);
+
+/**
+ * Latency-aware list scheduling for the dual-issue pipeline: greedily
+ * picks, at each cycle, the ready instruction with the longest
+ * critical path to a store, one per slot.
+ */
+VmProgram scheduleDualIssue(const VmProgram &program,
+                            const LatencyModel &latency = {},
+                            VmOptStats *stats = nullptr);
+
+/** The full pipeline: fuse, DCE, schedule. */
+VmProgram optimizeProgram(const VmProgram &program,
+                          const LatencyModel &latency = {},
+                          VmOptStats *stats = nullptr);
+
+} // namespace isaria
+
+#endif // ISARIA_LOWER_OPTIMIZE_H

@@ -1,0 +1,70 @@
+#ifndef ISARIA_PHASE_PHASE_H
+#define ISARIA_PHASE_PHASE_H
+
+/**
+ * @file
+ * Cost-based phase discovery (Section 3.2).
+ *
+ * Every synthesized rule P ~> Q is scored by two metrics computed from
+ * the abstract cost model (wildcards cost one leaf):
+ *
+ *   cost differential  CD = C(P) - C(Q)   (Definition 3)
+ *   aggregate cost     CA = C(P) + C(Q)   (Definition 4)
+ *
+ * Rules with CD > alpha are *compilation* rules (they lower scalar
+ * work onto vector instructions); of the rest, CA > beta marks
+ * *expansion* rules (scalar-side exploration) and CA <= beta marks
+ * *optimization* rules (vector-side cleanup).
+ */
+
+#include <string>
+#include <vector>
+
+#include "isa/cost_model.h"
+#include "synth/ruleset.h"
+
+namespace isaria
+{
+
+/** The three rule phases of Section 3.2. */
+enum class Phase
+{
+    Expansion,
+    Compilation,
+    Optimization,
+};
+
+const char *phaseName(Phase phase);
+
+/** A rule with its phase assignment and the metrics that drove it. */
+struct PhasedRule
+{
+    Rule rule;
+    Phase phase;
+    std::int64_t costDifferential;
+    std::int64_t aggregateCost;
+};
+
+/** A full rule system organized by phase. */
+struct PhasedRules
+{
+    std::vector<PhasedRule> all;
+
+    /** Rules of one phase, in input order. */
+    std::vector<Rule> ofPhase(Phase phase) const;
+
+    std::size_t countOf(Phase phase) const;
+
+    /** CSV rows "name,phase,aggregate,differential" (Figure 8 data). */
+    std::string toCsv() const;
+};
+
+/** Scores and phases every rule of @p rules under @p cost. */
+PhasedRules assignPhases(const RuleSet &rules, const DspCostModel &cost);
+
+/** Phase of a single rule under @p cost. */
+Phase phaseOf(const Rule &rule, const DspCostModel &cost);
+
+} // namespace isaria
+
+#endif // ISARIA_PHASE_PHASE_H

@@ -1,0 +1,34 @@
+#ifndef ISARIA_SUPPORT_HASH_H
+#define ISARIA_SUPPORT_HASH_H
+
+/**
+ * @file
+ * Hash-combining helpers shared by the term and e-graph modules.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace isaria
+{
+
+/** Mixes @p value into the running hash @p seed (boost-style). */
+inline void
+hashCombine(std::size_t &seed, std::size_t value)
+{
+    seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+/** Finalizing mix from splitmix64; good avalanche for table indexing. */
+inline std::uint64_t
+hashMix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace isaria
+
+#endif // ISARIA_SUPPORT_HASH_H

@@ -1,0 +1,62 @@
+#include "support/interner.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+struct InternTable
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, SymbolId> byName;
+    std::vector<std::string> names;
+};
+
+InternTable &
+table()
+{
+    static InternTable instance;
+    return instance;
+}
+
+} // namespace
+
+SymbolId
+internSymbol(std::string_view name)
+{
+    auto &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    auto it = t.byName.find(std::string(name));
+    if (it != t.byName.end())
+        return it->second;
+    auto id = static_cast<SymbolId>(t.names.size());
+    t.names.emplace_back(name);
+    t.byName.emplace(t.names.back(), id);
+    return id;
+}
+
+const std::string &
+symbolName(SymbolId id)
+{
+    auto &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    ISARIA_ASSERT(id < t.names.size(), "unknown symbol id");
+    return t.names[id];
+}
+
+std::size_t
+internedSymbolCount()
+{
+    auto &t = table();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    return t.names.size();
+}
+
+} // namespace isaria

@@ -1,0 +1,35 @@
+#ifndef ISARIA_SUPPORT_INTERNER_H
+#define ISARIA_SUPPORT_INTERNER_H
+
+/**
+ * @file
+ * Global string interner for symbol names.
+ *
+ * Terms refer to program variables (array names, scalar inputs) by a
+ * dense integer id; the interner maps names to ids and back. A single
+ * process-wide table keeps ids stable across modules, which lets terms,
+ * environments, and the simulator's memory image agree on identity.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace isaria
+{
+
+/** Dense id for an interned symbol name. */
+using SymbolId = std::uint32_t;
+
+/** Interns @p name, returning its stable id (idempotent). */
+SymbolId internSymbol(std::string_view name);
+
+/** Returns the name for an id previously returned by internSymbol. */
+const std::string &symbolName(SymbolId id);
+
+/** Number of symbols interned so far (useful for generating fresh ones). */
+std::size_t internedSymbolCount();
+
+} // namespace isaria
+
+#endif // ISARIA_SUPPORT_INTERNER_H

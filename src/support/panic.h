@@ -1,0 +1,47 @@
+#ifndef ISARIA_SUPPORT_PANIC_H
+#define ISARIA_SUPPORT_PANIC_H
+
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for conditions that indicate a bug in Isaria itself;
+ * fatal() is for user errors (bad configuration, malformed input).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace isaria
+{
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace isaria
+
+/** Abort with a message: an internal invariant was violated. */
+#define ISARIA_PANIC(msg) ::isaria::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Exit with a message: the user supplied an impossible request. */
+#define ISARIA_FATAL(msg) ::isaria::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Cheap always-on assertion used at module boundaries. */
+#define ISARIA_ASSERT(cond, msg)                                            \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ISARIA_PANIC(msg);                                              \
+    } while (0)
+
+#endif // ISARIA_SUPPORT_PANIC_H

@@ -1,0 +1,192 @@
+#include "support/rational.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+/** Checked multiply; returns false on overflow. */
+bool
+mulOk(std::int64_t a, std::int64_t b, std::int64_t &out)
+{
+    return !__builtin_mul_overflow(a, b, &out);
+}
+
+/** Checked add; returns false on overflow. */
+bool
+addOk(std::int64_t a, std::int64_t b, std::int64_t &out)
+{
+    return !__builtin_add_overflow(a, b, &out);
+}
+
+/** Integer square root when n is a perfect square, else -1. */
+std::int64_t
+perfectSqrt(std::int64_t n)
+{
+    if (n < 0)
+        return -1;
+    auto root = static_cast<std::int64_t>(std::llround(std::sqrt(
+        static_cast<double>(n))));
+    for (std::int64_t r = std::max<std::int64_t>(0, root - 2);
+         r <= root + 2; ++r) {
+        std::int64_t sq;
+        if (mulOk(r, r, sq) && sq == n)
+            return r;
+    }
+    return -1;
+}
+
+} // namespace
+
+Rational
+Rational::make(std::int64_t num, std::int64_t den)
+{
+    if (den == 0)
+        return invalid();
+    if (num == INT64_MIN || den == INT64_MIN)
+        return invalid(); // |INT64_MIN| is not representable
+    if (den < 0) {
+        num = -num;
+        den = -den;
+    }
+    std::int64_t g = std::gcd(num < 0 ? -num : num, den);
+    if (g > 1) {
+        num /= g;
+        den /= g;
+    }
+    return Rational(num, den, true);
+}
+
+Rational
+Rational::invalid()
+{
+    return Rational(0, 0, false);
+}
+
+Rational
+Rational::operator+(const Rational &other) const
+{
+    if (!valid_ || !other.valid_)
+        return invalid();
+    // a/b + c/d = (a*d + c*b) / (b*d)
+    std::int64_t ad, cb, sum, bd;
+    if (!mulOk(num_, other.den_, ad) || !mulOk(other.num_, den_, cb) ||
+        !addOk(ad, cb, sum) || !mulOk(den_, other.den_, bd)) {
+        return invalid();
+    }
+    return make(sum, bd);
+}
+
+Rational
+Rational::operator-(const Rational &other) const
+{
+    return *this + (-other);
+}
+
+Rational
+Rational::operator*(const Rational &other) const
+{
+    if (!valid_ || !other.valid_)
+        return invalid();
+    // Cross-reduce first to keep intermediates small.
+    std::int64_t a = num_, b = den_, c = other.num_, d = other.den_;
+    std::int64_t g1 = std::gcd(a < 0 ? -a : a, d);
+    std::int64_t g2 = std::gcd(c < 0 ? -c : c, b);
+    if (g1 > 1) { a /= g1; d /= g1; }
+    if (g2 > 1) { c /= g2; b /= g2; }
+    std::int64_t n, m;
+    if (!mulOk(a, c, n) || !mulOk(b, d, m))
+        return invalid();
+    return make(n, m);
+}
+
+Rational
+Rational::operator/(const Rational &other) const
+{
+    if (!valid_ || !other.valid_ || other.num_ == 0)
+        return invalid();
+    return *this * make(other.den_, other.num_);
+}
+
+Rational
+Rational::operator-() const
+{
+    if (!valid_)
+        return invalid();
+    if (num_ == INT64_MIN)
+        return invalid();
+    return Rational(-num_, den_, true);
+}
+
+Rational
+Rational::sgn() const
+{
+    if (!valid_)
+        return invalid();
+    return Rational(num_ > 0 ? 1 : num_ < 0 ? -1 : 0);
+}
+
+Rational
+Rational::sqrt() const
+{
+    if (!valid_ || num_ < 0)
+        return invalid();
+    std::int64_t rn = perfectSqrt(num_);
+    std::int64_t rd = perfectSqrt(den_);
+    if (rn < 0 || rd < 0)
+        return invalid();
+    return make(rn, rd);
+}
+
+bool
+Rational::operator==(const Rational &other) const
+{
+    if (!valid_ || !other.valid_)
+        return false;
+    return num_ == other.num_ && den_ == other.den_;
+}
+
+bool
+Rational::operator<(const Rational &other) const
+{
+    ISARIA_ASSERT(valid_ && other.valid_, "ordering undefined rationals");
+    // a/b < c/d  <=>  a*d < c*b   (b, d > 0). Use wide arithmetic.
+    return static_cast<__int128>(num_) * other.den_ <
+           static_cast<__int128>(other.num_) * den_;
+}
+
+double
+Rational::toDouble() const
+{
+    if (!valid_)
+        return std::nan("");
+    return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string
+Rational::toString() const
+{
+    if (!valid_)
+        return "#undef";
+    if (den_ == 1)
+        return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::size_t
+Rational::hash() const
+{
+    if (!valid_)
+        return 0x9e3779b97f4a7c15ull;
+    std::size_t h = std::hash<std::int64_t>{}(num_);
+    h ^= std::hash<std::int64_t>{}(den_) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    return h;
+}
+
+} // namespace isaria

@@ -1,0 +1,111 @@
+#ifndef ISARIA_SUPPORT_RATIONAL_H
+#define ISARIA_SUPPORT_RATIONAL_H
+
+/**
+ * @file
+ * Exact checked 64-bit rational arithmetic.
+ *
+ * Rule-soundness filtering must never accept a rewrite because of a
+ * floating-point rounding coincidence, so all interpreter semantics run
+ * over exact rationals. Any operation that leaves the representable
+ * domain (overflow, division by zero, irrational square root) produces
+ * an *invalid* rational, and invalidity propagates through every
+ * subsequent operation — the option semantics of Section 3.1.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace isaria
+{
+
+/**
+ * An exact rational number num/den with checked arithmetic.
+ *
+ * Invariants for valid values: den > 0, gcd(|num|, den) == 1.
+ * Invalid values compare unequal to everything, including themselves
+ * being distinguishable only via valid().
+ */
+class Rational
+{
+  public:
+    /** Constructs the rational 0. */
+    constexpr Rational() : num_(0), den_(1), valid_(true) {}
+
+    /** Constructs an integer-valued rational. */
+    constexpr Rational(std::int64_t value)
+        : num_(value), den_(1), valid_(true)
+    {}
+
+    /** Constructs num/den, normalizing sign and common factors. */
+    static Rational make(std::int64_t num, std::int64_t den);
+
+    /** Returns the canonical invalid (undefined) rational. */
+    static Rational invalid();
+
+    bool valid() const { return valid_; }
+    std::int64_t num() const { return num_; }
+    std::int64_t den() const { return den_; }
+
+    /** True iff this is a valid whole number. */
+    bool isInteger() const { return valid_ && den_ == 1; }
+
+    Rational operator+(const Rational &other) const;
+    Rational operator-(const Rational &other) const;
+    Rational operator*(const Rational &other) const;
+    Rational operator/(const Rational &other) const;
+    Rational operator-() const;
+
+    /** Sign as a rational: -1, 0, or +1 (invalid propagates). */
+    Rational sgn() const;
+
+    /**
+     * Exact square root.
+     *
+     * Defined only when the value is a perfect square of a rational
+     * (both numerator and denominator are perfect squares after
+     * normalization); otherwise invalid. Negative arguments are
+     * invalid.
+     */
+    Rational sqrt() const;
+
+    /** Structural equality; any invalid operand compares unequal. */
+    bool operator==(const Rational &other) const;
+    bool operator!=(const Rational &other) const { return !(*this == other); }
+
+    /** Ordering on valid rationals; ordering invalid values panics. */
+    bool operator<(const Rational &other) const;
+
+    /** Approximate double value for reporting (invalid -> NaN). */
+    double toDouble() const;
+
+    /** Renders as "n" or "n/d" or "#undef". */
+    std::string toString() const;
+
+    /** Hash compatible with operator== (all invalids hash alike). */
+    std::size_t hash() const;
+
+  private:
+    Rational(std::int64_t num, std::int64_t den, bool valid)
+        : num_(num), den_(den), valid_(valid)
+    {}
+
+    std::int64_t num_;
+    std::int64_t den_;
+    bool valid_;
+};
+
+} // namespace isaria
+
+template <>
+struct std::hash<isaria::Rational>
+{
+    std::size_t
+    operator()(const isaria::Rational &r) const
+    {
+        return r.hash();
+    }
+};
+
+#endif // ISARIA_SUPPORT_RATIONAL_H

@@ -1,0 +1,55 @@
+#ifndef ISARIA_SUPPORT_RNG_H
+#define ISARIA_SUPPORT_RNG_H
+
+/**
+ * @file
+ * Deterministic splitmix64 random-number generator.
+ *
+ * All randomized pieces of Isaria (fingerprint environments, sampling
+ * verification) must be reproducible run to run, so they take an
+ * explicitly seeded Rng rather than touching global state.
+ */
+
+#include <cstdint>
+
+#include "support/hash.h"
+
+namespace isaria
+{
+
+/** Small, fast, deterministic RNG (splitmix64). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        return hashMix(state_);
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform signed value in [lo, hi] inclusive. */
+    std::int64_t
+    nextInRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            nextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_SUPPORT_RNG_H

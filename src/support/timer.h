@@ -1,0 +1,74 @@
+#ifndef ISARIA_SUPPORT_TIMER_H
+#define ISARIA_SUPPORT_TIMER_H
+
+/**
+ * @file
+ * Wall-clock stopwatch and deadline helpers.
+ *
+ * Equality saturation and rule synthesis are budgeted by wall-clock
+ * deadlines (the paper's per-EqSat timeout and offline timeout), so a
+ * lightweight monotonic-clock wrapper is used throughout.
+ */
+
+#include <chrono>
+
+namespace isaria
+{
+
+/** Monotonic stopwatch started at construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Elapsed seconds since construction or last reset. */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    void reset() { start_ = Clock::now(); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * A wall-clock budget. A non-positive budget means "unlimited".
+ */
+class Deadline
+{
+  public:
+    /** Creates a deadline @p seconds from now (<= 0 for unlimited). */
+    explicit Deadline(double seconds)
+        : limited_(seconds > 0), budget_(seconds)
+    {}
+
+    static Deadline unlimited() { return Deadline(0); }
+
+    bool
+    expired() const
+    {
+        return limited_ && watch_.elapsedSeconds() >= budget_;
+    }
+
+    /** Seconds remaining (a large value when unlimited). */
+    double
+    remainingSeconds() const
+    {
+        if (!limited_)
+            return 1e18;
+        return budget_ - watch_.elapsedSeconds();
+    }
+
+  private:
+    bool limited_;
+    double budget_;
+    Stopwatch watch_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_SUPPORT_TIMER_H

@@ -1,0 +1,87 @@
+#include "synth/ruleset.h"
+
+#include <sstream>
+
+#include "support/panic.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+
+bool
+RuleSet::add(Rule rule)
+{
+    if (contains(rule))
+        return false;
+    hashes_.push_back(rule.hash());
+    rules_.push_back(std::move(rule));
+    return true;
+}
+
+bool
+RuleSet::contains(const Rule &rule) const
+{
+    std::size_t h = rule.hash();
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        if (hashes_[i] == h && rules_[i].sameAs(rule))
+            return true;
+    }
+    return false;
+}
+
+std::string
+RuleSet::toString() const
+{
+    std::string out;
+    for (const Rule &rule : rules_) {
+        out += rule.name.empty() ? "rule" : rule.name;
+        out += rule.verifiedExactly ? " [proved]: " : " [tested]: ";
+        out += rule.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+RuleSet
+RuleSet::fromString(const std::string &text)
+{
+    RuleSet out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto colon = line.find(": ");
+        ISARIA_ASSERT(colon != std::string::npos, "bad rule line");
+        std::string head = line.substr(0, colon);
+        Rule rule = parseRule(line.substr(colon + 2));
+        auto bracket = head.find(" [");
+        rule.name = head.substr(0, bracket);
+        rule.verifiedExactly = head.find("[proved]") != std::string::npos;
+        out.add(std::move(rule));
+    }
+    return out;
+}
+
+RecExpr
+skolemize(const RecExpr &pattern)
+{
+    RecExpr out;
+    std::vector<NodeId> remap(pattern.size());
+    for (NodeId id = 0; id < static_cast<NodeId>(pattern.size()); ++id) {
+        const TermNode &n = pattern.node(id);
+        if (n.op == Op::Wildcard) {
+            std::string name = "$w" + std::to_string(n.payload);
+            remap[id] = out.addSymbol(internSymbol(name));
+            continue;
+        }
+        std::vector<NodeId> kids;
+        kids.reserve(n.children.size());
+        for (NodeId child : n.children)
+            kids.push_back(remap[child]);
+        remap[id] = out.add(n.op, std::move(kids), n.payload);
+    }
+    return out;
+}
+
+} // namespace isaria

@@ -1,0 +1,49 @@
+#ifndef ISARIA_SYNTH_RULESET_H
+#define ISARIA_SYNTH_RULESET_H
+
+/**
+ * @file
+ * A deduplicated, named collection of rewrite rules.
+ */
+
+#include <string>
+#include <vector>
+
+#include "term/pattern.h"
+
+namespace isaria
+{
+
+/** An ordered set of rules, deduplicated up to alpha-renaming. */
+class RuleSet
+{
+  public:
+    /** Adds @p rule if new; returns true if it was inserted. */
+    bool add(Rule rule);
+
+    const std::vector<Rule> &rules() const { return rules_; }
+    std::size_t size() const { return rules_.size(); }
+    bool empty() const { return rules_.empty(); }
+
+    const Rule &operator[](std::size_t i) const { return rules_[i]; }
+
+    /** True if an alpha-equivalent rule is already present. */
+    bool contains(const Rule &rule) const;
+
+    /** Renders one rule per line ("name: lhs ~> rhs"). */
+    std::string toString() const;
+
+    /** Parses the toString format (names preserved). */
+    static RuleSet fromString(const std::string &text);
+
+  private:
+    std::vector<Rule> rules_;
+    std::vector<std::size_t> hashes_;
+};
+
+/** Replaces wildcards with skolem symbols so terms can enter e-graphs. */
+RecExpr skolemize(const RecExpr &pattern);
+
+} // namespace isaria
+
+#endif // ISARIA_SYNTH_RULESET_H

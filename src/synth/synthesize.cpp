@@ -1,0 +1,307 @@
+#include "synth/synthesize.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+/** Scalar wildcard id for lane @p lane of original wildcard @p w. */
+std::int32_t
+laneScalarId(std::int32_t w, int lane)
+{
+    return w * 16 + lane;
+}
+
+NodeId
+generalizeNode(const RecExpr &src, NodeId id,
+               const std::vector<Sort> &sorts, int lane, int width,
+               RecExpr &out)
+{
+    const TermNode &n = src.node(id);
+    switch (n.op) {
+      case Op::Vec: {
+        ISARIA_ASSERT(n.children.size() == 1,
+                      "generalizing a Vec that is not 1-wide");
+        std::vector<NodeId> kids;
+        kids.reserve(width);
+        for (int l = 0; l < width; ++l) {
+            kids.push_back(
+                generalizeNode(src, n.children[0], sorts, l, width, out));
+        }
+        return out.add(Op::Vec, std::move(kids));
+      }
+      case Op::Wildcard: {
+        auto w = static_cast<std::int32_t>(n.payload);
+        if (sorts[id] == Sort::Vector)
+            return out.addWildcard(w); // whole-vector variable
+        ISARIA_ASSERT(lane >= 0, "scalar wildcard outside any Vec");
+        return out.addWildcard(laneScalarId(w, lane));
+      }
+      default: {
+        std::vector<NodeId> kids;
+        kids.reserve(n.children.size());
+        for (NodeId child : n.children) {
+            kids.push_back(
+                generalizeNode(src, child, sorts, lane, width, out));
+        }
+        return out.add(n.op, std::move(kids), n.payload);
+      }
+    }
+}
+
+/** Canonical key for an unordered candidate pair. */
+std::size_t
+pairKey(const CandidatePair &pair)
+{
+    Rule ab{pair.a, pair.b, "", false};
+    Rule ba{pair.b, pair.a, "", false};
+    return ab.canonical().hash() ^ ba.canonical().hash();
+}
+
+struct ScoredCandidate
+{
+    CandidatePair pair;
+    std::size_t score;
+    bool dead = false;
+};
+
+} // namespace
+
+RecExpr
+generalizeToWidth(const RecExpr &pattern, int width)
+{
+    bool hasVecLiteral = false;
+    for (NodeId id = 0; id < static_cast<NodeId>(pattern.size()); ++id)
+        hasVecLiteral |= pattern.node(id).op == Op::Vec;
+    if (!hasVecLiteral)
+        return pattern; // scalar or whole-vector rule: nothing to widen
+    RecExpr out;
+    std::vector<Sort> sorts = pattern.inferSorts();
+    generalizeNode(pattern, pattern.rootId(), sorts, /*lane=*/-1, width,
+                   out);
+    return out;
+}
+
+Rule
+generalizeRule(const Rule &rule, int width)
+{
+    Rule out;
+    out.lhs = generalizeToWidth(rule.lhs, width);
+    out.rhs = generalizeToWidth(rule.rhs, width);
+    out.name = rule.name;
+    out.verifiedExactly = rule.verifiedExactly;
+    return out;
+}
+
+SynthReport
+synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
+{
+    SynthReport report;
+    Deadline deadline(config.timeoutSeconds);
+    Stopwatch watch;
+
+    // --- Phase 1: enumerate candidate pairs over the 1-wide ISA.
+    // Enumeration gets a slice of the budget so shrinking always has
+    // room to run.
+    Deadline enumDeadline(config.timeoutSeconds > 0
+                              ? config.timeoutSeconds * config.enumFraction
+                              : 0);
+    EnumResult enumerated =
+        enumerateTerms(isa, config.enumConfig, enumDeadline);
+    report.candidatesConsidered = enumerated.candidates.size();
+    report.enumerateSeconds = watch.elapsedSeconds();
+    watch.reset();
+
+    // Deduplicate candidate pairs and order them smallest-first (the
+    // Ruler preference: small rules are more general and derive more).
+    // Candidates are split into a vector pool (either side mentions a
+    // vector operator) and a scalar pool, processed round-robin so the
+    // scalar algebra cannot starve the vectorization rules.
+    std::vector<ScoredCandidate> liftPool;
+    std::vector<ScoredCandidate> vectorPool;
+    std::vector<ScoredCandidate> scalarPool;
+    {
+        std::unordered_set<std::size_t> seen;
+        for (CandidatePair &pair : enumerated.candidates) {
+            std::size_t key = pairKey(pair);
+            if (!seen.insert(key).second)
+                continue;
+            // Smaller is better; more wildcards (more generality) is
+            // better at equal size, so `(+ ?a 0) ~> ?a` is accepted
+            // before its ground instances and prunes them.
+            std::size_t size = pair.a.treeSize() + pair.b.treeSize();
+            std::size_t generality =
+                std::min<std::size_t>(pair.a.wildcardIds().size() +
+                                          pair.b.wildcardIds().size(),
+                                      15);
+            std::size_t score = size * 16 - generality;
+            bool liftPair = pair.a.root().op == Op::Vec ||
+                            pair.b.root().op == Op::Vec;
+            bool vectorPair = pair.a.containsVectorOp() ||
+                              pair.b.containsVectorOp();
+            auto &pool = liftPair ? liftPool
+                         : vectorPair ? vectorPool
+                                      : scalarPool;
+            pool.push_back({std::move(pair), score, false});
+        }
+        auto byScore = [](const auto &x, const auto &y) {
+            return x.score < y.score;
+        };
+        std::stable_sort(liftPool.begin(), liftPool.end(), byScore);
+        std::stable_sort(vectorPool.begin(), vectorPool.end(), byScore);
+        std::stable_sort(scalarPool.begin(), scalarPool.end(), byScore);
+    }
+
+    // --- Phase 2: shrink — accept small sound rules, prune the rest
+    // by derivability under equality saturation.
+    std::vector<CompiledRule> compiled;
+    std::size_t liftCursor = 0;
+    std::size_t vectorCursor = 0;
+    std::size_t scalarCursor = 0;
+    std::size_t acceptedSincePrune = 0;
+
+    DspCostModel costModel(config.costParams);
+    auto isShortcut = [&](const CandidatePair &pair) {
+        if (!config.keepShortcutCandidates)
+            return false;
+        auto a = static_cast<std::int64_t>(costModel.exprCost(pair.a));
+        auto b = static_cast<std::int64_t>(costModel.exprCost(pair.b));
+        return std::llabs(a - b) > config.costParams.alpha;
+    };
+
+    auto pruneDerivable = [&]() {
+        if (compiled.empty() || acceptedSincePrune == 0)
+            return;
+        acceptedSincePrune = 0;
+        // Prune a window of upcoming candidates only: the tail gets
+        // its turn as the cursor approaches, and the saturation stays
+        // small.
+        constexpr std::size_t kPruneWindow = 1500;
+        EGraph eg;
+        std::vector<std::pair<ScoredCandidate *,
+                              std::pair<EClassId, EClassId>>> ids;
+        auto addWindow = [&](std::vector<ScoredCandidate> &pool,
+                             std::size_t cursor) {
+            for (std::size_t i = cursor;
+                 i < pool.size() && ids.size() < 2 * kPruneWindow; ++i) {
+                if (pool[i].dead || isShortcut(pool[i].pair))
+                    continue;
+                EClassId a = eg.addExpr(skolemize(pool[i].pair.a));
+                EClassId b = eg.addExpr(skolemize(pool[i].pair.b));
+                ids.emplace_back(&pool[i], std::make_pair(a, b));
+            }
+        };
+        addWindow(liftPool, liftCursor);
+        addWindow(vectorPool, vectorCursor);
+        addWindow(scalarPool, scalarCursor);
+        if (ids.empty())
+            return;
+        eg.rebuild();
+        runEqSat(eg, compiled, config.derivLimits);
+        for (auto &[cand, classes] : ids) {
+            if (eg.same(classes.first, classes.second)) {
+                cand->dead = true;
+                ++report.prunedDerivable;
+            }
+        }
+    };
+
+    // Accepts the next live candidate of @p pool; returns false when
+    // the pool is exhausted.
+    auto acceptOne = [&](std::vector<ScoredCandidate> &pool,
+                         std::size_t &cursor) {
+        while (cursor < pool.size()) {
+            if (deadline.expired()) {
+                report.hitDeadline = true;
+                return false;
+            }
+            ScoredCandidate &cand = pool[cursor];
+            ++cursor;
+            if (cand.dead)
+                continue;
+
+            Rule forward{cand.pair.a, cand.pair.b, "", false};
+            Verdict verdict = verifyRule(forward, config.verify);
+            if (verdict == Verdict::Rejected) {
+                ++report.rejectedUnsound;
+                continue;
+            }
+            forward.verifiedExactly = (verdict == Verdict::Proved);
+
+            Rule backward{cand.pair.b, cand.pair.a, "", false};
+            backward.verifiedExactly = forward.verifiedExactly;
+
+            bool any = false;
+            for (Rule *rule : {&forward, &backward}) {
+                if (!rule->wellFormed() ||
+                    report.oneWideRules.size() >= config.maxRules) {
+                    continue;
+                }
+                rule->name =
+                    "syn1w-" + std::to_string(report.oneWideRules.size());
+                if (report.oneWideRules.add(*rule)) {
+                    compiled.emplace_back(*rule);
+                    any = true;
+                }
+            }
+            if (any) {
+                ++acceptedSincePrune;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    bool liftAlive = true;
+    bool vectorAlive = true;
+    bool scalarAlive = true;
+    auto anyAlive = [&] { return liftAlive || vectorAlive || scalarAlive; };
+    auto budgetLeft = [&] {
+        return report.oneWideRules.size() < config.maxRules;
+    };
+    while (anyAlive() && budgetLeft() && !report.hitDeadline) {
+        pruneDerivable();
+        for (int i = 0; i < config.batchSize && budgetLeft() && anyAlive();
+             ++i) {
+            if (liftAlive)
+                liftAlive = acceptOne(liftPool, liftCursor);
+            if (vectorAlive && budgetLeft())
+                vectorAlive = acceptOne(vectorPool, vectorCursor);
+            if (scalarAlive && budgetLeft())
+                scalarAlive = acceptOne(scalarPool, scalarCursor);
+        }
+        if (deadline.expired())
+            report.hitDeadline = true;
+    }
+    report.shrinkSeconds = watch.elapsedSeconds();
+    watch.reset();
+
+    // --- Phase 3: generalize across lanes to the ISA width, then
+    // re-verify every expanded rule (the paper's soundness backstop).
+    int width = isa.vectorWidth();
+    for (const Rule &rule : report.oneWideRules.rules()) {
+        Rule wide = generalizeRule(rule, width);
+        if (!wide.lhs.equalTree(rule.lhs) ||
+            !wide.rhs.equalTree(rule.rhs)) {
+            Verdict verdict = verifyRule(wide, config.verify);
+            if (verdict == Verdict::Rejected) {
+                ++report.droppedAtGeneralization;
+                continue;
+            }
+            wide.verifiedExactly = (verdict == Verdict::Proved);
+        }
+        wide.name = "syn-" + std::to_string(report.rules.size());
+        report.rules.add(std::move(wide));
+    }
+    report.generalizeSeconds = watch.elapsedSeconds();
+
+    return report;
+}
+
+} // namespace isaria

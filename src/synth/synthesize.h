@@ -1,0 +1,92 @@
+#ifndef ISARIA_SYNTH_SYNTHESIZE_H
+#define ISARIA_SYNTH_SYNTHESIZE_H
+
+/**
+ * @file
+ * The offline rule-synthesis pipeline (Section 3.1).
+ *
+ * enumerate -> candidate pairs -> shrink (verify + derivability
+ * pruning by equality saturation, as in Ruler) -> generalize across
+ * vector lanes to the architecture width -> re-verify.
+ */
+
+#include "egraph/runner.h"
+#include "isa/cost_model.h"
+#include "synth/enumerate.h"
+#include "synth/ruleset.h"
+#include "verify/verifier.h"
+
+namespace isaria
+{
+
+/** Budget and knobs for one offline synthesis run. */
+struct SynthConfig
+{
+    EnumConfig enumConfig;
+    VerifyOptions verify;
+    /** Overall offline wall-clock budget in seconds (<=0 unlimited). */
+    double timeoutSeconds = 30;
+    /** Fraction of the budget reserved for enumeration; the rest goes
+     *  to shrinking and generalization. */
+    double enumFraction = 0.35;
+    /** Stop after this many accepted (directed) rules. */
+    std::size_t maxRules = 600;
+    /** Candidates accepted between derivability prunes. */
+    int batchSize = 16;
+    /**
+     * Cost parameters used to spot *shortcut* candidates: a pair
+     * whose two sides differ in cost by more than alpha would become
+     * a compilation rule, and such shortcuts are kept even when they
+     * are derivable from smaller rules — one application of a
+     * shortcut replaces a whole chain of rewrites at compile time,
+     * which is what keeps saturation tractable (cf. the shortcut-rule
+     * discussion in Section 5.2).
+     */
+    CostParams costParams = {};
+    /** Keep shortcut candidates even when derivable (see above).
+     *  Disable to reproduce strict Ruler-style minimization in the
+     *  ablation bench. */
+    bool keepShortcutCandidates = true;
+    /** Budgets for each derivability-check saturation. */
+    EqSatLimits derivLimits = {.maxNodes = 30'000,
+                               .maxIters = 2,
+                               .timeoutSeconds = 1.0,
+                               .maxMatchesPerRule = 2'000};
+};
+
+/** Outcome of the offline pipeline. */
+struct SynthReport
+{
+    /** Rules over the single-lane reduction (pre-generalization). */
+    RuleSet oneWideRules;
+    /** Rules generalized to the ISA's vector width — the compiler's
+     *  rule set. */
+    RuleSet rules;
+    std::size_t candidatesConsidered = 0;
+    std::size_t rejectedUnsound = 0;
+    std::size_t prunedDerivable = 0;
+    std::size_t droppedAtGeneralization = 0;
+    double enumerateSeconds = 0;
+    double shrinkSeconds = 0;
+    double generalizeSeconds = 0;
+    bool hitDeadline = false;
+};
+
+/** Runs the full offline pipeline for @p isa. */
+SynthReport synthesizeRules(const IsaSpec &isa, const SynthConfig &config);
+
+/**
+ * Lane generalization (§3.1): expands every 1-wide Vec literal of the
+ * pattern to @p width lanes, renaming the scalar wildcards of each
+ * lane to fresh ids (consistently across all Vec literals, so shared
+ * wildcards stay shared per lane). Patterns without vector operators
+ * pass through unchanged.
+ */
+RecExpr generalizeToWidth(const RecExpr &pattern, int width);
+
+/** Generalizes both sides of a rule. */
+Rule generalizeRule(const Rule &rule, int width);
+
+} // namespace isaria
+
+#endif // ISARIA_SYNTH_SYNTHESIZE_H

@@ -1,0 +1,139 @@
+#include "term/op.h"
+
+#include <array>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::NumOps);
+
+constexpr std::array<OpInfo, kNumOps> kOpTable = {{
+    /* Const      */ {"$const", 0, Sort::Scalar, Sort::Any},
+    /* Symbol     */ {"$symbol", 0, Sort::Scalar, Sort::Any},
+    /* Get        */ {"Get", 0, Sort::Scalar, Sort::Any},
+    /* Wildcard   */ {"$wildcard", 0, Sort::Any, Sort::Any},
+    /* Add        */ {"+", 2, Sort::Scalar, Sort::Scalar},
+    /* Sub        */ {"-", 2, Sort::Scalar, Sort::Scalar},
+    /* Mul        */ {"*", 2, Sort::Scalar, Sort::Scalar},
+    /* Div        */ {"/", 2, Sort::Scalar, Sort::Scalar},
+    /* Neg        */ {"neg", 1, Sort::Scalar, Sort::Scalar},
+    /* Sgn        */ {"sgn", 1, Sort::Scalar, Sort::Scalar},
+    /* Sqrt       */ {"sqrt", 1, Sort::Scalar, Sort::Scalar},
+    /* MulSub     */ {"mulsub", 3, Sort::Scalar, Sort::Scalar},
+    /* SqrtSgn    */ {"sqrtsgn", 2, Sort::Scalar, Sort::Scalar},
+    /* Vec        */ {"Vec", -1, Sort::Vector, Sort::Scalar},
+    /* Concat     */ {"Concat", 2, Sort::Vector, Sort::Vector},
+    /* VecAdd     */ {"VecAdd", 2, Sort::Vector, Sort::Vector},
+    /* VecMinus   */ {"VecMinus", 2, Sort::Vector, Sort::Vector},
+    /* VecMul     */ {"VecMul", 2, Sort::Vector, Sort::Vector},
+    /* VecDiv     */ {"VecDiv", 2, Sort::Vector, Sort::Vector},
+    /* VecNeg     */ {"VecNeg", 1, Sort::Vector, Sort::Vector},
+    /* VecSgn     */ {"VecSgn", 1, Sort::Vector, Sort::Vector},
+    /* VecSqrt    */ {"VecSqrt", 1, Sort::Vector, Sort::Vector},
+    /* VecMAC     */ {"VecMAC", 3, Sort::Vector, Sort::Vector},
+    /* VecMulSub  */ {"VecMulSub", 3, Sort::Vector, Sort::Vector},
+    /* VecSqrtSgn */ {"VecSqrtSgn", 2, Sort::Vector, Sort::Vector},
+    /* List       */ {"List", -1, Sort::List, Sort::Vector},
+}};
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    ISARIA_ASSERT(idx < kNumOps, "bad op");
+    return kOpTable[idx];
+}
+
+Op
+opFromName(std::string_view name)
+{
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+        if (kOpTable[i].name == name)
+            return static_cast<Op>(i);
+    }
+    return Op::NumOps;
+}
+
+bool
+isLaneWiseVectorOp(Op op)
+{
+    switch (op) {
+      case Op::VecAdd:
+      case Op::VecMinus:
+      case Op::VecMul:
+      case Op::VecDiv:
+      case Op::VecNeg:
+      case Op::VecSgn:
+      case Op::VecSqrt:
+      case Op::VecMAC:
+      case Op::VecMulSub:
+      case Op::VecSqrtSgn:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isScalarArithOp(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::Div:
+      case Op::Neg:
+      case Op::Sgn:
+      case Op::Sqrt:
+      case Op::MulSub:
+      case Op::SqrtSgn:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Op
+scalarCounterpart(Op vectorOp)
+{
+    switch (vectorOp) {
+      case Op::VecAdd: return Op::Add;
+      case Op::VecMinus: return Op::Sub;
+      case Op::VecMul: return Op::Mul;
+      case Op::VecDiv: return Op::Div;
+      case Op::VecNeg: return Op::Neg;
+      case Op::VecSgn: return Op::Sgn;
+      case Op::VecSqrt: return Op::Sqrt;
+      case Op::VecMulSub: return Op::MulSub;
+      case Op::VecSqrtSgn: return Op::SqrtSgn;
+      default:
+        return Op::NumOps;
+    }
+}
+
+Op
+vectorCounterpart(Op scalarOp)
+{
+    switch (scalarOp) {
+      case Op::Add: return Op::VecAdd;
+      case Op::Sub: return Op::VecMinus;
+      case Op::Mul: return Op::VecMul;
+      case Op::Div: return Op::VecDiv;
+      case Op::Neg: return Op::VecNeg;
+      case Op::Sgn: return Op::VecSgn;
+      case Op::Sqrt: return Op::VecSqrt;
+      case Op::MulSub: return Op::VecMulSub;
+      case Op::SqrtSgn: return Op::VecSqrtSgn;
+      default:
+        return Op::NumOps;
+    }
+}
+
+} // namespace isaria

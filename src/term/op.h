@@ -1,0 +1,111 @@
+#ifndef ISARIA_TERM_OP_H
+#define ISARIA_TERM_OP_H
+
+/**
+ * @file
+ * Operators of the Diospyros vector DSL (Fig. 1 of the paper), plus the
+ * custom ISA extensions explored in Section 5.4.
+ *
+ * The DSL has two sorts: scalars and vectors. `Vec` builds a vector
+ * value out of scalar lanes and abstracts all data movement; lane-wise
+ * vector instructions mirror the scalar operators. The `List` operator
+ * groups the (possibly many) output vectors of a kernel.
+ */
+
+#include <cstdint>
+#include <string_view>
+
+namespace isaria
+{
+
+/** Sort (type) of a DSL term. */
+enum class Sort : std::uint8_t
+{
+    Scalar,
+    Vector,
+    List,
+    /** Wildcards adapt to the sort their context requires. */
+    Any,
+};
+
+/** Every operator of the term language. */
+enum class Op : std::uint8_t
+{
+    // Leaves.
+    Const,    ///< Integer literal; payload holds the value.
+    Symbol,   ///< Free scalar variable; payload holds a SymbolId.
+    Get,      ///< Array element `(Get a i)`; payload packs (SymbolId, i).
+    Wildcard, ///< Pattern variable `?x`; payload holds the wildcard id.
+
+    // Scalar arithmetic.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Neg,
+    Sgn,
+    Sqrt,
+
+    // Custom scalar instructions (ISA extensions, Section 5.4).
+    MulSub,  ///< `(MulSub acc a b)` = acc - a*b.
+    SqrtSgn, ///< `(SqrtSgn a b)` = sqrt(a) * sgn(-b).
+
+    // Vector constructors.
+    Vec,    ///< Vector literal from scalar lanes (abstracts movement).
+    Concat, ///< Concatenation of two vectors.
+
+    // Lane-wise vector instructions.
+    VecAdd,
+    VecMinus,
+    VecMul,
+    VecDiv,
+    VecNeg,
+    VecSgn,
+    VecSqrt,
+    VecMAC,     ///< `(VecMAC acc a b)` = acc + a*b per lane.
+    VecMulSub,  ///< `(VecMulSub acc a b)` = acc - a*b per lane (custom).
+    VecSqrtSgn, ///< Lane-wise `(SqrtSgn a b)` (custom).
+
+    // Program structure.
+    List, ///< Top-level list of output expressions.
+
+    NumOps, ///< Sentinel: number of operators.
+};
+
+/** Static metadata describing one operator. */
+struct OpInfo
+{
+    /** S-expression atom used by the printer and parser. */
+    std::string_view name;
+    /** Number of children, or -1 for variadic (Vec, List). */
+    int arity;
+    /** Sort of the operator's result. */
+    Sort resultSort;
+    /** Sort required of every child. */
+    Sort childSort;
+};
+
+/** Returns the metadata for @p op. */
+const OpInfo &opInfo(Op op);
+
+/** Looks up an operator by its s-expression name; NumOps if unknown. */
+Op opFromName(std::string_view name);
+
+/** True for the lane-wise vector instruction forms (not Vec/Concat). */
+bool isLaneWiseVectorOp(Op op);
+
+/** True for scalar arithmetic operators (not leaves). */
+bool isScalarArithOp(Op op);
+
+/**
+ * The scalar operator computing one lane of a lane-wise vector op
+ * (e.g. VecAdd -> Add). Returns Op::NumOps when there is none.
+ */
+Op scalarCounterpart(Op vectorOp);
+
+/** Inverse of scalarCounterpart (e.g. Add -> VecAdd). */
+Op vectorCounterpart(Op scalarOp);
+
+} // namespace isaria
+
+#endif // ISARIA_TERM_OP_H

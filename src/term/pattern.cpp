@@ -1,0 +1,155 @@
+#include "term/pattern.h"
+
+#include <algorithm>
+
+#include "support/hash.h"
+#include "support/panic.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+/** Rebuilds @p src applying @p fn to each wildcard id. */
+template <typename Fn>
+RecExpr
+mapWildcards(const RecExpr &src, Fn fn)
+{
+    RecExpr out;
+    std::vector<NodeId> remap(src.size());
+    for (NodeId id = 0; id < static_cast<NodeId>(src.size()); ++id) {
+        const TermNode &n = src.node(id);
+        std::vector<NodeId> kids;
+        kids.reserve(n.children.size());
+        for (NodeId child : n.children)
+            kids.push_back(remap[child]);
+        std::int64_t payload = n.payload;
+        if (n.op == Op::Wildcard)
+            payload = fn(static_cast<std::int32_t>(n.payload));
+        remap[id] = out.add(n.op, std::move(kids), payload);
+    }
+    return out;
+}
+
+} // namespace
+
+RecExpr
+alphaCanonicalize(const RecExpr &pattern)
+{
+    std::map<std::int32_t, std::int32_t> renaming;
+    for (std::int32_t wid : pattern.wildcardIds()) {
+        auto fresh = static_cast<std::int32_t>(renaming.size());
+        renaming.emplace(wid, fresh);
+    }
+    return renameWildcards(pattern, renaming);
+}
+
+RecExpr
+renameWildcards(const RecExpr &pattern,
+                const std::map<std::int32_t, std::int32_t> &renaming)
+{
+    return mapWildcards(pattern, [&](std::int32_t wid) {
+        auto it = renaming.find(wid);
+        ISARIA_ASSERT(it != renaming.end(), "wildcard missing in renaming");
+        return it->second;
+    });
+}
+
+RecExpr
+instantiate(const RecExpr &pattern,
+            const std::map<std::int32_t, RecExpr> &subst)
+{
+    RecExpr out;
+    std::vector<NodeId> remap(pattern.size());
+    for (NodeId id = 0; id < static_cast<NodeId>(pattern.size()); ++id) {
+        const TermNode &n = pattern.node(id);
+        if (n.op == Op::Wildcard) {
+            auto it = subst.find(static_cast<std::int32_t>(n.payload));
+            ISARIA_ASSERT(it != subst.end(), "unbound wildcard");
+            remap[id] = out.addSubtree(it->second, it->second.rootId());
+            continue;
+        }
+        std::vector<NodeId> kids;
+        kids.reserve(n.children.size());
+        for (NodeId child : n.children)
+            kids.push_back(remap[child]);
+        remap[id] = out.add(n.op, std::move(kids), n.payload);
+    }
+    return out;
+}
+
+std::string
+Rule::toString() const
+{
+    Rule c = canonical();
+    return printSexpr(c.lhs) + " ~> " + printSexpr(c.rhs);
+}
+
+Rule
+Rule::canonical() const
+{
+    std::map<std::int32_t, std::int32_t> renaming;
+    for (std::int32_t wid : lhs.wildcardIds()) {
+        auto fresh = static_cast<std::int32_t>(renaming.size());
+        renaming.emplace(wid, fresh);
+    }
+    for (std::int32_t wid : rhs.wildcardIds()) {
+        if (!renaming.count(wid)) {
+            auto fresh = static_cast<std::int32_t>(renaming.size());
+            renaming.emplace(wid, fresh);
+        }
+    }
+    Rule out;
+    out.lhs = renameWildcards(lhs, renaming);
+    out.rhs = renameWildcards(rhs, renaming);
+    out.name = name;
+    out.verifiedExactly = verifiedExactly;
+    return out;
+}
+
+bool
+Rule::wellFormed() const
+{
+    auto lhsIds = lhs.wildcardIds();
+    for (std::int32_t wid : rhs.wildcardIds()) {
+        if (std::find(lhsIds.begin(), lhsIds.end(), wid) == lhsIds.end())
+            return false;
+    }
+    return true;
+}
+
+bool
+Rule::sameAs(const Rule &other) const
+{
+    Rule a = canonical();
+    Rule b = other.canonical();
+    return a.lhs.equalTree(b.lhs) && a.rhs.equalTree(b.rhs);
+}
+
+std::size_t
+Rule::hash() const
+{
+    Rule c = canonical();
+    std::size_t h = c.lhs.treeHash();
+    hashCombine(h, c.rhs.treeHash());
+    return h;
+}
+
+Rule
+parseRule(std::string_view text)
+{
+    auto sep = text.find("~>");
+    ISARIA_ASSERT(sep != std::string_view::npos, "rule missing '~>'");
+    // A single wildcard-name table across both sides keeps shared
+    // names bound to shared ids.
+    std::map<std::string, std::int32_t> names;
+    Rule rule;
+    rule.lhs = parseSexpr(text.substr(0, sep), names);
+    rule.rhs = parseSexpr(text.substr(sep + 2), names);
+    ISARIA_ASSERT(rule.wellFormed(), "rhs wildcard not bound by lhs");
+    return rule;
+}
+
+} // namespace isaria

@@ -1,0 +1,78 @@
+#ifndef ISARIA_TERM_PATTERN_H
+#define ISARIA_TERM_PATTERN_H
+
+/**
+ * @file
+ * Pattern utilities: wildcard renaming, substitution, and rewrite
+ * rules as pattern pairs.
+ *
+ * A pattern is simply a RecExpr whose leaves may include Op::Wildcard
+ * nodes. A rewrite rule `lhs ~> rhs` is a pair of patterns where every
+ * wildcard of the right-hand side must occur in the left-hand side.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "term/rec_expr.h"
+
+namespace isaria
+{
+
+/**
+ * Renumbers wildcards by first occurrence in preorder, so structurally
+ * identical patterns compare equal regardless of original naming.
+ */
+RecExpr alphaCanonicalize(const RecExpr &pattern);
+
+/** Applies an explicit wildcard-id renaming to a pattern. */
+RecExpr renameWildcards(const RecExpr &pattern,
+                        const std::map<std::int32_t, std::int32_t> &renaming);
+
+/**
+ * Replaces each wildcard with the supplied term. Every wildcard id in
+ * @p pattern must be present in @p subst.
+ */
+RecExpr instantiate(const RecExpr &pattern,
+                    const std::map<std::int32_t, RecExpr> &subst);
+
+/**
+ * A rewrite rule between two patterns.
+ *
+ * `verifiedExactly` records whether the soundness oracle proved the
+ * rule by normalization (true) or only validated it by exhaustive
+ * exact-rational sampling (false); see src/verify/.
+ */
+struct Rule
+{
+    RecExpr lhs;
+    RecExpr rhs;
+    std::string name;
+    bool verifiedExactly = false;
+
+    /** `lhs ~> rhs` rendered with canonical wildcard names. */
+    std::string toString() const;
+
+    /**
+     * Jointly alpha-canonicalizes both sides (wildcards numbered by
+     * first occurrence in lhs, then rhs), for deduplication.
+     */
+    Rule canonical() const;
+
+    /** True when every rhs wildcard also occurs in the lhs. */
+    bool wellFormed() const;
+
+    /** Structural equality of the canonical forms. */
+    bool sameAs(const Rule &other) const;
+
+    /** Hash compatible with sameAs. */
+    std::size_t hash() const;
+};
+
+/** Parses "lhs ~> rhs" (used by tests and rule files). */
+Rule parseRule(std::string_view text);
+
+} // namespace isaria
+
+#endif // ISARIA_TERM_PATTERN_H

@@ -1,0 +1,211 @@
+#include "term/rec_expr.h"
+
+#include <algorithm>
+
+#include "support/hash.h"
+#include "support/panic.h"
+
+namespace isaria
+{
+
+std::int64_t
+packGet(SymbolId array, std::int32_t index)
+{
+    return (static_cast<std::int64_t>(array) << 32) |
+           static_cast<std::uint32_t>(index);
+}
+
+SymbolId
+getArray(std::int64_t payload)
+{
+    return static_cast<SymbolId>(payload >> 32);
+}
+
+std::int32_t
+getIndex(std::int64_t payload)
+{
+    return static_cast<std::int32_t>(payload & 0xffffffff);
+}
+
+NodeId
+RecExpr::add(Op op, std::vector<NodeId> children, std::int64_t payload)
+{
+    auto id = static_cast<NodeId>(nodes_.size());
+    for (NodeId child : children)
+        ISARIA_ASSERT(child >= 0 && child < id, "child out of order");
+    nodes_.push_back(TermNode{op, payload, std::move(children)});
+    return id;
+}
+
+NodeId
+RecExpr::addConst(std::int64_t value)
+{
+    return add(Op::Const, {}, value);
+}
+
+NodeId
+RecExpr::addSymbol(SymbolId sym)
+{
+    return add(Op::Symbol, {}, static_cast<std::int64_t>(sym));
+}
+
+NodeId
+RecExpr::addSymbol(std::string_view name)
+{
+    return addSymbol(internSymbol(name));
+}
+
+NodeId
+RecExpr::addGet(SymbolId array, std::int32_t index)
+{
+    return add(Op::Get, {}, packGet(array, index));
+}
+
+NodeId
+RecExpr::addWildcard(std::int32_t wildcardId)
+{
+    return add(Op::Wildcard, {}, wildcardId);
+}
+
+NodeId
+RecExpr::addSubtree(const RecExpr &other, NodeId root)
+{
+    const TermNode &n = other.node(root);
+    std::vector<NodeId> kids;
+    kids.reserve(n.children.size());
+    for (NodeId child : n.children)
+        kids.push_back(addSubtree(other, child));
+    return add(n.op, std::move(kids), n.payload);
+}
+
+RecExpr
+RecExpr::subExpr(NodeId root) const
+{
+    RecExpr out;
+    out.addSubtree(*this, root);
+    return out;
+}
+
+std::size_t
+RecExpr::treeSize(NodeId root) const
+{
+    const TermNode &n = node(root);
+    std::size_t total = 1;
+    for (NodeId child : n.children)
+        total += treeSize(child);
+    return total;
+}
+
+namespace
+{
+
+bool
+equalTreeAt(const RecExpr &a, NodeId ia, const RecExpr &b, NodeId ib)
+{
+    const TermNode &na = a.node(ia);
+    const TermNode &nb = b.node(ib);
+    if (na.op != nb.op || na.payload != nb.payload ||
+        na.children.size() != nb.children.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < na.children.size(); ++i) {
+        if (!equalTreeAt(a, na.children[i], b, nb.children[i]))
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+treeHashAt(const RecExpr &e, NodeId id)
+{
+    const TermNode &n = e.node(id);
+    std::size_t h = hashMix(static_cast<std::uint64_t>(n.op) * 0x10001 +
+                            static_cast<std::uint64_t>(n.payload));
+    for (NodeId child : n.children)
+        hashCombine(h, treeHashAt(e, child));
+    return h;
+}
+
+} // namespace
+
+bool
+RecExpr::equalTree(const RecExpr &other) const
+{
+    if (empty() || other.empty())
+        return empty() && other.empty();
+    return equalTreeAt(*this, rootId(), other, other.rootId());
+}
+
+std::size_t
+RecExpr::treeHash() const
+{
+    if (empty())
+        return 0;
+    return treeHashAt(*this, rootId());
+}
+
+std::vector<Sort>
+RecExpr::inferSorts() const
+{
+    std::vector<Sort> sorts(nodes_.size(), Sort::Any);
+    // Nodes are topological, so walk parents from the top down and
+    // push sort requirements into children; intrinsic sorts win.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const TermNode &n = nodes_[i];
+        Sort intrinsic = opInfo(n.op).resultSort;
+        if (intrinsic != Sort::Any)
+            sorts[i] = intrinsic;
+    }
+    for (std::size_t i = nodes_.size(); i-- > 0;) {
+        const TermNode &n = nodes_[i];
+        Sort need = opInfo(n.op).childSort;
+        if (need == Sort::Any)
+            continue;
+        for (NodeId child : n.children) {
+            Sort have = sorts[child];
+            if (have == Sort::Any) {
+                sorts[child] = need;
+            } else {
+                ISARIA_ASSERT(have == need, "ill-sorted term");
+            }
+        }
+    }
+    return sorts;
+}
+
+std::vector<std::int32_t>
+RecExpr::wildcardIds() const
+{
+    std::vector<std::int32_t> ids;
+    // Preorder from the root gives first-occurrence order.
+    std::vector<NodeId> stack;
+    if (!empty())
+        stack.push_back(rootId());
+    while (!stack.empty()) {
+        NodeId id = stack.back();
+        stack.pop_back();
+        const TermNode &n = node(id);
+        if (n.op == Op::Wildcard) {
+            auto wid = static_cast<std::int32_t>(n.payload);
+            if (std::find(ids.begin(), ids.end(), wid) == ids.end())
+                ids.push_back(wid);
+        }
+        for (std::size_t i = n.children.size(); i-- > 0;)
+            stack.push_back(n.children[i]);
+    }
+    return ids;
+}
+
+bool
+RecExpr::containsVectorOp() const
+{
+    for (const TermNode &n : nodes_) {
+        if (isLaneWiseVectorOp(n.op) || n.op == Op::Vec ||
+            n.op == Op::Concat) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace isaria

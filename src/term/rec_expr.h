@@ -1,0 +1,110 @@
+#ifndef ISARIA_TERM_REC_EXPR_H
+#define ISARIA_TERM_REC_EXPR_H
+
+/**
+ * @file
+ * Flat tree representation of DSL terms.
+ *
+ * A RecExpr stores a term as a vector of nodes in topological order
+ * (children strictly before parents), mirroring egg's RecExpr. Nodes
+ * refer to children by index, so sharing is possible but equality and
+ * hashing are defined on the unfolded tree.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/interner.h"
+#include "term/op.h"
+
+namespace isaria
+{
+
+/** Index of a node within a RecExpr. */
+using NodeId = std::int32_t;
+
+/** One operator application inside a RecExpr. */
+struct TermNode
+{
+    Op op = Op::Const;
+    /**
+     * Leaf payload: Const value, SymbolId, packed (SymbolId, index)
+     * for Get, or wildcard id. Zero for interior nodes.
+     */
+    std::int64_t payload = 0;
+    /** Children, in order, as indices into the owning RecExpr. */
+    std::vector<NodeId> children;
+
+    bool operator==(const TermNode &other) const = default;
+};
+
+/** Packs an array access into a Get payload. */
+std::int64_t packGet(SymbolId array, std::int32_t index);
+/** Array symbol of a Get payload. */
+SymbolId getArray(std::int64_t payload);
+/** Element index of a Get payload. */
+std::int32_t getIndex(std::int64_t payload);
+
+/**
+ * A term of the vector DSL as a flat, topologically ordered node list.
+ *
+ * The last node is the root. The builder methods append nodes and
+ * return their ids, so terms are constructed bottom-up.
+ */
+class RecExpr
+{
+  public:
+    RecExpr() = default;
+
+    /** Appends a node; children must already be present. */
+    NodeId add(Op op, std::vector<NodeId> children, std::int64_t payload = 0);
+
+    NodeId addConst(std::int64_t value);
+    NodeId addSymbol(SymbolId sym);
+    NodeId addSymbol(std::string_view name);
+    NodeId addGet(SymbolId array, std::int32_t index);
+    NodeId addWildcard(std::int32_t wildcardId);
+
+    /** Copies the subtree of @p other rooted at @p root into this. */
+    NodeId addSubtree(const RecExpr &other, NodeId root);
+
+    bool empty() const { return nodes_.empty(); }
+    std::size_t size() const { return nodes_.size(); }
+    const TermNode &node(NodeId id) const { return nodes_[id]; }
+    NodeId rootId() const { return static_cast<NodeId>(nodes_.size()) - 1; }
+    const TermNode &root() const { return nodes_.back(); }
+
+    /** Extracts the subtree rooted at @p root as a fresh RecExpr. */
+    RecExpr subExpr(NodeId root) const;
+
+    /** Number of nodes in the unfolded tree below @p root (inclusive). */
+    std::size_t treeSize(NodeId root) const;
+    std::size_t treeSize() const { return treeSize(rootId()); }
+
+    /** Tree equality from the roots (insensitive to node layout). */
+    bool equalTree(const RecExpr &other) const;
+
+    /** Hash of the unfolded tree (compatible with equalTree). */
+    std::size_t treeHash() const;
+
+    /**
+     * Result sorts of every node. Wildcards take the sort demanded by
+     * their parent (Sort::Any at the root or under List-free contexts
+     * where unconstrained). Panics on ill-sorted terms.
+     */
+    std::vector<Sort> inferSorts() const;
+
+    /** All distinct wildcard ids, in first-occurrence (preorder) order. */
+    std::vector<std::int32_t> wildcardIds() const;
+
+    /** True if any node is a lane-wise vector op, Vec, or Concat. */
+    bool containsVectorOp() const;
+
+  private:
+    std::vector<TermNode> nodes_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_TERM_REC_EXPR_H

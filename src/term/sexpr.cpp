@@ -1,0 +1,215 @@
+#include "term/sexpr.h"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <vector>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+void
+printNode(const RecExpr &expr, NodeId id, std::string &out)
+{
+    const TermNode &n = expr.node(id);
+    switch (n.op) {
+      case Op::Const:
+        out += std::to_string(n.payload);
+        return;
+      case Op::Symbol:
+        out += symbolName(static_cast<SymbolId>(n.payload));
+        return;
+      case Op::Get:
+        out += "(Get ";
+        out += symbolName(getArray(n.payload));
+        out += ' ';
+        out += std::to_string(getIndex(n.payload));
+        out += ')';
+        return;
+      case Op::Wildcard:
+        out += "?w";
+        out += std::to_string(n.payload);
+        return;
+      default:
+        break;
+    }
+    out += '(';
+    out += opInfo(n.op).name;
+    for (NodeId child : n.children) {
+        out += ' ';
+        printNode(expr, child, out);
+    }
+    out += ')';
+}
+
+/** Recursive-descent s-expression parser. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, RecExpr &out,
+           std::map<std::string, std::int32_t> &wildcards)
+        : text_(text), pos_(0), out_(out), wildcards_(wildcards)
+    {}
+
+    NodeId
+    parseExpr()
+    {
+        skipSpace();
+        ISARIA_ASSERT(pos_ < text_.size(), "unexpected end of input");
+        if (text_[pos_] == '(')
+            return parseForm();
+        return parseAtom();
+    }
+
+    void
+    expectEnd()
+    {
+        skipSpace();
+        if (pos_ != text_.size())
+            ISARIA_FATAL("trailing characters after s-expression");
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    std::string_view
+    nextToken()
+    {
+        skipSpace();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '(' &&
+               text_[pos_] != ')' &&
+               !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        ISARIA_ASSERT(pos_ > start, "expected atom");
+        return text_.substr(start, pos_ - start);
+    }
+
+    NodeId
+    parseForm()
+    {
+        ++pos_; // consume '('
+        std::string_view head = nextToken();
+        if (head == "Get") {
+            std::string_view arr = nextToken();
+            std::string_view idx = nextToken();
+            closeParen();
+            std::int32_t index = 0;
+            auto res = std::from_chars(idx.data(), idx.data() + idx.size(),
+                                       index);
+            ISARIA_ASSERT(res.ec == std::errc(), "bad Get index");
+            return out_.addGet(internSymbol(arr), index);
+        }
+        Op op = opFromName(head);
+        if (op == Op::NumOps)
+            ISARIA_FATAL("unknown operator in s-expression");
+        std::vector<NodeId> children;
+        for (;;) {
+            skipSpace();
+            ISARIA_ASSERT(pos_ < text_.size(), "unterminated form");
+            if (text_[pos_] == ')') {
+                ++pos_;
+                break;
+            }
+            children.push_back(parseExpr());
+        }
+        int arity = opInfo(op).arity;
+        if (arity >= 0 &&
+            children.size() != static_cast<std::size_t>(arity)) {
+            ISARIA_FATAL("wrong arity in s-expression");
+        }
+        return out_.add(op, std::move(children));
+    }
+
+    NodeId
+    parseAtom()
+    {
+        std::string_view tok = nextToken();
+        if (tok[0] == '?') {
+            std::string name(tok.substr(1));
+            auto it = wildcards_.find(name);
+            if (it == wildcards_.end()) {
+                auto id = static_cast<std::int32_t>(wildcards_.size());
+                it = wildcards_.emplace(name, id).first;
+            }
+            return out_.addWildcard(it->second);
+        }
+        bool numeric = (tok[0] == '-' && tok.size() > 1) ||
+                       std::isdigit(static_cast<unsigned char>(tok[0]));
+        if (numeric) {
+            std::int64_t value = 0;
+            auto res = std::from_chars(tok.data(), tok.data() + tok.size(),
+                                       value);
+            ISARIA_ASSERT(res.ec == std::errc() &&
+                          res.ptr == tok.data() + tok.size(),
+                          "bad integer literal");
+            return out_.addConst(value);
+        }
+        return out_.addSymbol(internSymbol(tok));
+    }
+
+    void
+    closeParen()
+    {
+        skipSpace();
+        ISARIA_ASSERT(pos_ < text_.size() && text_[pos_] == ')',
+                      "expected ')'");
+        ++pos_;
+    }
+
+    std::string_view text_;
+    std::size_t pos_;
+    RecExpr &out_;
+    std::map<std::string, std::int32_t> &wildcards_;
+};
+
+} // namespace
+
+std::string
+printSexpr(const RecExpr &expr, NodeId root)
+{
+    std::string out;
+    printNode(expr, root, out);
+    return out;
+}
+
+std::string
+printSexpr(const RecExpr &expr)
+{
+    if (expr.empty())
+        return "()";
+    return printSexpr(expr, expr.rootId());
+}
+
+RecExpr
+parseSexpr(std::string_view text)
+{
+    std::map<std::string, std::int32_t> wildcards;
+    return parseSexpr(text, wildcards);
+}
+
+RecExpr
+parseSexpr(std::string_view text,
+           std::map<std::string, std::int32_t> &wildcardNames)
+{
+    RecExpr expr;
+    Parser parser(text, expr, wildcardNames);
+    parser.parseExpr();
+    parser.expectEnd();
+    return expr;
+}
+
+} // namespace isaria

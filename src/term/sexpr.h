@@ -1,0 +1,51 @@
+#ifndef ISARIA_TERM_SEXPR_H
+#define ISARIA_TERM_SEXPR_H
+
+/**
+ * @file
+ * S-expression printer and parser for DSL terms.
+ *
+ * The surface syntax matches the paper's examples:
+ *
+ *   (VecAdd (Vec (Get x 0) (Get x 1)) (Vec ?a 0))
+ *
+ * Atoms starting with `?` parse as wildcards, integer atoms as
+ * constants, and other identifiers as symbols. `(Get a 3)` is the
+ * array-access special form.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "term/rec_expr.h"
+
+namespace isaria
+{
+
+/** Renders the subtree of @p expr rooted at @p root. */
+std::string printSexpr(const RecExpr &expr, NodeId root);
+
+/** Renders the whole term. */
+std::string printSexpr(const RecExpr &expr);
+
+/**
+ * Parses an s-expression into a term.
+ *
+ * Wildcard atoms `?name` are numbered by first occurrence (`?a` in
+ * `(+ ?a ?b)` gets id 0, `?b` id 1). Calls ISARIA_FATAL on syntax
+ * errors, so this is intended for trusted inputs (tests, rule files).
+ */
+RecExpr parseSexpr(std::string_view text);
+
+/**
+ * Parses with an explicit wildcard-name table, so several related
+ * patterns (e.g. the two sides of a rule) can share wildcard ids.
+ */
+RecExpr parseSexpr(std::string_view text,
+                   std::map<std::string, std::int32_t> &wildcardNames);
+
+} // namespace isaria
+
+#endif // ISARIA_TERM_SEXPR_H

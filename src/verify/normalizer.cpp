@@ -1,0 +1,221 @@
+#include "verify/normalizer.h"
+
+namespace isaria
+{
+
+bool
+RatFunc::equivalent(const RatFunc &other) const
+{
+    if (num.poisoned() || den.poisoned() || other.num.poisoned() ||
+        other.den.poisoned()) {
+        return false;
+    }
+    return num.times(other.den) == other.num.times(den);
+}
+
+std::optional<Rational>
+RatFunc::asConstant() const
+{
+    auto n = num.asConstant();
+    auto d = den.asConstant();
+    if (!n || !d || *d == Rational(0))
+        return std::nullopt;
+    return *n / *d;
+}
+
+std::string
+RatFunc::toString() const
+{
+    return "(" + num.toString() + ") / (" + den.toString() + ")";
+}
+
+AtomId
+Normalizer::leafAtom(int kind, std::int64_t payload)
+{
+    auto key = std::make_pair(kind, payload);
+    auto it = leafAtoms_.find(key);
+    if (it == leafAtoms_.end())
+        it = leafAtoms_.emplace(key, nextAtom_++).first;
+    return it->second;
+}
+
+AtomId
+Normalizer::opaqueAtom(const std::string &key)
+{
+    auto it = opaqueAtoms_.find(key);
+    if (it == opaqueAtoms_.end()) {
+        it = opaqueAtoms_.emplace(key, nextAtom_++).first;
+        opaqueIds_.insert(it->second);
+    }
+    if (collector_)
+        collector_->insert(it->second);
+    return it->second;
+}
+
+std::optional<RatFunc>
+Normalizer::opaqueCall(const char *tag, const RatFunc &arg)
+{
+    // Constant-fold when the argument is a known rational.
+    if (auto c = arg.asConstant()) {
+        Rational folded = (tag[0] == 'q') ? c->sqrt() : c->sgn();
+        if (folded.valid()) {
+            return RatFunc{Poly::constant(folded),
+                           Poly::constant(Rational(1))};
+        }
+        if (tag[0] == 'q' && *c < Rational(0)) {
+            // sqrt of a negative constant: no term this normalizes
+            // to; bail out to sampling.
+            return std::nullopt;
+        }
+        // Irrational sqrt of a constant: keep opaque.
+    }
+    std::string key = std::string(tag) + "|" + arg.toString();
+    return RatFunc{Poly::atom(opaqueAtom(key)),
+                   Poly::constant(Rational(1))};
+}
+
+std::optional<RatFunc>
+Normalizer::normalize(const RecExpr &expr, NodeId root)
+{
+    const TermNode &n = expr.node(root);
+    auto one = [] { return Poly::constant(Rational(1)); };
+    auto lift = [&](Poly p) { return RatFunc{std::move(p), one()}; };
+
+    auto norm2 = [&](std::optional<RatFunc> &a, std::optional<RatFunc> &b) {
+        a = normalize(expr, n.children[0]);
+        b = normalize(expr, n.children[1]);
+        return a && b;
+    };
+
+    switch (n.op) {
+      case Op::Const:
+        return lift(Poly::constant(Rational(n.payload)));
+      case Op::Symbol:
+        return lift(Poly::atom(leafAtom(1, n.payload)));
+      case Op::Get:
+        return lift(Poly::atom(leafAtom(2, n.payload)));
+      case Op::Wildcard:
+        return lift(Poly::atom(leafAtom(0, n.payload)));
+
+      case Op::Add:
+      case Op::Sub: {
+        std::optional<RatFunc> a, b;
+        if (!norm2(a, b))
+            return std::nullopt;
+        Poly cross = (n.op == Op::Add)
+                         ? a->num.times(b->den).plus(b->num.times(a->den))
+                         : a->num.times(b->den).minus(b->num.times(a->den));
+        RatFunc out{std::move(cross), a->den.times(b->den)};
+        if (out.num.poisoned() || out.den.poisoned())
+            return std::nullopt;
+        return out;
+      }
+      case Op::Mul: {
+        std::optional<RatFunc> a, b;
+        if (!norm2(a, b))
+            return std::nullopt;
+        RatFunc out{a->num.times(b->num), a->den.times(b->den)};
+        if (out.num.poisoned() || out.den.poisoned())
+            return std::nullopt;
+        return out;
+      }
+      case Op::Div: {
+        std::optional<RatFunc> a, b;
+        if (!norm2(a, b))
+            return std::nullopt;
+        if (b->num.isZero())
+            return std::nullopt; // identically-zero divisor
+        RatFunc out{a->num.times(b->den), a->den.times(b->num)};
+        if (out.num.poisoned() || out.den.poisoned())
+            return std::nullopt;
+        return out;
+      }
+      case Op::Neg: {
+        auto a = normalize(expr, n.children[0]);
+        if (!a)
+            return std::nullopt;
+        return RatFunc{a->num.negated(), a->den};
+      }
+      case Op::Sqrt: {
+        auto a = normalize(expr, n.children[0]);
+        if (!a)
+            return std::nullopt;
+        return opaqueCall("q", *a);
+      }
+      case Op::Sgn: {
+        auto a = normalize(expr, n.children[0]);
+        if (!a)
+            return std::nullopt;
+        return opaqueCall("s", *a);
+      }
+      case Op::MulSub: {
+        // acc - a*b, expanded exactly.
+        auto acc = normalize(expr, n.children[0]);
+        auto a = normalize(expr, n.children[1]);
+        auto b = normalize(expr, n.children[2]);
+        if (!acc || !a || !b)
+            return std::nullopt;
+        RatFunc prod{a->num.times(b->num), a->den.times(b->den)};
+        Poly cross =
+            acc->num.times(prod.den).minus(prod.num.times(acc->den));
+        RatFunc out{std::move(cross), acc->den.times(prod.den)};
+        if (out.num.poisoned() || out.den.poisoned())
+            return std::nullopt;
+        return out;
+      }
+      case Op::SqrtSgn: {
+        // sqrt(a) * sgn(neg b): compose the two opaque calls exactly.
+        auto a = normalize(expr, n.children[0]);
+        auto b = normalize(expr, n.children[1]);
+        if (!a || !b)
+            return std::nullopt;
+        auto qa = opaqueCall("q", *a);
+        auto sb = opaqueCall("s", RatFunc{b->num.negated(), b->den});
+        if (!qa || !sb)
+            return std::nullopt;
+        RatFunc out{qa->num.times(sb->num), qa->den.times(sb->den)};
+        if (out.num.poisoned() || out.den.poisoned())
+            return std::nullopt;
+        return out;
+      }
+
+      default:
+        // Vector and structural operators are outside the fragment.
+        return std::nullopt;
+    }
+}
+
+bool
+polyProveEqual(const RecExpr &lhs, const RecExpr &rhs)
+{
+    Normalizer normalizer;
+    // Opaque applications are collected as they are *encountered*,
+    // not read off the final polynomial: an atom cancelled
+    // algebraically (say, multiplied by zero) still carries a
+    // definedness condition that must match across the sides.
+    std::set<AtomId> atomsA, atomsB;
+    normalizer.trackOpaque(&atomsA);
+    auto a = normalizer.normalize(lhs);
+    if (!a)
+        return false;
+    normalizer.trackOpaque(&atomsB);
+    auto b = normalizer.normalize(rhs);
+    normalizer.trackOpaque(nullptr);
+    if (!b)
+        return false;
+
+    // Totality restriction: denominators must be nonzero constants.
+    auto denConst = [](const RatFunc &f) {
+        auto c = f.den.asConstant();
+        return c && *c != Rational(0);
+    };
+    if (!denConst(*a) || !denConst(*b))
+        return false;
+
+    if (atomsA != atomsB)
+        return false;
+
+    return a->equivalent(*b);
+}
+
+} // namespace isaria

@@ -1,0 +1,105 @@
+#ifndef ISARIA_VERIFY_NORMALIZER_H
+#define ISARIA_VERIFY_NORMALIZER_H
+
+/**
+ * @file
+ * Normalization of scalar DSL terms into rational functions.
+ *
+ * Terms over {+, -, *, /, neg, constants, variables} normalize into a
+ * formal quotient of polynomials; equality of the cross products then
+ * decides term equality over the rationals. `sqrt` and `sgn` are
+ * treated as uninterpreted functions: each application becomes an
+ * opaque atom keyed by the canonical form of its argument, which is
+ * sound (never equates unequal terms) but incomplete (misses
+ * identities like sgn(-x) = -sgn(x), which fall back to sampling).
+ *
+ * Equality is modulo definedness: (a*b)/b normalizes to a even though
+ * the left side is undefined at b = 0. This matches the IEEE float
+ * semantics of the target DSP, where division is total.
+ */
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "term/rec_expr.h"
+#include "verify/poly.h"
+
+namespace isaria
+{
+
+/** A formal quotient of polynomials (denominator nonzero as a poly). */
+struct RatFunc
+{
+    Poly num;
+    Poly den;
+
+    /** Equality by cross-multiplication. */
+    bool equivalent(const RatFunc &other) const;
+
+    /** The constant value, if this is a constant function. */
+    std::optional<Rational> asConstant() const;
+
+    std::string toString() const;
+};
+
+/**
+ * Normalizes scalar terms, interning atoms for variables and for
+ * opaque (sqrt/sgn) applications. One Normalizer must be shared when
+ * comparing terms so their atoms align.
+ */
+class Normalizer
+{
+  public:
+    /**
+     * Normalizes the subtree at @p root. Returns nullopt when the
+     * term leaves the supported fragment (vector sorts, a denominator
+     * that is identically zero, coefficient overflow).
+     */
+    std::optional<RatFunc> normalize(const RecExpr &expr, NodeId root);
+
+    std::optional<RatFunc>
+    normalize(const RecExpr &expr)
+    {
+        return normalize(expr, expr.rootId());
+    }
+
+    /** True for atoms standing in for sqrt/sgn applications. */
+    bool isOpaqueAtom(AtomId id) const { return opaqueIds_.count(id) > 0; }
+
+    /**
+     * Collects, into @p out, every opaque application *encountered*
+     * while normalizing subsequent terms — including ones later
+     * cancelled algebraically (e.g. multiplied by zero), which is
+     * what the totality check needs.
+     */
+    void trackOpaque(std::set<AtomId> *out) { collector_ = out; }
+
+  private:
+    AtomId leafAtom(int kind, std::int64_t payload);
+    AtomId opaqueAtom(const std::string &key);
+    std::optional<RatFunc> opaqueCall(const char *tag, const RatFunc &arg);
+
+    std::map<std::pair<int, std::int64_t>, AtomId> leafAtoms_;
+    std::map<std::string, AtomId> opaqueAtoms_;
+    std::set<AtomId> opaqueIds_;
+    std::set<AtomId> *collector_ = nullptr;
+    AtomId nextAtom_ = 0;
+};
+
+/**
+ * True iff the two scalar terms provably denote the same *total*
+ * function: both sides must normalize with a constant nonzero
+ * denominator (no residual division by a variable quantity) and
+ * mention the same opaque sqrt/sgn applications. Those restrictions
+ * keep "equal modulo definedness" facts like (a*b)/b = a out of the
+ * e-graph, where congruence would let a division-by-zero instance
+ * collapse unrelated classes (e.g. via (* a (/ b a)) = b at a = 0
+ * together with (* 0 x) = 0).
+ */
+bool polyProveEqual(const RecExpr &lhs, const RecExpr &rhs);
+
+} // namespace isaria
+
+#endif // ISARIA_VERIFY_NORMALIZER_H

@@ -1,0 +1,203 @@
+#include "verify/poly.h"
+
+#include <algorithm>
+
+namespace isaria
+{
+
+bool
+Monomial::operator<(const Monomial &other) const
+{
+    return factors < other.factors;
+}
+
+Monomial
+Monomial::times(const Monomial &other) const
+{
+    Monomial out;
+    std::size_t i = 0, j = 0;
+    while (i < factors.size() || j < other.factors.size()) {
+        if (j == other.factors.size() ||
+            (i < factors.size() &&
+             factors[i].first < other.factors[j].first)) {
+            out.factors.push_back(factors[i++]);
+        } else if (i == factors.size() ||
+                   other.factors[j].first < factors[i].first) {
+            out.factors.push_back(other.factors[j++]);
+        } else {
+            out.factors.emplace_back(factors[i].first,
+                                     factors[i].second +
+                                         other.factors[j].second);
+            ++i;
+            ++j;
+        }
+    }
+    return out;
+}
+
+std::string
+Monomial::toString() const
+{
+    if (factors.empty())
+        return "1";
+    std::string out;
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+        if (i)
+            out += '*';
+        out += 'a' + std::to_string(factors[i].first);
+        if (factors[i].second != 1)
+            out += '^' + std::to_string(factors[i].second);
+    }
+    return out;
+}
+
+Poly
+Poly::constant(Rational value)
+{
+    Poly p;
+    if (!value.valid()) {
+        p.poisoned_ = true;
+        return p;
+    }
+    if (value != Rational(0))
+        p.terms_.emplace(Monomial{}, value);
+    return p;
+}
+
+Poly
+Poly::atom(AtomId id)
+{
+    Poly p;
+    Monomial m;
+    m.factors.emplace_back(id, 1);
+    p.terms_.emplace(std::move(m), Rational(1));
+    return p;
+}
+
+void
+Poly::insert(Monomial m, Rational coeff)
+{
+    if (poisoned_)
+        return;
+    if (!coeff.valid()) {
+        poisoned_ = true;
+        terms_.clear();
+        return;
+    }
+    auto it = terms_.find(m);
+    if (it == terms_.end()) {
+        if (coeff != Rational(0))
+            terms_.emplace(std::move(m), coeff);
+        return;
+    }
+    Rational sum = it->second + coeff;
+    if (!sum.valid()) {
+        poisoned_ = true;
+        terms_.clear();
+        return;
+    }
+    if (sum == Rational(0))
+        terms_.erase(it);
+    else
+        it->second = sum;
+}
+
+Poly
+Poly::plus(const Poly &other) const
+{
+    Poly out = *this;
+    if (other.poisoned_)
+        out.poisoned_ = true;
+    if (out.poisoned_) {
+        out.terms_.clear();
+        return out;
+    }
+    for (const auto &[mono, coeff] : other.terms_)
+        out.insert(mono, coeff);
+    return out;
+}
+
+Poly
+Poly::minus(const Poly &other) const
+{
+    return plus(other.negated());
+}
+
+Poly
+Poly::negated() const
+{
+    Poly out;
+    out.poisoned_ = poisoned_;
+    for (const auto &[mono, coeff] : terms_)
+        out.terms_.emplace(mono, -coeff);
+    return out;
+}
+
+Poly
+Poly::times(const Poly &other) const
+{
+    Poly out;
+    if (poisoned_ || other.poisoned_) {
+        out.poisoned_ = true;
+        return out;
+    }
+    for (const auto &[ma, ca] : terms_) {
+        for (const auto &[mb, cb] : other.terms_) {
+            out.insert(ma.times(mb), ca * cb);
+            if (out.poisoned_)
+                return out;
+        }
+    }
+    return out;
+}
+
+std::optional<Rational>
+Poly::asConstant() const
+{
+    if (poisoned_)
+        return std::nullopt;
+    if (terms_.empty())
+        return Rational(0);
+    if (terms_.size() == 1 && terms_.begin()->first.factors.empty())
+        return terms_.begin()->second;
+    return std::nullopt;
+}
+
+void
+Poly::collectAtoms(std::set<AtomId> &out) const
+{
+    for (const auto &[mono, coeff] : terms_) {
+        for (const auto &[atom, exp] : mono.factors)
+            out.insert(atom);
+    }
+}
+
+bool
+Poly::operator==(const Poly &other) const
+{
+    if (poisoned_ || other.poisoned_)
+        return false;
+    return terms_ == other.terms_;
+}
+
+std::string
+Poly::toString() const
+{
+    if (poisoned_)
+        return "<poisoned>";
+    if (terms_.empty())
+        return "0";
+    std::string out;
+    for (const auto &[mono, coeff] : terms_) {
+        if (!out.empty())
+            out += " + ";
+        out += coeff.toString();
+        if (!mono.factors.empty()) {
+            out += '*';
+            out += mono.toString();
+        }
+    }
+    return out;
+}
+
+} // namespace isaria

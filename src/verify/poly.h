@@ -1,0 +1,84 @@
+#ifndef ISARIA_VERIFY_POLY_H
+#define ISARIA_VERIFY_POLY_H
+
+/**
+ * @file
+ * Multivariate polynomials with exact rational coefficients.
+ *
+ * The soundness verifier normalizes both sides of a candidate rewrite
+ * rule into rational functions whose polynomials decide equality for
+ * the ring fragment of the DSL. Coefficient arithmetic is checked; an
+ * overflow poisons the polynomial, and the verifier falls back to
+ * sampling.
+ */
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/rational.h"
+
+namespace isaria
+{
+
+/** Id of a polynomial variable (wildcard, symbol, or opaque term). */
+using AtomId = std::int32_t;
+
+/** A product of atoms-to-powers, e.g. x^2 * y. Kept sorted by atom. */
+struct Monomial
+{
+    std::vector<std::pair<AtomId, int>> factors;
+
+    bool operator==(const Monomial &other) const = default;
+    bool operator<(const Monomial &other) const;
+
+    /** Product of two monomials (exponents add). */
+    Monomial times(const Monomial &other) const;
+
+    std::string toString() const;
+};
+
+/** Sparse multivariate polynomial; zero coefficients are dropped. */
+class Poly
+{
+  public:
+    Poly() = default;
+
+    static Poly constant(Rational value);
+    static Poly atom(AtomId id);
+
+    /** True after any coefficient arithmetic left the int64 domain. */
+    bool poisoned() const { return poisoned_; }
+
+    bool isZero() const { return !poisoned_ && terms_.empty(); }
+
+    /** The constant value, when this polynomial has no variables. */
+    std::optional<Rational> asConstant() const;
+
+    /** Inserts every atom occurring in this polynomial into @p out. */
+    void collectAtoms(std::set<AtomId> &out) const;
+
+    Poly plus(const Poly &other) const;
+    Poly minus(const Poly &other) const;
+    Poly times(const Poly &other) const;
+    Poly negated() const;
+
+    /** Structural equality; poisoned polynomials never compare equal. */
+    bool operator==(const Poly &other) const;
+
+    /** Canonical rendering, usable as a stable interning key. */
+    std::string toString() const;
+
+  private:
+    void insert(Monomial m, Rational coeff);
+
+    std::map<Monomial, Rational> terms_;
+    bool poisoned_ = false;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_VERIFY_POLY_H

@@ -1,0 +1,228 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+
+#include "interp/cvec.h"
+#include "interp/eval.h"
+#include "support/rng.h"
+#include "verify/normalizer.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+/** Per-lane scalar wildcard standing in for lane @p lane of ?v. */
+std::int32_t
+laneWildcardId(std::int32_t vectorWildcard, int lane)
+{
+    return 2'000'000 + vectorWildcard * 16 + lane;
+}
+
+/** Recursive lane projection; returns the new root or nullopt. */
+std::optional<NodeId>
+projectNode(const RecExpr &src, NodeId id, const std::vector<Sort> &sorts,
+            int lane, RecExpr &out)
+{
+    const TermNode &n = src.node(id);
+    switch (n.op) {
+      case Op::Wildcard:
+        if (sorts[id] == Sort::Vector) {
+            return out.addWildcard(laneWildcardId(
+                static_cast<std::int32_t>(n.payload), lane));
+        }
+        return out.addWildcard(static_cast<std::int32_t>(n.payload));
+
+      case Op::Const:
+      case Op::Symbol:
+      case Op::Get:
+        return out.add(n.op, {}, n.payload);
+
+      case Op::Vec: {
+        if (lane >= static_cast<int>(n.children.size()))
+            return std::nullopt;
+        return projectNode(src, n.children[lane], sorts, lane, out);
+      }
+
+      case Op::Concat:
+      case Op::List:
+        return std::nullopt;
+
+      case Op::VecMAC:
+      case Op::VecMulSub: {
+        auto acc = projectNode(src, n.children[0], sorts, lane, out);
+        auto a = projectNode(src, n.children[1], sorts, lane, out);
+        auto b = projectNode(src, n.children[2], sorts, lane, out);
+        if (!acc || !a || !b)
+            return std::nullopt;
+        NodeId prod = out.add(Op::Mul, {*a, *b});
+        return out.add(n.op == Op::VecMAC ? Op::Add : Op::Sub,
+                       {*acc, prod});
+      }
+
+      default: {
+        Op op = n.op;
+        if (isLaneWiseVectorOp(op)) {
+            op = scalarCounterpart(op);
+            if (op == Op::NumOps)
+                return std::nullopt;
+        }
+        std::vector<NodeId> kids;
+        kids.reserve(n.children.size());
+        for (NodeId child : n.children) {
+            auto k = projectNode(src, child, sorts, lane, out);
+            if (!k)
+                return std::nullopt;
+            kids.push_back(*k);
+        }
+        return out.add(op, std::move(kids), n.payload);
+      }
+    }
+}
+
+/** Wildcards of @p expr with their inferred sorts. */
+std::vector<std::pair<std::int32_t, Sort>>
+wildcardSorts(const RecExpr &expr)
+{
+    std::vector<Sort> sorts = expr.inferSorts();
+    std::vector<std::pair<std::int32_t, Sort>> out;
+    for (NodeId id = 0; id < static_cast<NodeId>(expr.size()); ++id) {
+        const TermNode &n = expr.node(id);
+        if (n.op != Op::Wildcard)
+            continue;
+        auto wid = static_cast<std::int32_t>(n.payload);
+        Sort sort = sorts[id] == Sort::Vector ? Sort::Vector : Sort::Scalar;
+        auto it = std::find_if(out.begin(), out.end(),
+                               [&](const auto &p) { return p.first == wid; });
+        if (it == out.end())
+            out.emplace_back(wid, sort);
+    }
+    return out;
+}
+
+Verdict
+sampleRule(const Rule &rule, int width, const VerifyOptions &options)
+{
+    auto wilds = wildcardSorts(rule.lhs);
+    // Fold in rhs-only sort information (ids are shared, rhs has no
+    // extra wildcards for well-formed rules).
+    for (const auto &[wid, sort] : wildcardSorts(rule.rhs)) {
+        for (auto &[lw, lsort] : wilds) {
+            if (lw == wid && lsort != sort) {
+                // Sort conflict between the sides: such a rule can
+                // never be well-typed at apply time.
+                return Verdict::Rejected;
+            }
+        }
+    }
+
+    const auto &pool = nicePool();
+    Rng rng(options.seed);
+    int defined = 0;
+    for (int s = 0; s < options.samples; ++s) {
+        Env env;
+        auto pick = [&]() -> Rational {
+            switch (s) {
+              case 0: return Rational(0);
+              case 1: return Rational(1);
+              case 2: return Rational(-1);
+              default: return pool[rng.nextBelow(pool.size())];
+            }
+        };
+        for (const auto &[wid, sort] : wilds) {
+            if (sort == Sort::Vector) {
+                std::vector<Rational> lanes;
+                for (int l = 0; l < width; ++l)
+                    lanes.push_back(pick());
+                env.wildcards[wid] = Value::vector(std::move(lanes));
+            } else {
+                env.wildcards[wid] = Value::scalar(pick());
+            }
+        }
+        Value a = evalTerm(rule.lhs, env);
+        Value b = evalTerm(rule.rhs, env);
+        if (!a.agreesWith(b))
+            return Verdict::Rejected;
+        if (a.fullyDefined())
+            ++defined;
+    }
+    return defined >= options.minDefined ? Verdict::Tested
+                                         : Verdict::Rejected;
+}
+
+} // namespace
+
+const char *
+verdictName(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::Proved: return "proved";
+      case Verdict::Tested: return "tested";
+      case Verdict::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+std::optional<RecExpr>
+projectLane(const RecExpr &expr, int lane)
+{
+    RecExpr out;
+    std::vector<Sort> sorts = expr.inferSorts();
+    auto root = projectNode(expr, expr.rootId(), sorts, lane, out);
+    if (!root)
+        return std::nullopt;
+    // The projection may have left dead nodes; re-extract the live
+    // subtree so downstream tree operations see a tidy term.
+    return out.subExpr(*root);
+}
+
+std::optional<int>
+uniformVecWidth(const RecExpr &expr)
+{
+    std::optional<int> width;
+    for (NodeId id = 0; id < static_cast<NodeId>(expr.size()); ++id) {
+        const TermNode &n = expr.node(id);
+        if (n.op != Op::Vec)
+            continue;
+        int w = static_cast<int>(n.children.size());
+        if (width && *width != w)
+            return std::nullopt;
+        width = w;
+    }
+    return width;
+}
+
+Verdict
+verifyRule(const Rule &rule, const VerifyOptions &options)
+{
+    // Determine lane count: the (uniform) width of the rule's Vec
+    // literals if any, else 1 for a purely scalar or purely
+    // whole-vector rule.
+    std::optional<int> lw = uniformVecWidth(rule.lhs);
+    std::optional<int> rw = uniformVecWidth(rule.rhs);
+    int lanes = 1;
+    bool mixed = false;
+    if (lw && rw && *lw != *rw)
+        mixed = true;
+    else if (lw || rw)
+        lanes = lw ? *lw : *rw;
+
+    int sampleWidth = lanes > 1 ? lanes : options.defaultWidth;
+
+    if (!mixed) {
+        bool allProved = true;
+        for (int lane = 0; lane < lanes && allProved; ++lane) {
+            auto pl = projectLane(rule.lhs, lane);
+            auto pr = projectLane(rule.rhs, lane);
+            if (!pl || !pr || !polyProveEqual(*pl, *pr))
+                allProved = false;
+        }
+        if (allProved)
+            return Verdict::Proved;
+    }
+
+    return sampleRule(rule, sampleWidth, options);
+}
+
+} // namespace isaria

@@ -1,0 +1,62 @@
+#ifndef ISARIA_VERIFY_VERIFIER_H
+#define ISARIA_VERIFY_VERIFIER_H
+
+/**
+ * @file
+ * Rule soundness checking (the role Rosette/SMT plays in the paper).
+ *
+ * A candidate rule is first *projected* lane by lane onto scalar terms
+ * (lane-wise vector ops become their scalar counterparts, Vec literals
+ * select one lane, vector wildcards become per-lane scalar wildcards)
+ * and each projection is checked exactly by polynomial normalization.
+ * If every lane proves, the rule is Proved. Otherwise the rule is
+ * subjected to high-volume exact-rational sampling — the same
+ * test-based filter Ruler applies before SMT — and is Tested on full
+ * agreement with sufficient definedness, or Rejected.
+ */
+
+#include <optional>
+
+#include "term/pattern.h"
+
+namespace isaria
+{
+
+/** Outcome of soundness checking. */
+enum class Verdict
+{
+    Proved,   ///< Every lane projection proved by normalization.
+    Tested,   ///< Agreed on all samples with enough defined cases.
+    Rejected, ///< A counterexample sample, or insufficient evidence.
+};
+
+const char *verdictName(Verdict verdict);
+
+/** Knobs for the sampling fallback. */
+struct VerifyOptions
+{
+    int samples = 96;
+    /** Minimum samples on which both sides were fully defined. */
+    int minDefined = 5;
+    /** Lane width for vector wildcards when the rule has no Vec. */
+    int defaultWidth = 4;
+    std::uint64_t seed = 0xC0FFEEULL;
+};
+
+/** Checks the candidate rule `lhs ~> rhs`. */
+Verdict verifyRule(const Rule &rule, const VerifyOptions &options = {});
+
+/**
+ * Projects lane @p lane of a (possibly vector-sorted) term onto a
+ * scalar term. Returns nullopt when the term is outside the lane-wise
+ * fragment (Concat, List, mixed Vec widths shorter than the lane).
+ * Exposed for tests and for the synthesizer's lane generalization.
+ */
+std::optional<RecExpr> projectLane(const RecExpr &expr, int lane);
+
+/** The common width of every Vec literal, or nullopt if mixed/none. */
+std::optional<int> uniformVecWidth(const RecExpr &expr);
+
+} // namespace isaria
+
+#endif // ISARIA_VERIFY_VERIFIER_H

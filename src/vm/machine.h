@@ -1,0 +1,75 @@
+#ifndef ISARIA_VM_MACHINE_H
+#define ISARIA_VM_MACHINE_H
+
+/**
+ * @file
+ * Cycle-level simulator for the virtual DSP.
+ *
+ * Stands in for the proprietary Tensilica cycle simulator the paper
+ * measures with. The model is an in-order dual-issue VLIW: one
+ * compute slot (scalar or vector) and one load/store/move slot per
+ * cycle, with per-opcode latencies and full pipelining — an
+ * instruction occupies its slot for one cycle and its result is ready
+ * `latency` cycles later. Absolute numbers differ from real silicon,
+ * but the scalar/vector/data-movement cost ratios that drive every
+ * experiment in the paper are preserved.
+ */
+
+#include <unordered_map>
+
+#include "vm/vm_isa.h"
+
+namespace isaria
+{
+
+/**
+ * Per-opcode result latencies, in cycles.
+ *
+ * The scalar floating-point unit is modeled as *non-pipelined* (it
+ * occupies the compute slot for its full latency), matching the slow
+ * scalar path of low-power DSPs; the SIMD unit and the load/store
+ * unit are fully pipelined.
+ */
+struct LatencyModel
+{
+    int scalarAlu = 8;   ///< Slow scalar float path.
+    int scalarDiv = 20;
+    int scalarSqrt = 25;
+    int scalarSgn = 4;
+    int scalarNeg = 4;
+    int vectorAlu = 2;   ///< SIMD add/sub/mul/neg/sgn/mac.
+    int vectorDiv = 10;
+    int vectorSqrt = 12;
+    int load = 3;
+    int insertLane = 2;
+    int loadConst = 1;
+    int store = 1;
+
+    int latencyOf(VmOp op) const;
+};
+
+/** Named array contents (inputs in, outputs out). */
+using VmMemory = std::unordered_map<SymbolId, std::vector<double>>;
+
+/** Result of one simulation. */
+struct VmRunResult
+{
+    VmMemory memory;
+    std::uint64_t cycles = 0;
+    std::size_t instructions = 0;
+};
+
+/**
+ * Executes @p program over @p inputs and counts cycles.
+ *
+ * Reading an array that is not present in @p inputs creates it
+ * zero-filled and grown on demand; stores likewise grow arrays. Reads
+ * past a provided input's length fault (panic) — the compiler should
+ * never emit them.
+ */
+VmRunResult runProgram(const VmProgram &program, const VmMemory &inputs,
+                       const LatencyModel &latency = {});
+
+} // namespace isaria
+
+#endif // ISARIA_VM_MACHINE_H

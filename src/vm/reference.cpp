@@ -1,0 +1,191 @@
+#include "vm/reference.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+namespace
+{
+
+double
+signOf(double x)
+{
+    return x > 0 ? 1.0 : x < 0 ? -1.0 : 0.0;
+}
+
+struct RefEval
+{
+    const RecExpr &expr;
+    const VmMemory &memory;
+    std::vector<std::vector<double>> memo;
+    std::vector<bool> done;
+
+    RefEval(const RecExpr &e, const VmMemory &m)
+        : expr(e), memory(m), memo(e.size()), done(e.size(), false)
+    {}
+
+    const std::vector<double> &
+    eval(NodeId id)
+    {
+        if (done[id])
+            return memo[id];
+        const TermNode &n = expr.node(id);
+        std::vector<double> out;
+        auto lane = [&](NodeId child) { return eval(child)[0]; };
+        switch (n.op) {
+          case Op::Const:
+            out = {static_cast<double>(n.payload)};
+            break;
+          case Op::Get: {
+            auto it = memory.find(getArray(n.payload));
+            ISARIA_ASSERT(it != memory.end(), "reference: missing array");
+            auto idx = static_cast<std::size_t>(getIndex(n.payload));
+            ISARIA_ASSERT(idx < it->second.size(),
+                          "reference: index out of bounds");
+            out = {it->second[idx]};
+            break;
+          }
+          case Op::Symbol: {
+            auto it = memory.find(static_cast<SymbolId>(n.payload));
+            ISARIA_ASSERT(it != memory.end() && !it->second.empty(),
+                          "reference: missing symbol");
+            out = {it->second[0]};
+            break;
+          }
+          case Op::Add:
+            out = {lane(n.children[0]) + lane(n.children[1])};
+            break;
+          case Op::Sub:
+            out = {lane(n.children[0]) - lane(n.children[1])};
+            break;
+          case Op::Mul:
+            out = {lane(n.children[0]) * lane(n.children[1])};
+            break;
+          case Op::Div:
+            out = {lane(n.children[0]) / lane(n.children[1])};
+            break;
+          case Op::Neg:
+            out = {-lane(n.children[0])};
+            break;
+          case Op::Sgn:
+            out = {signOf(lane(n.children[0]))};
+            break;
+          case Op::Sqrt:
+            out = {std::sqrt(lane(n.children[0]))};
+            break;
+          case Op::MulSub:
+            out = {lane(n.children[0]) -
+                   lane(n.children[1]) * lane(n.children[2])};
+            break;
+          case Op::SqrtSgn:
+            out = {std::sqrt(lane(n.children[0])) *
+                   signOf(-lane(n.children[1]))};
+            break;
+          case Op::Vec:
+            for (NodeId child : n.children)
+                out.push_back(lane(child));
+            break;
+          case Op::Concat: {
+            out = eval(n.children[0]);
+            const auto &tail = eval(n.children[1]);
+            out.insert(out.end(), tail.begin(), tail.end());
+            break;
+          }
+          case Op::VecAdd:
+          case Op::VecMinus:
+          case Op::VecMul:
+          case Op::VecDiv: {
+            const auto &a = eval(n.children[0]);
+            const auto &b = eval(n.children[1]);
+            ISARIA_ASSERT(a.size() == b.size(), "reference: width");
+            out.resize(a.size());
+            for (std::size_t l = 0; l < a.size(); ++l) {
+                switch (n.op) {
+                  case Op::VecAdd: out[l] = a[l] + b[l]; break;
+                  case Op::VecMinus: out[l] = a[l] - b[l]; break;
+                  case Op::VecMul: out[l] = a[l] * b[l]; break;
+                  default: out[l] = a[l] / b[l]; break;
+                }
+            }
+            break;
+          }
+          case Op::VecNeg:
+          case Op::VecSgn:
+          case Op::VecSqrt: {
+            const auto &a = eval(n.children[0]);
+            out.resize(a.size());
+            for (std::size_t l = 0; l < a.size(); ++l) {
+                out[l] = n.op == Op::VecNeg    ? -a[l]
+                         : n.op == Op::VecSgn ? signOf(a[l])
+                                               : std::sqrt(a[l]);
+            }
+            break;
+          }
+          case Op::VecMAC:
+          case Op::VecMulSub: {
+            const auto &acc = eval(n.children[0]);
+            const auto &a = eval(n.children[1]);
+            const auto &b = eval(n.children[2]);
+            out.resize(acc.size());
+            for (std::size_t l = 0; l < acc.size(); ++l) {
+                double prod = a[l] * b[l];
+                out[l] = n.op == Op::VecMAC ? acc[l] + prod
+                                             : acc[l] - prod;
+            }
+            break;
+          }
+          case Op::VecSqrtSgn: {
+            const auto &a = eval(n.children[0]);
+            const auto &b = eval(n.children[1]);
+            out.resize(a.size());
+            for (std::size_t l = 0; l < a.size(); ++l)
+                out[l] = std::sqrt(a[l]) * signOf(-b[l]);
+            break;
+          }
+          default:
+            ISARIA_PANIC("reference evaluation hit an unexpected op");
+        }
+        memo[id] = std::move(out);
+        done[id] = true;
+        return memo[id];
+    }
+};
+
+} // namespace
+
+std::vector<double>
+evalProgramDoubles(const RecExpr &program, const VmMemory &inputs)
+{
+    ISARIA_ASSERT(!program.empty(), "reference: empty program");
+    const TermNode &root = program.root();
+    ISARIA_ASSERT(root.op == Op::List, "reference: root must be List");
+    RefEval ref(program, inputs);
+    std::vector<double> out;
+    for (NodeId chunk : root.children) {
+        const auto &lanes = ref.eval(chunk);
+        out.insert(out.end(), lanes.begin(), lanes.end());
+    }
+    return out;
+}
+
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return std::numeric_limits<double>::infinity();
+    double worst = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = std::fabs(a[i] - b[i]);
+        if (std::isnan(a[i]) != std::isnan(b[i]))
+            return std::numeric_limits<double>::infinity();
+        if (!std::isnan(d))
+            worst = std::max(worst, d);
+    }
+    return worst;
+}
+
+} // namespace isaria

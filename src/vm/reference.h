@@ -1,0 +1,35 @@
+#ifndef ISARIA_VM_REFERENCE_H
+#define ISARIA_VM_REFERENCE_H
+
+/**
+ * @file
+ * Reference (double-precision) evaluation of DSL programs.
+ *
+ * Used for differential testing: whatever the compiler and the
+ * lowering pipeline produce must compute the same outputs as a direct
+ * interpretation of the program over the same inputs.
+ */
+
+#include <vector>
+
+#include "term/rec_expr.h"
+#include "vm/machine.h"
+
+namespace isaria
+{
+
+/**
+ * Evaluates a program (List of vector chunks) over the named input
+ * arrays, returning the flattened lane values of every chunk in
+ * order (padding lanes included).
+ */
+std::vector<double> evalProgramDoubles(const RecExpr &program,
+                                       const VmMemory &inputs);
+
+/** Maximum absolute difference, or infinity on length mismatch. */
+double maxAbsDiff(const std::vector<double> &a,
+                  const std::vector<double> &b);
+
+} // namespace isaria
+
+#endif // ISARIA_VM_REFERENCE_H

@@ -1,0 +1,134 @@
+#include "vm/vm_isa.h"
+
+namespace isaria
+{
+
+bool
+vmOpIsVectorCompute(VmOp op)
+{
+    switch (op) {
+      case VmOp::VAdd: case VmOp::VSub: case VmOp::VMul: case VmOp::VDiv:
+      case VmOp::VNeg: case VmOp::VSgn: case VmOp::VSqrt: case VmOp::VMac:
+      case VmOp::VMulSub: case VmOp::VSqrtSgn:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+vmOpIsScalarCompute(VmOp op)
+{
+    switch (op) {
+      case VmOp::SAdd: case VmOp::SSub: case VmOp::SMul: case VmOp::SDiv:
+      case VmOp::SNeg: case VmOp::SSgn: case VmOp::SSqrt:
+      case VmOp::SMulSub: case VmOp::SSqrtSgn:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+vmOpIsMoveSlot(VmOp op)
+{
+    return !vmOpIsVectorCompute(op) && !vmOpIsScalarCompute(op);
+}
+
+const char *
+vmOpName(VmOp op)
+{
+    switch (op) {
+      case VmOp::LoadScalar: return "lds";
+      case VmOp::LoadConstS: return "ldcs";
+      case VmOp::LoadVec: return "ldv";
+      case VmOp::LoadConstV: return "ldcv";
+      case VmOp::InsertLane: return "ins";
+      case VmOp::Splat: return "splat";
+      case VmOp::StoreScalar: return "sts";
+      case VmOp::StoreVec: return "stv";
+      case VmOp::SAdd: return "sadd";
+      case VmOp::SSub: return "ssub";
+      case VmOp::SMul: return "smul";
+      case VmOp::SDiv: return "sdiv";
+      case VmOp::SNeg: return "sneg";
+      case VmOp::SSgn: return "ssgn";
+      case VmOp::SSqrt: return "ssqrt";
+      case VmOp::SMulSub: return "smulsub";
+      case VmOp::SSqrtSgn: return "ssqrtsgn";
+      case VmOp::VAdd: return "vadd";
+      case VmOp::VSub: return "vsub";
+      case VmOp::VMul: return "vmul";
+      case VmOp::VDiv: return "vdiv";
+      case VmOp::VNeg: return "vneg";
+      case VmOp::VSgn: return "vsgn";
+      case VmOp::VSqrt: return "vsqrt";
+      case VmOp::VMac: return "vmac";
+      case VmOp::VMulSub: return "vmulsub";
+      case VmOp::VSqrtSgn: return "vsqrtsgn";
+    }
+    return "?";
+}
+
+std::string
+VmProgram::toString() const
+{
+    std::string out;
+    for (const VmInst &inst : code) {
+        // Register-class prefixes: f = scalar float, v = vector.
+        bool scalarDst = inst.op == VmOp::LoadScalar ||
+                         inst.op == VmOp::LoadConstS ||
+                         vmOpIsScalarCompute(inst.op);
+        bool scalarSrc = vmOpIsScalarCompute(inst.op) ||
+                         inst.op == VmOp::StoreScalar ||
+                         inst.op == VmOp::InsertLane ||
+                         inst.op == VmOp::Splat;
+        const char *dstPrefix = scalarDst ? " f" : " v";
+        const char *srcPrefix = scalarSrc ? " f" : " v";
+        out += vmOpName(inst.op);
+        if (inst.dst >= 0)
+            out += dstPrefix + std::to_string(inst.dst);
+        if (inst.a >= 0)
+            out += srcPrefix + std::to_string(inst.a);
+        if (inst.b >= 0)
+            out += srcPrefix + std::to_string(inst.b);
+        if (inst.c >= 0)
+            out += srcPrefix + std::to_string(inst.c);
+        switch (inst.op) {
+          case VmOp::LoadScalar:
+          case VmOp::LoadVec:
+          case VmOp::StoreScalar:
+          case VmOp::StoreVec:
+            out += " " + symbolName(inst.arr) + "[" +
+                   std::to_string(inst.imm) + "]";
+            break;
+          case VmOp::InsertLane:
+            out += " lane" + std::to_string(inst.imm);
+            break;
+          default:
+            break;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::size_t
+VmProgram::countVectorCompute() const
+{
+    std::size_t count = 0;
+    for (const VmInst &inst : code)
+        count += vmOpIsVectorCompute(inst.op);
+    return count;
+}
+
+std::size_t
+VmProgram::countScalarCompute() const
+{
+    std::size_t count = 0;
+    for (const VmInst &inst : code)
+        count += vmOpIsScalarCompute(inst.op);
+    return count;
+}
+
+} // namespace isaria

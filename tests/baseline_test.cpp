@@ -1,0 +1,160 @@
+// Tests for the comparator implementations: SLP, Nature, and the
+// experiment harness.
+
+#include <gtest/gtest.h>
+
+#include "baseline/harness.h"
+#include "baseline/nature.h"
+#include "baseline/slp.h"
+#include "term/sexpr.h"
+#include "vm/reference.h"
+
+namespace isaria
+{
+namespace
+{
+
+TEST(Slp, PacksIsomorphicLanes)
+{
+    RecExpr p = parseSexpr(
+        "(List (Vec (+ (Get sa 0) (Get sb 0)) (+ (Get sa 1) (Get sb 1))"
+        " (+ (Get sa 2) (Get sb 2)) (+ (Get sa 3) (Get sb 3))))");
+    RecExpr packed = slpVectorize(p);
+    EXPECT_EQ(printSexpr(packed),
+              "(List (VecAdd (Vec (Get sa 0) (Get sa 1) (Get sa 2) "
+              "(Get sa 3)) (Vec (Get sb 0) (Get sb 1) (Get sb 2) "
+              "(Get sb 3))))");
+}
+
+TEST(Slp, PacksNestedIsomorphicTrees)
+{
+    RecExpr p = parseSexpr(
+        "(List (Vec (* (+ (Get sc 0) 1) 2) (* (+ (Get sc 1) 1) 2)"
+        " (* (+ (Get sc 2) 1) 2) (* (+ (Get sc 3) 1) 2)))");
+    RecExpr packed = slpVectorize(p);
+    const TermNode &chunk = packed.node(packed.root().children[0]);
+    EXPECT_EQ(chunk.op, Op::VecMul);
+}
+
+TEST(Slp, FailsOnIrregularLanes)
+{
+    RecExpr p = parseSexpr(
+        "(List (Vec (+ (Get sd 0) 1) (* (Get sd 1) 2) (Get sd 2) 0))");
+    RecExpr packed = slpVectorize(p);
+    const TermNode &chunk = packed.node(packed.root().children[0]);
+    EXPECT_EQ(chunk.op, Op::Vec); // unchanged raw chunk
+}
+
+TEST(Slp, PreservesSemantics)
+{
+    RecExpr p = parseSexpr(
+        "(List (Vec (* (Get se 0) (Get se 4)) (* (Get se 1) (Get se 5))"
+        " (* (Get se 2) (Get se 6)) (* (Get se 3) (Get se 7))))");
+    RecExpr packed = slpVectorize(p);
+    VmMemory mem;
+    mem[internSymbol("se")] = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(maxAbsDiff(evalProgramDoubles(p, mem),
+                         evalProgramDoubles(packed, mem)),
+              0.0);
+}
+
+TEST(Nature, SupportsOnlyLibraryShapes)
+{
+    EXPECT_TRUE(natureMatMul(4, 4, 4).has_value());
+    EXPECT_TRUE(natureMatMul(6, 6, 8).has_value());
+    EXPECT_FALSE(natureMatMul(3, 3, 3).has_value());
+    EXPECT_TRUE(nature2DConv(8, 8, 3, 3).has_value());
+    EXPECT_FALSE(nature2DConv(4, 4, 3, 3).has_value());
+    EXPECT_TRUE(natureQProd().has_value());
+    EXPECT_TRUE(natureQrD(4).has_value());
+    EXPECT_FALSE(natureQrD(3).has_value());
+}
+
+TEST(Harness, ScalarBaselineIsCorrectByConstruction)
+{
+    for (const KernelSpec &spec :
+         {KernelSpec::conv2d(3, 3, 2, 2), KernelSpec::matmul(3, 3, 3),
+          KernelSpec::qprod(), KernelSpec::qrd(3)}) {
+        KernelHarness h(spec);
+        RunOutcome base = h.runScalarBaseline();
+        EXPECT_TRUE(base.correct) << spec.label();
+        EXPECT_GT(base.cycles, 0u);
+    }
+}
+
+TEST(Harness, SlpIsCorrectEverywhere)
+{
+    for (const KernelSpec &spec :
+         {KernelSpec::conv2d(3, 3, 2, 2), KernelSpec::matmul(4, 4, 4),
+          KernelSpec::qprod(), KernelSpec::qrd(3)}) {
+        KernelHarness h(spec);
+        EXPECT_TRUE(h.runSlp().correct) << spec.label();
+    }
+}
+
+TEST(Harness, NatureIsCorrectWhereSupported)
+{
+    for (const KernelSpec &spec :
+         {KernelSpec::conv2d(8, 8, 2, 2), KernelSpec::conv2d(8, 8, 3, 3),
+          KernelSpec::matmul(4, 4, 4), KernelSpec::matmul(8, 8, 8),
+          KernelSpec::qprod(), KernelSpec::qrd(4)}) {
+        KernelHarness h(spec);
+        RunOutcome nature = h.runNature();
+        ASSERT_TRUE(nature.supported) << spec.label();
+        EXPECT_TRUE(nature.correct)
+            << spec.label() << " err=" << nature.maxError;
+    }
+}
+
+TEST(Harness, SlpBeatsScalarOnRegularMatMul)
+{
+    KernelHarness h(KernelSpec::matmul(4, 4, 4));
+    RunOutcome base = h.runScalarBaseline();
+    RunOutcome slp = h.runSlp();
+    EXPECT_LT(slp.cycles, base.cycles);
+}
+
+TEST(Harness, NatureBeatsScalarOnSupportedShapes)
+{
+    KernelHarness h(KernelSpec::matmul(8, 8, 8));
+    RunOutcome base = h.runScalarBaseline();
+    RunOutcome nature = h.runNature();
+    EXPECT_LT(nature.cycles * 2, base.cycles);
+}
+
+TEST(Harness, SuiteMatchesPaperLadder)
+{
+    auto suite = defaultSuite();
+    EXPECT_GE(suite.size(), 14u);
+    int conv = 0, matmul = 0, qprod = 0, qrd = 0;
+    for (const KernelSpec &spec : suite) {
+        switch (spec.family) {
+          case KernelSpec::Family::Conv2D: ++conv; break;
+          case KernelSpec::Family::MatMul: ++matmul; break;
+          case KernelSpec::Family::QProd: ++qprod; break;
+          case KernelSpec::Family::QrD: ++qrd; break;
+        }
+    }
+    EXPECT_GE(conv, 6);
+    EXPECT_GE(matmul, 4);
+    EXPECT_EQ(qprod, 1);
+    EXPECT_EQ(qrd, 2);
+}
+
+TEST(Harness, LabelsAreHumanReadable)
+{
+    EXPECT_EQ(KernelSpec::conv2d(8, 8, 3, 3).label(), "2DConv 8x8 3x3");
+    EXPECT_EQ(KernelSpec::matmul(4, 4, 4).label(), "MatMul 4x4x4");
+    EXPECT_EQ(KernelSpec::qrd(3).label(), "QrD 3x3");
+    EXPECT_EQ(KernelSpec::qprod().label(), "QProd");
+}
+
+TEST(Harness, DeterministicInputs)
+{
+    KernelHarness a(KernelSpec::qprod());
+    KernelHarness b(KernelSpec::qprod());
+    EXPECT_EQ(a.runScalarBaseline().cycles, b.runScalarBaseline().cycles);
+}
+
+} // namespace
+} // namespace isaria

@@ -1,0 +1,367 @@
+// Unit tests for the e-graph library: hashcons, congruence, matching,
+// saturation, extraction.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "egraph/extract.h"
+#include "egraph/runner.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+namespace
+{
+
+/** Simple additive cost: every node costs 1 + sum of children. */
+class UnitCost : public CostFn
+{
+  public:
+    std::uint64_t
+    nodeCost(Op, std::int64_t,
+             std::span<const std::uint64_t> childCosts) const override
+    {
+        std::uint64_t c = 1;
+        for (std::uint64_t child : childCosts)
+            c = satAddCost(c, child);
+        return c;
+    }
+};
+
+TEST(EGraph, HashConsDedup)
+{
+    EGraph eg;
+    EClassId a = eg.addExpr(parseSexpr("(+ x y)"));
+    EClassId b = eg.addExpr(parseSexpr("(+ x y)"));
+    EXPECT_EQ(eg.find(a), eg.find(b));
+    // x, y, (+ x y) = 3 classes.
+    EXPECT_EQ(eg.numClasses(), 3u);
+    EXPECT_EQ(eg.numNodes(), 3u);
+}
+
+TEST(EGraph, DistinctTermsDistinctClasses)
+{
+    EGraph eg;
+    EClassId a = eg.addExpr(parseSexpr("(+ x y)"));
+    EClassId b = eg.addExpr(parseSexpr("(+ y x)"));
+    EXPECT_NE(eg.find(a), eg.find(b));
+}
+
+TEST(EGraph, MergeJoinsClasses)
+{
+    EGraph eg;
+    EClassId a = eg.addExpr(parseSexpr("x"));
+    EClassId b = eg.addExpr(parseSexpr("y"));
+    EXPECT_TRUE(eg.merge(a, b));
+    EXPECT_FALSE(eg.merge(a, b));
+    EXPECT_TRUE(eg.same(a, b));
+}
+
+TEST(EGraph, CongruenceClosure)
+{
+    // Merging x = y must make f(x) = f(y) after rebuild.
+    EGraph eg;
+    EClassId fx = eg.addExpr(parseSexpr("(neg x)"));
+    EClassId fy = eg.addExpr(parseSexpr("(neg y)"));
+    EClassId x = eg.addExpr(parseSexpr("x"));
+    EClassId y = eg.addExpr(parseSexpr("y"));
+    EXPECT_FALSE(eg.same(fx, fy));
+    eg.merge(x, y);
+    eg.rebuild();
+    EXPECT_TRUE(eg.same(fx, fy));
+}
+
+TEST(EGraph, NestedCongruence)
+{
+    EGraph eg;
+    EClassId a = eg.addExpr(parseSexpr("(* (neg x) 2)"));
+    EClassId b = eg.addExpr(parseSexpr("(* (neg y) 2)"));
+    eg.merge(eg.addExpr(parseSexpr("x")), eg.addExpr(parseSexpr("y")));
+    eg.rebuild();
+    EXPECT_TRUE(eg.same(a, b));
+}
+
+TEST(EGraph, PayloadsKeepClassesApart)
+{
+    EGraph eg;
+    EClassId c1 = eg.addExpr(parseSexpr("1"));
+    EClassId c2 = eg.addExpr(parseSexpr("2"));
+    EXPECT_FALSE(eg.same(c1, c2));
+    EClassId g0 = eg.addExpr(parseSexpr("(Get a 0)"));
+    EClassId g1 = eg.addExpr(parseSexpr("(Get a 1)"));
+    EXPECT_FALSE(eg.same(g0, g1));
+}
+
+TEST(EMatch, LiteralPattern)
+{
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ x y)"));
+    eg.rebuild();
+    CompiledPattern pat(parseSexpr("(+ x y)"));
+    auto matches = pat.search(eg, 100);
+    ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST(EMatch, WildcardBindsAnyClass)
+{
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ (neg a) (neg b))"));
+    eg.rebuild();
+    CompiledPattern pat(parseSexpr("(neg ?t)"));
+    auto matches = pat.search(eg, 100);
+    EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(EMatch, NonlinearPatternRequiresSameClass)
+{
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ x x)"));
+    eg.addExpr(parseSexpr("(+ x y)"));
+    eg.rebuild();
+    CompiledPattern pat(parseSexpr("(+ ?t ?t)"));
+    auto matches = pat.search(eg, 100);
+    ASSERT_EQ(matches.size(), 1u);
+}
+
+TEST(EMatch, MatchLimitRespected)
+{
+    EGraph eg;
+    for (int i = 0; i < 10; ++i) {
+        RecExpr e;
+        e.add(Op::Neg, {e.addGet(internSymbol("arr"), i)});
+        eg.addExpr(e);
+    }
+    eg.rebuild();
+    CompiledPattern pat(parseSexpr("(neg ?t)"));
+    auto matches = pat.search(eg, 3);
+    EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(Rewrite, CommutativityCreatesEquivalence)
+{
+    EGraph eg;
+    EClassId lhs = eg.addExpr(parseSexpr("(+ p q)"));
+    EClassId target = eg.addExpr(parseSexpr("(+ q p)"));
+    eg.rebuild();
+    std::vector<CompiledRule> rules =
+        compileRules({parseRule("(+ ?a ?b) ~> (+ ?b ?a)")});
+    EqSatLimits limits;
+    auto report = runEqSat(eg, rules, limits);
+    EXPECT_EQ(report.stop, StopReason::Saturated);
+    EXPECT_TRUE(eg.same(lhs, target));
+}
+
+TEST(Rewrite, AssociativitySaturates)
+{
+    EGraph eg;
+    EClassId a = eg.addExpr(parseSexpr("(+ (+ x y) z)"));
+    EClassId b = eg.addExpr(parseSexpr("(+ x (+ y z))"));
+    eg.rebuild();
+    auto rules = compileRules({
+        parseRule("(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))"),
+        parseRule("(+ ?a ?b) ~> (+ ?b ?a)"),
+    });
+    EqSatLimits limits;
+    runEqSat(eg, rules, limits);
+    EXPECT_TRUE(eg.same(a, b));
+}
+
+TEST(Rewrite, VectorizationExample)
+{
+    // The paper's Section 2.1 example: (Vec (+ a b) (+ c d)) can be
+    // compiled to a VecAdd of two Vec literals.
+    EGraph eg;
+    EClassId scalar = eg.addExpr(
+        parseSexpr("(Vec (+ (Get x 0) (Get y 0)) (+ (Get x 1) (Get y 1)))"));
+    EClassId vectorized = eg.addExpr(parseSexpr(
+        "(VecAdd (Vec (Get x 0) (Get x 1)) (Vec (Get y 0) (Get y 1)))"));
+    eg.rebuild();
+    auto rules = compileRules({parseRule(
+        "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1)) ~> "
+        "(VecAdd (Vec ?a0 ?a1) (Vec ?b0 ?b1))")});
+    EqSatLimits limits;
+    runEqSat(eg, rules, limits);
+    EXPECT_TRUE(eg.same(scalar, vectorized));
+}
+
+TEST(Runner, NodeLimitStops)
+{
+    EGraph eg;
+    // Assoc + comm over a chain of adds explodes combinatorially —
+    // the NP-complete AC-matching blowup the paper discusses (§2.2).
+    eg.addExpr(parseSexpr("(+ a (+ b (+ c (+ d (+ e f)))))"));
+    eg.rebuild();
+    auto rules = compileRules({
+        parseRule("(+ ?a ?b) ~> (+ ?b ?a)"),
+        parseRule("(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))"),
+        parseRule("(+ ?a (+ ?b ?c)) ~> (+ (+ ?a ?b) ?c)"),
+    });
+    EqSatLimits limits;
+    limits.maxNodes = 50;
+    limits.maxIters = 1000;
+    auto report = runEqSat(eg, rules, limits);
+    EXPECT_EQ(report.stop, StopReason::NodeLimit);
+    EXPECT_GE(report.nodes, 50u);
+}
+
+TEST(Runner, IdentityPaddingRuleSaturatesViaHashCons)
+{
+    // `?a ~> (+ ?a 0)` looks infinitely applicable, but in an e-graph
+    // the new node lands in the same class and hash-conses away.
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ x y)"));
+    eg.rebuild();
+    auto rules = compileRules({parseRule("?a ~> (+ ?a 0)")});
+    EqSatLimits limits;
+    limits.maxIters = 50;
+    auto report = runEqSat(eg, rules, limits);
+    EXPECT_EQ(report.stop, StopReason::Saturated);
+    EXPECT_LT(report.nodes, 20u);
+}
+
+TEST(Runner, IterLimitStops)
+{
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ x y)"));
+    eg.rebuild();
+    auto rules = compileRules({parseRule("?a ~> (+ ?a 0)")});
+    EqSatLimits limits;
+    limits.maxIters = 2;
+    limits.maxNodes = 1'000'000;
+    auto report = runEqSat(eg, rules, limits);
+    EXPECT_EQ(report.stop, StopReason::IterLimit);
+    EXPECT_EQ(report.iterations, 2);
+}
+
+TEST(Runner, SaturationOnFiniteSpace)
+{
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ (+ a b) (+ c d))"));
+    eg.rebuild();
+    auto rules = compileRules({parseRule("(+ ?a ?b) ~> (+ ?b ?a)")});
+    EqSatLimits limits;
+    auto report = runEqSat(eg, rules, limits);
+    EXPECT_EQ(report.stop, StopReason::Saturated);
+}
+
+TEST(EMatch, PerClassCapStillCoversAllClasses)
+{
+    // Regression: a small per-class cap must not starve later classes
+    // (and the cap arithmetic must not overflow with the default
+    // unlimited per-class value).
+    EGraph eg;
+    for (int i = 0; i < 6; ++i) {
+        RecExpr e;
+        NodeId a = e.addGet(internSymbol("pcc"), 2 * i);
+        NodeId b = e.addGet(internSymbol("pcc"), 2 * i + 1);
+        e.add(Op::Add, {a, b});
+        eg.addExpr(e);
+    }
+    eg.rebuild();
+    CompiledPattern pat(parseSexpr("(+ ?a ?b)"));
+    auto matches = pat.search(eg, 1000, /*maxMatchesPerClass=*/1);
+    EXPECT_EQ(matches.size(), 6u);
+    // And the class roots must all be distinct.
+    std::set<EClassId> roots;
+    for (const PatternMatch &m : matches)
+        roots.insert(m.root);
+    EXPECT_EQ(roots.size(), 6u);
+}
+
+TEST(EMatch, StepBudgetBoundsBacktracking)
+{
+    EGraph eg;
+    EClassId root = eg.addExpr(parseSexpr("(+ (+ a b) (+ c d))"));
+    eg.rebuild();
+    CompiledPattern pat(parseSexpr("(+ (+ ?a ?b) (+ ?c ?d))"));
+    std::vector<PatternMatch> out;
+    std::size_t steps = 1; // far too few to finish matching
+    pat.searchClass(eg, root, out, 100, &steps);
+    EXPECT_TRUE(out.empty());
+    std::size_t plenty = 100000;
+    pat.searchClass(eg, root, out, 100, &plenty);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Runner, WildcardRootedRuleAppliesEverywhere)
+{
+    // The op-indexed search special-cases wildcard-rooted patterns;
+    // they must still reach every class.
+    EGraph eg;
+    EClassId a = eg.addExpr(parseSexpr("(* wr1 wr2)"));
+    eg.rebuild();
+    std::size_t before = eg.numClasses();
+    auto rules = compileRules({parseRule("?a ~> (+ ?a 0)")});
+    EqSatLimits limits;
+    limits.maxIters = 1;
+    runEqSat(eg, rules, limits);
+    // Every original class gained an Add node; at least the constant
+    // class 0 is new.
+    EXPECT_GT(eg.numClasses(), before);
+    bool rootHasAdd = false;
+    for (const ENode &node : eg.eclass(eg.find(a)).nodes)
+        rootHasAdd |= node.op == Op::Add;
+    EXPECT_TRUE(rootHasAdd);
+}
+
+TEST(Extract, PicksCheapestRepresentative)
+{
+    EGraph eg;
+    EClassId root = eg.addExpr(parseSexpr("(+ (+ x 0) 0)"));
+    eg.rebuild();
+    auto rules = compileRules({parseRule("(+ ?a 0) ~> ?a")});
+    EqSatLimits limits;
+    runEqSat(eg, rules, limits);
+    UnitCost cost;
+    auto got = extractBest(eg, root, cost);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(printSexpr(got->expr), "x");
+    EXPECT_EQ(got->cost, 1u);
+}
+
+TEST(Extract, HandlesCyclicClasses)
+{
+    EGraph eg;
+    EClassId root = eg.addExpr(parseSexpr("(+ x 0)"));
+    eg.rebuild();
+    // Create a cycle: (+ x 0) = x, so the class of x contains a node
+    // whose child is the class itself.
+    auto rules = compileRules({
+        parseRule("(+ ?a 0) ~> ?a"),
+        parseRule("?a ~> (+ ?a 0)"),
+    });
+    EqSatLimits limits;
+    limits.maxIters = 3;
+    runEqSat(eg, rules, limits);
+    UnitCost cost;
+    auto got = extractBest(eg, root, cost);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(printSexpr(got->expr), "x");
+}
+
+TEST(Extract, SharedSubtermsCountedPerUse)
+{
+    EGraph eg;
+    EClassId root = eg.addExpr(parseSexpr("(* (+ a b) (+ a b))"));
+    eg.rebuild();
+    UnitCost cost;
+    auto got = extractBest(eg, root, cost);
+    ASSERT_TRUE(got.has_value());
+    // Tree cost: 7 (mul + two adds + four leaves).
+    EXPECT_EQ(got->cost, 7u);
+    // But the RecExpr is DAG-shared: 4 distinct nodes.
+    EXPECT_EQ(got->expr.size(), 4u);
+}
+
+TEST(Extract, EmptyClassImpossible)
+{
+    EGraph eg;
+    EClassId root = eg.addExpr(parseSexpr("(sqrt x)"));
+    eg.rebuild();
+    UnitCost cost;
+    EXPECT_TRUE(extractBest(eg, root, cost).has_value());
+}
+
+} // namespace
+} // namespace isaria

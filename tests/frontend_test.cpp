@@ -1,0 +1,246 @@
+// Tests for the kernel IR, symbolic lifting, and benchmark kernels.
+
+#include <gtest/gtest.h>
+
+#include "frontend/kernels.h"
+#include "interp/eval.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+namespace
+{
+
+TEST(KernelIr, LiftSimpleStore)
+{
+    Kernel k;
+    k.name = "copy2";
+    k.inputs = {{"src", 2}};
+    k.outputs = {{"dst", 2}};
+    k.body = {
+        kStore("dst", kConst(0), kRef("src", kConst(1))),
+        kStore("dst", kConst(1), kRef("src", kConst(0))),
+    };
+    RecExpr p = liftKernel(k, 4);
+    // One chunk (2 outputs padded to 4 lanes with zeros).
+    EXPECT_EQ(printSexpr(p),
+              "(List (Vec (Get src 1) (Get src 0) 0 0))");
+}
+
+TEST(KernelIr, LoopsUnroll)
+{
+    Kernel k;
+    k.name = "scale";
+    k.inputs = {{"x", 4}};
+    k.outputs = {{"y", 4}};
+    k.body = {kFor("i", 0, 4,
+                   {kStore("y", kVar("i"),
+                           kMul(kRef("x", kVar("i")), kConst(2)))})};
+    RecExpr p = liftKernel(k, 4);
+    EXPECT_EQ(p.root().children.size(), 1u);
+    Env env;
+    env.arrays[internSymbol("x")] = {Rational(1), Rational(2),
+                                     Rational(3), Rational(4)};
+    Value v = evalProgram(p, env)[0];
+    EXPECT_EQ(v.lanes[2], Rational(6));
+}
+
+TEST(KernelIr, NestedLoopsAndAccumulation)
+{
+    Kernel k;
+    k.name = "rowsum";
+    k.inputs = {{"m", 6}};
+    k.outputs = {{"s", 2}};
+    k.body = {kFor(
+        "i", 0, 2,
+        {kFor("j", 0, 3,
+              {kAccum("s", kVar("i"),
+                      kRef("m", kAdd(kMul(kVar("i"), kConst(3)),
+                                     kVar("j"))))})})};
+    RecExpr p = liftKernel(k, 4);
+    Env env;
+    env.arrays[internSymbol("m")] = {Rational(1), Rational(2), Rational(3),
+                                     Rational(10), Rational(20),
+                                     Rational(30)};
+    Value v = evalProgram(p, env)[0];
+    EXPECT_EQ(v.lanes[0], Rational(6));
+    EXPECT_EQ(v.lanes[1], Rational(60));
+}
+
+TEST(KernelIr, AlgebraicFoldsDuringLift)
+{
+    Kernel k;
+    k.name = "folds";
+    k.inputs = {{"x", 1}};
+    k.outputs = {{"y", 1}};
+    // y[0] = 0 + x[0]*1  — should lift to just (Get x 0).
+    k.body = {kStore("y", kConst(0),
+                     kAdd(kConst(0), kMul(kRef("x", kConst(0)),
+                                          kConst(1))))};
+    RecExpr p = liftKernel(k, 4);
+    EXPECT_EQ(printSexpr(p), "(List (Vec (Get x 0) 0 0 0))");
+}
+
+TEST(KernelIr, PaddingToWidth)
+{
+    Kernel k;
+    k.name = "five";
+    k.inputs = {{"x", 5}};
+    k.outputs = {{"y", 5}};
+    k.body = {kFor("i", 0, 5,
+                   {kStore("y", kVar("i"), kRef("x", kVar("i")))})};
+    RecExpr p = liftKernel(k, 4);
+    // 5 outputs -> 2 chunks, 3 zero lanes of padding.
+    EXPECT_EQ(p.root().children.size(), 2u);
+    EXPECT_EQ(k.totalOutputs(), 5);
+}
+
+TEST(Kernels, Conv2DShape)
+{
+    Kernel k = make2DConv(3, 3, 2, 2);
+    EXPECT_EQ(k.totalOutputs(), 16);
+    RecExpr p = liftKernel(k, 4);
+    EXPECT_EQ(p.root().children.size(), 4u);
+}
+
+TEST(Kernels, Conv2DSemantics)
+{
+    // 1x1 filter of value 2: output = 2 * input.
+    Kernel k = make2DConv(2, 2, 1, 1);
+    RecExpr p = liftKernel(k, 4);
+    Env env;
+    env.arrays[internSymbol("I")] = {Rational(1), Rational(2), Rational(3),
+                                     Rational(4)};
+    env.arrays[internSymbol("F")] = {Rational(2)};
+    Value v = evalProgram(p, env)[0];
+    EXPECT_EQ(v.lanes[0], Rational(2));
+    EXPECT_EQ(v.lanes[3], Rational(8));
+}
+
+TEST(Kernels, ConvFullAgainstHand)
+{
+    // 2x2 input, 2x2 filter, full conv -> 3x3 output; check center:
+    // O[1][1] = I00*F11 + I01*F10 + I10*F01 + I11*F00.
+    Kernel k = make2DConv(2, 2, 2, 2);
+    RecExpr p = liftKernel(k, 4);
+    Env env;
+    env.arrays[internSymbol("I")] = {Rational(1), Rational(2), Rational(3),
+                                     Rational(4)};
+    env.arrays[internSymbol("F")] = {Rational(5), Rational(6), Rational(7),
+                                     Rational(8)};
+    auto vals = evalProgram(p, env);
+    // Flatten chunks.
+    std::vector<Rational> flat;
+    for (const Value &v : vals)
+        flat.insert(flat.end(), v.lanes.begin(), v.lanes.end());
+    // O[1][1] is element 4 of the 3x3 output.
+    EXPECT_EQ(flat[4], Rational(1 * 8 + 2 * 7 + 3 * 6 + 4 * 5));
+}
+
+TEST(Kernels, MatMulSemantics)
+{
+    Kernel k = makeMatMul(2, 2, 2);
+    RecExpr p = liftKernel(k, 4);
+    Env env;
+    env.arrays[internSymbol("A")] = {Rational(1), Rational(2), Rational(3),
+                                     Rational(4)};
+    env.arrays[internSymbol("B")] = {Rational(5), Rational(6), Rational(7),
+                                     Rational(8)};
+    Value v = evalProgram(p, env)[0];
+    // C = [[19 22],[43 50]].
+    EXPECT_EQ(v.lanes[0], Rational(19));
+    EXPECT_EQ(v.lanes[1], Rational(22));
+    EXPECT_EQ(v.lanes[2], Rational(43));
+    EXPECT_EQ(v.lanes[3], Rational(50));
+}
+
+TEST(Kernels, QProdIdentityQuaternion)
+{
+    Kernel k = makeQProd();
+    RecExpr p = liftKernel(k, 4);
+    Env env;
+    // p = identity (1,0,0,0), q arbitrary: r must equal q.
+    env.arrays[internSymbol("P")] = {Rational(1), Rational(0), Rational(0),
+                                     Rational(0)};
+    env.arrays[internSymbol("Q")] = {Rational(2), Rational(3), Rational(4),
+                                     Rational(5)};
+    Value v = evalProgram(p, env)[0];
+    EXPECT_EQ(v.lanes[0], Rational(2));
+    EXPECT_EQ(v.lanes[1], Rational(3));
+    EXPECT_EQ(v.lanes[2], Rational(4));
+    EXPECT_EQ(v.lanes[3], Rational(5));
+}
+
+TEST(Kernels, QProdNonCommutative)
+{
+    Kernel k = makeQProd();
+    RecExpr p = liftKernel(k, 4);
+    Env env;
+    env.arrays[internSymbol("P")] = {Rational(0), Rational(1), Rational(0),
+                                     Rational(0)};
+    env.arrays[internSymbol("Q")] = {Rational(0), Rational(0), Rational(1),
+                                     Rational(0)};
+    // i * j = k.
+    Value v = evalProgram(p, env)[0];
+    EXPECT_EQ(v.lanes[0], Rational(0));
+    EXPECT_EQ(v.lanes[3], Rational(1));
+}
+
+TEST(Kernels, QrDUsesDivSqrtSgn)
+{
+    Kernel k = makeQrD(3);
+    RecExpr p = liftKernel(k, 4);
+    bool hasDiv = false, hasSqrt = false, hasSgn = false;
+    for (NodeId id = 0; id < static_cast<NodeId>(p.size()); ++id) {
+        hasDiv |= p.node(id).op == Op::Div;
+        hasSqrt |= p.node(id).op == Op::Sqrt;
+        hasSgn |= p.node(id).op == Op::Sgn;
+    }
+    EXPECT_TRUE(hasDiv);
+    EXPECT_TRUE(hasSqrt);
+    EXPECT_TRUE(hasSgn);
+    EXPECT_EQ(k.totalOutputs(), 18);
+}
+
+TEST(Kernels, QrDReconstructsA)
+{
+    // Evaluate QR over doubles via the reference path is done in the
+    // integration tests; here check the exact-rational diagonal case,
+    // where Householder reduces to sign flips.
+    Kernel k = makeQrD(2);
+    RecExpr p = liftKernel(k, 4);
+    Env env;
+    env.arrays[internSymbol("A")] = {Rational(3), Rational(0), Rational(4),
+                                     Rational(0)};
+    auto vals = evalProgram(p, env);
+    std::vector<Rational> flat;
+    for (const Value &v : vals)
+        flat.insert(flat.end(), v.lanes.begin(), v.lanes.end());
+    // Output layout: Q (4), then R (4). Column (3,4) has norm 5.
+    // R[0][0] = -sgn(3)*5 = -5.
+    EXPECT_EQ(flat[4], Rational(-5));
+    // Q * R == A: check A[0][0] = Q00*R00 + Q01*R10 (R10 == 0).
+    EXPECT_EQ(flat[0] * flat[4], Rational(3));
+}
+
+/** Property sweep: conv output counts across shapes. */
+class ConvShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(ConvShapeTest, OutputSizeIsFullConvolution)
+{
+    auto [n, kk] = GetParam();
+    Kernel k = make2DConv(n, n, kk, kk);
+    EXPECT_EQ(k.totalOutputs(), (n + kk - 1) * (n + kk - 1));
+    RecExpr p = liftKernel(k, 4);
+    std::size_t chunks = (k.totalOutputs() + 3) / 4;
+    EXPECT_EQ(p.root().children.size(), chunks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvShapeTest,
+                         ::testing::Combine(::testing::Values(2, 3, 4, 6),
+                                            ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace isaria

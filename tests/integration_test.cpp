@@ -1,0 +1,130 @@
+// End-to-end integration tests: the full Fig. 2 pipeline from ISA
+// specification to measured, differentially-checked kernels.
+//
+// These tests run real (small-budget) rule synthesis once and share
+// the generated compiler across cases.
+
+#include <gtest/gtest.h>
+
+#include "baseline/diospyros.h"
+#include "baseline/harness.h"
+#include "compiler/pipeline.h"
+
+namespace isaria
+{
+namespace
+{
+
+/** Synthesizes the shared test compiler once (small budget). */
+const GeneratedCompiler &
+sharedCompiler()
+{
+    static GeneratedCompiler gen = [] {
+        IsaSpec isa;
+        SynthConfig config;
+        config.timeoutSeconds = 20;
+        return generateCompiler(isa, config);
+    }();
+    return gen;
+}
+
+TEST(Pipeline, SynthesisProducesAllThreePhases)
+{
+    const GeneratedCompiler &gen = sharedCompiler();
+    EXPECT_GT(gen.synth.rules.size(), 100u);
+    EXPECT_GT(gen.phased.countOf(Phase::Expansion), 10u);
+    EXPECT_GT(gen.phased.countOf(Phase::Compilation), 10u);
+    EXPECT_GT(gen.phased.countOf(Phase::Optimization), 10u);
+}
+
+TEST(Pipeline, CompiledKernelsAreCorrect)
+{
+    const GeneratedCompiler &gen = sharedCompiler();
+    for (const KernelSpec &spec :
+         {KernelSpec::conv2d(3, 3, 2, 2), KernelSpec::matmul(2, 2, 2),
+          KernelSpec::matmul(4, 4, 4), KernelSpec::qprod()}) {
+        KernelHarness h(spec);
+        RunOutcome isaria_ = h.runCompiler(gen.compiler);
+        EXPECT_TRUE(isaria_.correct)
+            << spec.label() << " err=" << isaria_.maxError;
+    }
+}
+
+TEST(Pipeline, CompiledQrIsCorrect)
+{
+    // QR exercises division, sqrt, and sgn end to end.
+    const GeneratedCompiler &gen = sharedCompiler();
+    KernelHarness h(KernelSpec::qrd(3));
+    RunOutcome isaria_ = h.runCompiler(gen.compiler);
+    EXPECT_TRUE(isaria_.correct) << "err=" << isaria_.maxError;
+}
+
+TEST(Pipeline, VectorizesRegularKernels)
+{
+    const GeneratedCompiler &gen = sharedCompiler();
+    KernelHarness h(KernelSpec::matmul(4, 4, 4));
+    RunOutcome base = h.runScalarBaseline();
+    RunOutcome isaria_ = h.runCompiler(gen.compiler);
+    // Must beat the unvectorized baseline clearly on a regular kernel.
+    EXPECT_LT(isaria_.cycles * 2, base.cycles);
+    EXPECT_LT(isaria_.compileStats.finalCost,
+              isaria_.compileStats.initialCost);
+}
+
+TEST(Pipeline, BeatsOrMatchesSlpOnIrregularKernels)
+{
+    const GeneratedCompiler &gen = sharedCompiler();
+    KernelHarness h(KernelSpec::conv2d(3, 3, 2, 2));
+    RunOutcome slp = h.runSlp();
+    RunOutcome isaria_ = h.runCompiler(gen.compiler);
+    EXPECT_LE(isaria_.cycles, slp.cycles);
+}
+
+TEST(Pipeline, DiospyrosComparatorIsCorrect)
+{
+    IsariaCompiler dios = makeDiospyrosCompiler();
+    for (const KernelSpec &spec :
+         {KernelSpec::conv2d(3, 3, 2, 2), KernelSpec::matmul(4, 4, 4),
+          KernelSpec::qprod()}) {
+        KernelHarness h(spec);
+        EXPECT_TRUE(h.runCompiler(dios).correct) << spec.label();
+    }
+}
+
+TEST(Pipeline, PhasesOffFindsNoVectorization)
+{
+    // The Section 5.2 ablation: one saturation over the whole
+    // synthesized rule set exhausts its budget without vectorizing.
+    const GeneratedCompiler &gen = sharedCompiler();
+    CompilerConfig config;
+    config.phasing = false;
+    config.compilationLimits.maxNodes = 40'000;
+    config.compilationLimits.timeoutSeconds = 2.0;
+    IsariaCompiler noPhases(gen.phased, config);
+    KernelHarness h(KernelSpec::conv2d(3, 3, 2, 2));
+    CompileStats stats;
+    RecExpr out = noPhases.compile(h.scalarProgram(), &stats);
+    RunOutcome phased = h.runCompiler(gen.compiler);
+    // The phased compiler strictly beats the strawman's result.
+    EXPECT_LT(phased.compileStats.finalCost, stats.finalCost * 2);
+    EXPECT_TRUE(stats.ranOutOfMemory ||
+                stats.reports.front().stop == StopReason::TimeLimit ||
+                stats.finalCost >= phased.compileStats.finalCost);
+}
+
+TEST(Pipeline, CustomIsaCompilesQrWithNewInstructions)
+{
+    IsaConfig ic;
+    ic.enableMulSub = true;
+    ic.enableSqrtSgn = true;
+    IsaSpec isa(ic);
+    SynthConfig config;
+    config.timeoutSeconds = 20;
+    GeneratedCompiler gen = generateCompiler(isa, config);
+    KernelHarness h(KernelSpec::qrd(3));
+    RunOutcome out = h.runCompiler(gen.compiler);
+    EXPECT_TRUE(out.correct) << "err=" << out.maxError;
+}
+
+} // namespace
+} // namespace isaria

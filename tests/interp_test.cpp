@@ -1,0 +1,229 @@
+// Unit tests for the interpreter: the executable ISA specification.
+
+#include <gtest/gtest.h>
+
+#include "interp/cvec.h"
+#include "interp/eval.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+namespace
+{
+
+Env
+basicEnv()
+{
+    Env env;
+    env.scalars[internSymbol("x")] = Rational(3);
+    env.scalars[internSymbol("y")] = Rational(-2);
+    env.arrays[internSymbol("a")] = {Rational(10), Rational(20),
+                                     Rational(30), Rational(40)};
+    return env;
+}
+
+Rational
+evalScalar(const char *text, const Env &env)
+{
+    Value v = evalTerm(parseSexpr(text), env);
+    EXPECT_TRUE(v.isScalar());
+    return v.lanes[0];
+}
+
+TEST(Eval, Leaves)
+{
+    Env env = basicEnv();
+    EXPECT_EQ(evalScalar("7", env), Rational(7));
+    EXPECT_EQ(evalScalar("x", env), Rational(3));
+    EXPECT_EQ(evalScalar("(Get a 2)", env), Rational(30));
+}
+
+TEST(Eval, UnknownSymbolUndefined)
+{
+    Env env;
+    EXPECT_FALSE(evalScalar("zzz_undefined_sym", env).valid());
+}
+
+TEST(Eval, GetOutOfBoundsUndefined)
+{
+    Env env = basicEnv();
+    EXPECT_FALSE(evalScalar("(Get a 99)", env).valid());
+    EXPECT_FALSE(evalScalar("(Get missing 0)", env).valid());
+}
+
+TEST(Eval, ScalarArithmetic)
+{
+    Env env = basicEnv();
+    EXPECT_EQ(evalScalar("(+ x y)", env), Rational(1));
+    EXPECT_EQ(evalScalar("(- x y)", env), Rational(5));
+    EXPECT_EQ(evalScalar("(* x y)", env), Rational(-6));
+    EXPECT_EQ(evalScalar("(/ x y)", env), Rational::make(-3, 2));
+    EXPECT_EQ(evalScalar("(neg x)", env), Rational(-3));
+    EXPECT_EQ(evalScalar("(sgn y)", env), Rational(-1));
+    EXPECT_EQ(evalScalar("(sqrt 9)", env), Rational(3));
+}
+
+TEST(Eval, CustomScalarInstructions)
+{
+    Env env = basicEnv();
+    // mulsub acc a b = acc - a*b = 3 - (-2*3) = 9.
+    EXPECT_EQ(evalScalar("(mulsub x y x)", env), Rational(9));
+    // sqrtsgn a b = sqrt(a)*sgn(-b) = sqrt(9)*sgn(2) = 3.
+    EXPECT_EQ(evalScalar("(sqrtsgn 9 y)", env), Rational(3));
+    EXPECT_EQ(evalScalar("(sqrtsgn 9 x)", env), Rational(-3));
+    EXPECT_EQ(evalScalar("(sqrtsgn 9 0)", env), Rational(0));
+}
+
+TEST(Eval, DivisionByZeroUndefined)
+{
+    Env env = basicEnv();
+    EXPECT_FALSE(evalScalar("(/ x 0)", env).valid());
+}
+
+TEST(Eval, VecConstruction)
+{
+    Env env = basicEnv();
+    Value v = evalTerm(parseSexpr("(Vec x y 1 (Get a 0))"), env);
+    ASSERT_TRUE(v.isVector());
+    ASSERT_EQ(v.width(), 4u);
+    EXPECT_EQ(v.lanes[0], Rational(3));
+    EXPECT_EQ(v.lanes[1], Rational(-2));
+    EXPECT_EQ(v.lanes[2], Rational(1));
+    EXPECT_EQ(v.lanes[3], Rational(10));
+}
+
+TEST(Eval, Concat)
+{
+    Env env = basicEnv();
+    Value v = evalTerm(parseSexpr("(Concat (Vec 1 2) (Vec 3 4))"), env);
+    ASSERT_EQ(v.width(), 4u);
+    EXPECT_EQ(v.lanes[3], Rational(4));
+}
+
+TEST(Eval, LaneWiseOps)
+{
+    Env env;
+    auto vec = [&](const char *t) { return evalTerm(parseSexpr(t), env); };
+    Value add = vec("(VecAdd (Vec 1 2) (Vec 10 20))");
+    EXPECT_EQ(add.lanes[0], Rational(11));
+    EXPECT_EQ(add.lanes[1], Rational(22));
+    Value mac = vec("(VecMAC (Vec 1 1) (Vec 2 3) (Vec 4 5))");
+    EXPECT_EQ(mac.lanes[0], Rational(9));
+    EXPECT_EQ(mac.lanes[1], Rational(16));
+    Value msub = vec("(VecMulSub (Vec 1 1) (Vec 2 3) (Vec 4 5))");
+    EXPECT_EQ(msub.lanes[0], Rational(-7));
+    EXPECT_EQ(msub.lanes[1], Rational(-14));
+    Value vneg = vec("(VecNeg (Vec 1 -2))");
+    EXPECT_EQ(vneg.lanes[1], Rational(2));
+    Value vss = vec("(VecSqrtSgn (Vec 4 9) (Vec -1 1))");
+    EXPECT_EQ(vss.lanes[0], Rational(2));
+    EXPECT_EQ(vss.lanes[1], Rational(-3));
+}
+
+TEST(Eval, WidthMismatchUndefined)
+{
+    Env env;
+    Value v = evalTerm(parseSexpr("(VecAdd (Vec 1 2) (Vec 1 2 3))"), env);
+    EXPECT_TRUE(v.fullyUndefined());
+}
+
+TEST(Eval, SortMismatchUndefined)
+{
+    Env env;
+    // Scalar op applied to a vector-valued wildcard.
+    env.wildcards[0] = Value::vector({Rational(1), Rational(2)});
+    RecExpr e = parseSexpr("(+ ?a 1)");
+    Value v = evalTerm(e, env);
+    EXPECT_FALSE(v.fullyDefined());
+}
+
+TEST(Eval, UndefinedLanePropagatesThroughVectorOps)
+{
+    Env env;
+    Value v = evalTerm(parseSexpr("(VecDiv (Vec 1 2) (Vec 0 2))"), env);
+    EXPECT_FALSE(v.lanes[0].valid());
+    EXPECT_EQ(v.lanes[1], Rational(1));
+}
+
+TEST(Eval, ProgramListEvaluation)
+{
+    Env env = basicEnv();
+    auto vals = evalProgram(
+        parseSexpr("(List (Vec x y) (VecAdd (Vec 1 1) (Vec 2 2)))"), env);
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_EQ(vals[0].lanes[0], Rational(3));
+    EXPECT_EQ(vals[1].lanes[0], Rational(3));
+}
+
+TEST(Eval, WildcardBinding)
+{
+    Env env;
+    env.wildcards[0] = Value::scalar(Rational(5));
+    env.wildcards[kVectorWildcardBase] =
+        Value::vector({Rational(1), Rational(2)});
+    EXPECT_EQ(evalTerm(parseSexpr("(* ?a ?a)"), env).lanes[0],
+              Rational(25));
+    RecExpr vpat;
+    vpat.add(Op::VecNeg, {vpat.addWildcard(kVectorWildcardBase)});
+    Value v = evalTerm(vpat, env);
+    EXPECT_EQ(v.lanes[0], Rational(-1));
+    EXPECT_EQ(v.lanes[1], Rational(-2));
+}
+
+TEST(CVecTest, EnvsDeterministic)
+{
+    auto a = makeWildcardEnvs(3, 2, 4, 16, 99);
+    auto b = makeWildcardEnvs(3, 2, 4, 16, 99);
+    ASSERT_EQ(a.size(), 16u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (const auto &[wid, val] : a[i].wildcards)
+            EXPECT_TRUE(val.agreesWith(b[i].wildcards.at(wid)));
+    }
+}
+
+TEST(CVecTest, SystematicFirstEnvs)
+{
+    auto envs = makeWildcardEnvs(2, 0, 1, 8, 1);
+    EXPECT_EQ(envs[0].wildcards.at(0).lanes[0], Rational(0));
+    EXPECT_EQ(envs[1].wildcards.at(0).lanes[0], Rational(1));
+    EXPECT_EQ(envs[2].wildcards.at(1).lanes[0], Rational(-1));
+}
+
+TEST(CVecTest, EquivalentTermsAgree)
+{
+    auto envs = makeWildcardEnvs(2, 0, 1, 24, 7);
+    CVec a = fingerprint(parseSexpr("(+ ?w0 ?w1)"), envs);
+    CVec b = fingerprint(parseSexpr("(+ ?w1 ?w0)"), envs);
+    EXPECT_TRUE(cvecAgree(a, b));
+    EXPECT_EQ(cvecHash(a), cvecHash(b));
+}
+
+TEST(CVecTest, DistinctTermsDisagree)
+{
+    auto envs = makeWildcardEnvs(2, 0, 1, 24, 7);
+    CVec a = fingerprint(parseSexpr("(+ ?w0 ?w1)"), envs);
+    CVec b = fingerprint(parseSexpr("(* ?w0 ?w1)"), envs);
+    EXPECT_FALSE(cvecAgree(a, b));
+}
+
+TEST(CVecTest, XPlusXvsXTimesXDistinguished)
+{
+    // The classic trap: x+x == x*x at x in {0, 2}.
+    auto envs = makeWildcardEnvs(1, 0, 1, 24, 7);
+    CVec a = fingerprint(parseSexpr("(+ ?w0 ?w0)"), envs);
+    CVec b = fingerprint(parseSexpr("(* ?w0 ?w0)"), envs);
+    EXPECT_FALSE(cvecAgree(a, b));
+}
+
+TEST(CVecTest, DefinedCount)
+{
+    auto envs = makeWildcardEnvs(1, 0, 1, 16, 7);
+    CVec total = fingerprint(parseSexpr("(+ ?w0 1)"), envs);
+    EXPECT_EQ(cvecDefinedCount(total), 16);
+    CVec partial = fingerprint(parseSexpr("(/ 1 ?w0)"), envs);
+    EXPECT_LT(cvecDefinedCount(partial), 16);
+    EXPECT_GT(cvecDefinedCount(partial), 0);
+}
+
+} // namespace
+} // namespace isaria

@@ -1,0 +1,156 @@
+// Tests for lowering DSL programs onto the virtual DSP ISA.
+
+#include <gtest/gtest.h>
+
+#include "lower/lower.h"
+#include "term/sexpr.h"
+#include "vm/machine.h"
+#include "vm/reference.h"
+
+namespace isaria
+{
+namespace
+{
+
+std::size_t
+countOp(const VmProgram &p, VmOp op)
+{
+    std::size_t n = 0;
+    for (const VmInst &inst : p.code)
+        n += inst.op == op;
+    return n;
+}
+
+TEST(Lower, ContiguousVecBecomesVectorLoad)
+{
+    RecExpr p = parseSexpr(
+        "(List (Vec (Get lA 0) (Get lA 1) (Get lA 2) (Get lA 3)))");
+    VmProgram vm = lowerProgram(p, {});
+    EXPECT_EQ(countOp(vm, VmOp::LoadVec), 1u);
+    EXPECT_EQ(countOp(vm, VmOp::InsertLane), 0u);
+}
+
+TEST(Lower, NonContiguousVecGathers)
+{
+    RecExpr p = parseSexpr(
+        "(List (Vec (Get lA 0) (Get lA 2) (Get lA 1) (Get lA 3)))");
+    VmProgram vm = lowerProgram(p, {});
+    EXPECT_EQ(countOp(vm, VmOp::LoadVec), 0u);
+    EXPECT_EQ(countOp(vm, VmOp::InsertLane), 4u);
+}
+
+TEST(Lower, ConstantVecIsOneLoad)
+{
+    RecExpr p = parseSexpr("(List (Vec 1 2 3 4))");
+    VmProgram vm = lowerProgram(p, {});
+    EXPECT_EQ(countOp(vm, VmOp::LoadConstV), 1u);
+    EXPECT_EQ(vm.code.size(), 2u); // load + store
+}
+
+TEST(Lower, VectorOpsMapOneToOne)
+{
+    RecExpr p = parseSexpr(
+        "(List (VecMAC (Vec 0 0 0 0) (Vec (Get lB 0) (Get lB 1) (Get lB 2)"
+        " (Get lB 3)) (Vec 2 2 2 2)))");
+    VmProgram vm = lowerProgram(p, {});
+    EXPECT_EQ(countOp(vm, VmOp::VMac), 1u);
+}
+
+TEST(Lower, ValueNumberingDeduplicatesAcrossChunks)
+{
+    // The same vector load appears in two chunks: must be emitted once.
+    RecExpr p = parseSexpr(
+        "(List (VecAdd (Vec (Get lC 0) (Get lC 1) (Get lC 2) (Get lC 3))"
+        " (Vec 1 1 1 1))"
+        " (VecMul (Vec (Get lC 0) (Get lC 1) (Get lC 2) (Get lC 3))"
+        " (Vec 2 2 2 2)))");
+    VmProgram vm = lowerProgram(p, {});
+    EXPECT_EQ(countOp(vm, VmOp::LoadVec), 1u);
+}
+
+TEST(Lower, ValueNumberingDeduplicatesScalarExpressions)
+{
+    // (a+b) used in two separate chunk trees with no structural
+    // sharing in the RecExpr.
+    RecExpr p = parseSexpr(
+        "(List (Vec (+ (Get lD 0) (Get lD 1)) 0 0 0)"
+        " (Vec (* (+ (Get lD 0) (Get lD 1)) (Get lD 2)) 0 0 0))");
+    LowerOptions options;
+    options.scalarOnly = true;
+    VmProgram vm = lowerProgram(p, options);
+    EXPECT_EQ(countOp(vm, VmOp::SAdd), 1u);
+}
+
+TEST(Lower, ScalarOnlyUsesNoVectorInstructions)
+{
+    RecExpr p = parseSexpr(
+        "(List (Vec (+ (Get lE 0) 1) (* (Get lE 1) 2) 0 0))");
+    LowerOptions options;
+    options.scalarOnly = true;
+    options.totalOutputs = 2;
+    VmProgram vm = lowerProgram(p, options);
+    EXPECT_EQ(vm.numVectorRegs, 0);
+    // Padding lanes beyond totalOutputs are not stored.
+    EXPECT_EQ(countOp(vm, VmOp::StoreScalar), 2u);
+}
+
+TEST(Lower, SplatForUniformLanes)
+{
+    RecExpr e;
+    NodeId g = e.addGet(internSymbol("lF"), 0);
+    NodeId vec = e.add(Op::Vec, {g, g, g, g});
+    e.add(Op::List, {vec});
+    VmProgram vm = lowerProgram(e, {});
+    EXPECT_EQ(countOp(vm, VmOp::Splat), 1u);
+}
+
+TEST(Lower, ScalarizeRawChunksLeavesRealVectorsAlone)
+{
+    RecExpr p = parseSexpr(
+        "(List (Vec (+ (Get lG 0) 1) (Get lG 1) 0 0)"
+        " (Vec (Get lG 4) (Get lG 5) (Get lG 6) (Get lG 7)))");
+    LowerOptions options;
+    options.scalarizeRawChunks = true;
+    options.totalOutputs = 8;
+    VmProgram vm = lowerProgram(p, options);
+    // First chunk is a gather -> scalarized; second is contiguous ->
+    // vector load + vector store.
+    EXPECT_EQ(countOp(vm, VmOp::LoadVec), 1u);
+    EXPECT_EQ(countOp(vm, VmOp::StoreVec), 1u);
+    EXPECT_GE(countOp(vm, VmOp::StoreScalar), 2u);
+}
+
+TEST(Lower, EndToEndMatchesReference)
+{
+    RecExpr p = parseSexpr(
+        "(List (VecMAC (Vec (Get lH 0) (Get lH 1) (Get lH 2) (Get lH 3))"
+        " (Vec (Get lH 4) (Get lH 5) (Get lH 6) (Get lH 7))"
+        " (Vec 3 3 3 3))"
+        " (Vec (sqrt (Get lH 0)) (sgn (Get lH 1)) (/ 1 (Get lH 2)) 0))");
+    VmMemory mem;
+    mem[internSymbol("lH")] = {4, -2, 8, 1, 0.5, 1.5, -2.5, 3.5};
+    auto ref = evalProgramDoubles(p, mem);
+    VmProgram vm = lowerProgram(p, {});
+    auto run = runProgram(vm, mem);
+    const auto &got = run.memory.at(outputArraySymbol());
+    ASSERT_GE(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(got[i], ref[i], 1e-12) << "lane " << i;
+}
+
+TEST(Lower, CustomInstructionsLower)
+{
+    RecExpr p = parseSexpr(
+        "(List (VecMulSub (Vec 1 1 1 1) (Vec 2 2 2 2) (Vec 3 3 3 3))"
+        " (VecSqrtSgn (Vec 4 4 4 4) (Vec -1 -1 -1 -1)))");
+    VmProgram vm = lowerProgram(p, {});
+    EXPECT_EQ(countOp(vm, VmOp::VMulSub), 1u);
+    EXPECT_EQ(countOp(vm, VmOp::VSqrtSgn), 1u);
+    auto run = runProgram(vm, {});
+    const auto &out = run.memory.at(outputArraySymbol());
+    EXPECT_DOUBLE_EQ(out[0], 1 - 2 * 3);
+    EXPECT_DOUBLE_EQ(out[4], 2.0); // sqrt(4)*sign(1)
+}
+
+} // namespace
+} // namespace isaria

@@ -1,0 +1,212 @@
+// Tests for the post-lowering machine optimizations: MAC fusion,
+// dead-code elimination, and dual-issue list scheduling.
+
+#include <gtest/gtest.h>
+
+#include "frontend/kernels.h"
+#include "lower/lower.h"
+#include "lower/optimize.h"
+#include "support/rng.h"
+#include "vm/machine.h"
+#include "vm/reference.h"
+
+namespace isaria
+{
+namespace
+{
+
+VmInst
+inst(VmOp op, std::int32_t dst = -1, std::int32_t a = -1,
+     std::int32_t b = -1, std::int32_t c = -1, SymbolId arr = 0,
+     std::int32_t imm = 0, std::vector<double> imms = {})
+{
+    return VmInst{op, dst, a, b, c, arr, imm, std::move(imms)};
+}
+
+std::size_t
+countOp(const VmProgram &p, VmOp op)
+{
+    std::size_t n = 0;
+    for (const VmInst &i : p.code)
+        n += i.op == op;
+    return n;
+}
+
+VmProgram
+mulAddProgram()
+{
+    VmProgram p;
+    p.numVectorRegs = 4;
+    SymbolId out = internSymbol("__out");
+    p.code = {
+        inst(VmOp::LoadConstV, 0, -1, -1, -1, 0, 0, {1, 2, 3, 4}),
+        inst(VmOp::LoadConstV, 1, -1, -1, -1, 0, 0, {5, 6, 7, 8}),
+        inst(VmOp::VMul, 2, 0, 1),
+        inst(VmOp::VAdd, 3, 2, 0),
+        inst(VmOp::StoreVec, -1, 3, -1, -1, out, 0),
+    };
+    return p;
+}
+
+TEST(Fusion, MulAddBecomesMac)
+{
+    VmOptStats stats;
+    VmProgram fused = fuseMultiplyAdd(mulAddProgram(), &stats);
+    EXPECT_EQ(stats.fusedMacs, 1u);
+    EXPECT_EQ(countOp(fused, VmOp::VMul), 0u);
+    EXPECT_EQ(countOp(fused, VmOp::VMac), 1u);
+    // Semantics preserved.
+    auto before = runProgram(mulAddProgram(), {});
+    auto after = runProgram(fused, {});
+    EXPECT_EQ(before.memory.at(internSymbol("__out")),
+              after.memory.at(internSymbol("__out")));
+}
+
+TEST(Fusion, MultiUseMulIsNotFused)
+{
+    VmProgram p = mulAddProgram();
+    // Add a second use of the multiply's result.
+    p.numVectorRegs = 5;
+    p.code.push_back(inst(VmOp::VAdd, 4, 2, 2));
+    p.code.push_back(inst(VmOp::StoreVec, -1, 4, -1, -1,
+                          internSymbol("__out"), 4));
+    VmOptStats stats;
+    VmProgram fused = fuseMultiplyAdd(p, &stats);
+    EXPECT_EQ(stats.fusedMacs, 0u);
+    EXPECT_EQ(countOp(fused, VmOp::VMul), 1u);
+}
+
+TEST(Dce, RemovesUnusedLoads)
+{
+    VmProgram p;
+    p.numScalarRegs = 2;
+    SymbolId out = internSymbol("__out");
+    p.code = {
+        inst(VmOp::LoadConstS, 0, -1, -1, -1, 0, 0, {1}),
+        inst(VmOp::LoadConstS, 1, -1, -1, -1, 0, 0, {2}), // dead
+        inst(VmOp::StoreScalar, -1, 0, -1, -1, out, 0),
+    };
+    VmOptStats stats;
+    VmProgram clean = eliminateDeadCode(p, &stats);
+    EXPECT_EQ(stats.deadRemoved, 1u);
+    EXPECT_EQ(clean.code.size(), 2u);
+}
+
+TEST(Dce, KeepsInsertLaneChains)
+{
+    VmProgram p;
+    p.numScalarRegs = 1;
+    p.numVectorRegs = 1;
+    SymbolId out = internSymbol("__out");
+    p.code = {
+        inst(VmOp::LoadConstS, 0, -1, -1, -1, 0, 0, {9}),
+        inst(VmOp::LoadConstV, 0, -1, -1, -1, 0, 0, {0, 0, 0, 0}),
+        inst(VmOp::InsertLane, 0, 0, -1, -1, 0, 2),
+        inst(VmOp::StoreVec, -1, 0, -1, -1, out, 0),
+    };
+    VmProgram clean = eliminateDeadCode(p);
+    EXPECT_EQ(clean.code.size(), 4u);
+    auto run = runProgram(clean, {});
+    EXPECT_DOUBLE_EQ(run.memory.at(out)[2], 9.0);
+}
+
+TEST(Schedule, PreservesStoreOrderAndSemantics)
+{
+    // Stores to overlapping locations must keep their order.
+    VmProgram p;
+    p.numScalarRegs = 2;
+    SymbolId out = internSymbol("__out");
+    p.code = {
+        inst(VmOp::LoadConstS, 0, -1, -1, -1, 0, 0, {1}),
+        inst(VmOp::LoadConstS, 1, -1, -1, -1, 0, 0, {2}),
+        inst(VmOp::StoreScalar, -1, 0, -1, -1, out, 0),
+        inst(VmOp::StoreScalar, -1, 1, -1, -1, out, 0), // overwrites
+    };
+    VmProgram sched = scheduleDualIssue(p);
+    auto run = runProgram(sched, {});
+    EXPECT_DOUBLE_EQ(run.memory.at(out)[0], 2.0);
+}
+
+TEST(Schedule, RespectsStoreLoadDependencies)
+{
+    // A load after a store to the same array must see the stored
+    // value (the Nature padded-buffer pattern).
+    VmProgram p;
+    p.numScalarRegs = 2;
+    SymbolId buf = internSymbol("schedBuf");
+    SymbolId out = internSymbol("__out");
+    p.code = {
+        inst(VmOp::LoadConstS, 0, -1, -1, -1, 0, 0, {7}),
+        inst(VmOp::StoreScalar, -1, 0, -1, -1, buf, 3),
+        inst(VmOp::LoadScalar, 1, -1, -1, -1, buf, 3),
+        inst(VmOp::StoreScalar, -1, 1, -1, -1, out, 0),
+    };
+    VmProgram sched = scheduleDualIssue(p);
+    auto run = runProgram(sched, {});
+    EXPECT_DOUBLE_EQ(run.memory.at(out)[0], 7.0);
+}
+
+TEST(Schedule, DoesNotSlowDownKernels)
+{
+    // Scheduling the lowered 4x4 matmul must not increase cycles.
+    RecExpr program = liftKernel(makeMatMul(4, 4, 4), 4);
+    VmMemory mem;
+    Rng rng(11);
+    std::vector<double> cells(16);
+    for (double &c : cells)
+        c = static_cast<double>(rng.nextInRange(-9, 9));
+    mem[internSymbol("A")] = cells;
+    mem[internSymbol("B")] = cells;
+
+    LowerOptions options;
+    options.scalarOnly = true;
+    options.totalOutputs = 16;
+    VmProgram base = lowerProgram(program, options);
+    VmProgram optimized = optimizeProgram(base);
+
+    auto a = runProgram(base, mem);
+    auto b = runProgram(optimized, mem);
+    EXPECT_LE(b.cycles, a.cycles);
+    EXPECT_EQ(maxAbsDiff(a.memory.at(outputArraySymbol()),
+                         b.memory.at(outputArraySymbol())),
+              0.0);
+}
+
+/** Property sweep: full pipeline on random lowered programs. */
+class OptimizeProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(OptimizeProperty, PipelinePreservesKernelSemantics)
+{
+    int seed = GetParam();
+    Kernel kernel = (seed % 3 == 0)   ? make2DConv(3, 3, 2, 2)
+                    : (seed % 3 == 1) ? makeMatMul(3, 3, 3)
+                                      : makeQProd();
+    RecExpr program = liftKernel(kernel, 4);
+    VmMemory mem;
+    Rng rng(seed * 31 + 7);
+    for (const auto &[name, size] : kernel.inputs) {
+        std::vector<double> cells(size);
+        for (double &c : cells)
+            c = static_cast<double>(rng.nextInRange(-40, 40)) / 8.0;
+        mem[internSymbol(name)] = cells;
+    }
+    auto ref = evalProgramDoubles(program, mem);
+
+    LowerOptions options;
+    options.scalarizeRawChunks = true;
+    options.totalOutputs = kernel.totalOutputs();
+    VmOptStats stats;
+    VmProgram optimized =
+        optimizeProgram(lowerProgram(program, options), {}, &stats);
+    auto run = runProgram(optimized, mem);
+    const auto &got = run.memory.at(outputArraySymbol());
+    for (int i = 0; i < kernel.totalOutputs(); ++i)
+        EXPECT_NEAR(got[i], ref[i], 1e-9) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizeProperty,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace isaria

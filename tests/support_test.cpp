@@ -1,0 +1,189 @@
+// Unit tests for the support module: rationals, rng, interner.
+
+#include <gtest/gtest.h>
+
+#include "support/interner.h"
+#include "support/rational.h"
+#include "support/rng.h"
+#include "support/timer.h"
+
+namespace isaria
+{
+namespace
+{
+
+TEST(Rational, DefaultIsZero)
+{
+    Rational r;
+    EXPECT_TRUE(r.valid());
+    EXPECT_EQ(r.num(), 0);
+    EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, MakeNormalizes)
+{
+    Rational r = Rational::make(6, -4);
+    EXPECT_TRUE(r.valid());
+    EXPECT_EQ(r.num(), -3);
+    EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, MakeZeroDenIsInvalid)
+{
+    EXPECT_FALSE(Rational::make(1, 0).valid());
+}
+
+TEST(Rational, Arithmetic)
+{
+    Rational half = Rational::make(1, 2);
+    Rational third = Rational::make(1, 3);
+    EXPECT_EQ(half + third, Rational::make(5, 6));
+    EXPECT_EQ(half - third, Rational::make(1, 6));
+    EXPECT_EQ(half * third, Rational::make(1, 6));
+    EXPECT_EQ(half / third, Rational::make(3, 2));
+    EXPECT_EQ(-half, Rational::make(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroInvalid)
+{
+    EXPECT_FALSE((Rational(1) / Rational(0)).valid());
+}
+
+TEST(Rational, InvalidPropagates)
+{
+    Rational bad = Rational::invalid();
+    EXPECT_FALSE((bad + Rational(1)).valid());
+    EXPECT_FALSE((Rational(1) * bad).valid());
+    EXPECT_FALSE((-bad).valid());
+    EXPECT_FALSE(bad.sgn().valid());
+    EXPECT_FALSE(bad.sqrt().valid());
+}
+
+TEST(Rational, InvalidNeverEqual)
+{
+    Rational bad = Rational::invalid();
+    EXPECT_FALSE(bad == bad);
+    EXPECT_FALSE(bad == Rational(0));
+}
+
+TEST(Rational, Sgn)
+{
+    EXPECT_EQ(Rational(5).sgn(), Rational(1));
+    EXPECT_EQ(Rational(-5).sgn(), Rational(-1));
+    EXPECT_EQ(Rational(0).sgn(), Rational(0));
+    EXPECT_EQ(Rational::make(-3, 7).sgn(), Rational(-1));
+}
+
+TEST(Rational, SqrtPerfectSquares)
+{
+    EXPECT_EQ(Rational(9).sqrt(), Rational(3));
+    EXPECT_EQ(Rational(0).sqrt(), Rational(0));
+    EXPECT_EQ(Rational::make(9, 4).sqrt(), Rational::make(3, 2));
+}
+
+TEST(Rational, SqrtIrrationalOrNegativeInvalid)
+{
+    EXPECT_FALSE(Rational(2).sqrt().valid());
+    EXPECT_FALSE(Rational(-4).sqrt().valid());
+    EXPECT_FALSE(Rational::make(1, 3).sqrt().valid());
+}
+
+TEST(Rational, OverflowBecomesInvalid)
+{
+    Rational big(INT64_MAX - 1);
+    EXPECT_FALSE((big * Rational(4)).valid());
+    EXPECT_FALSE((big + big).valid());
+    // Near-overflow values still work.
+    EXPECT_EQ(Rational(INT64_MAX / 2) + Rational(INT64_MAX / 2),
+              Rational(INT64_MAX - 1));
+}
+
+TEST(Rational, Ordering)
+{
+    EXPECT_TRUE(Rational::make(1, 3) < Rational::make(1, 2));
+    EXPECT_TRUE(Rational(-1) < Rational(0));
+    EXPECT_FALSE(Rational(2) < Rational(2));
+}
+
+TEST(Rational, ToString)
+{
+    EXPECT_EQ(Rational(7).toString(), "7");
+    EXPECT_EQ(Rational::make(-1, 2).toString(), "-1/2");
+    EXPECT_EQ(Rational::invalid().toString(), "#undef");
+}
+
+TEST(Rational, HashConsistentWithEquality)
+{
+    EXPECT_EQ(Rational::make(2, 4).hash(), Rational::make(1, 2).hash());
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = rng.nextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Interner, RoundTrip)
+{
+    SymbolId a = internSymbol("alpha");
+    SymbolId b = internSymbol("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(internSymbol("alpha"), a);
+    EXPECT_EQ(symbolName(a), "alpha");
+    EXPECT_EQ(symbolName(b), "beta");
+}
+
+TEST(Timer, DeadlineUnlimitedNeverExpires)
+{
+    Deadline d = Deadline::unlimited();
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingSeconds(), 1e9);
+}
+
+TEST(Timer, DeadlineExpires)
+{
+    Deadline d(1e-9);
+    // Burn a little time.
+    volatile int sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink += i;
+    EXPECT_TRUE(d.expired());
+}
+
+/** Property sweep: field axioms on a grid of small rationals. */
+class RationalFieldTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(RationalFieldTest, RingAxioms)
+{
+    auto [ai, bi] = GetParam();
+    Rational a = Rational::make(ai, 3);
+    Rational b = Rational::make(bi, 2);
+    Rational c = Rational::make(ai + bi, 5);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RationalFieldTest,
+                         ::testing::Combine(::testing::Range(-4, 5),
+                                            ::testing::Range(-4, 5)));
+
+} // namespace
+} // namespace isaria

@@ -1,0 +1,215 @@
+// Tests for the offline rule-synthesis pipeline: enumeration,
+// shrinking, and lane generalization.
+
+#include <gtest/gtest.h>
+
+#include "synth/synthesize.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+namespace
+{
+
+/** Small, fast synthesis configuration shared by the tests. */
+SynthConfig
+quickConfig()
+{
+    SynthConfig config;
+    config.timeoutSeconds = 10;
+    config.maxRules = 150;
+    config.enumConfig.maxDepth = 2;
+    config.enumConfig.maxReps = 80;
+    config.enumConfig.maxScalarCandidates = 2000;
+    config.enumConfig.maxVectorCandidates = 3000;
+    config.enumConfig.maxLiftCandidates = 3000;
+    return config;
+}
+
+TEST(Ruleset, AddDeduplicates)
+{
+    RuleSet set;
+    EXPECT_TRUE(set.add(parseRule("(+ ?a ?b) ~> (+ ?b ?a)")));
+    EXPECT_FALSE(set.add(parseRule("(+ ?x ?y) ~> (+ ?y ?x)")));
+    EXPECT_TRUE(set.add(parseRule("(* ?a ?b) ~> (* ?b ?a)")));
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ruleset, SerializationRoundTrip)
+{
+    RuleSet set;
+    Rule a = parseRule("(+ ?a 0) ~> ?a");
+    a.name = "id-add";
+    a.verifiedExactly = true;
+    set.add(a);
+    Rule b = parseRule("(VecAdd ?a ?b) ~> (VecAdd ?b ?a)");
+    b.name = "vec-comm";
+    set.add(b);
+    RuleSet back = RuleSet::fromString(set.toString());
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].name, "id-add");
+    EXPECT_TRUE(back[0].verifiedExactly);
+    EXPECT_FALSE(back[1].verifiedExactly);
+    EXPECT_TRUE(back[0].sameAs(a));
+    EXPECT_TRUE(back[1].sameAs(b));
+}
+
+TEST(Skolemize, ReplacesWildcardsWithSymbols)
+{
+    RecExpr ground = skolemize(parseSexpr("(+ ?a (* ?b ?a))"));
+    for (NodeId id = 0; id < static_cast<NodeId>(ground.size()); ++id)
+        EXPECT_NE(ground.node(id).op, Op::Wildcard);
+    // Shared wildcards become the same symbol.
+    const TermNode &root = ground.root();
+    NodeId a1 = root.children[0];
+    NodeId mul = root.children[1];
+    NodeId a2 = ground.node(mul).children[1];
+    EXPECT_EQ(ground.node(a1).payload, ground.node(a2).payload);
+}
+
+TEST(Enumerate, FindsCoreCandidates)
+{
+    IsaSpec isa;
+    EnumConfig config;
+    config.maxDepth = 2;
+    config.maxReps = 60;
+    config.maxScalarCandidates = 3000;
+    config.maxVectorCandidates = 3000;
+    config.maxLiftCandidates = 3000;
+    EnumResult result = enumerateTerms(isa, config, Deadline::unlimited());
+    EXPECT_GT(result.candidates.size(), 100u);
+
+    // The commutativity collision must be among the candidates.
+    bool foundComm = false;
+    Rule comm = parseRule("(+ ?a ?b) ~> (+ ?b ?a)");
+    for (const CandidatePair &pair : result.candidates) {
+        Rule got{pair.a, pair.b, "", false};
+        if (got.sameAs(comm) || got.sameAs(Rule{pair.b, pair.a, "", false}))
+            foundComm = foundComm || got.sameAs(comm);
+        Rule rev{pair.b, pair.a, "", false};
+        foundComm = foundComm || rev.sameAs(comm);
+    }
+    EXPECT_TRUE(foundComm);
+}
+
+TEST(Enumerate, GroundPairsAreSkipped)
+{
+    IsaSpec isa;
+    EnumConfig config;
+    config.maxDepth = 2;
+    config.maxReps = 40;
+    EnumResult result = enumerateTerms(isa, config, Deadline::unlimited());
+    for (const CandidatePair &pair : result.candidates) {
+        EXPECT_TRUE(!pair.a.wildcardIds().empty() ||
+                    !pair.b.wildcardIds().empty());
+    }
+}
+
+TEST(Generalize, ScalarRulePassesThrough)
+{
+    RecExpr p = parseSexpr("(+ ?a ?b)");
+    EXPECT_TRUE(generalizeToWidth(p, 4).equalTree(p));
+}
+
+TEST(Generalize, WholeVectorRulePassesThrough)
+{
+    RecExpr p = parseSexpr("(VecAdd ?u ?v)");
+    EXPECT_TRUE(generalizeToWidth(p, 4).equalTree(p));
+}
+
+TEST(Generalize, ExpandsVecLanes)
+{
+    Rule narrow = parseRule(
+        "(Vec (+ ?a ?b)) ~> (VecAdd (Vec ?a) (Vec ?b))");
+    Rule wide = generalizeRule(narrow, 4);
+    // Shape: 4 lanes with fresh per-lane wildcards, shared per lane
+    // across both sides.
+    Rule expected = parseRule(
+        "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3)) ~> "
+        "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))");
+    EXPECT_TRUE(wide.sameAs(expected));
+    EXPECT_EQ(verifyRule(wide), Verdict::Proved);
+}
+
+TEST(Generalize, MacCompileRule)
+{
+    Rule narrow = parseRule(
+        "(Vec (+ ?a (* ?b ?c))) ~> (VecMAC (Vec ?a) (Vec ?b) (Vec ?c))");
+    Rule wide = generalizeRule(narrow, 2);
+    Rule expected = parseRule(
+        "(Vec (+ ?a0 (* ?b0 ?c0)) (+ ?a1 (* ?b1 ?c1))) ~> "
+        "(VecMAC (Vec ?a0 ?a1) (Vec ?b0 ?b1) (Vec ?c0 ?c1))");
+    EXPECT_TRUE(wide.sameAs(expected));
+}
+
+TEST(Synthesize, ProducesSoundUsefulRules)
+{
+    IsaSpec isa;
+    SynthReport report = synthesizeRules(isa, quickConfig());
+    EXPECT_GT(report.rules.size(), 40u);
+
+    // Every emitted rule is well-formed and re-verifies.
+    VerifyOptions strict;
+    strict.samples = 256;
+    strict.seed = 0xFEEDFACE; // independent of the synthesis seed
+    for (const Rule &rule : report.rules.rules()) {
+        EXPECT_TRUE(rule.wellFormed());
+        EXPECT_NE(verifyRule(rule, strict), Verdict::Rejected)
+            << rule.toString();
+    }
+
+    // The identity-padding rule pair of Section 2.1 must be present.
+    EXPECT_TRUE(report.rules.contains(parseRule("?a ~> (+ ?a 0)")));
+    EXPECT_TRUE(report.rules.contains(parseRule("(+ ?a 0) ~> ?a")));
+}
+
+TEST(Synthesize, EmitsVectorizationRules)
+{
+    IsaSpec isa;
+    SynthConfig config = quickConfig();
+    config.timeoutSeconds = 20;
+    config.enumConfig.maxDepth = 3;
+    SynthReport report = synthesizeRules(isa, config);
+
+    // The per-op compile rule for addition, at width 4.
+    Rule compileAdd = parseRule(
+        "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1) (+ ?a2 ?b2) (+ ?a3 ?b3)) ~> "
+        "(VecAdd (Vec ?a0 ?a1 ?a2 ?a3) (Vec ?b0 ?b1 ?b2 ?b3))");
+    EXPECT_TRUE(report.rules.contains(compileAdd));
+}
+
+TEST(Synthesize, RespectsRuleBudget)
+{
+    IsaSpec isa;
+    SynthConfig config = quickConfig();
+    config.maxRules = 30;
+    SynthReport report = synthesizeRules(isa, config);
+    EXPECT_LE(report.oneWideRules.size(), 30u);
+}
+
+TEST(Synthesize, CustomInstructionsEnterTheRuleset)
+{
+    IsaConfig ic;
+    ic.enableSqrtSgn = true;
+    IsaSpec isa(ic);
+    SynthConfig config = quickConfig();
+    config.timeoutSeconds = 15;
+    SynthReport report = synthesizeRules(isa, config);
+    bool mentionsSqrtSgn = false;
+    for (const Rule &rule : report.rules.rules()) {
+        for (NodeId id = 0;
+             id < static_cast<NodeId>(rule.lhs.size()); ++id) {
+            Op op = rule.lhs.node(id).op;
+            mentionsSqrtSgn |= op == Op::SqrtSgn || op == Op::VecSqrtSgn;
+        }
+        for (NodeId id = 0;
+             id < static_cast<NodeId>(rule.rhs.size()); ++id) {
+            Op op = rule.rhs.node(id).op;
+            mentionsSqrtSgn |= op == Op::SqrtSgn || op == Op::VecSqrtSgn;
+        }
+    }
+    EXPECT_TRUE(mentionsSqrtSgn);
+}
+
+} // namespace
+} // namespace isaria

@@ -1,0 +1,196 @@
+// Unit tests for the term module: ops, RecExpr, s-expressions, patterns.
+
+#include <gtest/gtest.h>
+
+#include "term/op.h"
+#include "term/pattern.h"
+#include "term/rec_expr.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+namespace
+{
+
+TEST(Op, MetadataConsistency)
+{
+    EXPECT_EQ(opInfo(Op::Add).name, "+");
+    EXPECT_EQ(opInfo(Op::Add).arity, 2);
+    EXPECT_EQ(opInfo(Op::Vec).arity, -1);
+    EXPECT_EQ(opInfo(Op::VecMAC).arity, 3);
+    EXPECT_EQ(opInfo(Op::Vec).resultSort, Sort::Vector);
+    EXPECT_EQ(opInfo(Op::Vec).childSort, Sort::Scalar);
+}
+
+TEST(Op, NameLookup)
+{
+    EXPECT_EQ(opFromName("VecAdd"), Op::VecAdd);
+    EXPECT_EQ(opFromName("+"), Op::Add);
+    EXPECT_EQ(opFromName("nonsense"), Op::NumOps);
+}
+
+TEST(Op, ScalarVectorCounterparts)
+{
+    EXPECT_EQ(scalarCounterpart(Op::VecAdd), Op::Add);
+    EXPECT_EQ(vectorCounterpart(Op::Add), Op::VecAdd);
+    EXPECT_EQ(scalarCounterpart(Op::VecMAC), Op::NumOps);
+    EXPECT_EQ(vectorCounterpart(Op::SqrtSgn), Op::VecSqrtSgn);
+    // Round trip over all lane-wise ops that have a scalar form.
+    for (int i = 0; i < static_cast<int>(Op::NumOps); ++i) {
+        Op op = static_cast<Op>(i);
+        Op sc = scalarCounterpart(op);
+        if (sc != Op::NumOps)
+            EXPECT_EQ(vectorCounterpart(sc), op);
+    }
+}
+
+TEST(RecExpr, BuildAndInspect)
+{
+    RecExpr e;
+    NodeId x = e.addSymbol("x");
+    NodeId one = e.addConst(1);
+    NodeId sum = e.add(Op::Add, {x, one});
+    EXPECT_EQ(e.size(), 3u);
+    EXPECT_EQ(e.rootId(), sum);
+    EXPECT_EQ(e.root().op, Op::Add);
+    EXPECT_EQ(e.treeSize(), 3u);
+}
+
+TEST(RecExpr, GetPayloadPacking)
+{
+    SymbolId arr = internSymbol("arr");
+    std::int64_t p = packGet(arr, 42);
+    EXPECT_EQ(getArray(p), arr);
+    EXPECT_EQ(getIndex(p), 42);
+}
+
+TEST(RecExpr, SubExprExtraction)
+{
+    RecExpr e = parseSexpr("(+ (* a b) c)");
+    NodeId mul = e.root().children[0];
+    RecExpr sub = e.subExpr(mul);
+    EXPECT_EQ(printSexpr(sub), "(* a b)");
+}
+
+TEST(RecExpr, TreeEqualityIgnoresLayout)
+{
+    RecExpr a = parseSexpr("(+ x y)");
+    // Build the same tree with extra unused nodes in the node list.
+    RecExpr b;
+    b.addConst(99); // dead node
+    NodeId x = b.addSymbol("x");
+    NodeId y = b.addSymbol("y");
+    b.add(Op::Add, {x, y});
+    EXPECT_TRUE(a.equalTree(b));
+    EXPECT_EQ(a.treeHash(), b.treeHash());
+}
+
+TEST(RecExpr, InferSorts)
+{
+    RecExpr e = parseSexpr("(VecAdd (Vec ?a ?b) ?v)");
+    auto sorts = e.inferSorts();
+    EXPECT_EQ(sorts[e.rootId()], Sort::Vector);
+    const TermNode &root = e.root();
+    NodeId vec = root.children[0];
+    NodeId v = root.children[1];
+    EXPECT_EQ(sorts[vec], Sort::Vector);
+    EXPECT_EQ(sorts[v], Sort::Vector);
+    for (NodeId lane : e.node(vec).children)
+        EXPECT_EQ(sorts[lane], Sort::Scalar);
+}
+
+TEST(RecExpr, WildcardIdsPreorder)
+{
+    RecExpr e = parseSexpr("(+ (* ?b ?a) ?b)");
+    auto ids = e.wildcardIds();
+    ASSERT_EQ(ids.size(), 2u);
+    // ?b first (id 0 from parser), then ?a.
+    EXPECT_EQ(ids[0], 0);
+    EXPECT_EQ(ids[1], 1);
+}
+
+TEST(RecExpr, ContainsVectorOp)
+{
+    EXPECT_FALSE(parseSexpr("(+ x (* y z))").containsVectorOp());
+    EXPECT_TRUE(parseSexpr("(Vec x y)").containsVectorOp());
+    EXPECT_TRUE(parseSexpr("(VecAdd ?a ?b)").containsVectorOp());
+}
+
+TEST(Sexpr, RoundTrip)
+{
+    const char *cases[] = {
+        "(+ x y)",
+        "(VecMAC ?w0 ?w1 ?w2)",
+        "(Vec (Get a 0) (Get a 1) (Get a 2) (Get a 3))",
+        "(List (Vec 1 2) (VecAdd (Vec x 0) (Vec 0 y)))",
+        "(sqrtsgn (Get m 5) -3)",
+        "(neg (sgn (sqrt x)))",
+    };
+    for (const char *text : cases) {
+        RecExpr e = parseSexpr(text);
+        EXPECT_EQ(printSexpr(e), text);
+    }
+}
+
+TEST(Sexpr, NegativeConstants)
+{
+    RecExpr e = parseSexpr("(+ -5 3)");
+    EXPECT_EQ(e.node(e.root().children[0]).payload, -5);
+}
+
+TEST(Sexpr, SubIsBinaryMinus)
+{
+    RecExpr e = parseSexpr("(- x y)");
+    EXPECT_EQ(e.root().op, Op::Sub);
+}
+
+TEST(Pattern, AlphaCanonicalize)
+{
+    RecExpr a = parseSexpr("(+ ?p ?q)");
+    RecExpr b = parseSexpr("(+ ?z ?y)");
+    EXPECT_TRUE(alphaCanonicalize(a).equalTree(alphaCanonicalize(b)));
+    RecExpr c = parseSexpr("(+ ?p ?p)");
+    EXPECT_FALSE(alphaCanonicalize(a).equalTree(alphaCanonicalize(c)));
+}
+
+TEST(Pattern, Instantiate)
+{
+    RecExpr pat = parseSexpr("(+ ?a (* ?a ?b))");
+    std::map<std::int32_t, RecExpr> subst;
+    subst.emplace(0, parseSexpr("x"));
+    subst.emplace(1, parseSexpr("(+ y 1)"));
+    RecExpr got = instantiate(pat, subst);
+    EXPECT_TRUE(got.equalTree(parseSexpr("(+ x (* x (+ y 1)))")));
+}
+
+TEST(Pattern, ParseRuleSharedWildcards)
+{
+    Rule r = parseRule("(+ ?b ?a) ~> (+ ?a ?b)");
+    EXPECT_TRUE(r.wellFormed());
+    // lhs wildcards are (?b=0, ?a=1); rhs must reuse the same ids.
+    EXPECT_EQ(r.rhs.wildcardIds(), (std::vector<std::int32_t>{1, 0}));
+}
+
+TEST(Pattern, ParseRuleRejectsUnboundRhs)
+{
+    EXPECT_DEATH((void)parseRule("(+ ?a 0) ~> (+ ?a ?b)"), "");
+}
+
+TEST(Pattern, RuleCanonicalEquality)
+{
+    Rule a = parseRule("(+ ?x ?y) ~> (+ ?y ?x)");
+    Rule b = parseRule("(+ ?p ?q) ~> (+ ?q ?p)");
+    EXPECT_TRUE(a.sameAs(b));
+    EXPECT_EQ(a.hash(), b.hash());
+    Rule c = parseRule("(+ ?x ?y) ~> (+ ?x ?y)");
+    EXPECT_FALSE(a.sameAs(c));
+}
+
+TEST(Pattern, RuleToStringStable)
+{
+    Rule a = parseRule("(* ?k ?j) ~> (* ?j ?k)");
+    EXPECT_EQ(a.toString(), "(* ?w0 ?w1) ~> (* ?w1 ?w0)");
+}
+
+} // namespace
+} // namespace isaria

@@ -1,0 +1,250 @@
+// Unit tests for the soundness verifier: polynomial normalization,
+// lane projection, and sampling.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "term/sexpr.h"
+#include "verify/normalizer.h"
+#include "verify/verifier.h"
+
+namespace isaria
+{
+namespace
+{
+
+TEST(Poly, ConstantsAndAtoms)
+{
+    Poly zero = Poly::constant(Rational(0));
+    EXPECT_TRUE(zero.isZero());
+    Poly one = Poly::constant(Rational(1));
+    EXPECT_EQ(one.asConstant(), Rational(1));
+    Poly x = Poly::atom(0);
+    EXPECT_FALSE(x.asConstant().has_value());
+}
+
+TEST(Poly, RingIdentities)
+{
+    Poly x = Poly::atom(0);
+    Poly y = Poly::atom(1);
+    // (x + y)^2 == x^2 + 2xy + y^2
+    Poly lhs = x.plus(y).times(x.plus(y));
+    Poly two = Poly::constant(Rational(2));
+    Poly rhs = x.times(x).plus(two.times(x).times(y)).plus(y.times(y));
+    EXPECT_TRUE(lhs == rhs);
+    // x - x == 0
+    EXPECT_TRUE(x.minus(x).isZero());
+}
+
+TEST(Poly, DistinctPolysDiffer)
+{
+    Poly x = Poly::atom(0);
+    Poly y = Poly::atom(1);
+    EXPECT_FALSE(x.times(y) == x.plus(y));
+}
+
+TEST(Poly, CollectAtoms)
+{
+    Poly p = Poly::atom(3).times(Poly::atom(7)).plus(Poly::atom(3));
+    std::set<AtomId> atoms;
+    p.collectAtoms(atoms);
+    EXPECT_EQ(atoms, (std::set<AtomId>{3, 7}));
+}
+
+TEST(Normalizer, ProvesRingIdentities)
+{
+    EXPECT_TRUE(polyProveEqual(parseSexpr("(+ ?a ?b)"),
+                               parseSexpr("(+ ?b ?a)")));
+    EXPECT_TRUE(polyProveEqual(parseSexpr("(* ?a (+ ?b ?c))"),
+                               parseSexpr("(+ (* ?a ?b) (* ?a ?c))")));
+    EXPECT_TRUE(polyProveEqual(parseSexpr("(- ?a ?a)"), parseSexpr("0")));
+    EXPECT_TRUE(polyProveEqual(parseSexpr("(neg (neg ?a))"),
+                               parseSexpr("?a")));
+    EXPECT_TRUE(polyProveEqual(parseSexpr("(mulsub ?x ?a ?b)"),
+                               parseSexpr("(- ?x (* ?a ?b))")));
+}
+
+TEST(Normalizer, RefutesNonIdentities)
+{
+    EXPECT_FALSE(polyProveEqual(parseSexpr("(+ ?a ?a)"),
+                                parseSexpr("(* ?a ?a)")));
+    // Shared wildcard table: ?a and ?b must mean the same variables
+    // on both sides.
+    std::map<std::string, std::int32_t> names;
+    RecExpr lhs = parseSexpr("(- ?a ?b)", names);
+    RecExpr rhs = parseSexpr("(- ?b ?a)", names);
+    EXPECT_FALSE(polyProveEqual(lhs, rhs));
+}
+
+TEST(Normalizer, OpaqueSqrtSgn)
+{
+    std::map<std::string, std::int32_t> names;
+    // Identical opaque applications prove equal.
+    EXPECT_TRUE(polyProveEqual(
+        parseSexpr("(* (sqrt ?a) (sgn ?b))", names),
+        parseSexpr("(* (sgn ?b) (sqrt ?a))", names)));
+    // sqrtsgn expands to its definition.
+    EXPECT_TRUE(polyProveEqual(
+        parseSexpr("(sqrtsgn ?a ?b)", names),
+        parseSexpr("(* (sqrt ?a) (sgn (neg ?b)))", names)));
+    // Distinct arguments stay distinct.
+    EXPECT_FALSE(polyProveEqual(parseSexpr("(sqrt ?a)", names),
+                                parseSexpr("(sqrt ?b)", names)));
+}
+
+TEST(Normalizer, TotalityRestrictionOnDivision)
+{
+    // (a*b)/b equals a only modulo definedness — must NOT poly-prove,
+    // or congruence in the e-graph collapses classes via b = 0.
+    std::map<std::string, std::int32_t> n1;
+    EXPECT_FALSE(polyProveEqual(parseSexpr("(/ (* ?a ?b) ?b)", n1),
+                                parseSexpr("?a", n1)));
+    std::map<std::string, std::int32_t> n2;
+    EXPECT_FALSE(polyProveEqual(parseSexpr("(* ?a (/ ?b ?a))", n2),
+                                parseSexpr("?b", n2)));
+    // Division by a nonzero constant is total and still proves.
+    std::map<std::string, std::int32_t> n3;
+    EXPECT_TRUE(polyProveEqual(parseSexpr("(/ ?a 1)", n3),
+                               parseSexpr("?a", n3)));
+}
+
+TEST(Normalizer, OpaqueErasureRejected)
+{
+    // (* (sqrt a) 0) = 0 only where sqrt(a) is defined; erasing the
+    // opaque atom must not poly-prove.
+    EXPECT_FALSE(polyProveEqual(parseSexpr("(* (sqrt ?a) 0)"),
+                                parseSexpr("0")));
+}
+
+TEST(Projection, ScalarPassThrough)
+{
+    auto p = projectLane(parseSexpr("(+ ?a (* ?b 2))"), 0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(p->equalTree(parseSexpr("(+ ?a (* ?b 2))")));
+}
+
+TEST(Projection, VecSelectsLane)
+{
+    RecExpr e = parseSexpr("(VecAdd (Vec ?a ?b) (Vec ?c ?d))");
+    auto lane0 = projectLane(e, 0);
+    auto lane1 = projectLane(e, 1);
+    ASSERT_TRUE(lane0 && lane1);
+    EXPECT_EQ(printSexpr(*lane0), "(+ ?w0 ?w2)");
+    EXPECT_EQ(printSexpr(*lane1), "(+ ?w1 ?w3)");
+}
+
+TEST(Projection, MacExpands)
+{
+    RecExpr e = parseSexpr("(VecMAC (Vec ?x) (Vec ?y) (Vec ?z))");
+    auto lane = projectLane(e, 0);
+    ASSERT_TRUE(lane.has_value());
+    EXPECT_TRUE(lane->equalTree(parseSexpr("(+ ?x (* ?y ?z))")));
+}
+
+TEST(Projection, VectorWildcardGetsLaneVariable)
+{
+    RecExpr e = parseSexpr("(VecAdd ?u ?v)");
+    auto lane0 = projectLane(e, 0);
+    auto lane1 = projectLane(e, 1);
+    ASSERT_TRUE(lane0 && lane1);
+    // Different lanes must yield different scalar variables.
+    EXPECT_FALSE(lane0->equalTree(*lane1));
+}
+
+TEST(Projection, OutOfRangeLaneFails)
+{
+    RecExpr e = parseSexpr("(Vec ?a ?b)");
+    EXPECT_FALSE(projectLane(e, 2).has_value());
+}
+
+TEST(UniformWidth, Detection)
+{
+    EXPECT_EQ(uniformVecWidth(parseSexpr("(VecAdd (Vec ?a ?b) ?v)")), 2);
+    EXPECT_EQ(uniformVecWidth(parseSexpr("(VecAdd ?u ?v)")),
+              std::nullopt);
+    EXPECT_EQ(uniformVecWidth(
+                  parseSexpr("(Concat (Vec ?a ?b) (Vec ?c ?d ?e))")),
+              std::nullopt);
+}
+
+TEST(Verify, ProvesLaneWiseVectorRules)
+{
+    Rule r = parseRule("(VecAdd ?a ?b) ~> (VecAdd ?b ?a)");
+    EXPECT_EQ(verifyRule(r), Verdict::Proved);
+    Rule mac = parseRule("(VecAdd ?a (VecMul ?b ?c)) ~> (VecMAC ?a ?b ?c)");
+    EXPECT_EQ(verifyRule(mac), Verdict::Proved);
+}
+
+TEST(Verify, ProvesCompileRules)
+{
+    Rule r = parseRule(
+        "(Vec (+ ?a0 ?b0) (+ ?a1 ?b1)) ~> "
+        "(VecAdd (Vec ?a0 ?a1) (Vec ?b0 ?b1))");
+    EXPECT_EQ(verifyRule(r), Verdict::Proved);
+}
+
+TEST(Verify, RejectsUnsoundRules)
+{
+    EXPECT_EQ(verifyRule(parseRule("(+ ?a ?b) ~> (* ?a ?b)")),
+              Verdict::Rejected);
+    EXPECT_EQ(verifyRule(parseRule("(VecAdd ?a ?b) ~> (VecMinus ?a ?b)")),
+              Verdict::Rejected);
+    // sqrt(a*a) = a fails on negatives.
+    EXPECT_EQ(verifyRule(parseRule("(sqrt (* ?a ?a)) ~> ?a")),
+              Verdict::Rejected);
+}
+
+TEST(Verify, RejectsDefinednessMismatch)
+{
+    // x/x = 1 fails at x = 0: the sampler sees the mismatch.
+    EXPECT_EQ(verifyRule(parseRule("(/ ?a ?a) ~> 1")), Verdict::Rejected);
+}
+
+TEST(Verify, TestsSgnIdentitiesBySampling)
+{
+    // sgn(-x) = -sgn(x) is true but opaque to the normalizer.
+    Rule r = parseRule("(sgn (neg ?a)) ~> (neg (sgn ?a))");
+    EXPECT_EQ(verifyRule(r), Verdict::Tested);
+}
+
+TEST(Verify, DivisionRulesTestedNotProved)
+{
+    Rule r = parseRule("(/ (/ ?a ?b) ?c) ~> (/ ?a (* ?b ?c))");
+    Verdict v = verifyRule(r);
+    EXPECT_EQ(v, Verdict::Tested);
+}
+
+/** Parameterized sweep: lane-wise op/scalar-counterpart coherence. */
+class LaneProjectionTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LaneProjectionTest, CompileRulesProveAtEveryWidth)
+{
+    int width = GetParam();
+    // Build (Vec (+ a_i b_i) ...) ~> (VecAdd (Vec a...) (Vec b...)).
+    RecExpr lhs, rhs;
+    std::vector<NodeId> lanes;
+    for (int l = 0; l < width; ++l) {
+        NodeId a = lhs.addWildcard(2 * l);
+        NodeId b = lhs.addWildcard(2 * l + 1);
+        lanes.push_back(lhs.add(Op::Add, {a, b}));
+    }
+    lhs.add(Op::Vec, std::move(lanes));
+    std::vector<NodeId> va, vb;
+    for (int l = 0; l < width; ++l)
+        va.push_back(rhs.addWildcard(2 * l));
+    NodeId vecA = rhs.add(Op::Vec, std::move(va));
+    for (int l = 0; l < width; ++l)
+        vb.push_back(rhs.addWildcard(2 * l + 1));
+    NodeId vecB = rhs.add(Op::Vec, std::move(vb));
+    rhs.add(Op::VecAdd, {vecA, vecB});
+    Rule rule{std::move(lhs), std::move(rhs), "sweep", false};
+    EXPECT_EQ(verifyRule(rule), Verdict::Proved);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LaneProjectionTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+} // namespace
+} // namespace isaria

@@ -1,0 +1,224 @@
+// Tests for the virtual DSP: functional semantics and cycle model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vm/machine.h"
+#include "vm/reference.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+namespace
+{
+
+VmInst
+inst(VmOp op, std::int32_t dst = -1, std::int32_t a = -1,
+     std::int32_t b = -1, std::int32_t c = -1, SymbolId arr = 0,
+     std::int32_t imm = 0, std::vector<double> imms = {})
+{
+    return VmInst{op, dst, a, b, c, arr, imm, std::move(imms)};
+}
+
+TEST(Machine, ScalarArithmetic)
+{
+    VmProgram p;
+    p.numScalarRegs = 3;
+    SymbolId out = internSymbol("__out");
+    p.code = {
+        inst(VmOp::LoadConstS, 0, -1, -1, -1, 0, 0, {6}),
+        inst(VmOp::LoadConstS, 1, -1, -1, -1, 0, 0, {2}),
+        inst(VmOp::SDiv, 2, 0, 1),
+        inst(VmOp::StoreScalar, -1, 2, -1, -1, out, 0),
+    };
+    auto r = runProgram(p, {});
+    EXPECT_DOUBLE_EQ(r.memory.at(out)[0], 3.0);
+}
+
+TEST(Machine, VectorLaneSemantics)
+{
+    VmProgram p;
+    p.numScalarRegs = 1;
+    p.numVectorRegs = 3;
+    SymbolId in = internSymbol("vmIn");
+    SymbolId out = internSymbol("__out");
+    p.code = {
+        inst(VmOp::LoadVec, 0, -1, -1, -1, in, 0),
+        inst(VmOp::LoadConstV, 1, -1, -1, -1, 0, 0, {10, 20, 30, 40}),
+        inst(VmOp::VAdd, 2, 0, 1),
+        inst(VmOp::StoreVec, -1, 2, -1, -1, out, 0),
+    };
+    VmMemory mem;
+    mem[in] = {1, 2, 3, 4};
+    auto r = runProgram(p, mem);
+    EXPECT_DOUBLE_EQ(r.memory.at(out)[0], 11.0);
+    EXPECT_DOUBLE_EQ(r.memory.at(out)[3], 44.0);
+}
+
+TEST(Machine, MacAndMulSub)
+{
+    VmProgram p;
+    p.numVectorRegs = 5;
+    SymbolId out = internSymbol("__out");
+    p.code = {
+        inst(VmOp::LoadConstV, 0, -1, -1, -1, 0, 0, {1, 1, 1, 1}),
+        inst(VmOp::LoadConstV, 1, -1, -1, -1, 0, 0, {2, 3, 4, 5}),
+        inst(VmOp::LoadConstV, 2, -1, -1, -1, 0, 0, {10, 10, 10, 10}),
+        inst(VmOp::VMac, 3, 0, 1, 2),
+        inst(VmOp::VMulSub, 4, 0, 1, 2),
+        inst(VmOp::StoreVec, -1, 3, -1, -1, out, 0),
+        inst(VmOp::StoreVec, -1, 4, -1, -1, out, 4),
+    };
+    auto r = runProgram(p, {});
+    EXPECT_DOUBLE_EQ(r.memory.at(out)[0], 21.0);
+    EXPECT_DOUBLE_EQ(r.memory.at(out)[4], -19.0);
+}
+
+TEST(Machine, SplatAndInsert)
+{
+    VmProgram p;
+    p.numScalarRegs = 2;
+    p.numVectorRegs = 1;
+    SymbolId out = internSymbol("__out");
+    p.code = {
+        inst(VmOp::LoadConstS, 0, -1, -1, -1, 0, 0, {7}),
+        inst(VmOp::Splat, 0, 0),
+        inst(VmOp::LoadConstS, 1, -1, -1, -1, 0, 0, {9}),
+        inst(VmOp::InsertLane, 0, 1, -1, -1, 0, 2),
+        inst(VmOp::StoreVec, -1, 0, -1, -1, out, 0),
+    };
+    p.numVectorRegs = 1;
+    auto r = runProgram(p, {});
+    EXPECT_DOUBLE_EQ(r.memory.at(out)[0], 7.0);
+    EXPECT_DOUBLE_EQ(r.memory.at(out)[2], 9.0);
+    EXPECT_DOUBLE_EQ(r.memory.at(out)[3], 7.0);
+}
+
+TEST(Machine, SqrtSgnInstruction)
+{
+    VmProgram p;
+    p.numScalarRegs = 3;
+    SymbolId out = internSymbol("__out");
+    p.code = {
+        inst(VmOp::LoadConstS, 0, -1, -1, -1, 0, 0, {9}),
+        inst(VmOp::LoadConstS, 1, -1, -1, -1, 0, 0, {5}),
+        inst(VmOp::SSqrtSgn, 2, 0, 1),
+        inst(VmOp::StoreScalar, -1, 2, -1, -1, out, 0),
+    };
+    auto r = runProgram(p, {});
+    EXPECT_DOUBLE_EQ(r.memory.at(out)[0], -3.0);
+}
+
+TEST(Cycles, IndependentScalarOpsSerializeOnScalarFpu)
+{
+    // The scalar FPU is non-pipelined: two independent adds cost
+    // about twice one add.
+    auto mk = [&](int n) {
+        VmProgram p;
+        p.numScalarRegs = n + 1;
+        p.code.push_back(
+            inst(VmOp::LoadConstS, 0, -1, -1, -1, 0, 0, {1}));
+        for (int i = 0; i < n; ++i)
+            p.code.push_back(inst(VmOp::SAdd, i + 1, 0, 0));
+        return runProgram(p, {}).cycles;
+    };
+    std::uint64_t one = mk(1);
+    std::uint64_t four = mk(4);
+    EXPECT_GE(four, one + 3 * LatencyModel{}.scalarAlu);
+}
+
+TEST(Cycles, IndependentVectorOpsPipeline)
+{
+    auto mk = [&](int n) {
+        VmProgram p;
+        p.numVectorRegs = n + 1;
+        p.code.push_back(
+            inst(VmOp::LoadConstV, 0, -1, -1, -1, 0, 0, {1, 1, 1, 1}));
+        for (int i = 0; i < n; ++i)
+            p.code.push_back(inst(VmOp::VAdd, i + 1, 0, 0));
+        return runProgram(p, {}).cycles;
+    };
+    // Pipelined: four independent vector adds cost ~3 extra cycles.
+    EXPECT_LE(mk(4), mk(1) + 4);
+}
+
+TEST(Cycles, DependentChainPaysLatency)
+{
+    auto mk = [&](int n) {
+        VmProgram p;
+        p.numVectorRegs = n + 1;
+        p.code.push_back(
+            inst(VmOp::LoadConstV, 0, -1, -1, -1, 0, 0, {1, 1, 1, 1}));
+        for (int i = 0; i < n; ++i)
+            p.code.push_back(inst(VmOp::VAdd, i + 1, i, i));
+        return runProgram(p, {}).cycles;
+    };
+    int lat = LatencyModel{}.vectorAlu;
+    EXPECT_GE(mk(6), mk(2) + 4 * lat);
+}
+
+TEST(Cycles, DualIssueOverlapsMovesAndCompute)
+{
+    // A load stream and an independent vector compute stream should
+    // overlap almost completely.
+    SymbolId in = internSymbol("vmIn2");
+    VmProgram loads;
+    loads.numVectorRegs = 16;
+    loads.code.push_back(
+        inst(VmOp::LoadConstV, 8, -1, -1, -1, 0, 0, {1, 1, 1, 1}));
+    for (int i = 0; i < 8; ++i)
+        loads.code.push_back(inst(VmOp::LoadVec, i, -1, -1, -1, in, 0));
+    VmProgram mixed = loads;
+    for (int i = 0; i < 6; ++i)
+        mixed.code.push_back(inst(VmOp::VAdd, 9 + i, 8, 8));
+    VmMemory mem;
+    mem[in] = {1, 2, 3, 4};
+    std::uint64_t a = runProgram(loads, mem).cycles;
+    std::uint64_t b = runProgram(mixed, mem).cycles;
+    // The compute stream issues in the shadow of the load stream.
+    EXPECT_LE(b, a + 4);
+}
+
+TEST(Reference, MatchesMachineOnPrograms)
+{
+    RecExpr p = parseSexpr(
+        "(List (VecMAC (Vec 1 1 1 1) (Vec (Get rI 0) (Get rI 1) (Get rI 2)"
+        " (Get rI 3)) (Vec 2 2 2 2)))");
+    VmMemory mem;
+    mem[internSymbol("rI")] = {1, 2, 3, 4};
+    auto ref = evalProgramDoubles(p, mem);
+    ASSERT_EQ(ref.size(), 4u);
+    EXPECT_DOUBLE_EQ(ref[0], 3.0);
+    EXPECT_DOUBLE_EQ(ref[3], 9.0);
+}
+
+TEST(Reference, MaxAbsDiff)
+{
+    EXPECT_EQ(maxAbsDiff({1, 2}, {1, 2}), 0.0);
+    EXPECT_EQ(maxAbsDiff({1, 2}, {1, 2.5}), 0.5);
+    EXPECT_TRUE(std::isinf(maxAbsDiff({1}, {1, 2})));
+}
+
+TEST(VmIsaTest, SlotClassification)
+{
+    EXPECT_TRUE(vmOpIsMoveSlot(VmOp::LoadVec));
+    EXPECT_TRUE(vmOpIsMoveSlot(VmOp::Splat));
+    EXPECT_TRUE(vmOpIsMoveSlot(VmOp::StoreVec));
+    EXPECT_TRUE(vmOpIsScalarCompute(VmOp::SMulSub));
+    EXPECT_TRUE(vmOpIsVectorCompute(VmOp::VSqrtSgn));
+    EXPECT_FALSE(vmOpIsVectorCompute(VmOp::LoadConstV));
+}
+
+TEST(VmIsaTest, ProgramPrinting)
+{
+    VmProgram p;
+    p.numVectorRegs = 1;
+    p.code = {inst(VmOp::LoadVec, 0, -1, -1, -1, internSymbol("A"), 4)};
+    std::string text = p.toString();
+    EXPECT_NE(text.find("ldv"), std::string::npos);
+    EXPECT_NE(text.find("A[4]"), std::string::npos);
+}
+
+} // namespace
+} // namespace isaria
