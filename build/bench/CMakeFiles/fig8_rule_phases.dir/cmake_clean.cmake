@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rule_phases.dir/fig8_rule_phases.cpp.o"
+  "CMakeFiles/fig8_rule_phases.dir/fig8_rule_phases.cpp.o.d"
+  "fig8_rule_phases"
+  "fig8_rule_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rule_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

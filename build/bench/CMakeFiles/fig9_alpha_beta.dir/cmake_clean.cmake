@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_alpha_beta.dir/fig9_alpha_beta.cpp.o"
+  "CMakeFiles/fig9_alpha_beta.dir/fig9_alpha_beta.cpp.o.d"
+  "fig9_alpha_beta"
+  "fig9_alpha_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_alpha_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

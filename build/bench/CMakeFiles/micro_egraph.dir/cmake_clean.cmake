@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_egraph.dir/micro_egraph.cpp.o"
+  "CMakeFiles/micro_egraph.dir/micro_egraph.cpp.o.d"
+  "micro_egraph"
+  "micro_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

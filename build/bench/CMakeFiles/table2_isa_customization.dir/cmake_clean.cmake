@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_isa_customization.dir/table2_isa_customization.cpp.o"
+  "CMakeFiles/table2_isa_customization.dir/table2_isa_customization.cpp.o.d"
+  "table2_isa_customization"
+  "table2_isa_customization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_isa_customization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_instruction.dir/custom_instruction.cpp.o"
+  "CMakeFiles/custom_instruction.dir/custom_instruction.cpp.o.d"
+  "custom_instruction"
+  "custom_instruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_instruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

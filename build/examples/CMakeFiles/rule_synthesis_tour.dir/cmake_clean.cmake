@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_synthesis_tour.dir/rule_synthesis_tour.cpp.o"
+  "CMakeFiles/rule_synthesis_tour.dir/rule_synthesis_tour.cpp.o.d"
+  "rule_synthesis_tour"
+  "rule_synthesis_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_synthesis_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("term")
+subdirs("interp")
+subdirs("egraph")
+subdirs("isa")
+subdirs("verify")
+subdirs("synth")
+subdirs("phase")
+subdirs("compiler")
+subdirs("frontend")
+subdirs("lower")
+subdirs("vm")
+subdirs("baseline")

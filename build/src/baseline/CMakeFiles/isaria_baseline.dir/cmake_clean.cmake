@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_baseline.dir/diospyros.cpp.o"
+  "CMakeFiles/isaria_baseline.dir/diospyros.cpp.o.d"
+  "CMakeFiles/isaria_baseline.dir/harness.cpp.o"
+  "CMakeFiles/isaria_baseline.dir/harness.cpp.o.d"
+  "CMakeFiles/isaria_baseline.dir/nature.cpp.o"
+  "CMakeFiles/isaria_baseline.dir/nature.cpp.o.d"
+  "CMakeFiles/isaria_baseline.dir/slp.cpp.o"
+  "CMakeFiles/isaria_baseline.dir/slp.cpp.o.d"
+  "libisaria_baseline.a"
+  "libisaria_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

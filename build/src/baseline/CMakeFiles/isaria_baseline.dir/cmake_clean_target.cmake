@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisaria_baseline.a"
+)

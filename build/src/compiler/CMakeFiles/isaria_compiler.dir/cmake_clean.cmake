@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_compiler.dir/compiler.cpp.o"
+  "CMakeFiles/isaria_compiler.dir/compiler.cpp.o.d"
+  "CMakeFiles/isaria_compiler.dir/pipeline.cpp.o"
+  "CMakeFiles/isaria_compiler.dir/pipeline.cpp.o.d"
+  "libisaria_compiler.a"
+  "libisaria_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

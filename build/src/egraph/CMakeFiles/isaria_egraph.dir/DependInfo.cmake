@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/egraph/egraph.cpp" "src/egraph/CMakeFiles/isaria_egraph.dir/egraph.cpp.o" "gcc" "src/egraph/CMakeFiles/isaria_egraph.dir/egraph.cpp.o.d"
+  "/root/repo/src/egraph/ematch.cpp" "src/egraph/CMakeFiles/isaria_egraph.dir/ematch.cpp.o" "gcc" "src/egraph/CMakeFiles/isaria_egraph.dir/ematch.cpp.o.d"
+  "/root/repo/src/egraph/extract.cpp" "src/egraph/CMakeFiles/isaria_egraph.dir/extract.cpp.o" "gcc" "src/egraph/CMakeFiles/isaria_egraph.dir/extract.cpp.o.d"
+  "/root/repo/src/egraph/rewrite.cpp" "src/egraph/CMakeFiles/isaria_egraph.dir/rewrite.cpp.o" "gcc" "src/egraph/CMakeFiles/isaria_egraph.dir/rewrite.cpp.o.d"
+  "/root/repo/src/egraph/runner.cpp" "src/egraph/CMakeFiles/isaria_egraph.dir/runner.cpp.o" "gcc" "src/egraph/CMakeFiles/isaria_egraph.dir/runner.cpp.o.d"
+  "/root/repo/src/egraph/union_find.cpp" "src/egraph/CMakeFiles/isaria_egraph.dir/union_find.cpp.o" "gcc" "src/egraph/CMakeFiles/isaria_egraph.dir/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/isaria_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/isaria_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_egraph.dir/egraph.cpp.o"
+  "CMakeFiles/isaria_egraph.dir/egraph.cpp.o.d"
+  "CMakeFiles/isaria_egraph.dir/ematch.cpp.o"
+  "CMakeFiles/isaria_egraph.dir/ematch.cpp.o.d"
+  "CMakeFiles/isaria_egraph.dir/extract.cpp.o"
+  "CMakeFiles/isaria_egraph.dir/extract.cpp.o.d"
+  "CMakeFiles/isaria_egraph.dir/rewrite.cpp.o"
+  "CMakeFiles/isaria_egraph.dir/rewrite.cpp.o.d"
+  "CMakeFiles/isaria_egraph.dir/runner.cpp.o"
+  "CMakeFiles/isaria_egraph.dir/runner.cpp.o.d"
+  "CMakeFiles/isaria_egraph.dir/union_find.cpp.o"
+  "CMakeFiles/isaria_egraph.dir/union_find.cpp.o.d"
+  "libisaria_egraph.a"
+  "libisaria_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

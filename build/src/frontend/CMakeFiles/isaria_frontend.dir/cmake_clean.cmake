@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_frontend.dir/kernel_ir.cpp.o"
+  "CMakeFiles/isaria_frontend.dir/kernel_ir.cpp.o.d"
+  "CMakeFiles/isaria_frontend.dir/kernels.cpp.o"
+  "CMakeFiles/isaria_frontend.dir/kernels.cpp.o.d"
+  "libisaria_frontend.a"
+  "libisaria_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

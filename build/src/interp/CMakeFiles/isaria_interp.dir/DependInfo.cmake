@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/cvec.cpp" "src/interp/CMakeFiles/isaria_interp.dir/cvec.cpp.o" "gcc" "src/interp/CMakeFiles/isaria_interp.dir/cvec.cpp.o.d"
+  "/root/repo/src/interp/eval.cpp" "src/interp/CMakeFiles/isaria_interp.dir/eval.cpp.o" "gcc" "src/interp/CMakeFiles/isaria_interp.dir/eval.cpp.o.d"
+  "/root/repo/src/interp/value.cpp" "src/interp/CMakeFiles/isaria_interp.dir/value.cpp.o" "gcc" "src/interp/CMakeFiles/isaria_interp.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/isaria_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/isaria_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_interp.dir/cvec.cpp.o"
+  "CMakeFiles/isaria_interp.dir/cvec.cpp.o.d"
+  "CMakeFiles/isaria_interp.dir/eval.cpp.o"
+  "CMakeFiles/isaria_interp.dir/eval.cpp.o.d"
+  "CMakeFiles/isaria_interp.dir/value.cpp.o"
+  "CMakeFiles/isaria_interp.dir/value.cpp.o.d"
+  "libisaria_interp.a"
+  "libisaria_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

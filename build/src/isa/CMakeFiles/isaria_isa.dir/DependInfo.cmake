@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/cost_model.cpp" "src/isa/CMakeFiles/isaria_isa.dir/cost_model.cpp.o" "gcc" "src/isa/CMakeFiles/isaria_isa.dir/cost_model.cpp.o.d"
+  "/root/repo/src/isa/isa_spec.cpp" "src/isa/CMakeFiles/isaria_isa.dir/isa_spec.cpp.o" "gcc" "src/isa/CMakeFiles/isaria_isa.dir/isa_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/isaria_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/isaria_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/isaria_egraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

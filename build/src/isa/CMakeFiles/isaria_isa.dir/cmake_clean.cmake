@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_isa.dir/cost_model.cpp.o"
+  "CMakeFiles/isaria_isa.dir/cost_model.cpp.o.d"
+  "CMakeFiles/isaria_isa.dir/isa_spec.cpp.o"
+  "CMakeFiles/isaria_isa.dir/isa_spec.cpp.o.d"
+  "libisaria_isa.a"
+  "libisaria_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_lower.dir/lower.cpp.o"
+  "CMakeFiles/isaria_lower.dir/lower.cpp.o.d"
+  "CMakeFiles/isaria_lower.dir/optimize.cpp.o"
+  "CMakeFiles/isaria_lower.dir/optimize.cpp.o.d"
+  "libisaria_lower.a"
+  "libisaria_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_phase.dir/phase.cpp.o"
+  "CMakeFiles/isaria_phase.dir/phase.cpp.o.d"
+  "libisaria_phase.a"
+  "libisaria_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

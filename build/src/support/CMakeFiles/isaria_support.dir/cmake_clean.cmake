@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_support.dir/interner.cpp.o"
+  "CMakeFiles/isaria_support.dir/interner.cpp.o.d"
+  "CMakeFiles/isaria_support.dir/rational.cpp.o"
+  "CMakeFiles/isaria_support.dir/rational.cpp.o.d"
+  "libisaria_support.a"
+  "libisaria_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

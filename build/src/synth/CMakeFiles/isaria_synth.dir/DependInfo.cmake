@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/enumerate.cpp" "src/synth/CMakeFiles/isaria_synth.dir/enumerate.cpp.o" "gcc" "src/synth/CMakeFiles/isaria_synth.dir/enumerate.cpp.o.d"
+  "/root/repo/src/synth/ruleset.cpp" "src/synth/CMakeFiles/isaria_synth.dir/ruleset.cpp.o" "gcc" "src/synth/CMakeFiles/isaria_synth.dir/ruleset.cpp.o.d"
+  "/root/repo/src/synth/synthesize.cpp" "src/synth/CMakeFiles/isaria_synth.dir/synthesize.cpp.o" "gcc" "src/synth/CMakeFiles/isaria_synth.dir/synthesize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/isaria_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/isaria_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/isaria_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/isaria_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/isaria_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/isaria_verify.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

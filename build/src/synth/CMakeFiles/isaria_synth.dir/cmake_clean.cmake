@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_synth.dir/enumerate.cpp.o"
+  "CMakeFiles/isaria_synth.dir/enumerate.cpp.o.d"
+  "CMakeFiles/isaria_synth.dir/ruleset.cpp.o"
+  "CMakeFiles/isaria_synth.dir/ruleset.cpp.o.d"
+  "CMakeFiles/isaria_synth.dir/synthesize.cpp.o"
+  "CMakeFiles/isaria_synth.dir/synthesize.cpp.o.d"
+  "libisaria_synth.a"
+  "libisaria_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/term/op.cpp" "src/term/CMakeFiles/isaria_term.dir/op.cpp.o" "gcc" "src/term/CMakeFiles/isaria_term.dir/op.cpp.o.d"
+  "/root/repo/src/term/pattern.cpp" "src/term/CMakeFiles/isaria_term.dir/pattern.cpp.o" "gcc" "src/term/CMakeFiles/isaria_term.dir/pattern.cpp.o.d"
+  "/root/repo/src/term/rec_expr.cpp" "src/term/CMakeFiles/isaria_term.dir/rec_expr.cpp.o" "gcc" "src/term/CMakeFiles/isaria_term.dir/rec_expr.cpp.o.d"
+  "/root/repo/src/term/sexpr.cpp" "src/term/CMakeFiles/isaria_term.dir/sexpr.cpp.o" "gcc" "src/term/CMakeFiles/isaria_term.dir/sexpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/isaria_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

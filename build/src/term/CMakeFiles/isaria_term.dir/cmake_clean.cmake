@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_term.dir/op.cpp.o"
+  "CMakeFiles/isaria_term.dir/op.cpp.o.d"
+  "CMakeFiles/isaria_term.dir/pattern.cpp.o"
+  "CMakeFiles/isaria_term.dir/pattern.cpp.o.d"
+  "CMakeFiles/isaria_term.dir/rec_expr.cpp.o"
+  "CMakeFiles/isaria_term.dir/rec_expr.cpp.o.d"
+  "CMakeFiles/isaria_term.dir/sexpr.cpp.o"
+  "CMakeFiles/isaria_term.dir/sexpr.cpp.o.d"
+  "libisaria_term.a"
+  "libisaria_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/normalizer.cpp" "src/verify/CMakeFiles/isaria_verify.dir/normalizer.cpp.o" "gcc" "src/verify/CMakeFiles/isaria_verify.dir/normalizer.cpp.o.d"
+  "/root/repo/src/verify/poly.cpp" "src/verify/CMakeFiles/isaria_verify.dir/poly.cpp.o" "gcc" "src/verify/CMakeFiles/isaria_verify.dir/poly.cpp.o.d"
+  "/root/repo/src/verify/verifier.cpp" "src/verify/CMakeFiles/isaria_verify.dir/verifier.cpp.o" "gcc" "src/verify/CMakeFiles/isaria_verify.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/isaria_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/isaria_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/isaria_interp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_verify.dir/normalizer.cpp.o"
+  "CMakeFiles/isaria_verify.dir/normalizer.cpp.o.d"
+  "CMakeFiles/isaria_verify.dir/poly.cpp.o"
+  "CMakeFiles/isaria_verify.dir/poly.cpp.o.d"
+  "CMakeFiles/isaria_verify.dir/verifier.cpp.o"
+  "CMakeFiles/isaria_verify.dir/verifier.cpp.o.d"
+  "libisaria_verify.a"
+  "libisaria_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

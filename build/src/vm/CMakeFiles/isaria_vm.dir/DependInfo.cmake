@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/machine.cpp" "src/vm/CMakeFiles/isaria_vm.dir/machine.cpp.o" "gcc" "src/vm/CMakeFiles/isaria_vm.dir/machine.cpp.o.d"
+  "/root/repo/src/vm/reference.cpp" "src/vm/CMakeFiles/isaria_vm.dir/reference.cpp.o" "gcc" "src/vm/CMakeFiles/isaria_vm.dir/reference.cpp.o.d"
+  "/root/repo/src/vm/vm_isa.cpp" "src/vm/CMakeFiles/isaria_vm.dir/vm_isa.cpp.o" "gcc" "src/vm/CMakeFiles/isaria_vm.dir/vm_isa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/isaria_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/isaria_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

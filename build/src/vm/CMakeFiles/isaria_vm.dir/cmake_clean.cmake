@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isaria_vm.dir/machine.cpp.o"
+  "CMakeFiles/isaria_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/isaria_vm.dir/reference.cpp.o"
+  "CMakeFiles/isaria_vm.dir/reference.cpp.o.d"
+  "CMakeFiles/isaria_vm.dir/vm_isa.cpp.o"
+  "CMakeFiles/isaria_vm.dir/vm_isa.cpp.o.d"
+  "libisaria_vm.a"
+  "libisaria_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isaria_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

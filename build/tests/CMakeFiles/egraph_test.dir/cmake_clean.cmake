@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_test.dir/egraph_test.cpp.o"
+  "CMakeFiles/egraph_test.dir/egraph_test.cpp.o.d"
+  "egraph_test"
+  "egraph_test.pdb"
+  "egraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/term_test.cpp" "tests/CMakeFiles/term_test.dir/term_test.cpp.o" "gcc" "tests/CMakeFiles/term_test.dir/term_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/isaria_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/isaria_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/isaria_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/isaria_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/isaria_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/isaria_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/isaria_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/isaria_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/isaria_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/isaria_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/isaria_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/isaria_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isaria_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
