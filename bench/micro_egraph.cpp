@@ -3,8 +3,19 @@
 // e-matching, equality saturation, and extraction. These are not a
 // paper figure; they exist to track the performance of the substrate
 // the figure harnesses depend on.
+//
+// The saturation-loop benchmarks sweep search-thread counts and
+// ruleset sizes (the regime where per-rule search cost dominates once
+// lane-wise rules are generalized to full vector width). Unless a
+// --benchmark_out flag is given, results are also written as
+// machine-readable JSON to BENCH_egraph.json in the working
+// directory, so successive PRs accumulate a perf trajectory.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "baseline/diospyros.h"
 #include "egraph/extract.h"
@@ -22,6 +33,18 @@ RecExpr
 convProgram(int n, int k)
 {
     return liftKernel(make2DConv(n, n, k, k), 4);
+}
+
+/** The Diospyros hand rules replicated @p scale times. */
+std::vector<CompiledRule>
+scaledRules(int scale)
+{
+    std::vector<Rule> base = diospyrosHandRules().rules();
+    std::vector<Rule> all;
+    all.reserve(base.size() * static_cast<std::size_t>(scale));
+    for (int copy = 0; copy < scale; ++copy)
+        all.insert(all.end(), base.begin(), base.end());
+    return compileRules(all);
 }
 
 void
@@ -71,10 +94,140 @@ BM_EMatchCommutativity(benchmark::State &state)
 }
 BENCHMARK(BM_EMatchCommutativity)->Arg(4)->Arg(8);
 
+/**
+ * The saturation hot loop, swept over (threads, ruleset scale). The
+ * ruleset is the Diospyros hand rules replicated scale x; threads is
+ * EqSatLimits::numThreads. This is the acceptance workload for the
+ * parallel e-matching engine: matches, e-graphs, and extractions are
+ * identical across the threads axis — only wall-clock may change.
+ */
+void
+BM_EqSatSaturation(benchmark::State &state)
+{
+    int threads = static_cast<int>(state.range(0));
+    int scale = static_cast<int>(state.range(1));
+    auto rules = scaledRules(scale);
+    RecExpr program = convProgram(4, 3);
+    EqSatLimits limits;
+    limits.maxIters = 2;
+    limits.maxNodes = 60'000;
+    limits.numThreads = threads;
+    double searchSeconds = 0;
+    std::size_t nodes = 0;
+    for (auto _ : state) {
+        EGraph eg;
+        eg.addExpr(program);
+        EqSatReport report = runEqSat(eg, rules, limits);
+        benchmark::DoNotOptimize(report.nodes);
+        searchSeconds += report.searchSeconds;
+        nodes = report.nodes;
+    }
+    state.counters["threads"] = threads;
+    state.counters["rules"] = static_cast<double>(rules.size());
+    state.counters["egraph_nodes"] = static_cast<double>(nodes);
+    state.counters["search_s_per_iter"] = benchmark::Counter(
+        searchSeconds, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_EqSatSaturation)
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 2, 4}})
+    ->ArgNames({"threads", "ruleset"})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * An e-graph closed under associativity + commutativity of a chain of
+ * @p leaves additions: the NP-complete AC-matching regime of §2.2.
+ * Classes hold many e-nodes, so deep patterns backtrack heavily.
+ * Built once and shared — saturating it is expensive.
+ */
+const EGraph &
+acSaturatedGraph(int leaves)
+{
+    static EGraph graph = [leaves] {
+        RecExpr chain;
+        NodeId acc = chain.addSymbol("v0");
+        for (int i = 1; i < leaves; ++i) {
+            NodeId leaf = chain.addSymbol("v" + std::to_string(i));
+            acc = chain.add(Op::Add, {acc, leaf});
+        }
+        EGraph eg;
+        eg.addExpr(chain);
+        auto rules = compileRules({
+            parseRule("(+ ?a ?b) ~> (+ ?b ?a)"),
+            parseRule("(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))"),
+        });
+        EqSatLimits warmup;
+        warmup.maxIters = 60;
+        warmup.maxNodes = 500'000;
+        warmup.numThreads = 1;
+        runEqSat(eg, rules, warmup);
+        return eg;
+    }();
+    return graph;
+}
+
+/**
+ * The largest micro workload, and the search-dominated one: one
+ * saturation pass of many deep / non-linear probe patterns over the
+ * AC-closed e-graph. Most probe attempts fail after partial matches
+ * and every successful application is a no-op merge (the graph is
+ * already closed), so nearly all wall-clock is the read-only parallel
+ * search phase — the "hundreds of generalized rules, few of which
+ * fire" regime the paper's compile loop lives in, and the workload
+ * where the thread sweep shows the engine's multicore scaling.
+ */
+void
+BM_EqSatSearchHeavy(benchmark::State &state)
+{
+    int threads = static_cast<int>(state.range(0));
+    std::vector<Rule> probes = {
+        parseRule("(+ (+ ?a ?b) (+ ?b ?a)) ~> (+ (+ ?b ?a) (+ ?a ?b))"),
+        parseRule("(+ ?a (+ ?b (+ ?c (+ ?d ?e)))) ~> "
+                  "(+ (+ (+ (+ ?a ?b) ?c) ?d) ?e)"),
+        parseRule("(+ (+ ?a ?a) ?b) ~> (+ ?b (+ ?a ?a))"),
+        parseRule("(+ (+ (+ ?a ?b) ?c) (+ ?a (+ ?b ?c))) ~> "
+                  "(+ (+ ?c (+ ?b ?a)) (+ (+ ?c ?b) ?a))"),
+    };
+    std::vector<Rule> all;
+    for (int copy = 0; copy < 16; ++copy)
+        all.insert(all.end(), probes.begin(), probes.end());
+    auto rules = compileRules(all);
+
+    const EGraph &seed = acSaturatedGraph(9);
+    EqSatLimits limits;
+    limits.maxIters = 1;
+    limits.maxNodes = 1'000'000;
+    limits.maxMatchesPerRule = 2'000;
+    limits.maxMatchesPerClass = 8;
+    limits.maxSearchStepsPerRule = 4'000'000;
+    limits.numThreads = threads;
+    double searchSeconds = 0;
+    double totalSeconds = 0;
+    for (auto _ : state) {
+        EGraph eg = seed;
+        EqSatReport report = runEqSat(eg, rules, limits);
+        benchmark::DoNotOptimize(report.nodes);
+        searchSeconds += report.searchSeconds;
+        totalSeconds += report.seconds;
+    }
+    state.counters["threads"] = threads;
+    state.counters["rules"] = static_cast<double>(rules.size());
+    state.counters["egraph_nodes"] =
+        static_cast<double>(seed.numNodes());
+    state.counters["search_share"] =
+        totalSeconds > 0 ? searchSeconds / totalSeconds : 0;
+}
+BENCHMARK(BM_EqSatSearchHeavy)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_EqSatDiospyrosRules(benchmark::State &state)
 {
-    auto rules = compileRules(diospyrosHandRules().rules());
+    auto rules = scaledRules(1);
     RecExpr program = convProgram(3, 2);
     EqSatLimits limits;
     limits.maxIters = 2;
@@ -91,7 +244,7 @@ BENCHMARK(BM_EqSatDiospyrosRules)->Unit(benchmark::kMillisecond);
 void
 BM_Extract(benchmark::State &state)
 {
-    auto rules = compileRules(diospyrosHandRules().rules());
+    auto rules = scaledRules(1);
     RecExpr program = convProgram(4, 2);
     EGraph eg;
     EClassId root = eg.addExpr(program);
@@ -121,4 +274,26 @@ BENCHMARK(BM_LiftKernel)->Arg(8)->Arg(16);
 } // namespace
 } // namespace isaria
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Default to a JSON sidecar (BENCH_egraph.json) unless the caller
+    // already directs output somewhere.
+    std::vector<char *> args(argv, argv + argc);
+    bool hasOut = false;
+    for (int i = 1; i < argc; ++i)
+        hasOut |= std::strncmp(argv[i], "--benchmark_out", 15) == 0;
+    std::string outFlag = "--benchmark_out=BENCH_egraph.json";
+    std::string formatFlag = "--benchmark_out_format=json";
+    if (!hasOut) {
+        args.push_back(outFlag.data());
+        args.push_back(formatFlag.data());
+    }
+    int argCount = static_cast<int>(args.size());
+    benchmark::Initialize(&argCount, args.data());
+    if (benchmark::ReportUnrecognizedArguments(argCount, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,6 +6,12 @@
 // Usage:
 //   kernel_explorer [conv R C KR KC | matmul N M K | qprod | qrd N]
 //                   [--asm] [--budget SECONDS] [--optimize]
+//                   [--eqsat-threads=N]
+//
+// --eqsat-threads=N runs every equality-saturation search phase on N
+// worker threads (default: ISARIA_EQSAT_THREADS, else the hardware
+// concurrency; 1 = sequential). The result is identical for any N —
+// only compile time changes.
 //
 // --optimize additionally runs the post-lowering machine passes
 // (MAC fusion, DCE, dual-issue scheduling) on the Isaria output and
@@ -34,6 +40,7 @@ main(int argc, char **argv)
     bool dumpAsm = false;
     bool optimize = false;
     double budget = 20;
+    int eqsatThreads = 0; // 0 = auto (env / hardware concurrency)
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -57,6 +64,11 @@ main(int argc, char **argv)
         } else if (arg == "--budget" && i + 1 < argc) {
             budget = std::atof(argv[i + 1]);
             i += 1;
+        } else if (arg.rfind("--eqsat-threads=", 0) == 0) {
+            eqsatThreads = std::atoi(arg.c_str() + 16);
+        } else if (arg == "--eqsat-threads" && i + 1 < argc) {
+            eqsatThreads = std::atoi(argv[i + 1]);
+            i += 1;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
             return 1;
@@ -73,8 +85,11 @@ main(int argc, char **argv)
                 budget);
     SynthConfig synth;
     synth.timeoutSeconds = budget;
-    GeneratedCompiler gen = generateCompiler(isa, synth);
-    IsariaCompiler dios = makeDiospyrosCompiler();
+    synth.derivLimits.numThreads = eqsatThreads;
+    CompilerConfig compilerConfig;
+    compilerConfig.withEqSatThreads(eqsatThreads);
+    GeneratedCompiler gen = generateCompiler(isa, synth, compilerConfig);
+    IsariaCompiler dios = makeDiospyrosCompiler(compilerConfig);
 
     RunOutcome base = h.runScalarBaseline();
     RunOutcome slp = h.runSlp();

@@ -59,6 +59,19 @@ struct CompilerConfig
     /** Phase-scheduled saturation; false = one saturation over the
      *  whole rule set (the Section 2.2 / 5.2 strawman). */
     bool phasing = true;
+
+    /**
+     * Sets the e-matching thread count of every per-phase EqSat
+     * budget (the --eqsat-threads knob; see EqSatLimits::numThreads).
+     */
+    CompilerConfig &
+    withEqSatThreads(int threads)
+    {
+        expansionLimits.numThreads = threads;
+        compilationLimits.numThreads = threads;
+        optLimits.numThreads = threads;
+        return *this;
+    }
 };
 
 /** Observability for the experiments. */

@@ -7,6 +7,9 @@
 namespace isaria
 {
 
+static_assert(static_cast<unsigned>(Op::NumOps) <= 32,
+              "the per-class operator mask is a 32-bit word");
+
 EClassId
 EGraph::add(ENode node)
 {
@@ -18,6 +21,10 @@ EGraph::add(ENode node)
     EClassId id = uf_.makeSet();
     classes_.emplace_back();
     classes_[id].nodes.push_back(canon);
+    opMask_.push_back(1u << opBit(canon.op));
+    opClasses_[opBit(canon.op)].push_back(id);
+    ++liveNodes_;
+    ++liveClasses_;
     for (EClassId child : canon.children)
         classes_[child].parents.emplace_back(canon, id);
     memo_.emplace(std::move(canon), id);
@@ -78,6 +85,18 @@ EGraph::merge(EClassId a, EClassId b)
     goneClass.parents.clear();
     goneClass.parents.shrink_to_fit();
 
+    // The survivor gains the absorbed class's operators; enqueue it in
+    // the index only for ops it did not already have, keeping the
+    // per-op lists short.
+    std::uint32_t gained = opMask_[gone] & ~opMask_[keep];
+    opMask_[keep] |= opMask_[gone];
+    while (gained) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctz(gained));
+        gained &= gained - 1;
+        opClasses_[bit].push_back(keep);
+    }
+    --liveClasses_;
+
     worklist_.push_back(keep);
     return true;
 }
@@ -93,6 +112,9 @@ EGraph::rebuild()
         for (EClassId id : todo)
             repair(uf_.find(id));
     }
+    // Freeze-friendly: after full compression findFrozen is one load,
+    // so the parallel search phase never path-compresses (writes).
+    uf_.compressAll();
 }
 
 void
@@ -146,6 +168,7 @@ EGraph::repair(EClassId id)
         if (dedup.emplace(canon, true).second)
             nodes.push_back(std::move(canon));
     }
+    liveNodes_ -= self.nodes.size() - nodes.size();
     self.nodes = std::move(nodes);
 }
 
@@ -153,6 +176,7 @@ std::vector<EClassId>
 EGraph::canonicalClasses() const
 {
     std::vector<EClassId> out;
+    out.reserve(liveClasses_);
     for (EClassId id = 0; id < uf_.size(); ++id) {
         if (uf_.find(id) == id)
             out.push_back(id);
@@ -160,8 +184,23 @@ EGraph::canonicalClasses() const
     return out;
 }
 
+const std::vector<EClassId> &
+EGraph::classesWithOp(Op op)
+{
+    ISARIA_ASSERT(!dirty(), "op index queried on a dirty e-graph");
+    std::vector<EClassId> &list = opClasses_[opBit(op)];
+    // Compact: canonicalize, drop classes merged into ones already
+    // listed, and keep the list sorted so search order (and therefore
+    // match order) is deterministic.
+    for (EClassId &id : list)
+        id = uf_.find(id);
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    return list;
+}
+
 std::size_t
-EGraph::numNodes() const
+EGraph::numNodesSlow() const
 {
     std::size_t total = 0;
     for (EClassId id = 0; id < uf_.size(); ++id) {
@@ -172,7 +211,7 @@ EGraph::numNodes() const
 }
 
 std::size_t
-EGraph::numClasses() const
+EGraph::numClassesSlow() const
 {
     std::size_t total = 0;
     for (EClassId id = 0; id < uf_.size(); ++id) {

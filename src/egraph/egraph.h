@@ -10,8 +10,20 @@
  * Diospyros build on: hash-consed e-nodes grouped into e-classes by a
  * union-find, with congruence restored lazily by rebuild() after a
  * batch of merges.
+ *
+ * Two bookkeeping structures are maintained incrementally so the
+ * saturation loop never rescans the whole graph:
+ *  - live node/class counters, updated on add/merge/repair, making
+ *    numNodes()/numClasses() O(1) (the runner polls them every few
+ *    hundred rule applications);
+ *  - an op -> classes index (which canonical classes contain at least
+ *    one e-node with a given operator), invalidated lazily: merges
+ *    append the surviving class for newly-gained ops and stale ids are
+ *    compacted away on access instead of rebuilding the index from
+ *    scratch each iteration.
  */
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +59,17 @@ class EGraph
     EClassId find(EClassId id) const { return uf_.find(id); }
 
     /**
+     * Canonical id of @p id as a pure read (no path compression).
+     * This is the only find that may be used while the e-graph is
+     * frozen and searched from multiple threads; rebuild() fully
+     * compresses the union-find so it is O(1) in that state.
+     */
+    EClassId findFrozen(EClassId id) const
+    {
+        return uf_.findNoCompress(id);
+    }
+
+    /**
      * Asserts @p a and @p b equal. Returns true if the graph changed
      * (the classes were distinct). Congruence is restored lazily:
      * call rebuild() after a batch of merges.
@@ -63,14 +86,36 @@ class EGraph
         return classes_[find(id)];
     }
 
+    /** Like eclass(), but thread-safe on a frozen e-graph. */
+    const EClass &
+    eclassFrozen(EClassId id) const
+    {
+        return classes_[uf_.findNoCompress(id)];
+    }
+
     /** All canonical class ids (valid only after rebuild). */
     std::vector<EClassId> canonicalClasses() const;
 
-    /** Total e-nodes across canonical classes. */
-    std::size_t numNodes() const;
+    /**
+     * Canonical classes containing at least one e-node with operator
+     * @p op, sorted ascending. Maintained incrementally: this call
+     * compacts stale (merged-away) ids in place instead of rebuilding
+     * the index. Call only on a rebuilt (non-dirty) e-graph; the
+     * returned reference is valid until the next add/merge.
+     */
+    const std::vector<EClassId> &classesWithOp(Op op);
 
-    /** Number of canonical classes. */
-    std::size_t numClasses() const;
+    /** Total e-nodes across canonical classes (O(1), incremental). */
+    std::size_t numNodes() const { return liveNodes_; }
+
+    /** Number of canonical classes (O(1), incremental). */
+    std::size_t numClasses() const { return liveClasses_; }
+
+    /** O(all-classes) recount of numNodes(), for cross-checks. */
+    std::size_t numNodesSlow() const;
+
+    /** O(all-classes) recount of numClasses(), for cross-checks. */
+    std::size_t numClassesSlow() const;
 
     /** True if the ids are in the same class. */
     bool
@@ -85,10 +130,23 @@ class EGraph
   private:
     void repair(EClassId id);
 
+    static unsigned opBit(Op op) { return static_cast<unsigned>(op); }
+
     UnionFind uf_;
     std::vector<EClass> classes_;
     std::unordered_map<ENode, EClassId, ENodeHash> memo_;
     std::vector<EClassId> worklist_;
+
+    /** Incremental counters mirroring the slow scans. */
+    std::size_t liveNodes_ = 0;
+    std::size_t liveClasses_ = 0;
+
+    /** Bitmask of operators present in each class (by class id). */
+    std::vector<std::uint32_t> opMask_;
+    /** Per-op class lists; may hold stale ids until compacted. */
+    std::vector<std::vector<EClassId>> opClasses_ =
+        std::vector<std::vector<EClassId>>(
+            static_cast<std::size_t>(Op::NumOps));
 };
 
 } // namespace isaria

@@ -1,8 +1,6 @@
 #include "egraph/ematch.h"
 
 #include <algorithm>
-#include <functional>
-#include <limits>
 
 #include "support/panic.h"
 
@@ -12,142 +10,71 @@ namespace isaria
 namespace
 {
 
-constexpr EClassId kUnbound = std::numeric_limits<EClassId>::max();
-
-/** Recursive backtracking matcher. */
-class Matcher
+/** Backtracking frame: a Bind to resume and where to resume it. */
+struct Frame
 {
-  public:
-    Matcher(const EGraph &egraph, const RecExpr &pattern,
-            const std::vector<std::int32_t> &slotIds,
-            std::vector<PatternMatch> &out, std::size_t maxMatches,
-            std::size_t *stepBudget)
-        : egraph_(egraph), pattern_(pattern), slotIds_(slotIds),
-          out_(out), maxMatches_(maxMatches), stepBudget_(stepBudget),
-          bindings_(slotIds.size(), kUnbound)
-    {}
-
-    void
-    matchRoot(EClassId root)
-    {
-        root_ = egraph_.find(root);
-        matchNode(pattern_.rootId(), root_, [this] { emit(); });
-    }
-
-  private:
-    std::size_t
-    slotOf(std::int32_t wildcardId) const
-    {
-        for (std::size_t i = 0; i < slotIds_.size(); ++i) {
-            if (slotIds_[i] == wildcardId)
-                return i;
-        }
-        ISARIA_PANIC("wildcard id has no slot");
-    }
-
-    bool
-    full() const
-    {
-        if (stepBudget_ && *stepBudget_ == 0)
-            return true;
-        return out_.size() >= maxMatches_;
-    }
-
-    /** Charges one unit of search work; false when exhausted. */
-    bool
-    step()
-    {
-        if (!stepBudget_)
-            return true;
-        if (*stepBudget_ == 0)
-            return false;
-        --*stepBudget_;
-        return true;
-    }
-
-    void
-    emit()
-    {
-        if (full())
-            return;
-        out_.push_back(PatternMatch{root_, bindings_});
-    }
-
-    /**
-     * Matches pattern node @p pid against e-class @p cls, invoking
-     * @p k for every consistent extension of the bindings. The
-     * continuation is type-erased: the recursion depth follows the
-     * pattern's runtime shape, which templates cannot.
-     */
-    using Cont = std::function<void()>;
-
-    void
-    matchNode(NodeId pid, EClassId cls, const Cont &k)
-    {
-        if (full() || !step())
-            return;
-        const TermNode &pnode = pattern_.node(pid);
-        cls = egraph_.find(cls);
-
-        if (pnode.op == Op::Wildcard) {
-            std::size_t slot =
-                slotOf(static_cast<std::int32_t>(pnode.payload));
-            if (bindings_[slot] != kUnbound) {
-                if (egraph_.find(bindings_[slot]) == cls)
-                    k();
-                return;
-            }
-            bindings_[slot] = cls;
-            k();
-            bindings_[slot] = kUnbound;
-            return;
-        }
-
-        for (const ENode &enode : egraph_.eclass(cls).nodes) {
-            if (full())
-                return;
-            if (enode.op != pnode.op || enode.payload != pnode.payload ||
-                enode.children.size() != pnode.children.size()) {
-                continue;
-            }
-            matchChildren(pnode, enode, 0, k);
-        }
-    }
-
-    void
-    matchChildren(const TermNode &pnode, const ENode &enode,
-                  std::size_t index, const Cont &k)
-    {
-        if (index == pnode.children.size()) {
-            k();
-            return;
-        }
-        matchNode(pnode.children[index], enode.children[index],
-                  [&, this] { matchChildren(pnode, enode, index + 1, k); });
-    }
-
-    const EGraph &egraph_;
-    const RecExpr &pattern_;
-    const std::vector<std::int32_t> &slotIds_;
-    std::vector<PatternMatch> &out_;
-    std::size_t maxMatches_;
-    std::size_t *stepBudget_;
-    std::vector<EClassId> bindings_;
-    EClassId root_ = 0;
+    std::uint32_t pc;
+    std::uint32_t nextNode;
 };
 
 } // namespace
 
 CompiledPattern::CompiledPattern(RecExpr pattern)
     : pattern_(std::move(pattern)), slotIds_(pattern_.wildcardIds())
-{}
+{
+    slotOfWildcard_.reserve(slotIds_.size());
+    for (std::size_t slot = 0; slot < slotIds_.size(); ++slot)
+        slotOfWildcard_.emplace(slotIds_[slot], slot);
+    constexpr std::uint16_t kNoReg = 0xffff;
+    slotRegs_.assign(slotIds_.size(), kNoReg);
+    compileNode(pattern_.rootId(), 0);
+    for (std::uint16_t reg : slotRegs_)
+        ISARIA_ASSERT(reg != kNoReg, "wildcard slot never compiled");
+}
+
+void
+CompiledPattern::compileNode(NodeId pid, std::uint16_t reg)
+{
+    const TermNode &node = pattern_.node(pid);
+    if (node.op == Op::Wildcard) {
+        std::size_t slot = slotOf(static_cast<std::int32_t>(node.payload));
+        if (slotRegs_[slot] == 0xffff) {
+            // First occurrence: the class already in the register *is*
+            // the binding; no instruction needed.
+            slotRegs_[slot] = reg;
+        } else {
+            PatternInstr check;
+            check.kind = PatternInstr::Kind::Check;
+            check.reg = reg;
+            check.other = slotRegs_[slot];
+            program_.push_back(check);
+        }
+        return;
+    }
+
+    PatternInstr bind;
+    bind.kind = PatternInstr::Kind::Bind;
+    bind.op = node.op;
+    bind.payload = node.payload;
+    bind.reg = reg;
+    bind.arity = static_cast<std::uint16_t>(node.children.size());
+    bind.outBase = numRegs_;
+    ISARIA_ASSERT(numRegs_ + node.children.size() < 0xffff,
+                  "pattern too large for the e-match register file");
+    numRegs_ = static_cast<std::uint16_t>(numRegs_ + node.children.size());
+    program_.push_back(bind);
+
+    for (std::size_t i = 0; i < node.children.size(); ++i)
+        compileNode(node.children[i],
+                    static_cast<std::uint16_t>(bind.outBase + i));
+}
 
 std::size_t
 CompiledPattern::slotOf(std::int32_t wildcardId) const
 {
-    auto it = std::find(slotIds_.begin(), slotIds_.end(), wildcardId);
-    ISARIA_ASSERT(it != slotIds_.end(), "unknown wildcard id");
-    return static_cast<std::size_t>(it - slotIds_.begin());
+    auto it = slotOfWildcard_.find(wildcardId);
+    ISARIA_ASSERT(it != slotOfWildcard_.end(), "unknown wildcard id");
+    return it->second;
 }
 
 void
@@ -156,9 +83,93 @@ CompiledPattern::searchClass(const EGraph &egraph, EClassId root,
                              std::size_t maxMatches,
                              std::size_t *stepBudget) const
 {
-    Matcher matcher(egraph, pattern_, slotIds_, out, maxMatches,
-                    stepBudget);
-    matcher.matchRoot(root);
+    if (out.size() >= maxMatches)
+        return;
+    if (stepBudget && *stepBudget == 0)
+        return;
+
+    // Per-thread scratch: register file + backtracking stack, reused
+    // across calls so the hot loop never allocates.
+    thread_local std::vector<EClassId> regs;
+    thread_local std::vector<Frame> stack;
+    regs.assign(numRegs_, 0);
+    stack.clear();
+
+    const EClassId canonRoot = egraph.findFrozen(root);
+    regs[0] = canonRoot;
+
+    auto charge = [&]() -> bool {
+        if (!stepBudget)
+            return true;
+        if (*stepBudget == 0)
+            return false;
+        --*stepBudget;
+        return true;
+    };
+
+    std::uint32_t pc = 0;
+    std::uint32_t resumeAt = 0; // candidate index for the Bind at pc
+    const auto programSize = static_cast<std::uint32_t>(program_.size());
+
+    for (;;) {
+        if (pc == programSize) {
+            // Every instruction succeeded: emit the match (budget
+            // exhaustion suppresses emission, matching the legacy
+            // matcher's contract).
+            if (stepBudget && *stepBudget == 0)
+                return;
+            PatternMatch &match = out.emplace_back();
+            match.root = canonRoot;
+            match.bindings.reserve(slotRegs_.size());
+            for (std::uint16_t reg : slotRegs_)
+                match.bindings.push_back(egraph.findFrozen(regs[reg]));
+            if (out.size() >= maxMatches)
+                return;
+            if (stack.empty())
+                return;
+            pc = stack.back().pc;
+            resumeAt = stack.back().nextNode;
+            stack.pop_back();
+            continue;
+        }
+
+        const PatternInstr &ins = program_[pc];
+        bool advanced = false;
+        if (!charge())
+            return;
+
+        if (ins.kind == PatternInstr::Kind::Check) {
+            advanced = egraph.findFrozen(regs[ins.reg]) ==
+                       egraph.findFrozen(regs[ins.other]);
+        } else {
+            const EClass &cls = egraph.eclassFrozen(regs[ins.reg]);
+            const auto numNodes =
+                static_cast<std::uint32_t>(cls.nodes.size());
+            for (std::uint32_t i = resumeAt; i < numNodes; ++i) {
+                const ENode &enode = cls.nodes[i];
+                if (enode.op != ins.op || enode.payload != ins.payload ||
+                    enode.children.size() != ins.arity) {
+                    continue;
+                }
+                stack.push_back(Frame{pc, i + 1});
+                for (std::uint16_t c = 0; c < ins.arity; ++c)
+                    regs[ins.outBase + c] = enode.children[c];
+                advanced = true;
+                break;
+            }
+        }
+
+        if (advanced) {
+            ++pc;
+            resumeAt = 0;
+            continue;
+        }
+        if (stack.empty())
+            return;
+        pc = stack.back().pc;
+        resumeAt = stack.back().nextNode;
+        stack.pop_back();
+    }
 }
 
 std::vector<PatternMatch>
@@ -169,10 +180,12 @@ CompiledPattern::search(const EGraph &egraph, std::size_t maxMatches,
     for (EClassId id : egraph.canonicalClasses()) {
         if (out.size() >= maxMatches)
             break;
+        // Clamp the per-class allowance against the remaining global
+        // budget (overflow-safely: the old arithmetic let a large
+        // per-class cap widen to the global max).
+        std::size_t remaining = maxMatches - out.size();
         std::size_t cap =
-            (maxMatchesPerClass >= maxMatches - out.size())
-                ? maxMatches
-                : out.size() + maxMatchesPerClass;
+            out.size() + std::min(maxMatchesPerClass, remaining);
         searchClass(egraph, id, out, cap);
     }
     return out;

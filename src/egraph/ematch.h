@@ -7,12 +7,26 @@
  *
  * Patterns are DSL terms with Op::Wildcard leaves. A match binds each
  * wildcard to an e-class and names the e-class the pattern root
- * matched in. The matcher is a straightforward backtracking walk over
- * e-nodes, sufficient for the small, shallow patterns rule synthesis
- * produces.
+ * matched in.
+ *
+ * Each pattern is compiled once into a flat instruction sequence (an
+ * abstract machine in the style of egg's and de Moura & Bjørner's
+ * e-matching VMs): Bind instructions enumerate the e-nodes of a class
+ * register that carry the right operator and write the children into
+ * fresh registers; Check instructions enforce non-linear wildcards.
+ * Execution walks the program with an explicit backtracking stack of
+ * (instruction, next-candidate) frames — no per-node heap-allocated
+ * continuations. Matches are emitted in the same depth-first order as
+ * a naive backtracking matcher, so results are deterministic.
+ *
+ * searchClass only reads the e-graph (via the frozen find path), so
+ * one pattern may be searched from many threads concurrently as long
+ * as each thread appends to its own output buffer.
  */
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "egraph/egraph.h"
@@ -28,7 +42,28 @@ struct PatternMatch
     std::vector<EClassId> bindings;
 };
 
-/** A pattern preprocessed for repeated searching. */
+/** One instruction of the compiled pattern machine. */
+struct PatternInstr
+{
+    enum class Kind : std::uint8_t
+    {
+        /** Enumerate e-nodes of class regs[reg] matching op/payload/
+         *  arity; write children to regs[outBase..outBase+arity). */
+        Bind,
+        /** Succeed iff regs[reg] and regs[other] are the same class. */
+        Check,
+    };
+
+    Kind kind = Kind::Bind;
+    Op op = Op::Const;
+    std::uint16_t reg = 0;
+    std::uint16_t outBase = 0;
+    std::uint16_t arity = 0;
+    std::uint16_t other = 0;
+    std::int64_t payload = 0;
+};
+
+/** A pattern compiled for repeated searching. */
 class CompiledPattern
 {
   public:
@@ -43,9 +78,15 @@ class CompiledPattern
     /** Slot index of wildcard @p wildcardId (must exist). */
     std::size_t slotOf(std::int32_t wildcardId) const;
 
+    /** The compiled instruction sequence (for tests/inspection). */
+    const std::vector<PatternInstr> &program() const { return program_; }
+
     /**
      * Finds matches rooted in class @p root, appending to @p out.
-     * Stops early once @p out reaches @p maxMatches entries.
+     * Stops early once @p out reaches @p maxMatches entries. When
+     * @p stepBudget is given, each instruction dispatch costs one
+     * step; the search stops (and stops emitting) once it hits zero.
+     * Thread-safe on a frozen (rebuilt, unmodified) e-graph.
      */
     void searchClass(const EGraph &egraph, EClassId root,
                      std::vector<PatternMatch> &out,
@@ -64,8 +105,16 @@ class CompiledPattern
                                          SIZE_MAX) const;
 
   private:
+    void compileNode(NodeId pid, std::uint16_t reg);
+
     RecExpr pattern_;
     std::vector<std::int32_t> slotIds_;
+    /** wildcard id -> slot, replacing the old linear scan. */
+    std::unordered_map<std::int32_t, std::size_t> slotOfWildcard_;
+    std::vector<PatternInstr> program_;
+    /** Register holding each slot's binding after a full match. */
+    std::vector<std::uint16_t> slotRegs_;
+    std::uint16_t numRegs_ = 1;
 };
 
 } // namespace isaria

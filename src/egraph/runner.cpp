@@ -1,7 +1,43 @@
 #include "egraph/runner.h"
 
+#include <algorithm>
+#include <atomic>
+
+#include "support/thread_pool.h"
+
 namespace isaria
 {
+
+namespace
+{
+
+/**
+ * Candidate classes per search task. Fixed (rather than derived from
+ * the thread count) so the task decomposition — and with it the
+ * slicing of each rule's step budget — is identical no matter how
+ * many workers execute it.
+ */
+constexpr std::size_t kShardSize = 256;
+
+/** One (rule, candidate-range) unit of search work. */
+struct SearchShard
+{
+    std::size_t rule;
+    std::size_t begin;
+    std::size_t end;
+    /** This shard's slice of the rule's step budget. */
+    std::size_t steps;
+};
+
+} // namespace
+
+int
+resolveEqSatThreads(int requested)
+{
+    if (requested >= 1)
+        return requested;
+    return static_cast<int>(ThreadPool::defaultThreads());
+}
 
 const char *
 stopReasonName(StopReason reason)
@@ -31,6 +67,8 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
     Stopwatch watch;
     Deadline deadline(limits.timeoutSeconds);
     EqSatReport report;
+    report.threads = resolveEqSatThreads(limits.numThreads);
+    ThreadPool pool(static_cast<unsigned>(report.threads));
 
     egraph.rebuild();
 
@@ -46,63 +84,93 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
 
         // Search phase: gather matches for every rule against the
         // frozen e-graph, so application order cannot bias results.
-        // An op -> classes index lets each rule visit only classes
-        // that contain its root operator (wildcard-rooted rules still
-        // visit everything).
-        std::vector<EClassId> classes = egraph.canonicalClasses();
-        std::vector<std::uint32_t> opMask(classes.size(), 0);
-        std::vector<std::vector<EClassId>> byOp(
-            static_cast<std::size_t>(Op::NumOps));
-        for (std::size_t c = 0; c < classes.size(); ++c) {
-            for (const ENode &node : egraph.eclass(classes[c]).nodes)
-                opMask[c] |= 1u << static_cast<unsigned>(node.op);
+        // The e-graph's incrementally-maintained op index gives each
+        // rule only the classes containing its root operator
+        // (wildcard-rooted rules still visit everything).
+        Stopwatch searchWatch;
+        std::vector<EClassId> allClasses = egraph.canonicalClasses();
+        std::vector<const std::vector<EClassId> *> candidates(
+            rules.size());
+        for (std::size_t r = 0; r < rules.size(); ++r) {
+            Op rootOp = rules[r].lhs().pattern().root().op;
+            candidates[r] = rootOp == Op::Wildcard
+                                ? &allClasses
+                                : &egraph.classesWithOp(rootOp);
         }
-        for (std::size_t c = 0; c < classes.size(); ++c) {
-            std::uint32_t mask = opMask[c];
-            while (mask) {
-                unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
-                mask &= mask - 1;
-                byOp[bit].push_back(classes[c]);
+
+        // Cut each rule's candidate list into fixed-size shards and
+        // slice its step budget across them (front shards take the
+        // remainder), so every shard is self-contained and the result
+        // is independent of scheduling.
+        std::vector<SearchShard> shards;
+        for (std::size_t r = 0; r < rules.size(); ++r) {
+            std::size_t n = candidates[r]->size();
+            if (n == 0)
+                continue;
+            std::size_t numShards = (n + kShardSize - 1) / kShardSize;
+            std::size_t base = limits.maxSearchStepsPerRule / numShards;
+            std::size_t extra = limits.maxSearchStepsPerRule % numShards;
+            for (std::size_t s = 0; s < numShards; ++s) {
+                shards.push_back(
+                    SearchShard{r, s * kShardSize,
+                                std::min(n, (s + 1) * kShardSize),
+                                base + (s < extra ? 1 : 0)});
             }
         }
 
-        std::vector<std::vector<PatternMatch>> allMatches(rules.size());
-        bool timedOut = false;
-        for (std::size_t r = 0; r < rules.size() && !timedOut; ++r) {
-            Op rootOp = rules[r].lhs().pattern().root().op;
-            const std::vector<EClassId> &candidates =
-                rootOp == Op::Wildcard
-                    ? classes
-                    : byOp[static_cast<unsigned>(rootOp)];
-            auto &matches = allMatches[r];
+        std::vector<std::vector<PatternMatch>> shardMatches(
+            shards.size());
+        std::atomic<bool> timedOut{false};
+        pool.parallelFor(shards.size(), [&](std::size_t t) {
+            if (timedOut.load(std::memory_order_relaxed))
+                return;
+            const SearchShard &shard = shards[t];
+            const CompiledPattern &lhs = rules[shard.rule].lhs();
+            const std::vector<EClassId> &classes =
+                *candidates[shard.rule];
+            std::vector<PatternMatch> &out = shardMatches[t];
+            std::size_t steps = shard.steps;
             std::size_t scanned = 0;
-            std::size_t steps = limits.maxSearchStepsPerRule;
-            for (EClassId id : candidates) {
-                if (matches.size() >= limits.maxMatchesPerRule ||
+            for (std::size_t i = shard.begin; i < shard.end; ++i) {
+                if (out.size() >= limits.maxMatchesPerRule ||
                     steps == 0) {
                     break;
                 }
-                std::size_t cap = std::min(
-                    limits.maxMatchesPerRule,
-                    matches.size() + limits.maxMatchesPerClass);
-                rules[r].lhs().searchClass(egraph, id, matches, cap,
-                                           &steps);
+                std::size_t remaining =
+                    limits.maxMatchesPerRule - out.size();
+                std::size_t cap =
+                    out.size() +
+                    std::min(limits.maxMatchesPerClass, remaining);
+                lhs.searchClass(egraph, classes[i], out, cap, &steps);
                 if ((++scanned & 63) == 0 && deadline.expired()) {
-                    timedOut = true;
+                    timedOut.store(true, std::memory_order_relaxed);
                     break;
                 }
             }
-            if (deadline.expired())
-                timedOut = true;
-        }
-        if (timedOut) {
+        });
+        report.searchSeconds += searchWatch.elapsedSeconds();
+        if (timedOut.load(std::memory_order_relaxed) ||
+            deadline.expired()) {
             report.stop = StopReason::TimeLimit;
             break;
+        }
+
+        // Deterministic merge: rule-major, shard order, truncated at
+        // the per-rule cap — byte-identical for any thread count.
+        std::vector<std::vector<PatternMatch>> allMatches(rules.size());
+        for (std::size_t t = 0; t < shards.size(); ++t) {
+            std::vector<PatternMatch> &dst = allMatches[shards[t].rule];
+            for (PatternMatch &m : shardMatches[t]) {
+                if (dst.size() >= limits.maxMatchesPerRule)
+                    break;
+                dst.push_back(std::move(m));
+            }
         }
 
         // Apply phase: round-robin across rules so that when the node
         // budget cuts application short, every rule got a fair share
         // rather than only the rules that happened to come first.
+        Stopwatch applyWatch;
         bool changed = false;
         std::size_t nodesBefore = egraph.numNodes();
         bool pending = true;
@@ -125,6 +193,7 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
                 break;
         }
         egraph.rebuild();
+        report.applySeconds += applyWatch.elapsedSeconds();
         report.iterations = iter + 1;
         changed |= egraph.numNodes() != nodesBefore;
 

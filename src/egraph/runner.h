@@ -10,6 +10,19 @@
  * change), or on a node, iteration, or wall-clock budget — the budgets
  * are how Isaria's compile-time scheduler and the paper's "ran out of
  * memory" ablations are realized deterministically.
+ *
+ * The search phase is read-only over the frozen e-graph, so it fans
+ * out over a work-stealing thread pool: every rule's candidate class
+ * list (from the e-graph's incremental op index) is cut into
+ * fixed-size shards, each (rule, shard) task searches into a private
+ * match buffer with a pre-sliced share of the rule's step budget, and
+ * buffers are concatenated in rule-then-shard order afterwards. The
+ * task decomposition depends only on the e-graph and the limits —
+ * never on the thread count — so any thread count produces bit-
+ * identical matches (and therefore identical e-graphs) to the
+ * sequential engine; threads only change wall-clock time. The single
+ * nondeterministic exit is the wall-clock timeout, exactly as in the
+ * sequential engine.
  */
 
 #include <string>
@@ -38,7 +51,17 @@ struct EqSatLimits
     /** Backtracking-step budget per rule per iteration; bounds
      *  pathological e-matching independent of match counts. */
     std::size_t maxSearchStepsPerRule = 1'000'000;
+    /**
+     * Worker threads for the search phase. 0 = auto: the
+     * ISARIA_EQSAT_THREADS environment variable if set, otherwise
+     * hardware concurrency. 1 = sequential (no threads spawned).
+     * Results are identical for every value; see the file comment.
+     */
+    int numThreads = 0;
 };
+
+/** Thread count actually used for @p requested (see EqSatLimits). */
+int resolveEqSatThreads(int requested);
 
 /** Why a saturation run stopped. */
 enum class StopReason
@@ -57,6 +80,12 @@ struct EqSatReport
     std::size_t nodes = 0;
     std::size_t classes = 0;
     double seconds = 0;
+    /** Wall-clock seconds inside the (parallel) search phase. */
+    double searchSeconds = 0;
+    /** Wall-clock seconds inside apply + rebuild. */
+    double applySeconds = 0;
+    /** Search threads used. */
+    int threads = 1;
 
     std::string toString() const;
 };

@@ -24,6 +24,15 @@ UnionFind::find(EClassId id) const
     return id;
 }
 
+void
+UnionFind::compressAll()
+{
+    // Parents always point at smaller ids, so one ascending sweep
+    // suffices: by the time we visit id, its parent is already rooted.
+    for (EClassId id = 0; id < parents_.size(); ++id)
+        parents_[id] = parents_[parents_[id]];
+}
+
 EClassId
 UnionFind::join(EClassId a, EClassId b)
 {

@@ -30,6 +30,27 @@ class UnionFind
     EClassId find(EClassId id) const;
 
     /**
+     * Canonical representative of @p id without path compression: a
+     * pure read, safe to call concurrently from the parallel search
+     * phase while the forest is frozen. O(1) after compressAll(),
+     * correct (just slower) at any other time.
+     */
+    EClassId
+    findNoCompress(EClassId id) const
+    {
+        while (parents_[id] != id)
+            id = parents_[id];
+        return id;
+    }
+
+    /**
+     * Points every element directly at its root, so subsequent
+     * findNoCompress calls are a single load. Called after rebuild,
+     * before the e-graph is frozen for concurrent searching.
+     */
+    void compressAll();
+
+    /**
      * Unions the sets of @p a and @p b; returns the canonical id of
      * the merged set. No-op (returning the shared root) when already
      * joined.

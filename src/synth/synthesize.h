@@ -47,7 +47,10 @@ struct SynthConfig
      *  Disable to reproduce strict Ruler-style minimization in the
      *  ablation bench. */
     bool keepShortcutCandidates = true;
-    /** Budgets for each derivability-check saturation. */
+    /** Budgets for each derivability-check saturation. Includes
+     *  EqSatLimits::numThreads: the shrinking loop's e-matching runs
+     *  on the parallel search engine, and because matches are
+     *  thread-count independent, the synthesized ruleset is too. */
     EqSatLimits derivLimits = {.maxNodes = 30'000,
                                .maxIters = 2,
                                .timeoutSeconds = 1.0,

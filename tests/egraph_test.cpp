@@ -269,6 +269,46 @@ TEST(EMatch, PerClassCapStillCoversAllClasses)
     EXPECT_EQ(roots.size(), 6u);
 }
 
+TEST(EMatch, PerClassCapClampedAgainstGlobalBudget)
+{
+    // Regression for the cap arithmetic in CompiledPattern::search:
+    // when the per-class allowance meets or exceeds the remaining
+    // global budget, the cap must clamp to the remainder — one class
+    // must never push the total past maxMatches, and a large
+    // per-class value must not overflow.
+    EGraph eg;
+    std::vector<EClassId> classRoots;
+    for (int c = 0; c < 3; ++c) {
+        std::vector<EClassId> members;
+        for (int i = 0; i < 4; ++i) {
+            RecExpr e;
+            NodeId a = e.addGet(internSymbol("cap"), 100 * c + 2 * i);
+            NodeId b = e.addGet(internSymbol("cap"), 100 * c + 2 * i + 1);
+            e.add(Op::Add, {a, b});
+            members.push_back(eg.addExpr(e));
+        }
+        for (std::size_t i = 1; i < members.size(); ++i)
+            eg.merge(members[0], members[i]);
+        classRoots.push_back(members[0]);
+    }
+    eg.rebuild();
+
+    CompiledPattern pat(parseSexpr("(+ ?a ?b)"));
+    // 12 matches exist (4 per class).
+    EXPECT_EQ(pat.search(eg, 1000).size(), 12u);
+    // Per-class cap larger than the whole budget: global cap rules.
+    EXPECT_EQ(pat.search(eg, 3, /*maxMatchesPerClass=*/100).size(), 3u);
+    // Unlimited per-class value must not overflow the cap arithmetic.
+    EXPECT_EQ(pat.search(eg, 5).size(), 5u);
+    // Small per-class cap spreads matches across classes: 2+2+1.
+    auto spread = pat.search(eg, 5, /*maxMatchesPerClass=*/2);
+    ASSERT_EQ(spread.size(), 5u);
+    std::set<EClassId> roots;
+    for (const PatternMatch &m : spread)
+        roots.insert(m.root);
+    EXPECT_EQ(roots.size(), 3u);
+}
+
 TEST(EMatch, StepBudgetBoundsBacktracking)
 {
     EGraph eg;

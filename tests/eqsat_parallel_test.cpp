@@ -1,0 +1,227 @@
+// Tests for the parallel e-matching engine: thread-count determinism,
+// step-budget slicing, and the incrementally-maintained e-graph
+// indexes and counters that the saturation loop relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/diospyros.h"
+#include "egraph/extract.h"
+#include "egraph/runner.h"
+#include "frontend/kernels.h"
+#include "isa/cost_model.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+namespace
+{
+
+/** Saturates a fresh e-graph over @p program and extracts the best. */
+std::string
+saturateAndExtract(const RecExpr &program,
+                   const std::vector<CompiledRule> &rules,
+                   EqSatLimits limits, int threads,
+                   EqSatReport *reportOut = nullptr)
+{
+    limits.numThreads = threads;
+    EGraph eg;
+    EClassId root = eg.addExpr(program);
+    EqSatReport report = runEqSat(eg, rules, limits);
+    if (reportOut)
+        *reportOut = report;
+    DspCostModel cost;
+    auto best = extractBest(eg, root, cost);
+    EXPECT_TRUE(best.has_value());
+    return best ? printSexpr(best->expr) : std::string();
+}
+
+TEST(ParallelEqSat, ThreadCountResolution)
+{
+    EXPECT_EQ(resolveEqSatThreads(1), 1);
+    EXPECT_EQ(resolveEqSatThreads(5), 5);
+    EXPECT_GE(resolveEqSatThreads(0), 1);
+}
+
+TEST(ParallelEqSat, DeterministicOnSeedKernel)
+{
+    // The end-to-end guarantee: saturating the same kernel with 1
+    // and N search threads yields byte-identical extractions and the
+    // same e-graph statistics.
+    auto rules = compileRules(diospyrosHandRules().rules());
+    RecExpr program = liftKernel(make2DConv(3, 3, 2, 2), 4);
+    EqSatLimits limits;
+    limits.maxIters = 3;
+    limits.maxNodes = 40'000;
+
+    EqSatReport seqReport;
+    std::string seq =
+        saturateAndExtract(program, rules, limits, 1, &seqReport);
+    ASSERT_FALSE(seq.empty());
+    for (int threads : {2, 4, 8}) {
+        EqSatReport parReport;
+        std::string par = saturateAndExtract(program, rules, limits,
+                                             threads, &parReport);
+        EXPECT_EQ(seq, par) << "threads=" << threads;
+        EXPECT_EQ(seqReport.nodes, parReport.nodes);
+        EXPECT_EQ(seqReport.classes, parReport.classes);
+        EXPECT_EQ(seqReport.iterations, parReport.iterations);
+        EXPECT_EQ(parReport.threads, threads);
+    }
+}
+
+TEST(ParallelEqSat, DeterministicUnderBindingBudgets)
+{
+    // Assoc+comm blowup with tight match and step budgets: the
+    // budget slicing must be thread-count independent too.
+    auto rules = compileRules({
+        parseRule("(+ ?a ?b) ~> (+ ?b ?a)"),
+        parseRule("(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))"),
+        parseRule("(+ ?a (+ ?b ?c)) ~> (+ (+ ?a ?b) ?c)"),
+    });
+    RecExpr program =
+        parseSexpr("(+ a (+ b (+ c (+ d (+ e (+ f g))))))");
+    EqSatLimits limits;
+    limits.maxIters = 4;
+    limits.maxNodes = 3'000;
+    limits.maxMatchesPerRule = 300;
+    limits.maxMatchesPerClass = 4;
+    limits.maxSearchStepsPerRule = 2'000;
+
+    EqSatReport seqReport;
+    std::string seq =
+        saturateAndExtract(program, rules, limits, 1, &seqReport);
+    for (int threads : {3, 6}) {
+        EqSatReport parReport;
+        std::string par = saturateAndExtract(program, rules, limits,
+                                             threads, &parReport);
+        EXPECT_EQ(seq, par) << "threads=" << threads;
+        EXPECT_EQ(seqReport.nodes, parReport.nodes);
+        EXPECT_EQ(seqReport.classes, parReport.classes);
+    }
+}
+
+TEST(ParallelEqSat, StepBudgetExhaustsMidClass)
+{
+    // Merge many additions into one class so a single class holds
+    // multiple matching e-nodes; a small step budget must cut the
+    // search inside that class, deterministically, and the matches it
+    // does return must be a prefix of the unbudgeted matches.
+    EGraph eg;
+    std::vector<EClassId> roots;
+    for (int i = 0; i < 8; ++i) {
+        RecExpr e;
+        NodeId a = e.addGet(internSymbol("sb"), 2 * i);
+        NodeId b = e.addGet(internSymbol("sb"), 2 * i + 1);
+        e.add(Op::Add, {a, b});
+        roots.push_back(eg.addExpr(e));
+    }
+    for (std::size_t i = 1; i < roots.size(); ++i)
+        eg.merge(roots[0], roots[i]);
+    eg.rebuild();
+    EClassId cls = eg.find(roots[0]);
+    ASSERT_EQ(eg.eclass(cls).nodes.size(), 8u);
+
+    CompiledPattern pat(parseSexpr("(+ ?a ?b)"));
+    std::vector<PatternMatch> all;
+    pat.searchClass(eg, cls, all, 100);
+    ASSERT_EQ(all.size(), 8u);
+
+    std::vector<PatternMatch> some;
+    std::size_t steps = 5; // each emitted match costs one Bind dispatch
+    pat.searchClass(eg, cls, some, 100, &steps);
+    EXPECT_GT(some.size(), 0u);
+    EXPECT_LT(some.size(), 8u);
+    for (std::size_t i = 0; i < some.size(); ++i) {
+        EXPECT_EQ(some[i].root, all[i].root);
+        EXPECT_EQ(some[i].bindings, all[i].bindings);
+    }
+
+    // Budget zero finds nothing at all.
+    std::vector<PatternMatch> none;
+    std::size_t zero = 0;
+    pat.searchClass(eg, cls, none, 100, &zero);
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(ParallelEqSat, IncrementalCountersMatchSlowScans)
+{
+    // Merge-heavy saturation: the O(1) counters must track the
+    // ground-truth O(n) scans through adds, merges, and rebuilds.
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ (* a b) (+ (* b a) (+ a (+ b a))))"));
+    EXPECT_EQ(eg.numNodes(), eg.numNodesSlow());
+    EXPECT_EQ(eg.numClasses(), eg.numClassesSlow());
+
+    auto rules = compileRules({
+        parseRule("(+ ?a ?b) ~> (+ ?b ?a)"),
+        parseRule("(* ?a ?b) ~> (* ?b ?a)"),
+        parseRule("(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))"),
+    });
+    EqSatLimits limits;
+    limits.maxIters = 5;
+    runEqSat(eg, rules, limits);
+    EXPECT_EQ(eg.numNodes(), eg.numNodesSlow());
+    EXPECT_EQ(eg.numClasses(), eg.numClassesSlow());
+
+    // Manual congruence-heavy merges on top.
+    EClassId x = eg.addExpr(parseSexpr("(neg a)"));
+    EClassId y = eg.addExpr(parseSexpr("(neg b)"));
+    eg.merge(eg.addExpr(parseSexpr("a")), eg.addExpr(parseSexpr("b")));
+    eg.rebuild();
+    EXPECT_TRUE(eg.same(x, y));
+    EXPECT_EQ(eg.numNodes(), eg.numNodesSlow());
+    EXPECT_EQ(eg.numClasses(), eg.numClassesSlow());
+}
+
+TEST(ParallelEqSat, OpIndexMatchesExhaustiveScan)
+{
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ (* a b) (neg (+ c (* a c))))"));
+    auto rules = compileRules({
+        parseRule("(+ ?a ?b) ~> (+ ?b ?a)"),
+        parseRule("(* ?a ?b) ~> (* ?b ?a)"),
+        parseRule("(neg (neg ?a)) ~> ?a"),
+    });
+    EqSatLimits limits;
+    limits.maxIters = 4;
+    runEqSat(eg, rules, limits);
+
+    for (Op op : {Op::Add, Op::Mul, Op::Neg, Op::Symbol, Op::Vec}) {
+        std::set<EClassId> expected;
+        for (EClassId id : eg.canonicalClasses()) {
+            for (const ENode &node : eg.eclass(id).nodes) {
+                if (node.op == op)
+                    expected.insert(id);
+            }
+        }
+        const std::vector<EClassId> &got = eg.classesWithOp(op);
+        EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+        EXPECT_EQ(std::set<EClassId>(got.begin(), got.end()), expected)
+            << "op index diverged for " << opInfo(op).name;
+        // Every listed id must be canonical.
+        for (EClassId id : got)
+            EXPECT_EQ(eg.find(id), id);
+    }
+}
+
+TEST(ParallelEqSat, FrozenFindAgreesWithFind)
+{
+    EGraph eg;
+    EClassId a = eg.addExpr(parseSexpr("(+ x (neg y))"));
+    EClassId b = eg.addExpr(parseSexpr("(+ y (neg x))"));
+    EClassId x = eg.addExpr(parseSexpr("x"));
+    EClassId y = eg.addExpr(parseSexpr("y"));
+    eg.merge(a, b);
+    eg.merge(x, y);
+    eg.rebuild();
+    for (EClassId id : {a, b, x, y}) {
+        EXPECT_EQ(eg.findFrozen(id), eg.find(id));
+        EXPECT_EQ(&eg.eclassFrozen(id), &eg.eclass(id));
+    }
+}
+
+} // namespace
+} // namespace isaria

@@ -1,10 +1,16 @@
-// Unit tests for the support module: rationals, rng, interner.
+// Unit tests for the support module: rationals, rng, interner,
+// thread pool.
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
 
 #include "support/interner.h"
 #include "support/rational.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "support/timer.h"
 
 namespace isaria
@@ -159,6 +165,55 @@ TEST(Timer, DeadlineExpires)
     for (int i = 0; i < 100000; ++i)
         sink += i;
     EXPECT_TRUE(d.expired());
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 7u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.threadCount(), threads);
+        constexpr std::size_t kTasks = 10'000;
+        std::vector<std::atomic<int>> hits(kTasks);
+        pool.parallelFor(kTasks,
+                         [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (std::size_t i = 0; i < kTasks; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<std::int64_t> sum{0};
+    for (int job = 0; job < 50; ++job) {
+        pool.parallelFor(100, [&](std::size_t i) {
+            sum.fetch_add(static_cast<std::int64_t>(i));
+        });
+    }
+    EXPECT_EQ(sum.load(), 50 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, StealsUnevenWork)
+{
+    // One chunk gets nearly all the work; stealing must still finish
+    // every task (and a 1-task job runs inline).
+    ThreadPool pool(3);
+    std::atomic<std::size_t> done{0};
+    pool.parallelFor(1, [&](std::size_t) { done.fetch_add(1); });
+    pool.parallelFor(2, [&](std::size_t i) {
+        if (i == 0) {
+            volatile int spin = 0;
+            for (int k = 0; k < 2'000'000; ++k)
+                spin += k;
+        }
+        done.fetch_add(1);
+    });
+    EXPECT_EQ(done.load(), 3u);
+}
+
+TEST(ThreadPool, DefaultThreadsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
 }
 
 /** Property sweep: field axioms on a grid of small rationals. */
