@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -20,9 +21,135 @@
 #include "baseline/diospyros.h"
 #include "baseline/harness.h"
 #include "compiler/pipeline.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 namespace isaria::bench
 {
+
+/**
+ * Schema version stamped into every BENCH_*.json sidecar written via
+ * BenchJson. Bump when the sidecar layout changes incompatibly.
+ * (BENCH_egraph.json is the one exception: it is raw google-benchmark
+ * output; micro_egraph writes a BenchJson sidecar alongside it.)
+ */
+inline constexpr int kBenchSchemaVersion = 1;
+
+/** One flat JSON object, keys kept in insertion order. */
+class BenchJsonObject
+{
+  public:
+    void
+    integer(const std::string &key, std::int64_t value)
+    {
+        add(key, std::to_string(value));
+    }
+
+    void
+    number(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        add(key, buf);
+    }
+
+    void
+    text(const std::string &key, const std::string &value)
+    {
+        add(key, "\"" + obs::jsonEscape(value) + "\"");
+    }
+
+    void
+    boolean(const std::string &key, bool value)
+    {
+        add(key, value ? "true" : "false");
+    }
+
+    std::string
+    render() const
+    {
+        return "{" + body_ + "}";
+    }
+
+  private:
+    void
+    add(const std::string &key, const std::string &rendered)
+    {
+        if (!body_.empty())
+            body_ += ",";
+        body_ += "\"" + obs::jsonEscape(key) + "\":" + rendered;
+    }
+
+    std::string body_;
+};
+
+/**
+ * The one JSON emission path for the experiment harnesses: collects
+ * per-kernel rows plus summary fields and writes
+ * "BENCH_<name>.json" with the shared schema version and an "obs"
+ * block aggregated from the active trace session.
+ *
+ * Typical use:
+ *   obs::ObsOptions opts = obs::ObsOptions::parse(argc, argv);
+ *   opts.alwaysRecord = true;   // populate the obs block
+ *   obs::ScopedTrace trace(opts);
+ *   BenchJson json("fig4");
+ *   ... json.newRow().text("kernel", ...); ...
+ *   json.write(trace);
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+    BenchJsonObject &
+    summary()
+    {
+        return summary_;
+    }
+
+    BenchJsonObject &
+    newRow()
+    {
+        rows_.emplace_back();
+        return rows_.back();
+    }
+
+    /** Writes BENCH_<name>.json; returns false on I/O failure. */
+    bool
+    write(obs::ScopedTrace &trace)
+    {
+        std::string path = "BENCH_" + name_ + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "[bench] cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        obs::StatsReport stats =
+            obs::aggregateStats(trace.session());
+        out << "{\"schema_version\":" << kBenchSchemaVersion
+            << ",\"bench\":\"" << obs::jsonEscape(name_) << "\"";
+        out << ",\"summary\":" << summary_.render();
+        out << ",\"rows\":[";
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            if (i)
+                out << ",";
+            out << rows_[i].render();
+        }
+        out << "],\"obs\":" << stats.toJson() << "}\n";
+        bool ok = out.good();
+        if (ok)
+            std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+        return ok;
+    }
+
+  private:
+    std::string name_;
+    BenchJsonObject summary_;
+    // deque: newRow() hands out references that must stay valid.
+    std::deque<BenchJsonObject> rows_;
+};
 
 /** Default offline budget for the figure harnesses, in seconds. */
 inline constexpr double kDefaultSynthBudget = 25.0;

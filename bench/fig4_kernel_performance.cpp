@@ -13,8 +13,13 @@ using namespace isaria;
 using namespace isaria::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::ObsOptions opts = obs::ObsOptions::parse(argc, argv);
+    opts.alwaysRecord = true;
+    obs::ScopedTrace trace(opts);
+    BenchJson json("fig4");
+
     IsaSpec isa;
     IsariaCompiler isariaCompiler = benchIsariaCompiler(isa);
     IsariaCompiler diosCompiler = makeDiospyrosCompiler();
@@ -49,6 +54,20 @@ main()
                            isaria_.cycles;
         ++count;
 
+        BenchJsonObject &row = json.newRow();
+        row.text("kernel", spec.label());
+        row.integer("base_cycles",
+                    static_cast<std::int64_t>(base.cycles));
+        row.integer("autovec_cycles",
+                    static_cast<std::int64_t>(slp.cycles));
+        row.boolean("nature_supported", nature.supported);
+        row.integer("nature_cycles",
+                    static_cast<std::int64_t>(nature.cycles));
+        row.integer("diospyros_cycles",
+                    static_cast<std::int64_t>(dios.cycles));
+        row.integer("isaria_cycles",
+                    static_cast<std::int64_t>(isaria_.cycles));
+
         std::printf("%-18s %10llu %8s %8s %8s %8s\n", spec.label().c_str(),
                     static_cast<unsigned long long>(base.cycles),
                     speedupCell(slp, base.cycles).c_str(),
@@ -70,5 +89,12 @@ main()
                 "Nature absent on small shapes, winning at the largest\n"
                 "sizes (its loop-structured kernels do not pay the "
                 "unrolled search's data-movement compromises).\n");
+
+    json.summary().boolean("all_correct", allCorrect);
+    json.summary().number("isaria_vs_diospyros_mean",
+                          sumIsariaVsDios / count);
+    json.summary().number("best_isaria_over_nature",
+                          isariaOverNatureBest);
+    json.write(trace);
     return allCorrect ? 0 : 1;
 }

@@ -10,8 +10,13 @@ using namespace isaria;
 using namespace isaria::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::ObsOptions opts = obs::ObsOptions::parse(argc, argv);
+    opts.alwaysRecord = true;
+    obs::ScopedTrace trace(opts);
+    BenchJson json("fig5");
+
     IsaSpec isa;
     IsariaCompiler isariaCompiler = benchIsariaCompiler(isa);
     IsariaCompiler diosCompiler = makeDiospyrosCompiler();
@@ -30,6 +35,13 @@ main()
         double ratio = dios.seconds > 0 ? isa_.seconds / dios.seconds : 0;
         sumRatio += ratio;
         ++count;
+
+        BenchJsonObject &row = json.newRow();
+        row.text("kernel", spec.label());
+        row.number("diospyros_seconds", dios.seconds);
+        row.number("isaria_seconds", isa_.seconds);
+        row.number("ratio", ratio);
+        row.integer("eqsat_calls", isa_.eqsatCalls);
         std::printf("%-18s %9.2fs %9.2fs %7.1fx %8d\n",
                     spec.label().c_str(), dios.seconds, isa_.seconds,
                     ratio, isa_.eqsatCalls);
@@ -40,5 +52,8 @@ main()
                 sumRatio / count);
     std::printf("Expected shape: Isaria slower across the board, most "
                 "time in a handful of EqSat calls (Section 5.1).\n");
+
+    json.summary().number("mean_ratio", sumRatio / count);
+    json.write(trace);
     return 0;
 }

@@ -12,8 +12,13 @@ using namespace isaria;
 using namespace isaria::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::ObsOptions opts = obs::ObsOptions::parse(argc, argv);
+    opts.alwaysRecord = true;
+    obs::ScopedTrace trace(opts);
+    BenchJson json("fig6");
+
     IsaSpec isa;
     RuleSet rules = synthesizedRules(isa, kDefaultSynthBudget);
 
@@ -49,6 +54,16 @@ main()
                     on.compileStats.seconds, off.compileStats.seconds,
                     off.compileStats.ranOutOfMemory ? "keep!" : "-");
         std::fflush(stdout);
+
+        BenchJsonObject &row = json.newRow();
+        row.text("kernel", spec.label());
+        row.integer("pruning_cycles",
+                    static_cast<std::int64_t>(on.cycles));
+        row.integer("keep_cycles",
+                    static_cast<std::int64_t>(off.cycles));
+        row.number("pruning_seconds", on.compileStats.seconds);
+        row.number("keep_seconds", off.compileStats.seconds);
+        row.boolean("keep_oom", off.compileStats.ranOutOfMemory);
     }
 
     // The no-phases strawman: a single saturation over all rules.
@@ -76,5 +91,14 @@ main()
                 "kernels exhaust memory while tiny ones occasionally\n"
                 "extract marginally better code; without phases, no "
                 "vectorized program is found at all.\n");
+
+    json.summary().integer("strawman_initial_cost",
+                           static_cast<std::int64_t>(straw.initialCost));
+    json.summary().integer("strawman_final_cost",
+                           static_cast<std::int64_t>(straw.finalCost));
+    json.summary().boolean("strawman_oom", straw.ranOutOfMemory);
+    json.summary().integer("phased_final_cost",
+                           static_cast<std::int64_t>(withPhases.finalCost));
+    json.write(trace);
     return 0;
 }

@@ -10,8 +10,13 @@ using namespace isaria;
 using namespace isaria::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::ObsOptions opts = obs::ObsOptions::parse(argc, argv);
+    opts.alwaysRecord = true;
+    obs::ScopedTrace trace(opts);
+    BenchJson json("fig7");
+
     const double budgets[] = {2.0, 6.0, 18.0, 54.0};
     std::vector<KernelSpec> ladder = {
         KernelSpec::conv2d(3, 3, 2, 2), KernelSpec::conv2d(4, 4, 2, 2),
@@ -41,10 +46,18 @@ main()
         KernelHarness h(spec);
         RunOutcome base = h.runScalarBaseline();
         std::printf("%-16s", spec.label().c_str());
-        for (const IsariaCompiler &compiler : compilers) {
-            RunOutcome out = h.runCompiler(compiler);
+        BenchJsonObject &row = json.newRow();
+        row.text("kernel", spec.label());
+        row.integer("base_cycles",
+                    static_cast<std::int64_t>(base.cycles));
+        for (std::size_t i = 0; i < compilers.size(); ++i) {
+            RunOutcome out = h.runCompiler(compilers[i]);
             std::printf(" %8s", speedupCell(out, base.cycles).c_str());
             std::fflush(stdout);
+            char key[32];
+            std::snprintf(key, sizeof key, "cycles_budget_%.0fs",
+                          budgets[i]);
+            row.integer(key, static_cast<std::int64_t>(out.cycles));
         }
         std::printf("\n");
     }
@@ -55,5 +68,14 @@ main()
                 "offline compute — small kernels flat or noisy, larger\n"
                 "kernels benefiting most because deeper exploration "
                 "finds better compilation rules.\n");
+
+    for (std::size_t i = 0; i < ruleCounts.size(); ++i) {
+        char key[32];
+        std::snprintf(key, sizeof key, "rules_budget_%.0fs",
+                      budgets[i]);
+        json.summary().integer(
+            key, static_cast<std::int64_t>(ruleCounts[i]));
+    }
+    json.write(trace);
     return 0;
 }

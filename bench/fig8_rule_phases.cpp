@@ -11,8 +11,13 @@ using namespace isaria;
 using namespace isaria::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::ObsOptions opts = obs::ObsOptions::parse(argc, argv);
+    opts.alwaysRecord = true;
+    obs::ScopedTrace trace(opts);
+    BenchJson json("fig8");
+
     IsaSpec isa;
     RuleSet rules = synthesizedRules(isa, kDefaultSynthBudget);
     DspCostModel cost;
@@ -46,6 +51,14 @@ main()
                     static_cast<long long>(count ? maxCa : 0),
                     static_cast<long long>(count ? minCd : 0),
                     static_cast<long long>(count ? maxCd : 0));
+
+        BenchJsonObject &row = json.newRow();
+        row.text("phase", phaseName(phase));
+        row.integer("rules", static_cast<std::int64_t>(count));
+        row.integer("min_aggregate", count ? minCa : 0);
+        row.integer("max_aggregate", count ? maxCa : 0);
+        row.integer("min_differential", count ? minCd : 0);
+        row.integer("max_differential", count ? maxCd : 0);
     }
 
     std::printf("\nCSV scatter (one row per rule):\n");
@@ -57,5 +70,13 @@ main()
                 "small differentials, and compilation rules far out\n"
                 "at large aggregates/differentials (their Vec literals "
                 "carry lane-move costs).\n");
+
+    json.summary().integer("alpha",
+                           static_cast<std::int64_t>(cost.params().alpha));
+    json.summary().integer("beta",
+                           static_cast<std::int64_t>(cost.params().beta));
+    json.summary().integer("total_rules",
+                           static_cast<std::int64_t>(phased.all.size()));
+    json.write(trace);
     return 0;
 }

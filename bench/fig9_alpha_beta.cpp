@@ -11,8 +11,13 @@ using namespace isaria;
 using namespace isaria::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::ObsOptions opts = obs::ObsOptions::parse(argc, argv);
+    opts.alwaysRecord = true;
+    obs::ScopedTrace trace(opts);
+    BenchJson json("fig9");
+
     IsaSpec isa;
     RuleSet rules = synthesizedRules(isa, kDefaultSynthBudget);
 
@@ -55,6 +60,13 @@ main()
                             static_cast<unsigned long long>(
                                 stats.finalCost));
             std::fflush(stdout);
+
+            BenchJsonObject &row = json.newRow();
+            row.integer("alpha", alpha);
+            row.integer("beta", beta);
+            row.integer("final_cost",
+                        static_cast<std::int64_t>(stats.finalCost));
+            row.boolean("timed_out", timedOut);
         }
         std::printf("\n");
     }
@@ -64,5 +76,8 @@ main()
                 "parameters around the default, degrading toward\n"
                 "extremes where all rules collapse into one phase and "
                 "the search reduces to the single-saturation strawman.\n");
+
+    json.summary().text("kernel", spec.label());
+    json.write(trace);
     return 0;
 }

@@ -17,11 +17,14 @@
 #include <string>
 #include <vector>
 
+#include "common.h"
+
 #include "baseline/diospyros.h"
 #include "egraph/extract.h"
 #include "egraph/runner.h"
 #include "frontend/kernels.h"
 #include "isa/cost_model.h"
+#include "obs/obs.h"
 #include "term/sexpr.h"
 
 namespace isaria
@@ -260,6 +263,59 @@ BM_Extract(benchmark::State &state)
 }
 BENCHMARK(BM_Extract)->Unit(benchmark::kMillisecond);
 
+/**
+ * The pin for the obs no-op fast path: one span construct/destroy per
+ * iteration with no active session. This is the exact code every
+ * instrumented event site runs when tracing is off — it must stay a
+ * single predicted branch (single-digit nanoseconds), which is what
+ * keeps disabled-tracing eqsat throughput within the 2% budget.
+ */
+void
+BM_ObsSpanDisabled(benchmark::State &state)
+{
+    for (auto _ : state) {
+        obs::Span span("bench/disabled-site", 42);
+        benchmark::DoNotOptimize(&span);
+    }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+/** Same event site with a live session: intern + clock + ring push. */
+void
+BM_ObsSpanEnabled(benchmark::State &state)
+{
+    obs::TraceSession *outer = obs::TraceSession::active();
+    obs::TraceSession session;
+    session.activate();
+    for (auto _ : state) {
+        obs::Span span("bench/enabled-site", 42);
+        benchmark::DoNotOptimize(&span);
+    }
+    session.deactivate();
+    if (outer)
+        outer->activate();
+    state.counters["events"] =
+        static_cast<double>(session.drain().size());
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+/** Counter emission with a live session (pre-interned name id). */
+void
+BM_ObsCounterEnabled(benchmark::State &state)
+{
+    obs::TraceSession *outer = obs::TraceSession::active();
+    obs::TraceSession session;
+    session.activate();
+    std::uint32_t name = obs::internName("bench/counter");
+    std::int64_t i = 0;
+    for (auto _ : state)
+        obs::counterId(name, ++i);
+    session.deactivate();
+    if (outer)
+        outer->activate();
+}
+BENCHMARK(BM_ObsCounterEnabled);
+
 void
 BM_LiftKernel(benchmark::State &state)
 {
@@ -277,6 +333,12 @@ BENCHMARK(BM_LiftKernel)->Arg(8)->Arg(16);
 int
 main(int argc, char **argv)
 {
+    // Tracing is opt-in here (unlike the figure harnesses): an
+    // always-on session would contaminate BM_ObsSpanDisabled.
+    isaria::obs::ObsOptions opts =
+        isaria::obs::ObsOptions::parse(argc, argv);
+    isaria::obs::ScopedTrace trace(opts);
+
     // Default to a JSON sidecar (BENCH_egraph.json) unless the caller
     // already directs output somewhere.
     std::vector<char *> args(argv, argv + argc);
@@ -295,5 +357,11 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    // BENCH_egraph.json stays raw google-benchmark output; the
+    // schema-versioned sidecar carries the common obs block.
+    isaria::bench::BenchJson json("micro_egraph");
+    json.summary().boolean("traced", opts.enabled());
+    json.write(trace);
     return 0;
 }

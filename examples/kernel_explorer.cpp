@@ -7,6 +7,8 @@
 //   kernel_explorer [conv R C KR KC | matmul N M K | qprod | qrd N]
 //                   [--asm] [--budget SECONDS] [--optimize]
 //                   [--eqsat-threads=N]
+//                   [--trace FILE] [--trace-format {jsonl,chrome}]
+//                   [--stats]
 //
 // --eqsat-threads=N runs every equality-saturation search phase on N
 // worker threads (default: ISARIA_EQSAT_THREADS, else the hardware
@@ -29,6 +31,7 @@
 #include "compiler/pipeline.h"
 #include "lower/lower.h"
 #include "lower/optimize.h"
+#include "obs/obs.h"
 #include "term/sexpr.h"
 
 using namespace isaria;
@@ -36,6 +39,9 @@ using namespace isaria;
 int
 main(int argc, char **argv)
 {
+    // Consumes --trace/--trace-format/--stats before the kernel args.
+    obs::ScopedTrace trace(obs::ObsOptions::parse(argc, argv));
+
     KernelSpec spec = KernelSpec::conv2d(4, 4, 3, 3);
     bool dumpAsm = false;
     bool optimize = false;
@@ -122,6 +128,9 @@ main(int argc, char **argv)
                     isariaOut.compileStats.initialCost),
                 static_cast<unsigned long long>(
                     isariaOut.compileStats.finalCost));
+    if (trace.options().stats)
+        std::printf("\nPer-round compile breakdown:\n%s",
+                    isariaOut.compileStats.toString().c_str());
 
     if (optimize) {
         RecExpr compiled = gen.compiler.compile(h.scalarProgram());

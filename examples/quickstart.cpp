@@ -7,11 +7,16 @@
 // Build and run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Pass --trace=trace.json --trace-format=chrome to record a profile
+// of the whole run (open it at https://ui.perfetto.dev), or --stats
+// for an aggregated per-phase report on stderr.
 
 #include <cstdio>
 
 #include "compiler/pipeline.h"
 #include "lower/lower.h"
+#include "obs/obs.h"
 #include "term/sexpr.h"
 #include "vm/machine.h"
 #include "vm/reference.h"
@@ -19,8 +24,9 @@
 using namespace isaria;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::ScopedTrace trace(obs::ObsOptions::parse(argc, argv));
     // 1. The target ISA: a stock Fusion-G3-like DSP (4-wide SIMD).
     IsaSpec isa;
 

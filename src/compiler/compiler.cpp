@@ -1,6 +1,10 @@
 #include "compiler/compiler.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "egraph/extract.h"
+#include "obs/obs.h"
 #include "support/panic.h"
 #include "support/timer.h"
 
@@ -17,10 +21,47 @@ IsariaCompiler::IsariaCompiler(PhasedRules rules, CompilerConfig config)
         everything_.emplace_back(pr.rule);
 }
 
+std::string
+CompileStats::toString() const
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "compile: cost %" PRIu64 " -> %" PRIu64
+                  " in %.3fs, %d rounds, %d eqsats, peak %zu nodes%s\n",
+                  initialCost, finalCost, seconds, loopIterations,
+                  eqsatCalls, peakNodes,
+                  ranOutOfMemory ? " [hit node budget]" : "");
+    out += line;
+    // EqSatReport::toString carries the stop reason and flags step
+    // budget truncation, so a false "saturated" reads as such here.
+    for (const RoundStats &r : rounds) {
+        if (r.ranExpansion) {
+            std::snprintf(line, sizeof line,
+                          "  round %d: expansion %s\n", r.round,
+                          r.expansion.toString().c_str());
+            out += line;
+        }
+        std::snprintf(line, sizeof line,
+                      "  round %d: compilation %s -> cost %" PRIu64
+                      "\n",
+                      r.round, r.compilation.toString().c_str(),
+                      r.extractedCost);
+        out += line;
+    }
+    if (ranOptimization) {
+        std::snprintf(line, sizeof line, "  optimize: %s\n",
+                      optimization.toString().c_str());
+        out += line;
+    }
+    return out;
+}
+
 RecExpr
 IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
 {
     Stopwatch watch;
+    obs::Span compileSpan("compile");
     CompileStats local;
     CompileStats &st = stats ? *stats : local;
     st = CompileStats{};
@@ -36,6 +77,8 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
     };
 
     auto extractOrDie = [&](const EGraph &eg, EClassId root) {
+        obs::Span extractSpan("compile/extract",
+                              static_cast<std::int64_t>(eg.numNodes()));
         auto got = extractBest(eg, root, cost);
         ISARIA_ASSERT(got.has_value(), "extraction found no program");
         return std::move(*got);
@@ -46,55 +89,74 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
     if (!config_.phasing) {
         // Strawman (Section 2.2): a single equality saturation over
         // the entire synthesized rule set.
+        obs::Span roundSpan("compile/round", 1);
         EGraph eg;
         EClassId root = eg.addExpr(current);
-        note(runEqSat(eg, everything_, config_.compilationLimits));
+        RoundStats round;
+        round.round = 1;
+        round.compilation =
+            runEqSat(eg, everything_, config_.compilationLimits);
+        note(round.compilation);
         Extracted best = extractOrDie(eg, root);
+        round.extractedCost = best.cost;
+        st.rounds.push_back(round);
         st.finalCost = best.cost;
         st.seconds = watch.elapsedSeconds();
+        obs::counter("compile/cost",
+                     static_cast<std::int64_t>(best.cost));
         return std::move(best.expr);
     }
 
     std::uint64_t oldCost = st.initialCost;
 
-    if (config_.pruning) {
-        // The Fig. 3 loop: fresh e-graph, expansion, compilation,
-        // extract, prune by restarting from the extraction.
-        for (int iter = 0; iter < config_.maxLoopIterations; ++iter) {
-            ++st.loopIterations;
-            EGraph eg;
-            EClassId root = eg.addExpr(current);
-            note(runEqSat(eg, expansion_, config_.expansionLimits));
-            note(runEqSat(eg, compilation_, config_.compilationLimits));
-            Extracted best = extractOrDie(eg, root);
-            current = std::move(best.expr);
-            if (best.cost == oldCost)
-                break;
-            oldCost = best.cost;
-        }
-    } else {
-        // Ablation (Section 5.2): retain the e-graph across loop
-        // iterations — alternate the phases with no pruning.
-        EGraph eg;
-        EClassId root = eg.addExpr(current);
-        for (int iter = 0; iter < config_.maxLoopIterations; ++iter) {
-            ++st.loopIterations;
-            note(runEqSat(eg, expansion_, config_.expansionLimits));
-            note(runEqSat(eg, compilation_, config_.compilationLimits));
-            Extracted best = extractOrDie(eg, root);
-            std::uint64_t newCost = best.cost;
-            current = std::move(best.expr);
-            if (newCost == oldCost)
-                break;
-            oldCost = newCost;
-        }
+    // The Fig. 3 loop. With pruning each round restarts from a fresh
+    // e-graph seeded with the previous extraction; the ablation keeps
+    // one e-graph across rounds.
+    EGraph keptGraph;
+    EClassId keptRoot = 0;
+    if (!config_.pruning)
+        keptRoot = keptGraph.addExpr(current);
+
+    for (int iter = 0; iter < config_.maxLoopIterations; ++iter) {
+        ++st.loopIterations;
+        // Rounds are numbered from 1 in stats and trace output.
+        obs::Span roundSpan("compile/round", iter + 1);
+        RoundStats round;
+        round.round = iter + 1;
+        round.ranExpansion = true;
+
+        EGraph freshGraph;
+        EGraph &eg = config_.pruning ? freshGraph : keptGraph;
+        EClassId root =
+            config_.pruning ? eg.addExpr(current) : keptRoot;
+
+        round.expansion =
+            runEqSat(eg, expansion_, config_.expansionLimits);
+        note(round.expansion);
+        round.compilation =
+            runEqSat(eg, compilation_, config_.compilationLimits);
+        note(round.compilation);
+
+        Extracted best = extractOrDie(eg, root);
+        round.extractedCost = best.cost;
+        st.rounds.push_back(round);
+        obs::counter("compile/cost",
+                     static_cast<std::int64_t>(best.cost));
+        std::uint64_t newCost = best.cost;
+        current = std::move(best.expr);
+        if (newCost == oldCost)
+            break;
+        oldCost = newCost;
     }
 
     // Final phase: optimize the chosen vectorization.
     {
+        obs::Span optSpan("compile/optimize");
         EGraph eg;
         EClassId root = eg.addExpr(current);
-        note(runEqSat(eg, optimization_, config_.optLimits));
+        st.optimization = runEqSat(eg, optimization_, config_.optLimits);
+        st.ranOptimization = true;
+        note(st.optimization);
         Extracted best = extractOrDie(eg, root);
         st.finalCost = best.cost;
         current = std::move(best.expr);

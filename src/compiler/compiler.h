@@ -74,6 +74,23 @@ struct CompilerConfig
     }
 };
 
+/**
+ * Sub-stats for one round of the Fig. 3 improve loop: the full
+ * reports of both saturations (stop reason, node/class counts at the
+ * stop, phase timings) plus the cost of the extraction that closed
+ * the round. The strawman (no-phases) path records its single
+ * saturation as one round's `compilation`.
+ */
+struct RoundStats
+{
+    int round = 0;
+    EqSatReport expansion;
+    EqSatReport compilation;
+    /** The round ran an expansion saturation (false for strawman). */
+    bool ranExpansion = false;
+    std::uint64_t extractedCost = 0;
+};
+
 /** Observability for the experiments. */
 struct CompileStats
 {
@@ -86,7 +103,17 @@ struct CompileStats
     /** A saturation hit its node budget — the "ran out of memory"
      *  condition of the paper's ablations. */
     bool ranOutOfMemory = false;
+    /** Every saturation report, in call order (kept for existing
+     *  consumers; `rounds` is the structured view). */
     std::vector<EqSatReport> reports;
+    /** Per-round sub-stats of the improve loop. */
+    std::vector<RoundStats> rounds;
+    /** Report of the final optimization saturation, if it ran. */
+    EqSatReport optimization;
+    bool ranOptimization = false;
+
+    /** Per-round breakdown (what `--stats` prints per compile). */
+    std::string toString() const;
 };
 
 /** A generated vectorizing compiler for one ISA instance. */

@@ -1,5 +1,7 @@
 #include "compiler/pipeline.h"
 
+#include "obs/obs.h"
+
 namespace isaria
 {
 
@@ -7,8 +9,11 @@ GeneratedCompiler
 generateCompiler(const IsaSpec &isa, const SynthConfig &synthConfig,
                  const CompilerConfig &config)
 {
+    obs::Span pipelineSpan("pipeline/generate");
     SynthReport synth = synthesizeRules(isa, synthConfig);
     PhasedRules phased = assignPhases(synth.rules, config.costModel);
+    obs::Span buildSpan("pipeline/build-compiler",
+                        static_cast<std::int64_t>(phased.all.size()));
     IsariaCompiler compiler(phased, config);
     return GeneratedCompiler{std::move(synth), std::move(phased),
                              std::move(compiler)};

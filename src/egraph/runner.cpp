@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 
+#include "obs/obs.h"
 #include "support/thread_pool.h"
 
 namespace isaria
@@ -42,6 +44,10 @@ resolveEqSatThreads(int requested)
 const char *
 stopReasonName(StopReason reason)
 {
+    // Audited against kAllStopReasons: every enumerator has a unique
+    // human-readable name, and the wall-clock stop ("time-limit") is
+    // distinct from the iteration/step-budget stop ("iter-limit") so
+    // stats output can tell a slow rule set from a deep one.
     switch (reason) {
       case StopReason::Saturated: return "saturated";
       case StopReason::NodeLimit: return "node-limit";
@@ -51,13 +57,24 @@ stopReasonName(StopReason reason)
     return "?";
 }
 
+std::optional<StopReason>
+stopReasonFromName(const char *name)
+{
+    for (StopReason reason : kAllStopReasons) {
+        if (std::strcmp(stopReasonName(reason), name) == 0)
+            return reason;
+    }
+    return std::nullopt;
+}
+
 std::string
 EqSatReport::toString() const
 {
     return std::string(stopReasonName(stop)) + " after " +
            std::to_string(iterations) + " iters, " +
            std::to_string(nodes) + " nodes, " + std::to_string(classes) +
-           " classes";
+           " classes" +
+           (stepBudgetExhausted ? " (step budget exhausted)" : "");
 }
 
 EqSatReport
@@ -70,6 +87,30 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
     report.threads = resolveEqSatThreads(limits.numThreads);
     ThreadPool pool(static_cast<unsigned>(report.threads));
 
+    // Tracing setup. Everything here is observation only — a traced
+    // run produces byte-identical results to an untraced one — and
+    // with tracing disabled the cost is one null check per site.
+    obs::TraceSession *trace = obs::TraceSession::active();
+    obs::Span runSpan("eqsat/run",
+                      static_cast<std::int64_t>(rules.size()));
+    std::uint32_t shardSpanName = 0;
+    std::vector<std::uint32_t> ruleMatchName, ruleStepName,
+        ruleApplyName;
+    if (trace) {
+        shardSpanName = obs::internName("eqsat/shard");
+        ruleMatchName.reserve(rules.size());
+        ruleStepName.reserve(rules.size());
+        ruleApplyName.reserve(rules.size());
+        for (const CompiledRule &rule : rules) {
+            ruleMatchName.push_back(
+                obs::internName("rule/" + rule.name() + "/matches"));
+            ruleStepName.push_back(
+                obs::internName("rule/" + rule.name() + "/steps"));
+            ruleApplyName.push_back(
+                obs::internName("rule/" + rule.name() + "/applied"));
+        }
+    }
+
     egraph.rebuild();
 
     for (int iter = 0; iter < limits.maxIters; ++iter) {
@@ -81,6 +122,7 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
             report.stop = StopReason::NodeLimit;
             break;
         }
+        obs::Span iterSpan("eqsat/iter", iter);
 
         // Search phase: gather matches for every rule against the
         // frozen e-graph, so application order cannot bias results.
@@ -120,11 +162,22 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
 
         std::vector<std::vector<PatternMatch>> shardMatches(
             shards.size());
+        // Step budget consumed per shard, recorded only when tracing
+        // (summed into the per-rule step counters after the merge).
+        std::vector<std::size_t> shardSteps(trace ? shards.size() : 0);
+        obs::Span searchSpan("eqsat/search",
+                             static_cast<std::int64_t>(shards.size()));
         std::atomic<bool> timedOut{false};
+        // An OR across shards: deterministic for any schedule.
+        std::atomic<bool> stepsExhausted{false};
         pool.parallelFor(shards.size(), [&](std::size_t t) {
             if (timedOut.load(std::memory_order_relaxed))
                 return;
             const SearchShard &shard = shards[t];
+            // Worker threads emit straight into their own lock-free
+            // rings; the span records which rule this shard served.
+            obs::Span shardSpan(shardSpanName, trace,
+                                static_cast<std::int64_t>(shard.rule));
             const CompiledPattern &lhs = rules[shard.rule].lhs();
             const std::vector<EClassId> &classes =
                 *candidates[shard.rule];
@@ -147,8 +200,15 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
                     break;
                 }
             }
+            if (steps == 0)
+                stepsExhausted.store(true, std::memory_order_relaxed);
+            if (trace)
+                shardSteps[t] = shard.steps - steps;
         });
         report.searchSeconds += searchWatch.elapsedSeconds();
+        report.stepBudgetExhausted |=
+            stepsExhausted.load(std::memory_order_relaxed);
+        searchSpan.close();
         if (timedOut.load(std::memory_order_relaxed) ||
             deadline.expired()) {
             report.stop = StopReason::TimeLimit;
@@ -166,11 +226,26 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
                 dst.push_back(std::move(m));
             }
         }
+        if (trace) {
+            std::vector<std::size_t> ruleSteps(rules.size());
+            for (std::size_t t = 0; t < shards.size(); ++t)
+                ruleSteps[shards[t].rule] += shardSteps[t];
+            for (std::size_t r = 0; r < rules.size(); ++r) {
+                trace->recordCounter(
+                    ruleMatchName[r],
+                    static_cast<std::int64_t>(allMatches[r].size()));
+                trace->recordCounter(
+                    ruleStepName[r],
+                    static_cast<std::int64_t>(ruleSteps[r]));
+            }
+        }
 
         // Apply phase: round-robin across rules so that when the node
         // budget cuts application short, every rule got a fair share
         // rather than only the rules that happened to come first.
         Stopwatch applyWatch;
+        obs::Span applySpan("eqsat/apply");
+        std::vector<std::size_t> ruleApplied(trace ? rules.size() : 0);
         bool changed = false;
         std::size_t nodesBefore = egraph.numNodes();
         bool pending = true;
@@ -182,6 +257,8 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
                     continue;
                 pending = true;
                 changed |= rules[r].apply(egraph, allMatches[r][index]);
+                if (trace)
+                    ++ruleApplied[r];
                 if ((++applied & 1023) == 0 &&
                     (deadline.expired() ||
                      egraph.numNodes() >= limits.maxNodes)) {
@@ -192,10 +269,29 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
             if (egraph.numNodes() >= limits.maxNodes)
                 break;
         }
-        egraph.rebuild();
+        applySpan.setValue(static_cast<std::int64_t>(applied));
+        applySpan.close();
+        {
+            obs::Span rebuildSpan("eqsat/rebuild");
+            egraph.rebuild();
+        }
         report.applySeconds += applyWatch.elapsedSeconds();
         report.iterations = iter + 1;
         changed |= egraph.numNodes() != nodesBefore;
+        if (trace) {
+            for (std::size_t r = 0; r < rules.size(); ++r) {
+                trace->recordCounter(
+                    ruleApplyName[r],
+                    static_cast<std::int64_t>(ruleApplied[r]));
+            }
+            // The e-graph growth curve, one sample per iteration.
+            trace->recordCounter(
+                obs::internName("egraph/nodes"),
+                static_cast<std::int64_t>(egraph.numNodes()));
+            trace->recordCounter(
+                obs::internName("egraph/classes"),
+                static_cast<std::int64_t>(egraph.numClasses()));
+        }
 
         if (!changed) {
             report.stop = StopReason::Saturated;

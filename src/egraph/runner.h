@@ -25,6 +25,8 @@
  * sequential engine.
  */
 
+#include <array>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,6 +74,15 @@ enum class StopReason
     TimeLimit,
 };
 
+/** Every StopReason, for exhaustive iteration in stats and tests.
+ *  Keep in sync with the enum (pinned by ObsTest.StopReasonNames). */
+inline constexpr std::array<StopReason, 4> kAllStopReasons = {
+    StopReason::Saturated,
+    StopReason::NodeLimit,
+    StopReason::IterLimit,
+    StopReason::TimeLimit,
+};
+
 /** Outcome summary of one saturation run. */
 struct EqSatReport
 {
@@ -86,12 +97,23 @@ struct EqSatReport
     double applySeconds = 0;
     /** Search threads used. */
     int threads = 1;
+    /**
+     * True when some search shard exhausted its per-rule step budget
+     * (maxSearchStepsPerRule). Distinguishes a genuinely complete
+     * "saturated" / "iter-limit" stop from one whose search was
+     * silently truncated — and keeps truncation separate from
+     * TimeLimit, which is about the wall clock.
+     */
+    bool stepBudgetExhausted = false;
 
     std::string toString() const;
 };
 
 /** Human-readable stop reason. */
 const char *stopReasonName(StopReason reason);
+
+/** Inverse of stopReasonName (round-trips every enumerator). */
+std::optional<StopReason> stopReasonFromName(const char *name);
 
 /** Runs equality saturation with @p rules over @p egraph. */
 EqSatReport runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,

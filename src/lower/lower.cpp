@@ -3,6 +3,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "support/panic.h"
 
 namespace isaria
@@ -360,8 +361,17 @@ class Lowerer
 VmProgram
 lowerProgram(const RecExpr &program, const LowerOptions &options)
 {
+    obs::Span span("lower",
+                   static_cast<std::int64_t>(program.size()));
     Lowerer lowerer(program, options);
-    return lowerer.run();
+    VmProgram out = lowerer.run();
+    if (obs::enabled()) {
+        obs::counter("lower/instructions",
+                     static_cast<std::int64_t>(out.code.size()));
+        obs::counter("lower/scalar-regs", out.numScalarRegs);
+        obs::counter("lower/vector-regs", out.numVectorRegs);
+    }
+    return out;
 }
 
 } // namespace isaria

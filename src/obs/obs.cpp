@@ -1,0 +1,275 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <unordered_map>
+
+#include "obs/export.h"
+
+namespace isaria::obs
+{
+
+// ---------------------------------------------------------------------
+// Name interning. Process-wide and append-only: ids stay valid across
+// sessions, so instrumentation sites can cache them per run.
+
+namespace
+{
+
+struct NameTable
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, std::uint32_t> ids;
+    /** Deque: nameOf() hands out references that must stay valid. */
+    std::deque<std::string> names;
+};
+
+NameTable &
+nameTable()
+{
+    static NameTable table;
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+internName(const std::string &name)
+{
+    NameTable &table = nameTable();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    auto it = table.ids.find(name);
+    if (it != table.ids.end())
+        return it->second;
+    auto id = static_cast<std::uint32_t>(table.names.size());
+    table.names.push_back(name);
+    table.ids.emplace(table.names.back(), id);
+    return id;
+}
+
+const std::string &
+nameOf(std::uint32_t id)
+{
+    NameTable &table = nameTable();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    static const std::string unknown = "?";
+    return id < table.names.size() ? table.names[id] : unknown;
+}
+
+// ---------------------------------------------------------------------
+// TraceSession.
+
+std::atomic<TraceSession *> TraceSession::activeSession_{nullptr};
+
+namespace
+{
+
+/** Session identities, so thread-local ring caches never go stale. */
+std::atomic<std::uint64_t> nextSessionId{1};
+
+struct ThreadRingRef
+{
+    std::uint64_t sessionId = 0;
+    EventRing *ring = nullptr;
+};
+
+thread_local ThreadRingRef tlRing;
+
+} // namespace
+
+TraceSession::TraceSession(std::size_t ringCapacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      ringCapacity_(ringCapacity),
+      sessionId_(nextSessionId.fetch_add(1, std::memory_order_relaxed))
+{}
+
+TraceSession::~TraceSession()
+{
+    deactivate();
+}
+
+void
+TraceSession::activate()
+{
+    activeSession_.store(this, std::memory_order_release);
+}
+
+void
+TraceSession::deactivate()
+{
+    TraceSession *expected = this;
+    activeSession_.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_acq_rel);
+}
+
+EventRing &
+TraceSession::ring()
+{
+    if (tlRing.sessionId == sessionId_)
+        return *tlRing.ring;
+    return registerThread();
+}
+
+EventRing &
+TraceSession::registerThread()
+{
+    std::lock_guard<std::mutex> lock(registerMutex_);
+    rings_.push_back(std::make_unique<EventRing>(ringCapacity_));
+    tlRing = {sessionId_, rings_.back().get()};
+    return *tlRing.ring;
+}
+
+std::vector<TaggedEvent>
+TraceSession::drain() const
+{
+    std::vector<TaggedEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(registerMutex_);
+        std::vector<Event> events;
+        for (std::size_t tid = 0; tid < rings_.size(); ++tid) {
+            events.clear();
+            rings_[tid]->snapshot(events);
+            for (const Event &event : events)
+                out.push_back({event, static_cast<std::uint32_t>(tid)});
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TaggedEvent &a, const TaggedEvent &b) {
+                         return a.event.startNs < b.event.startNs;
+                     });
+    return out;
+}
+
+std::uint64_t
+TraceSession::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(registerMutex_);
+    std::uint64_t dropped = 0;
+    for (const auto &ring : rings_)
+        dropped += ring->dropped();
+    return dropped;
+}
+
+std::size_t
+TraceSession::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(registerMutex_);
+    return rings_.size();
+}
+
+// ---------------------------------------------------------------------
+// The opt-in surface.
+
+namespace
+{
+
+TraceFormat
+parseFormat(const std::string &text)
+{
+    if (text == "chrome" || text == "chrometrace" || text == "perfetto")
+        return TraceFormat::Chrome;
+    return TraceFormat::Jsonl;
+}
+
+} // namespace
+
+ObsOptions
+ObsOptions::fromEnv()
+{
+    ObsOptions options;
+    if (const char *path = std::getenv("ISARIA_TRACE");
+        path && *path) {
+        options.tracePath = path;
+    }
+    if (const char *format = std::getenv("ISARIA_TRACE_FORMAT");
+        format && *format) {
+        options.format = parseFormat(format);
+    }
+    if (const char *stats = std::getenv("ISARIA_STATS");
+        stats && *stats && std::strcmp(stats, "0") != 0) {
+        options.stats = true;
+    }
+    return options;
+}
+
+ObsOptions
+ObsOptions::parse(int &argc, char **argv)
+{
+    ObsOptions options = fromEnv();
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--trace=", 0) == 0) {
+            options.tracePath = arg.substr(8);
+        } else if (arg == "--trace" && i + 1 < argc) {
+            options.tracePath = argv[++i];
+        } else if (arg.rfind("--trace-format=", 0) == 0) {
+            options.format = parseFormat(arg.substr(15));
+        } else if (arg == "--trace-format" && i + 1 < argc) {
+            options.format = parseFormat(argv[++i]);
+        } else if (arg == "--stats") {
+            options.stats = true;
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    // Null out only the vacated tail: argv may be exactly argc entries
+    // (no trailing null slot), so never touch argv[argc] itself.
+    for (int i = kept; i < argc; ++i)
+        argv[i] = nullptr;
+    argc = kept;
+    return options;
+}
+
+ScopedTrace::ScopedTrace(ObsOptions options) : options_(std::move(options))
+{
+    if (options_.enabled() || options_.alwaysRecord)
+        session_.activate();
+}
+
+ScopedTrace::~ScopedTrace()
+{
+    finish();
+}
+
+bool
+ScopedTrace::finish()
+{
+    if (finished_)
+        return true;
+    finished_ = true;
+    session_.deactivate();
+    if (!options_.enabled())
+        return true;
+
+    bool ok = true;
+    if (!options_.tracePath.empty()) {
+        std::ofstream out(options_.tracePath);
+        if (!out) {
+            std::fprintf(stderr, "[obs] cannot open trace file: %s\n",
+                         options_.tracePath.c_str());
+            ok = false;
+        } else {
+            if (options_.format == TraceFormat::Chrome)
+                exportChromeTrace(session_, out);
+            else
+                exportJsonl(session_, out);
+            std::fprintf(stderr, "[obs] trace written: %s (%s)\n",
+                         options_.tracePath.c_str(),
+                         options_.format == TraceFormat::Chrome
+                             ? "chrome"
+                             : "jsonl");
+        }
+    }
+    if (options_.stats) {
+        StatsReport report = aggregateStats(session_);
+        std::fputs(report.toString().c_str(), stderr);
+    }
+    return ok;
+}
+
+} // namespace isaria::obs

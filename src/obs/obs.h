@@ -1,0 +1,337 @@
+#ifndef ISARIA_OBS_OBS_H
+#define ISARIA_OBS_OBS_H
+
+/**
+ * @file
+ * Pipeline-wide tracing and metrics: sessions, scoped spans, counters.
+ *
+ * Every stage of the pipeline — rule synthesis, phase assignment, the
+ * Fig. 3 compile loop, equality saturation (including its parallel
+ * search shards), lowering, and the cycle simulator — emits spans and
+ * counters through this layer. The compile loop and synthesis are
+ * budget-driven (node caps, step budgets, per-EqSat timeouts); this
+ * substrate is the single place where those budgets become visible
+ * as per-phase wall time and counter curves instead of ad-hoc
+ * printouts.
+ *
+ * Design constraints, in priority order:
+ *
+ * 1. **Disabled tracing costs one branch per event site.** There is a
+ *    single global "active session" pointer; every emission helper
+ *    loads it (relaxed) and returns when null. No name interning, no
+ *    clock read, no allocation happens on the disabled path
+ *    (`bench/micro_egraph`'s BM_ObsSpanDisabled pins this).
+ * 2. **Recording never perturbs results.** Instrumentation only
+ *    observes; traced and untraced runs produce byte-identical
+ *    extractions (tests/obs_test.cpp pins this at 1 and 4 threads).
+ * 3. **Thread-safe and contention-free.** Each emitting thread owns a
+ *    single-producer event ring (obs/ring_buffer.h); the thread-pool
+ *    workers of the parallel e-matching engine record without any
+ *    shared mutable state on the hot path.
+ *
+ * Usage:
+ *
+ *   TraceSession session;
+ *   session.activate();
+ *   { Span s("eqsat/iter", iter); ... }     // RAII span
+ *   counter("egraph/nodes", eg.numNodes()); // sampled counter
+ *   session.deactivate();
+ *   exportChromeTrace(session, out);        // obs/export.h
+ *
+ * Binaries opt in through one surface: `--trace=<file>`,
+ * `--trace-format={jsonl,chrome}`, `--stats`, or the environment
+ * variables ISARIA_TRACE / ISARIA_TRACE_FORMAT / ISARIA_STATS
+ * (ObsOptions + ScopedTrace below).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/ring_buffer.h"
+
+namespace isaria::obs
+{
+
+/**
+ * Interns @p name into the process-wide trace-name table and returns
+ * its id. Interning takes a lock; call it once per site or per run
+ * (Span and counter() intern lazily, only when a session is active).
+ */
+std::uint32_t internName(const std::string &name);
+
+/** The string for an interned id (stable for the process lifetime). */
+const std::string &nameOf(std::uint32_t id);
+
+/** An event with its emitting thread attached (drain output). */
+struct TaggedEvent
+{
+    Event event;
+    /** Session-local thread index (0 = first registered thread). */
+    std::uint32_t tid = 0;
+};
+
+/**
+ * One recording session: a clock epoch plus per-thread event rings.
+ *
+ * At most one session is active in the process at a time; emission
+ * helpers find it through the global active pointer. Sessions may be
+ * created, activated, and drained repeatedly; thread registrations
+ * are keyed by a session epoch, so a thread outliving one session
+ * re-registers cleanly with the next.
+ */
+class TraceSession
+{
+  public:
+    /** @p ringCapacity events are retained per emitting thread. */
+    explicit TraceSession(std::size_t ringCapacity = 1u << 16);
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** Installs this session as the process-wide recording target. */
+    void activate();
+    /** Uninstalls (idempotent; automatic on destruction). */
+    void deactivate();
+
+    /** The active session, or nullptr — the one-branch fast path. */
+    static TraceSession *
+    active()
+    {
+        return activeSession_.load(std::memory_order_acquire);
+    }
+
+    /** Nanoseconds since this session's construction. */
+    std::uint64_t
+    nowNs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count());
+    }
+
+    /** Records a closed span (called by Span's destructor). */
+    void
+    recordSpan(std::uint32_t name, std::uint64_t startNs,
+               std::uint64_t durNs, std::int64_t value)
+    {
+        ring().push({name, EventKind::Span, startNs, durNs, value});
+    }
+
+    /** Records a counter sample (value observed now). */
+    void
+    recordCounter(std::uint32_t name, std::int64_t value)
+    {
+        ring().push({name, EventKind::Counter, nowNs(), 0, value});
+    }
+
+    /** Records an instant marker. */
+    void
+    recordInstant(std::uint32_t name, std::int64_t value = 0)
+    {
+        ring().push({name, EventKind::Instant, nowNs(), 0, value});
+    }
+
+    /**
+     * All retained events, tagged with their thread index and sorted
+     * by start time. Call only when no emitting thread is mid-record
+     * (between parallel phases / after deactivate) — see
+     * EventRing::snapshot.
+     */
+    std::vector<TaggedEvent> drain() const;
+
+    /** Events lost to ring wraparound, summed over threads. */
+    std::uint64_t droppedEvents() const;
+
+    /** Threads that have recorded into this session. */
+    std::size_t threadCount() const;
+
+  private:
+    /** This thread's ring, registering it on first use. */
+    EventRing &ring();
+    EventRing &registerThread();
+
+    static std::atomic<TraceSession *> activeSession_;
+
+    std::chrono::steady_clock::time_point epoch_;
+    std::size_t ringCapacity_;
+    /** Distinguishes sessions for thread-local re-registration. */
+    std::uint64_t sessionId_;
+
+    mutable std::mutex registerMutex_;
+    std::vector<std::unique_ptr<EventRing>> rings_;
+};
+
+/**
+ * RAII scoped span. Costs one branch when tracing is disabled; when
+ * enabled, interns its name lazily and records one Span event at
+ * scope exit.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, std::int64_t value = 0)
+        : session_(TraceSession::active())
+    {
+        if (!session_)
+            return;
+        name_ = internName(name);
+        value_ = value;
+        startNs_ = session_->nowNs();
+    }
+
+    /** Span with a pre-interned name (for per-rule dynamic names). */
+    Span(std::uint32_t nameId, TraceSession *session,
+         std::int64_t value = 0)
+        : session_(session)
+    {
+        if (!session_)
+            return;
+        name_ = nameId;
+        value_ = value;
+        startNs_ = session_->nowNs();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Updates the span's argument before it closes. */
+    void
+    setValue(std::int64_t value)
+    {
+        value_ = value;
+    }
+
+    /** Closes the span now instead of at scope exit (idempotent). */
+    void
+    close()
+    {
+        if (session_) {
+            session_->recordSpan(name_, startNs_,
+                                 session_->nowNs() - startNs_, value_);
+            session_ = nullptr;
+        }
+    }
+
+    ~Span() { close(); }
+
+  private:
+    TraceSession *session_;
+    std::uint32_t name_ = 0;
+    std::uint64_t startNs_ = 0;
+    std::int64_t value_ = 0;
+};
+
+/** Records a counter sample on the active session, if any. */
+inline void
+counter(const char *name, std::int64_t value)
+{
+    if (TraceSession *session = TraceSession::active())
+        session->recordCounter(internName(name), value);
+}
+
+/** Counter with a pre-interned name (hot loops, dynamic names). */
+inline void
+counterId(std::uint32_t nameId, std::int64_t value)
+{
+    if (TraceSession *session = TraceSession::active())
+        session->recordCounter(nameId, value);
+}
+
+/** Records an instant marker on the active session, if any. */
+inline void
+instant(const char *name, std::int64_t value = 0)
+{
+    if (TraceSession *session = TraceSession::active())
+        session->recordInstant(internName(name), value);
+}
+
+/** True when a session is recording (for gating setup-only work). */
+inline bool
+enabled()
+{
+    return TraceSession::active() != nullptr;
+}
+
+// ---------------------------------------------------------------------
+// The opt-in surface shared by every binary.
+
+enum class TraceFormat
+{
+    Jsonl,
+    Chrome,
+};
+
+/** Parsed --trace/--trace-format/--stats + environment options. */
+struct ObsOptions
+{
+    /** Trace output path; empty = no trace file. */
+    std::string tracePath;
+    TraceFormat format = TraceFormat::Jsonl;
+    /** Print the aggregated stats report to stderr at teardown. */
+    bool stats = false;
+    /**
+     * Record even when no trace file or stats report was requested.
+     * Used by the bench harnesses so their JSON sidecars always
+     * carry an aggregated "obs" block.
+     */
+    bool alwaysRecord = false;
+
+    /** ISARIA_TRACE / ISARIA_TRACE_FORMAT / ISARIA_STATS. */
+    static ObsOptions fromEnv();
+
+    /**
+     * Starts from fromEnv(), consumes the recognized flags from
+     * argv (compacting it and updating argc), and returns the
+     * result. Unrecognized arguments are left for the caller.
+     */
+    static ObsOptions parse(int &argc, char **argv);
+
+    /** True when any recording (trace file or stats) is requested. */
+    bool
+    enabled() const
+    {
+        return !tracePath.empty() || stats;
+    }
+};
+
+/**
+ * The one-liner for main(): owns a TraceSession, activates it when
+ * @p options request recording, and on destruction deactivates,
+ * writes the trace file, and prints the stats report.
+ */
+class ScopedTrace
+{
+  public:
+    explicit ScopedTrace(ObsOptions options);
+    ~ScopedTrace();
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+    /** The session (recording only if options enabled it). */
+    TraceSession &session() { return session_; }
+    const ObsOptions &options() const { return options_; }
+
+    /**
+     * Writes the trace file and prints stats now (idempotent;
+     * otherwise runs at destruction). Returns false if the trace
+     * file could not be written.
+     */
+    bool finish();
+
+  private:
+    ObsOptions options_;
+    TraceSession session_;
+    bool finished_ = false;
+};
+
+} // namespace isaria::obs
+
+#endif // ISARIA_OBS_OBS_H

@@ -1,5 +1,7 @@
 #include "phase/phase.h"
 
+#include "obs/obs.h"
+
 namespace isaria
 {
 
@@ -78,10 +80,20 @@ PhasedRules::toCsv() const
 PhasedRules
 assignPhases(const RuleSet &rules, const DspCostModel &cost)
 {
+    obs::Span span("phase/assign",
+                   static_cast<std::int64_t>(rules.size()));
     PhasedRules out;
     out.all.reserve(rules.size());
     for (const Rule &rule : rules.rules())
         out.all.push_back(scoreRule(rule, cost));
+    if (obs::enabled()) {
+        for (Phase phase : {Phase::Expansion, Phase::Compilation,
+                            Phase::Optimization}) {
+            obs::counter(
+                (std::string("phase/") + phaseName(phase)).c_str(),
+                static_cast<std::int64_t>(out.countOf(phase)));
+        }
+    }
     return out;
 }
 

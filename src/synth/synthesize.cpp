@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "support/panic.h"
 
 namespace isaria
@@ -105,10 +106,12 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
     SynthReport report;
     Deadline deadline(config.timeoutSeconds);
     Stopwatch watch;
+    obs::Span synthSpan("synth/run");
 
     // --- Phase 1: enumerate candidate pairs over the 1-wide ISA.
     // Enumeration gets a slice of the budget so shrinking always has
     // room to run.
+    obs::Span enumSpan("synth/enumerate");
     Deadline enumDeadline(config.timeoutSeconds > 0
                               ? config.timeoutSeconds * config.enumFraction
                               : 0);
@@ -117,6 +120,11 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
     report.candidatesConsidered = enumerated.candidates.size();
     report.enumerateSeconds = watch.elapsedSeconds();
     watch.reset();
+    enumSpan.setValue(
+        static_cast<std::int64_t>(report.candidatesConsidered));
+    enumSpan.close();
+    obs::counter("synth/candidates",
+                 static_cast<std::int64_t>(report.candidatesConsidered));
 
     // Deduplicate candidate pairs and order them smallest-first (the
     // Ruler preference: small rules are more general and derive more).
@@ -179,6 +187,8 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
         if (compiled.empty() || acceptedSincePrune == 0)
             return;
         acceptedSincePrune = 0;
+        obs::Span pruneSpan("synth/prune");
+        std::size_t prunedBefore = report.prunedDerivable;
         // Prune a window of upcoming candidates only: the tail gets
         // its turn as the cursor approaches, and the saturation stays
         // small.
@@ -210,7 +220,18 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
                 ++report.prunedDerivable;
             }
         }
+        std::size_t prunedHere = report.prunedDerivable - prunedBefore;
+        pruneSpan.setValue(static_cast<std::int64_t>(prunedHere));
+        // Shrink-loop visibility: window size and how many candidates
+        // the derivability saturation left alive.
+        obs::counter("synth/prune/window",
+                     static_cast<std::int64_t>(ids.size()));
+        obs::counter("synth/prune/survivors",
+                     static_cast<std::int64_t>(ids.size() - prunedHere));
     };
+
+    // Verdict tallies for the shrink phase's stats counters.
+    std::size_t verdictCounts[3] = {0, 0, 0};
 
     // Accepts the next live candidate of @p pool; returns false when
     // the pool is exhausted.
@@ -228,6 +249,7 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
 
             Rule forward{cand.pair.a, cand.pair.b, "", false};
             Verdict verdict = verifyRule(forward, config.verify);
+            ++verdictCounts[static_cast<int>(verdict)];
             if (verdict == Verdict::Rejected) {
                 ++report.rejectedUnsound;
                 continue;
@@ -258,6 +280,7 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
         return false;
     };
 
+    obs::Span shrinkSpan("synth/shrink");
     bool liftAlive = true;
     bool vectorAlive = true;
     bool scalarAlive = true;
@@ -281,9 +304,25 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
     }
     report.shrinkSeconds = watch.elapsedSeconds();
     watch.reset();
+    shrinkSpan.setValue(
+        static_cast<std::int64_t>(report.oneWideRules.size()));
+    shrinkSpan.close();
+    obs::counter("synth/verified/proved",
+                 static_cast<std::int64_t>(
+                     verdictCounts[static_cast<int>(Verdict::Proved)]));
+    obs::counter("synth/verified/tested",
+                 static_cast<std::int64_t>(
+                     verdictCounts[static_cast<int>(Verdict::Tested)]));
+    obs::counter(
+        "synth/verified/rejected",
+        static_cast<std::int64_t>(
+            verdictCounts[static_cast<int>(Verdict::Rejected)]));
+    obs::counter("synth/pruned-derivable",
+                 static_cast<std::int64_t>(report.prunedDerivable));
 
     // --- Phase 3: generalize across lanes to the ISA width, then
     // re-verify every expanded rule (the paper's soundness backstop).
+    obs::Span generalizeSpan("synth/generalize");
     int width = isa.vectorWidth();
     for (const Rule &rule : report.oneWideRules.rules()) {
         Rule wide = generalizeRule(rule, width);
@@ -300,6 +339,9 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
         report.rules.add(std::move(wide));
     }
     report.generalizeSeconds = watch.elapsedSeconds();
+    generalizeSpan.close();
+    obs::counter("synth/rules",
+                 static_cast<std::int64_t>(report.rules.size()));
 
     return report;
 }

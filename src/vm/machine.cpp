@@ -1,7 +1,9 @@
 #include "vm/machine.h"
 
+#include <array>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "support/panic.h"
 
 namespace isaria
@@ -263,6 +265,8 @@ VmRunResult
 runProgram(const VmProgram &program, const VmMemory &inputs,
            const LatencyModel &latency)
 {
+    obs::Span span("vm/run",
+                   static_cast<std::int64_t>(program.code.size()));
     Machine machine(program, inputs, latency);
     for (const VmInst &inst : program.code)
         machine.exec(inst);
@@ -270,6 +274,40 @@ runProgram(const VmProgram &program, const VmMemory &inputs,
     out.memory = std::move(machine.memory);
     out.cycles = machine.lastWrite;
     out.instructions = program.code.size();
+
+    if (obs::TraceSession *trace = obs::TraceSession::active()) {
+        // Opcode and issue-slot histograms for the simulated run —
+        // aggregated outside the exec loop so tracing never touches
+        // the cycle-accounting hot path.
+        std::array<std::uint64_t, 64> opCounts{};
+        std::uint64_t moveSlot = 0;
+        std::uint64_t computeSlot = 0;
+        for (const VmInst &inst : program.code) {
+            ++opCounts[static_cast<std::size_t>(inst.op)];
+            if (vmOpIsMoveSlot(inst.op))
+                ++moveSlot;
+            else
+                ++computeSlot;
+        }
+        for (std::size_t op = 0; op < opCounts.size(); ++op) {
+            if (opCounts[op] == 0)
+                continue;
+            trace->recordCounter(
+                obs::internName(
+                    std::string("vm/op/") +
+                    vmOpName(static_cast<VmOp>(op))),
+                static_cast<std::int64_t>(opCounts[op]));
+        }
+        trace->recordCounter(obs::internName("vm/slot/move"),
+                             static_cast<std::int64_t>(moveSlot));
+        trace->recordCounter(obs::internName("vm/slot/compute"),
+                             static_cast<std::int64_t>(computeSlot));
+        trace->recordCounter(obs::internName("vm/cycles"),
+                             static_cast<std::int64_t>(out.cycles));
+        trace->recordCounter(
+            obs::internName("vm/instructions"),
+            static_cast<std::int64_t>(out.instructions));
+    }
     return out;
 }
 

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validates an isaria-obs JSONL trace against tools/trace_schema.json.
+
+Standard library only (CI images carry no jsonschema). Checks, in
+order: every line parses as JSON; the first line is the meta record
+with the expected schema version; every event line has a known type
+and carries the required fields with the right primitive types; and
+the meta record's event count matches the number of event lines.
+
+Usage: validate_trace.py TRACE.jsonl SCHEMA.json
+Exits 0 when valid, 1 with a line-numbered diagnostic otherwise.
+"""
+
+import json
+import sys
+
+PRIMITIVES = {"int": int, "string": str}
+
+
+def fail(message):
+    print(f"validate_trace: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(obj, spec, lineno, what):
+    for key, typename in spec["required"].items():
+        if key not in obj:
+            fail(f"line {lineno}: {what} record missing '{key}'")
+        value = obj[key]
+        expected = PRIMITIVES[typename]
+        # bool is a subclass of int in Python; reject it for ints.
+        if isinstance(value, bool) or not isinstance(value, expected):
+            fail(
+                f"line {lineno}: {what} field '{key}' is "
+                f"{type(value).__name__}, expected {typename}"
+            )
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: validate_trace.py TRACE.jsonl SCHEMA.json")
+    trace_path, schema_path = sys.argv[1], sys.argv[2]
+
+    with open(schema_path, encoding="utf-8") as handle:
+        schema = json.load(handle)
+
+    meta = None
+    event_lines = 0
+    with open(trace_path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(f"line {lineno}: not valid JSON ({err})")
+            if not isinstance(obj, dict):
+                fail(f"line {lineno}: not a JSON object")
+
+            if meta is None:
+                if obj.get("type") != "meta":
+                    fail(f"line {lineno}: first record must be meta")
+                check_fields(obj, schema["meta"], lineno, "meta")
+                if obj["schema"] != schema["schema"]:
+                    fail(
+                        f"line {lineno}: trace schema {obj['schema']} "
+                        f"!= expected {schema['schema']}"
+                    )
+                meta = obj
+                continue
+
+            kind = obj.get("type")
+            spec = schema["records"].get(kind)
+            if spec is None:
+                fail(f"line {lineno}: unknown record type {kind!r}")
+            check_fields(obj, spec, lineno, kind)
+            event_lines += 1
+
+    if meta is None:
+        fail("empty trace: no meta record")
+    if meta["events"] != event_lines:
+        fail(
+            f"meta says {meta['events']} events, "
+            f"found {event_lines} event lines"
+        )
+    print(
+        f"validate_trace: ok ({event_lines} events, "
+        f"{meta['threads']} threads, {meta['dropped']} dropped)"
+    )
+
+
+if __name__ == "__main__":
+    main()
