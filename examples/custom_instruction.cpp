@@ -9,6 +9,7 @@
 
 #include "baseline/harness.h"
 #include "compiler/pipeline.h"
+#include "support/panic.h"
 
 using namespace isaria;
 
@@ -26,6 +27,7 @@ struct Variant
 int
 main()
 {
+    return guardedMain([&] {
     KernelHarness harness(KernelSpec::qrd(4));
     RunOutcome scalar = harness.runScalarBaseline();
     std::printf("QR decomposition 4x4, unvectorized baseline: %llu "
@@ -69,4 +71,5 @@ main()
                 "in an afternoon instead of a compiler-\nengineering "
                 "project.\n");
     return 0;
+    });
 }

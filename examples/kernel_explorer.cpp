@@ -6,7 +6,7 @@
 // Usage:
 //   kernel_explorer [conv R C KR KC | matmul N M K | qprod | qrd N]
 //                   [--asm] [--budget SECONDS] [--optimize]
-//                   [--eqsat-threads=N]
+//                   [--eqsat-threads=N] [--mem-mb=N] [--fault=SPEC]
 //                   [--trace FILE] [--trace-format {jsonl,chrome}]
 //                   [--stats]
 //
@@ -14,6 +14,15 @@
 // worker threads (default: ISARIA_EQSAT_THREADS, else the hardware
 // concurrency; 1 = sequential). The result is identical for any N —
 // only compile time changes.
+//
+// --mem-mb=N caps the accounted e-graph footprint of every
+// saturation at N MiB; a compile that hits the ceiling degrades to
+// the best program found so far instead of failing.
+//
+// --fault=SPEC arms the deterministic fault-injection harness (same
+// grammar as ISARIA_FAULT, e.g. --fault=shard-search:1). compile()
+// absorbs every injected fault; the degradation path taken is
+// printed after the cycle table.
 //
 // --optimize additionally runs the post-lowering machine passes
 // (MAC fusion, DCE, dual-issue scheduling) on the Isaria output and
@@ -32,6 +41,8 @@
 #include "lower/lower.h"
 #include "lower/optimize.h"
 #include "obs/obs.h"
+#include "support/fault.h"
+#include "support/panic.h"
 #include "term/sexpr.h"
 
 using namespace isaria;
@@ -39,6 +50,7 @@ using namespace isaria;
 int
 main(int argc, char **argv)
 {
+    return guardedMain([&] {
     // Consumes --trace/--trace-format/--stats before the kernel args.
     obs::ScopedTrace trace(obs::ObsOptions::parse(argc, argv));
 
@@ -47,6 +59,7 @@ main(int argc, char **argv)
     bool optimize = false;
     double budget = 20;
     int eqsatThreads = 0; // 0 = auto (env / hardware concurrency)
+    std::size_t memLimitMb = 0; // 0 = unlimited
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -75,6 +88,17 @@ main(int argc, char **argv)
         } else if (arg == "--eqsat-threads" && i + 1 < argc) {
             eqsatThreads = std::atoi(argv[i + 1]);
             i += 1;
+        } else if (arg.rfind("--mem-mb=", 0) == 0) {
+            memLimitMb = static_cast<std::size_t>(
+                std::atoll(arg.c_str() + 9));
+        } else if (arg.rfind("--fault=", 0) == 0) {
+            auto plan = FaultPlan::parse(arg.c_str() + 8);
+            if (!plan.ok()) {
+                std::fprintf(stderr, "bad --fault spec: %s\n",
+                             plan.error().toString().c_str());
+                return 1;
+            }
+            setFaultPlan(plan.value());
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
             return 1;
@@ -94,6 +118,7 @@ main(int argc, char **argv)
     synth.derivLimits.numThreads = eqsatThreads;
     CompilerConfig compilerConfig;
     compilerConfig.withEqSatThreads(eqsatThreads);
+    compilerConfig.withMemLimitBytes(memLimitMb * 1024 * 1024);
     GeneratedCompiler gen = generateCompiler(isa, synth, compilerConfig);
     IsariaCompiler dios = makeDiospyrosCompiler(compilerConfig);
 
@@ -128,6 +153,18 @@ main(int argc, char **argv)
                     isariaOut.compileStats.initialCost),
                 static_cast<unsigned long long>(
                     isariaOut.compileStats.finalCost));
+    const CompileStats &ist = isariaOut.compileStats;
+    if (ist.degradation != DegradeLevel::None) {
+        std::printf("\nDegradation: %s (%d fault%s injected%s)\n",
+                    degradeLevelName(ist.degradation),
+                    ist.faultsInjected,
+                    ist.faultsInjected == 1 ? "" : "s",
+                    isariaOut.loweredScalarFallback
+                        ? "; harness re-lowered the scalar program"
+                        : "");
+        for (const std::string &event : ist.degradeEvents)
+            std::printf("  ! %s\n", event.c_str());
+    }
     if (trace.options().stats)
         std::printf("\nPer-round compile breakdown:\n%s",
                     isariaOut.compileStats.toString().c_str());
@@ -160,4 +197,5 @@ main(int argc, char **argv)
                     lowerProgram(compiled, options).toString().c_str());
     }
     return 0;
+    });
 }

@@ -20,12 +20,14 @@
 #include "term/sexpr.h"
 #include "vm/machine.h"
 #include "vm/reference.h"
+#include "support/panic.h"
 
 using namespace isaria;
 
 int
 main(int argc, char **argv)
 {
+    return guardedMain([&] {
     obs::ScopedTrace trace(obs::ObsOptions::parse(argc, argv));
     // 1. The target ISA: a stock Fusion-G3-like DSP (4-wide SIMD).
     IsaSpec isa;
@@ -78,4 +80,5 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(run.cycles),
                 maxAbsDiff({got.begin(), got.begin() + 4}, reference));
     return 0;
+    });
 }

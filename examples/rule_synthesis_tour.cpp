@@ -7,12 +7,14 @@
 
 #include "phase/phase.h"
 #include "synth/synthesize.h"
+#include "support/panic.h"
 
 using namespace isaria;
 
 int
 main()
 {
+    return guardedMain([&] {
     IsaSpec isa;
     SynthConfig config;
     config.timeoutSeconds = 20;
@@ -63,4 +65,5 @@ main()
                 "validated by exact-rational sampling.\n",
                 proved, report.rules.size() - proved);
     return 0;
+    });
 }

@@ -192,8 +192,20 @@ KernelHarness::runCompiler(const IsariaCompiler &compiler) const
     options.width = width_;
     options.totalOutputs = kernel_.totalOutputs();
     options.scalarizeRawChunks = true;
-    RunOutcome out = runProgramChecked(lowerProgram(compiled, options));
+    Result<VmProgram> lowered = tryLowerProgram(compiled, options);
+    bool scalarFallback = false;
+    if (!lowered.ok()) {
+        // A degraded compile can emit a partially rewritten term the
+        // back-end cannot lower; fall back to the scalar input, which
+        // always lowers.
+        LowerOptions scalar = options;
+        scalar.scalarOnly = true;
+        lowered = tryLowerProgram(program_, scalar);
+        scalarFallback = true;
+    }
+    RunOutcome out = runProgramChecked(lowered.take());
     out.compileStats = stats;
+    out.loweredScalarFallback = scalarFallback;
     return out;
 }
 

@@ -63,6 +63,9 @@ struct RunOutcome
     double maxError = 0;
     std::size_t instructions = 0;
     CompileStats compileStats;
+    /** The compiled program would not lower; the harness re-lowered
+     *  the original scalar program instead (last ladder rung). */
+    bool loweredScalarFallback = false;
 };
 
 /** Drives one kernel through lifting, compilation, and simulation. */

@@ -1,5 +1,6 @@
 #include "compiler/compiler.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -20,6 +21,32 @@ IsariaCompiler::IsariaCompiler(PhasedRules rules, CompilerConfig config)
     for (const PhasedRule &pr : rules_.all)
         everything_.emplace_back(pr.rule);
 }
+
+const char *
+degradeLevelName(DegradeLevel level)
+{
+    switch (level) {
+      case DegradeLevel::None: return "none";
+      case DegradeLevel::BestSoFar: return "best-so-far";
+      case DegradeLevel::RoundFallback: return "round-fallback";
+      case DegradeLevel::ScalarFallback: return "scalar-fallback";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Records one rung of the degradation ladder in stats and obs. */
+void
+noteDegrade(CompileStats &st, DegradeLevel level, std::string what)
+{
+    st.degradation = std::max(st.degradation, level);
+    st.degradeEvents.push_back(std::move(what));
+    obs::counter("compile/degraded", static_cast<std::int64_t>(level));
+}
+
+} // namespace
 
 std::string
 CompileStats::toString() const
@@ -54,6 +81,15 @@ CompileStats::toString() const
                       optimization.toString().c_str());
         out += line;
     }
+    if (degradation != DegradeLevel::None) {
+        std::snprintf(line, sizeof line,
+                      "  degraded: %s (%d fault%s injected)\n",
+                      degradeLevelName(degradation), faultsInjected,
+                      faultsInjected == 1 ? "" : "s");
+        out += line;
+        for (const std::string &event : degradeEvents)
+            out += "    ! " + event + "\n";
+    }
     return out;
 }
 
@@ -69,18 +105,59 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
     const DspCostModel &cost = config_.costModel;
     st.initialCost = cost.exprCost(program);
 
-    auto note = [&](const EqSatReport &report) {
+    // The ladder's last rung: whatever escapes the per-round guards
+    // of compileImpl — including failures outside any round — still
+    // yields a runnable program: the scalar input itself.
+    try {
+        RecExpr out = compileImpl(program, st);
+        st.seconds = watch.elapsedSeconds();
+        return out;
+    } catch (const std::exception &e) {
+        noteDegrade(st, DegradeLevel::ScalarFallback,
+                    std::string("pipeline failed (") + e.what() +
+                        "); emitting the scalar input program");
+        st.finalCost = st.initialCost;
+        st.seconds = watch.elapsedSeconds();
+        return program;
+    }
+}
+
+RecExpr
+IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
+{
+    const DspCostModel &cost = config_.costModel;
+    const CancellationToken *token = config_.compilationLimits.cancel;
+
+    auto note = [&](const char *phase, int round,
+                    const EqSatReport &report) {
         ++st.eqsatCalls;
         st.peakNodes = std::max(st.peakNodes, report.nodes);
-        st.ranOutOfMemory |= report.stop == StopReason::NodeLimit;
+        st.ranOutOfMemory |= report.stop == StopReason::NodeLimit ||
+                             report.stop == StopReason::MemLimit;
+        if (report.faultInjected)
+            ++st.faultsInjected;
+        // NodeLimit/TimeLimit/IterLimit are the routine budget exits
+        // the paper's scheduler is built around; only the new
+        // resource/cancellation/fault stops count as degradation.
+        if (report.stop == StopReason::MemLimit ||
+            report.stop == StopReason::Cancelled) {
+            noteDegrade(st, DegradeLevel::BestSoFar,
+                        "round " + std::to_string(round) + ": " + phase +
+                            " stopped early (" +
+                            stopReasonName(report.stop) +
+                            (report.faultInjected ? ", fault injected"
+                                                  : "") +
+                            "); extracting best-so-far");
+        }
         st.reports.push_back(report);
     };
 
-    auto extractOrDie = [&](const EGraph &eg, EClassId root) {
+    auto extractChecked = [&](const EGraph &eg, EClassId root) {
         obs::Span extractSpan("compile/extract",
                               static_cast<std::int64_t>(eg.numNodes()));
         auto got = extractBest(eg, root, cost);
-        ISARIA_ASSERT(got.has_value(), "extraction found no program");
+        if (!got.has_value())
+            ISARIA_FATAL("extraction found no program");
         return std::move(*got);
     };
 
@@ -88,23 +165,32 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
 
     if (!config_.phasing) {
         // Strawman (Section 2.2): a single equality saturation over
-        // the entire synthesized rule set.
+        // the entire synthesized rule set. Its one round degrades
+        // straight to the input program on failure.
         obs::Span roundSpan("compile/round", 1);
-        EGraph eg;
-        EClassId root = eg.addExpr(current);
         RoundStats round;
         round.round = 1;
-        round.compilation =
-            runEqSat(eg, everything_, config_.compilationLimits);
-        note(round.compilation);
-        Extracted best = extractOrDie(eg, root);
-        round.extractedCost = best.cost;
-        st.rounds.push_back(round);
-        st.finalCost = best.cost;
-        st.seconds = watch.elapsedSeconds();
-        obs::counter("compile/cost",
-                     static_cast<std::int64_t>(best.cost));
-        return std::move(best.expr);
+        try {
+            EGraph eg;
+            EClassId root = eg.addExpr(current);
+            round.compilation =
+                runEqSat(eg, everything_, config_.compilationLimits);
+            note("compilation", 1, round.compilation);
+            Extracted best = extractChecked(eg, root);
+            round.extractedCost = best.cost;
+            st.rounds.push_back(round);
+            st.finalCost = best.cost;
+            obs::counter("compile/cost",
+                         static_cast<std::int64_t>(best.cost));
+            return std::move(best.expr);
+        } catch (const std::exception &e) {
+            noteDegrade(st, DegradeLevel::RoundFallback,
+                        std::string("strawman round failed (") + e.what() +
+                            "); keeping the input program");
+            st.rounds.push_back(round);
+            st.finalCost = st.initialCost;
+            return current;
+        }
     }
 
     std::uint64_t oldCost = st.initialCost;
@@ -124,45 +210,69 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
         RoundStats round;
         round.round = iter + 1;
         round.ranExpansion = true;
+        std::uint64_t newCost = 0;
 
-        EGraph freshGraph;
-        EGraph &eg = config_.pruning ? freshGraph : keptGraph;
-        EClassId root =
-            config_.pruning ? eg.addExpr(current) : keptRoot;
+        // Per-round guard: a phase that fails outright (rather than
+        // stopping on a budget) falls back to the previous round's
+        // program — `current` is only updated after a successful
+        // extraction, so it is always the best completed round.
+        try {
+            EGraph freshGraph;
+            EGraph &eg = config_.pruning ? freshGraph : keptGraph;
+            EClassId root =
+                config_.pruning ? eg.addExpr(current) : keptRoot;
 
-        round.expansion =
-            runEqSat(eg, expansion_, config_.expansionLimits);
-        note(round.expansion);
-        round.compilation =
-            runEqSat(eg, compilation_, config_.compilationLimits);
-        note(round.compilation);
+            round.expansion =
+                runEqSat(eg, expansion_, config_.expansionLimits);
+            note("expansion", round.round, round.expansion);
+            round.compilation =
+                runEqSat(eg, compilation_, config_.compilationLimits);
+            note("compilation", round.round, round.compilation);
 
-        Extracted best = extractOrDie(eg, root);
-        round.extractedCost = best.cost;
-        st.rounds.push_back(round);
-        obs::counter("compile/cost",
-                     static_cast<std::int64_t>(best.cost));
-        std::uint64_t newCost = best.cost;
-        current = std::move(best.expr);
+            Extracted best = extractChecked(eg, root);
+            round.extractedCost = best.cost;
+            st.rounds.push_back(round);
+            obs::counter("compile/cost",
+                         static_cast<std::int64_t>(best.cost));
+            newCost = best.cost;
+            current = std::move(best.expr);
+        } catch (const std::exception &e) {
+            noteDegrade(st, DegradeLevel::RoundFallback,
+                        "round " + std::to_string(round.round) +
+                            " failed (" + e.what() +
+                            "); keeping the previous round's program");
+            st.rounds.push_back(round);
+            break;
+        }
+
+        // A cancelled round still extracted best-so-far above; now
+        // stop iterating instead of burning more rounds.
+        if (token && token->cancelled())
+            break;
         if (newCost == oldCost)
             break;
         oldCost = newCost;
     }
 
-    // Final phase: optimize the chosen vectorization.
-    {
+    // Final phase: optimize the chosen vectorization. Failure keeps
+    // the unoptimized (still valid) program.
+    try {
         obs::Span optSpan("compile/optimize");
         EGraph eg;
         EClassId root = eg.addExpr(current);
         st.optimization = runEqSat(eg, optimization_, config_.optLimits);
         st.ranOptimization = true;
-        note(st.optimization);
-        Extracted best = extractOrDie(eg, root);
+        note("optimize", st.loopIterations, st.optimization);
+        Extracted best = extractChecked(eg, root);
         st.finalCost = best.cost;
         current = std::move(best.expr);
+    } catch (const std::exception &e) {
+        noteDegrade(st, DegradeLevel::RoundFallback,
+                    std::string("optimization phase failed (") + e.what() +
+                        "); keeping the unoptimized program");
+        st.finalCost = oldCost;
     }
 
-    st.seconds = watch.elapsedSeconds();
     return current;
 }
 

@@ -72,7 +72,60 @@ struct CompilerConfig
         optLimits.numThreads = threads;
         return *this;
     }
+
+    /**
+     * Caps the accounted e-graph footprint of every saturation at
+     * @p bytes (the --mem-mb knob; 0 = unlimited). A saturation that
+     * hits the ceiling stops with StopReason::MemLimit and the round
+     * still extracts the best program found so far.
+     */
+    CompilerConfig &
+    withMemLimitBytes(std::size_t bytes)
+    {
+        expansionLimits.maxBytes = bytes;
+        compilationLimits.maxBytes = bytes;
+        optLimits.maxBytes = bytes;
+        return *this;
+    }
+
+    /**
+     * Threads a caller-owned cancellation token through every
+     * saturation and the Fig. 3 loop itself: once the token fires,
+     * in-flight search work is interrupted within a few thousand
+     * e-matching steps and compile() returns the best program
+     * extracted so far (degradation recorded in CompileStats).
+     */
+    CompilerConfig &
+    withCancellation(const CancellationToken *token)
+    {
+        expansionLimits.cancel = token;
+        compilationLimits.cancel = token;
+        optLimits.cancel = token;
+        return *this;
+    }
 };
+
+/**
+ * How far compile() had to walk down the graceful-degradation ladder
+ * (ordered: each level subsumes the ones before it).
+ */
+enum class DegradeLevel
+{
+    /** Clean run: every phase completed within budget. */
+    None,
+    /** A saturation stopped on a resource budget, cancellation, or an
+     *  injected fault, and the round extracted best-so-far. */
+    BestSoFar,
+    /** A phase failed outright; compile() fell back to the previous
+     *  round's program. */
+    RoundFallback,
+    /** The whole pipeline failed; compile() returned its input (the
+     *  scalar program) unchanged — direct scalar lowering. */
+    ScalarFallback,
+};
+
+/** Human-readable degradation-level name. */
+const char *degradeLevelName(DegradeLevel level);
 
 /**
  * Sub-stats for one round of the Fig. 3 improve loop: the full
@@ -100,9 +153,17 @@ struct CompileStats
     int eqsatCalls = 0;
     double seconds = 0;
     std::size_t peakNodes = 0;
-    /** A saturation hit its node budget — the "ran out of memory"
-     *  condition of the paper's ablations. */
+    /** A saturation hit its node or byte budget — the "ran out of
+     *  memory" condition of the paper's ablations. */
     bool ranOutOfMemory = false;
+    /** Deepest degradation rung this compile hit (None = clean). */
+    DegradeLevel degradation = DegradeLevel::None;
+    /** One human-readable entry per degradation event, in order
+     *  ("round 2: compilation stopped early (mem-limit), extracted
+     *  best-so-far"). */
+    std::vector<std::string> degradeEvents;
+    /** Saturations whose stop was forced by an injected fault. */
+    int faultsInjected = 0;
     /** Every saturation report, in call order (kept for existing
      *  consumers; `rounds` is the structured view). */
     std::vector<EqSatReport> reports;
@@ -122,7 +183,15 @@ class IsariaCompiler
   public:
     IsariaCompiler(PhasedRules rules, CompilerConfig config);
 
-    /** Vectorizes @p program (Fig. 3). */
+    /**
+     * Vectorizes @p program (Fig. 3). Never fails to return a
+     * runnable program: a round that exhausts a budget (or is
+     * cancelled, or absorbs an injected fault) extracts the best
+     * program found so far, a phase that fails outright falls back to
+     * the previous round's program, and a whole-pipeline failure
+     * returns @p program itself (direct scalar lowering). The path
+     * taken is recorded in CompileStats::degradation/degradeEvents.
+     */
     RecExpr compile(const RecExpr &program,
                     CompileStats *stats = nullptr) const;
 
@@ -130,6 +199,10 @@ class IsariaCompiler
     const CompilerConfig &config() const { return config_; }
 
   private:
+    /** The fallible Fig. 3 body; compile() wraps it in the ladder's
+     *  last rung (scalar fallback on any escaped failure). */
+    RecExpr compileImpl(const RecExpr &program, CompileStats &st) const;
+
     PhasedRules rules_;
     CompilerConfig config_;
     std::vector<CompiledRule> expansion_;

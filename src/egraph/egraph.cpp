@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/fault.h"
 #include "support/panic.h"
 
 namespace isaria
@@ -10,6 +11,17 @@ namespace isaria
 static_assert(static_cast<unsigned>(Op::NumOps) <= 32,
               "the per-class operator mask is a 32-bit word");
 
+std::size_t
+EGraph::enodeFootprint(const ENode &node)
+{
+    // One copy lives in its class, one as the hashcons key, and each
+    // child's parent list holds another (plus the back-pointer id).
+    std::size_t nodeBytes =
+        sizeof(ENode) + node.children.size() * sizeof(EClassId);
+    return 2 * nodeBytes +
+           node.children.size() * (nodeBytes + sizeof(EClassId));
+}
+
 EClassId
 EGraph::add(ENode node)
 {
@@ -17,6 +29,14 @@ EGraph::add(ENode node)
     auto it = memo_.find(canon);
     if (it != memo_.end())
         return uf_.find(it->second);
+
+    // A fresh allocation is the point where memory is actually
+    // committed, so it is the e-graph's fault-injection site: a fired
+    // fault throws before any mutation, leaving the graph consistent.
+    faultPoint(FaultSite::EGraphAlloc);
+
+    bytesUsed_ += enodeFootprint(canon) + sizeof(EClass) +
+                  sizeof(EClassId) + sizeof(std::uint32_t);
 
     EClassId id = uf_.makeSet();
     classes_.emplace_back();
@@ -168,7 +188,13 @@ EGraph::repair(EClassId id)
         if (dedup.emplace(canon, true).second)
             nodes.push_back(std::move(canon));
     }
-    liveNodes_ -= self.nodes.size() - nodes.size();
+    // Refund deduplicated nodes at the flat ENode rate; their
+    // parent/hashcons share stays charged (it is churn the allocator
+    // rarely returns anyway — bytesUsed() is a guard estimate,
+    // deliberately on the conservative side).
+    std::size_t droppedNodes = self.nodes.size() - nodes.size();
+    bytesUsed_ -= std::min(bytesUsed_, droppedNodes * sizeof(ENode));
+    liveNodes_ -= droppedNodes;
     self.nodes = std::move(nodes);
 }
 

@@ -108,6 +108,18 @@ class EGraph
     /** Total e-nodes across canonical classes (O(1), incremental). */
     std::size_t numNodes() const { return liveNodes_; }
 
+    /**
+     * Approximate heap footprint of the e-graph in bytes, maintained
+     * incrementally: every add() charges its e-node (class member +
+     * hashcons key + per-child parent back-pointers + class
+     * overhead), and rebuild()'s deduplication refunds dropped nodes.
+     * It is an accounting estimate, not a malloc audit — the
+     * saturation runner polls it against EqSatLimits::maxBytes to
+     * realize the paper's "ran out of memory" condition at byte (not
+     * just node-count) granularity.
+     */
+    std::size_t bytesUsed() const { return bytesUsed_; }
+
     /** Number of canonical classes (O(1), incremental). */
     std::size_t numClasses() const { return liveClasses_; }
 
@@ -137,9 +149,13 @@ class EGraph
     std::unordered_map<ENode, EClassId, ENodeHash> memo_;
     std::vector<EClassId> worklist_;
 
+    /** Bytes charged for one e-node's presence in the graph. */
+    static std::size_t enodeFootprint(const ENode &node);
+
     /** Incremental counters mirroring the slow scans. */
     std::size_t liveNodes_ = 0;
     std::size_t liveClasses_ = 0;
+    std::size_t bytesUsed_ = 0;
 
     /** Bitmask of operators present in each class (by class id). */
     std::vector<std::uint32_t> opMask_;

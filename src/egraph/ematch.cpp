@@ -81,12 +81,19 @@ void
 CompiledPattern::searchClass(const EGraph &egraph, EClassId root,
                              std::vector<PatternMatch> &out,
                              std::size_t maxMatches,
-                             std::size_t *stepBudget) const
+                             std::size_t *stepBudget,
+                             const ExecControl *ctl) const
 {
     if (out.size() >= maxMatches)
         return;
     if (stepBudget && *stepBudget == 0)
         return;
+
+    // Interrupt-poll stride: cheap enough to be noise, fine enough
+    // that one searchClass call overshoots a deadline by at most a
+    // few microseconds (the timeout-granularity contract).
+    constexpr std::uint32_t kPollStride = 2048;
+    std::uint32_t pollCountdown = kPollStride;
 
     // Per-thread scratch: register file + backtracking stack, reused
     // across calls so the hot loop never allocates.
@@ -137,6 +144,11 @@ CompiledPattern::searchClass(const EGraph &egraph, EClassId root,
         bool advanced = false;
         if (!charge())
             return;
+        if (ctl && --pollCountdown == 0) {
+            if (ctl->interrupted())
+                return;
+            pollCountdown = kPollStride;
+        }
 
         if (ins.kind == PatternInstr::Kind::Check) {
             advanced = egraph.findFrozen(regs[ins.reg]) ==

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "egraph/egraph.h"
+#include "support/cancel.h"
 
 namespace isaria
 {
@@ -86,12 +87,18 @@ class CompiledPattern
      * Stops early once @p out reaches @p maxMatches entries. When
      * @p stepBudget is given, each instruction dispatch costs one
      * step; the search stops (and stops emitting) once it hits zero.
-     * Thread-safe on a frozen (rebuilt, unmodified) e-graph.
+     * When @p ctl is given, it is polled every few thousand dispatches
+     * so a wall-clock deadline or cancellation interrupts even a
+     * single long search (the interrupted call stops emitting, like
+     * budget exhaustion — the caller is expected to discard the
+     * phase's partial matches). Thread-safe on a frozen (rebuilt,
+     * unmodified) e-graph.
      */
     void searchClass(const EGraph &egraph, EClassId root,
                      std::vector<PatternMatch> &out,
                      std::size_t maxMatches,
-                     std::size_t *stepBudget = nullptr) const;
+                     std::size_t *stepBudget = nullptr,
+                     const ExecControl *ctl = nullptr) const;
 
     /**
      * Searches every canonical class, gathering at most

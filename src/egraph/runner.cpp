@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/obs.h"
+#include "support/fault.h"
 #include "support/thread_pool.h"
 
 namespace isaria
@@ -53,6 +54,8 @@ stopReasonName(StopReason reason)
       case StopReason::NodeLimit: return "node-limit";
       case StopReason::IterLimit: return "iter-limit";
       case StopReason::TimeLimit: return "time-limit";
+      case StopReason::MemLimit: return "mem-limit";
+      case StopReason::Cancelled: return "cancelled";
     }
     return "?";
 }
@@ -74,7 +77,8 @@ EqSatReport::toString() const
            std::to_string(iterations) + " iters, " +
            std::to_string(nodes) + " nodes, " + std::to_string(classes) +
            " classes" +
-           (stepBudgetExhausted ? " (step budget exhausted)" : "");
+           (stepBudgetExhausted ? " (step budget exhausted)" : "") +
+           (faultInjected ? " (fault injected)" : "");
 }
 
 EqSatReport
@@ -111,15 +115,32 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
         }
     }
 
+    ExecControl ctl(&deadline, limits.cancel);
+
+    // Any fault injected inside the loop (e-graph allocation, shard
+    // search, rebuild) abandons the current iteration: the catch at
+    // the bottom restores the graph's invariants and reports a
+    // Cancelled stop, so the caller can still extract best-so-far.
+    try {
+
     egraph.rebuild();
 
     for (int iter = 0; iter < limits.maxIters; ++iter) {
+        if (ctl.cancelled()) {
+            report.stop = StopReason::Cancelled;
+            break;
+        }
         if (deadline.expired()) {
             report.stop = StopReason::TimeLimit;
             break;
         }
         if (egraph.numNodes() >= limits.maxNodes) {
             report.stop = StopReason::NodeLimit;
+            break;
+        }
+        if (limits.maxBytes &&
+            egraph.bytesUsed() >= limits.maxBytes) {
+            report.stop = StopReason::MemLimit;
             break;
         }
         obs::Span iterSpan("eqsat/iter", iter);
@@ -167,12 +188,26 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
         std::vector<std::size_t> shardSteps(trace ? shards.size() : 0);
         obs::Span searchSpan("eqsat/search",
                              static_cast<std::int64_t>(shards.size()));
-        std::atomic<bool> timedOut{false};
+        // Deadline, cancellation, or a shard fault: all three abandon
+        // the phase's matches, so the e-graph after the stop is the
+        // last completed iteration's — deterministic for any thread
+        // count (the wall clock being the one nondeterministic
+        // trigger, as before).
+        std::atomic<bool> interrupted{false};
+        std::atomic<bool> faulted{false};
         // An OR across shards: deterministic for any schedule.
         std::atomic<bool> stepsExhausted{false};
         pool.parallelFor(shards.size(), [&](std::size_t t) {
-            if (timedOut.load(std::memory_order_relaxed))
+            if (interrupted.load(std::memory_order_relaxed))
                 return;
+            // The shard is the unit of search work, so it is the
+            // search phase's fault-injection site. Thread-pool tasks
+            // must not throw: a fired fault flags the run instead.
+            if (faultShouldFire(FaultSite::ShardSearch)) {
+                faulted.store(true, std::memory_order_relaxed);
+                interrupted.store(true, std::memory_order_relaxed);
+                return;
+            }
             const SearchShard &shard = shards[t];
             // Worker threads emit straight into their own lock-free
             // rings; the span records which rule this shard served.
@@ -194,9 +229,13 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
                 std::size_t cap =
                     out.size() +
                     std::min(limits.maxMatchesPerClass, remaining);
-                lhs.searchClass(egraph, classes[i], out, cap, &steps);
-                if ((++scanned & 63) == 0 && deadline.expired()) {
-                    timedOut.store(true, std::memory_order_relaxed);
+                // ctl is polled inside searchClass too (every ~2k
+                // VM steps), so even one enormous class cannot
+                // overshoot the wall-clock budget unboundedly.
+                lhs.searchClass(egraph, classes[i], out, cap, &steps,
+                                &ctl);
+                if ((++scanned & 15) == 0 && ctl.interrupted()) {
+                    interrupted.store(true, std::memory_order_relaxed);
                     break;
                 }
             }
@@ -209,9 +248,15 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
         report.stepBudgetExhausted |=
             stepsExhausted.load(std::memory_order_relaxed);
         searchSpan.close();
-        if (timedOut.load(std::memory_order_relaxed) ||
-            deadline.expired()) {
-            report.stop = StopReason::TimeLimit;
+        if (faulted.load(std::memory_order_relaxed)) {
+            report.faultInjected = true;
+            report.stop = StopReason::Cancelled;
+            break;
+        }
+        if (interrupted.load(std::memory_order_relaxed) ||
+            ctl.interrupted()) {
+            report.stop = ctl.cancelled() ? StopReason::Cancelled
+                                          : StopReason::TimeLimit;
             break;
         }
 
@@ -259,9 +304,15 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
                 changed |= rules[r].apply(egraph, allMatches[r][index]);
                 if (trace)
                     ++ruleApplied[r];
-                if ((++applied & 1023) == 0 &&
-                    (deadline.expired() ||
-                     egraph.numNodes() >= limits.maxNodes)) {
+                // Poll all stop sources every 256 applications so a
+                // long apply phase cannot overshoot its budgets; a
+                // partial apply is kept (it is sound — merges only
+                // add equalities) and rebuilt below.
+                if ((++applied & 255) == 0 &&
+                    (ctl.interrupted() ||
+                     egraph.numNodes() >= limits.maxNodes ||
+                     (limits.maxBytes &&
+                      egraph.bytesUsed() >= limits.maxBytes))) {
                     pending = false;
                     break;
                 }
@@ -273,6 +324,10 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
         applySpan.close();
         {
             obs::Span rebuildSpan("eqsat/rebuild");
+            // The rebuild fault site fires *before* the real rebuild
+            // runs; the recovery path below then restores congruence,
+            // so a "failed rebuild" still leaves a consistent graph.
+            faultPoint(FaultSite::Rebuild);
             egraph.rebuild();
         }
         report.applySeconds += applyWatch.elapsedSeconds();
@@ -300,8 +355,21 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
         report.stop = StopReason::IterLimit;
     }
 
+    } catch (const FaultInjected &) {
+        // Injected failure mid-iteration (allocation or rebuild).
+        // Restore congruence/hashcons invariants — this recovery
+        // rebuild has no fault site, so it always runs for real —
+        // and report a cancellation-class stop; the caller extracts
+        // best-so-far from the repaired graph.
+        report.faultInjected = true;
+        report.stop = StopReason::Cancelled;
+        obs::instant("eqsat/fault-recovered");
+        egraph.rebuild();
+    }
+
     report.nodes = egraph.numNodes();
     report.classes = egraph.numClasses();
+    report.bytes = egraph.bytesUsed();
     report.seconds = watch.elapsedSeconds();
     return report;
 }

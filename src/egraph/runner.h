@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "egraph/rewrite.h"
+#include "support/cancel.h"
 #include "support/timer.h"
 
 namespace isaria
@@ -41,6 +42,14 @@ struct EqSatLimits
 {
     /** Stop when the e-graph holds this many e-nodes ("memory"). */
     std::size_t maxNodes = 1'000'000;
+    /**
+     * Stop when the e-graph's accounted heap footprint reaches this
+     * many bytes (EGraph::bytesUsed; 0 = unlimited). The byte-level
+     * companion to maxNodes: wide terms make node counts a poor
+     * memory proxy, and this ceiling is what keeps one pathological
+     * kernel from taking the process down.
+     */
+    std::size_t maxBytes = 0;
     /** Maximum saturation iterations. */
     int maxIters = 30;
     /** Wall-clock budget in seconds (<= 0 for unlimited). */
@@ -60,6 +69,16 @@ struct EqSatLimits
      * Results are identical for every value; see the file comment.
      */
     int numThreads = 0;
+    /**
+     * Optional caller-owned cancellation token. The runner and its
+     * search shards poll it (together with the wall-clock deadline)
+     * every few thousand e-matching steps, so cancellation interrupts
+     * in-flight work instead of being observed only between
+     * iterations. A cancelled run stops with StopReason::Cancelled on
+     * the last completed iteration's e-graph — still a valid graph to
+     * extract a best-so-far program from.
+     */
+    const CancellationToken *cancel = nullptr;
 };
 
 /** Thread count actually used for @p requested (see EqSatLimits). */
@@ -72,15 +91,22 @@ enum class StopReason
     NodeLimit,
     IterLimit,
     TimeLimit,
+    /** The byte ceiling (EqSatLimits::maxBytes) was reached. */
+    MemLimit,
+    /** The caller's CancellationToken fired, or an injected fault
+     *  forced the run to abandon its current iteration. */
+    Cancelled,
 };
 
 /** Every StopReason, for exhaustive iteration in stats and tests.
  *  Keep in sync with the enum (pinned by ObsTest.StopReasonNames). */
-inline constexpr std::array<StopReason, 4> kAllStopReasons = {
+inline constexpr std::array<StopReason, 6> kAllStopReasons = {
     StopReason::Saturated,
     StopReason::NodeLimit,
     StopReason::IterLimit,
     StopReason::TimeLimit,
+    StopReason::MemLimit,
+    StopReason::Cancelled,
 };
 
 /** Outcome summary of one saturation run. */
@@ -90,6 +116,8 @@ struct EqSatReport
     int iterations = 0;
     std::size_t nodes = 0;
     std::size_t classes = 0;
+    /** Accounted e-graph footprint at the stop (EGraph::bytesUsed). */
+    std::size_t bytes = 0;
     double seconds = 0;
     /** Wall-clock seconds inside the (parallel) search phase. */
     double searchSeconds = 0;
@@ -105,6 +133,13 @@ struct EqSatReport
      * TimeLimit, which is about the wall clock.
      */
     bool stepBudgetExhausted = false;
+    /**
+     * An armed fault fired during this run (shard search, rebuild, or
+     * e-graph allocation). The run still returns a consistent e-graph
+     * — the interrupted iteration's work is abandoned — and stops
+     * with StopReason::Cancelled.
+     */
+    bool faultInjected = false;
 
     std::string toString() const;
 };

@@ -32,7 +32,8 @@ class Lowerer
     run()
     {
         const TermNode &root = expr_.root();
-        ISARIA_ASSERT(root.op == Op::List, "program root must be List");
+        if (root.op != Op::List)
+            ISARIA_FATAL("program root must be List");
         int offset = 0;
         for (NodeId chunk : root.children) {
             bool scalarize =
@@ -156,7 +157,7 @@ class Lowerer
             break;
           }
           default:
-            ISARIA_PANIC("scalar lowering hit a non-scalar op");
+            ISARIA_FATAL("scalar lowering hit a non-scalar op");
         }
         scalarMemo_.emplace(id, dst);
         return dst;
@@ -318,10 +319,10 @@ class Lowerer
             break;
           }
           case Op::Concat:
-            ISARIA_PANIC("Concat reached lowering; the front-end pads "
+            ISARIA_FATAL("Concat reached lowering; the front-end pads "
                          "chunks instead");
           default:
-            ISARIA_PANIC("vector lowering hit a non-vector op");
+            ISARIA_FATAL("vector lowering hit a non-vector op");
         }
         vectorMemo_.emplace(id, dst);
         return dst;
@@ -372,6 +373,16 @@ lowerProgram(const RecExpr &program, const LowerOptions &options)
         obs::counter("lower/vector-regs", out.numVectorRegs);
     }
     return out;
+}
+
+Result<VmProgram>
+tryLowerProgram(const RecExpr &program, const LowerOptions &options)
+{
+    try {
+        return lowerProgram(program, options);
+    } catch (const FatalError &e) {
+        return Error{std::string("lowering failed: ") + e.what()};
+    }
 }
 
 } // namespace isaria

@@ -17,6 +17,7 @@
  * width-sized chunk per top-level List element.
  */
 
+#include "support/result.h"
 #include "term/rec_expr.h"
 #include "vm/vm_isa.h"
 
@@ -55,8 +56,19 @@ struct LowerOptions
 /** Name of the simulator array receiving program outputs. */
 SymbolId outputArraySymbol();
 
-/** Lowers a compiled DSL program (a List of vector chunks). */
+/**
+ * Lowers a compiled DSL program (a List of vector chunks). Throws
+ * FatalError when the term is not lowerable (e.g. a malformed root or
+ * an op outside the ISA — possible when a degraded compile emits a
+ * partially rewritten program).
+ */
 VmProgram lowerProgram(const RecExpr &program, const LowerOptions &options);
+
+/** Like lowerProgram, but reports unlowerable terms as a diagnostic
+ *  instead of throwing, so callers can degrade (e.g. re-lower the
+ *  scalar input). */
+Result<VmProgram> tryLowerProgram(const RecExpr &program,
+                                  const LowerOptions &options);
 
 } // namespace isaria
 

@@ -1,0 +1,86 @@
+#ifndef ISARIA_SUPPORT_CANCEL_H
+#define ISARIA_SUPPORT_CANCEL_H
+
+/**
+ * @file
+ * Cooperative cancellation for budgeted phases.
+ *
+ * The paper's compile loop is wall-clock budgeted per EqSat call;
+ * callers embedding the compiler additionally want to abandon an
+ * in-flight compile (a request was dropped, a better candidate
+ * arrived). Both are realized cooperatively: a CancellationToken is
+ * threaded through EqSatLimits into the saturation runner and its
+ * thread-pool search shards, which poll it — together with the
+ * wall-clock deadline — every few thousand e-matching steps, so a
+ * long single iteration cannot overshoot its budget unboundedly.
+ *
+ * Polling is cheap (one relaxed atomic load; the clock is read at the
+ * same stride) and purely observational: an interrupted search phase
+ * discards its partial matches, so a cancelled run stops on the last
+ * completed iteration's e-graph — the same deterministic state for
+ * any thread count.
+ */
+
+#include <atomic>
+
+#include "support/timer.h"
+
+namespace isaria
+{
+
+/** A sticky cancel flag shared between a caller and a running phase. */
+class CancellationToken
+{
+  public:
+    /** Requests cancellation (thread-safe, idempotent). */
+    void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+    /** True once cancel() has been called. */
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arms the token for reuse across runs (not thread-safe). */
+    void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+/**
+ * The interrupt sources a budgeted phase polls: an optional deadline
+ * and an optional cancellation token. Either pointer may be null.
+ */
+class ExecControl
+{
+  public:
+    ExecControl(const Deadline *deadline, const CancellationToken *token)
+        : deadline_(deadline), token_(token)
+    {}
+
+    /** True when the phase should stop now. */
+    bool
+    interrupted() const
+    {
+        if (token_ && token_->cancelled())
+            return true;
+        return deadline_ && deadline_->expired();
+    }
+
+    /** True when the stop was caller-initiated (vs. the clock). */
+    bool
+    cancelled() const
+    {
+        return token_ && token_->cancelled();
+    }
+
+  private:
+    const Deadline *deadline_;
+    const CancellationToken *token_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_SUPPORT_CANCEL_H

@@ -5,15 +5,39 @@
  * @file
  * Error-reporting helpers in the spirit of gem5's logging.hh.
  *
- * panic() is for conditions that indicate a bug in Isaria itself;
- * fatal() is for user errors (bad configuration, malformed input).
+ * panic() is for conditions that indicate a bug in Isaria itself: it
+ * aborts, because no caller can meaningfully continue past a broken
+ * invariant. fatal() is for user errors (bad configuration, malformed
+ * input): it throws FatalError, so library callers can catch it at a
+ * module boundary, convert it to a Result diagnostic, and degrade
+ * instead of killing the process. Binaries wrap main in guardedMain()
+ * (below) to turn an uncaught FatalError into a clean exit(1).
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <string>
 
 namespace isaria
 {
+
+/**
+ * A recoverable user-facing failure (malformed input, impossible
+ * request). Thrown by ISARIA_FATAL; catch it at module boundaries.
+ */
+class FatalError : public std::exception
+{
+  public:
+    explicit FatalError(std::string message)
+        : message_(std::move(message))
+    {}
+
+    const char *what() const noexcept override { return message_.c_str(); }
+
+  private:
+    std::string message_;
+};
 
 [[noreturn]] inline void
 panicImpl(const char *file, int line, const char *msg)
@@ -25,8 +49,28 @@ panicImpl(const char *file, int line, const char *msg)
 [[noreturn]] inline void
 fatalImpl(const char *file, int line, const char *msg)
 {
-    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
-    std::exit(1);
+    throw FatalError(std::string(file) + ":" + std::to_string(line) +
+                     ": " + msg);
+}
+
+/**
+ * Runs @p body, turning an escaped FatalError (or any stray
+ * exception) into a diagnostic plus nonzero exit instead of a
+ * std::terminate abort. Every CLI main wraps itself in this.
+ */
+template <typename Body>
+int
+guardedMain(Body &&body)
+{
+    try {
+        return body();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
 }
 
 } // namespace isaria
@@ -34,7 +78,7 @@ fatalImpl(const char *file, int line, const char *msg)
 /** Abort with a message: an internal invariant was violated. */
 #define ISARIA_PANIC(msg) ::isaria::panicImpl(__FILE__, __LINE__, (msg))
 
-/** Exit with a message: the user supplied an impossible request. */
+/** Throw FatalError: the user supplied an impossible request. */
 #define ISARIA_FATAL(msg) ::isaria::fatalImpl(__FILE__, __LINE__, (msg))
 
 /** Cheap always-on assertion used at module boundaries. */

@@ -1,0 +1,94 @@
+#ifndef ISARIA_SUPPORT_RESULT_H
+#define ISARIA_SUPPORT_RESULT_H
+
+/**
+ * @file
+ * Structured, recoverable errors for module boundaries.
+ *
+ * The compile loop is budgeted (per-phase timeouts, node and byte
+ * ceilings), so running out of a resource — or being handed a
+ * malformed rules file — is an *expected* outcome, not a process
+ * abort. Library boundaries (rule loading, lowering, the pipeline)
+ * report such outcomes as a Result<T>: either a value or an Error
+ * diagnostic the caller can degrade around.
+ *
+ * ISARIA_PANIC (internal invariant violated) still aborts; only user-
+ * facing failures travel through this type or the FatalError
+ * exception it pairs with (support/panic.h).
+ */
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+/** A recoverable diagnostic: what failed and (optionally) where. */
+struct Error
+{
+    std::string message;
+    /** 1-based line of the offending input, or 0 when not line-keyed. */
+    int line = 0;
+
+    /** "line N: message" when line-keyed, else just the message. */
+    std::string
+    toString() const
+    {
+        if (line > 0)
+            return "line " + std::to_string(line) + ": " + message;
+        return message;
+    }
+};
+
+/** Either a T or an Error. */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Error error) : error_(std::move(error)) {}
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** The value; asserts ok(). */
+    T &
+    value()
+    {
+        ISARIA_ASSERT(ok(), "Result::value() on an error");
+        return *value_;
+    }
+    const T &
+    value() const
+    {
+        ISARIA_ASSERT(ok(), "Result::value() on an error");
+        return *value_;
+    }
+
+    /** The diagnostic; asserts !ok(). */
+    const Error &
+    error() const
+    {
+        ISARIA_ASSERT(!ok(), "Result::error() on a value");
+        return error_;
+    }
+
+    /** Moves the value out; asserts ok(). */
+    T
+    take()
+    {
+        ISARIA_ASSERT(ok(), "Result::take() on an error");
+        return std::move(*value_);
+    }
+
+  private:
+    std::optional<T> value_;
+    Error error_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_SUPPORT_RESULT_H

@@ -1,7 +1,9 @@
 #include "synth/ruleset.h"
 
+#include <fstream>
 #include <sstream>
 
+#include "support/fault.h"
 #include "support/panic.h"
 #include "term/sexpr.h"
 
@@ -42,25 +44,75 @@ RuleSet::toString() const
     return out;
 }
 
-RuleSet
-RuleSet::fromString(const std::string &text)
+Result<RuleSet>
+RuleSet::parse(const std::string &text)
 {
     RuleSet out;
     std::istringstream in(text);
     std::string line;
+    int lineNo = 0;
     while (std::getline(in, line)) {
-        if (line.empty())
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
             continue;
         auto colon = line.find(": ");
-        ISARIA_ASSERT(colon != std::string::npos, "bad rule line");
+        if (colon == std::string::npos) {
+            return Error{"rule line has no 'name: ' header", lineNo};
+        }
         std::string head = line.substr(0, colon);
-        Rule rule = parseRule(line.substr(colon + 2));
+        Rule rule;
+        try {
+            rule = parseRule(line.substr(colon + 2));
+        } catch (const FatalError &e) {
+            // parseRule/parseSexpr throw on malformed rule text; pin
+            // the diagnostic to the offending line.
+            return Error{std::string("bad rule: ") + e.what(), lineNo};
+        }
         auto bracket = head.find(" [");
         rule.name = head.substr(0, bracket);
         rule.verifiedExactly = head.find("[proved]") != std::string::npos;
-        out.add(std::move(rule));
+        if (!out.add(std::move(rule))) {
+            return Error{"duplicate rule (alpha-equivalent rule seen "
+                         "earlier in this file)",
+                         lineNo};
+        }
     }
     return out;
+}
+
+RuleSet
+RuleSet::fromString(const std::string &text)
+{
+    Result<RuleSet> parsed = parse(text);
+    if (!parsed.ok()) {
+        throw FatalError("rules text: " + parsed.error().toString());
+    }
+    return parsed.take();
+}
+
+Result<RuleSet>
+loadRuleSetFile(const std::string &path)
+{
+    try {
+        faultPoint(FaultSite::RuleParse);
+    } catch (const FaultInjected &e) {
+        return Error{std::string(e.what()) + " while loading " + path};
+    }
+    std::ifstream in(path);
+    if (!in) {
+        return Error{"cannot open rules file '" + path + "'"};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        return Error{"I/O error reading rules file '" + path + "'"};
+    }
+    Result<RuleSet> parsed = RuleSet::parse(buffer.str());
+    if (!parsed.ok()) {
+        return Error{path + ": " + parsed.error().message,
+                     parsed.error().line};
+    }
+    return parsed;
 }
 
 RecExpr

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "support/result.h"
 #include "term/pattern.h"
 
 namespace isaria
@@ -33,13 +34,32 @@ class RuleSet
     /** Renders one rule per line ("name: lhs ~> rhs"). */
     std::string toString() const;
 
-    /** Parses the toString format (names preserved). */
+    /**
+     * Parses the toString format (names preserved), rejecting
+     * malformed input — truncated s-expressions, garbage lines,
+     * missing "~>", duplicate rules — with a diagnostic carrying the
+     * 1-based line number of the offending line. Blank lines and
+     * lines starting with '#' are skipped.
+     */
+    static Result<RuleSet> parse(const std::string &text);
+
+    /** Like parse(), but throws FatalError on malformed input (the
+     *  legacy trusted-input entry point). */
     static RuleSet fromString(const std::string &text);
 
   private:
     std::vector<Rule> rules_;
     std::vector<std::size_t> hashes_;
 };
+
+/**
+ * Loads a rules file (the isaria-*.rules format written by
+ * RuleSet::toString). Malformed content and I/O failures come back
+ * as a diagnostic naming the path and line, never as an abort — a
+ * bad rules file is a user error the pipeline degrades around.
+ * Fault-injection site: rule-parse.
+ */
+Result<RuleSet> loadRuleSetFile(const std::string &path);
 
 /** Replaces wildcards with skolem symbols so terms can enter e-graphs. */
 RecExpr skolemize(const RecExpr &pattern);

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "obs/obs.h"
+#include "support/fault.h"
 #include "support/panic.h"
 
 namespace isaria
@@ -71,6 +72,25 @@ struct ScoredCandidate
     std::size_t score;
     bool dead = false;
 };
+
+/**
+ * Verification with the synth-verify fault site in front: an injected
+ * fault rejects the candidate (the conservative direction — a missing
+ * rule only costs optimization quality, an unsound one costs
+ * correctness) instead of aborting the pipeline.
+ */
+Verdict
+checkedVerify(const Rule &rule, const VerifyOptions &options,
+              SynthReport &report)
+{
+    try {
+        faultPoint(FaultSite::SynthVerify);
+        return verifyRule(rule, options);
+    } catch (const FaultInjected &) {
+        ++report.verifierFaults;
+        return Verdict::Rejected;
+    }
+}
 
 } // namespace
 
@@ -248,7 +268,8 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
                 continue;
 
             Rule forward{cand.pair.a, cand.pair.b, "", false};
-            Verdict verdict = verifyRule(forward, config.verify);
+            Verdict verdict = checkedVerify(forward, config.verify,
+                                            report);
             ++verdictCounts[static_cast<int>(verdict)];
             if (verdict == Verdict::Rejected) {
                 ++report.rejectedUnsound;
@@ -328,7 +349,7 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
         Rule wide = generalizeRule(rule, width);
         if (!wide.lhs.equalTree(rule.lhs) ||
             !wide.rhs.equalTree(rule.rhs)) {
-            Verdict verdict = verifyRule(wide, config.verify);
+            Verdict verdict = checkedVerify(wide, config.verify, report);
             if (verdict == Verdict::Rejected) {
                 ++report.droppedAtGeneralization;
                 continue;

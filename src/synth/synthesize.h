@@ -73,6 +73,9 @@ struct SynthReport
     double shrinkSeconds = 0;
     double generalizeSeconds = 0;
     bool hitDeadline = false;
+    /** Verifier calls lost to injected faults; each rejects its
+     *  candidate, so synthesis degrades to a smaller rule set. */
+    std::size_t verifierFaults = 0;
 };
 
 /** Runs the full offline pipeline for @p isa. */

@@ -141,14 +141,16 @@ Rule
 parseRule(std::string_view text)
 {
     auto sep = text.find("~>");
-    ISARIA_ASSERT(sep != std::string_view::npos, "rule missing '~>'");
+    if (sep == std::string_view::npos)
+        ISARIA_FATAL("rule missing '~>'");
     // A single wildcard-name table across both sides keeps shared
     // names bound to shared ids.
     std::map<std::string, std::int32_t> names;
     Rule rule;
     rule.lhs = parseSexpr(text.substr(0, sep), names);
     rule.rhs = parseSexpr(text.substr(sep + 2), names);
-    ISARIA_ASSERT(rule.wellFormed(), "rhs wildcard not bound by lhs");
+    if (!rule.wellFormed())
+        ISARIA_FATAL("rhs wildcard not bound by lhs");
     return rule;
 }
 

@@ -60,7 +60,8 @@ class Parser
     parseExpr()
     {
         skipSpace();
-        ISARIA_ASSERT(pos_ < text_.size(), "unexpected end of input");
+        if (pos_ >= text_.size())
+            ISARIA_FATAL("unexpected end of input");
         if (text_[pos_] == '(')
             return parseForm();
         return parseAtom();
@@ -94,7 +95,8 @@ class Parser
                !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
             ++pos_;
         }
-        ISARIA_ASSERT(pos_ > start, "expected atom");
+        if (pos_ <= start)
+            ISARIA_FATAL("expected atom");
         return text_.substr(start, pos_ - start);
     }
 
@@ -110,7 +112,8 @@ class Parser
             std::int32_t index = 0;
             auto res = std::from_chars(idx.data(), idx.data() + idx.size(),
                                        index);
-            ISARIA_ASSERT(res.ec == std::errc(), "bad Get index");
+            if (res.ec != std::errc())
+                ISARIA_FATAL("bad Get index");
             return out_.addGet(internSymbol(arr), index);
         }
         Op op = opFromName(head);
@@ -119,7 +122,8 @@ class Parser
         std::vector<NodeId> children;
         for (;;) {
             skipSpace();
-            ISARIA_ASSERT(pos_ < text_.size(), "unterminated form");
+            if (pos_ >= text_.size())
+                ISARIA_FATAL("unterminated form");
             if (text_[pos_] == ')') {
                 ++pos_;
                 break;
@@ -153,9 +157,10 @@ class Parser
             std::int64_t value = 0;
             auto res = std::from_chars(tok.data(), tok.data() + tok.size(),
                                        value);
-            ISARIA_ASSERT(res.ec == std::errc() &&
-                          res.ptr == tok.data() + tok.size(),
-                          "bad integer literal");
+            if (res.ec != std::errc() ||
+                res.ptr != tok.data() + tok.size()) {
+                ISARIA_FATAL("bad integer literal");
+            }
             return out_.addConst(value);
         }
         return out_.addSymbol(internSymbol(tok));
@@ -165,8 +170,8 @@ class Parser
     closeParen()
     {
         skipSpace();
-        ISARIA_ASSERT(pos_ < text_.size() && text_[pos_] == ')',
-                      "expected ')'");
+        if (pos_ >= text_.size() || text_[pos_] != ')')
+            ISARIA_FATAL("expected ')'");
         ++pos_;
     }
 

@@ -34,8 +34,10 @@ std::string printSexpr(const RecExpr &expr);
  * Parses an s-expression into a term.
  *
  * Wildcard atoms `?name` are numbered by first occurrence (`?a` in
- * `(+ ?a ?b)` gets id 0, `?b` id 1). Calls ISARIA_FATAL on syntax
- * errors, so this is intended for trusted inputs (tests, rule files).
+ * `(+ ?a ?b)` gets id 0, `?b` id 1). Throws FatalError (via
+ * ISARIA_FATAL) on syntax errors; boundary code that handles
+ * untrusted input — RuleSet::parse, rules-file loading — catches it
+ * and converts it into a line-numbered Result diagnostic.
  */
 RecExpr parseSexpr(std::string_view text);
 

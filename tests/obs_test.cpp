@@ -269,6 +269,12 @@ TEST(Obs, StopReasonNamesRoundTrip)
     }
     EXPECT_EQ(seen.size(), kAllStopReasons.size());
     EXPECT_FALSE(stopReasonFromName("no-such-reason").has_value());
+
+    // Pin the resource-guard stops by exact name: trace consumers key
+    // on these strings, so renames are breaking changes.
+    EXPECT_EQ(kAllStopReasons.size(), 6u);
+    EXPECT_STREQ(stopReasonName(StopReason::MemLimit), "mem-limit");
+    EXPECT_STREQ(stopReasonName(StopReason::Cancelled), "cancelled");
 }
 
 TEST(Obs, StepBudgetStopsDistinguishableFromTimeout)

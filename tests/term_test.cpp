@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/panic.h"
 #include "term/op.h"
 #include "term/pattern.h"
 #include "term/rec_expr.h"
@@ -173,7 +174,9 @@ TEST(Pattern, ParseRuleSharedWildcards)
 
 TEST(Pattern, ParseRuleRejectsUnboundRhs)
 {
-    EXPECT_DEATH((void)parseRule("(+ ?a 0) ~> (+ ?a ?b)"), "");
+    // A user error (bad rule text), so it must be recoverable: a
+    // FatalError for boundary code to catch, not an abort.
+    EXPECT_THROW((void)parseRule("(+ ?a 0) ~> (+ ?a ?b)"), FatalError);
 }
 
 TEST(Pattern, RuleCanonicalEquality)

@@ -13,12 +13,14 @@
 #include "baseline/harness.h"
 #include "obs/obs.h"
 #include "phase/phase.h"
+#include "support/panic.h"
 
 using namespace isaria;
 
 int
 main(int argc, char **argv)
 {
+    return guardedMain([&] {
     obs::ObsOptions opts = obs::ObsOptions::parse(argc, argv);
     if (!opts.enabled()) {
         std::fprintf(stderr,
@@ -55,4 +57,5 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(outcome.cycles),
                 events);
     return 0;
+    });
 }
