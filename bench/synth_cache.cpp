@@ -1,0 +1,127 @@
+// Synthesis caching and parallelism harness: quantifies the two
+// offline-cost levers this repo adds on top of the paper's ruler-style
+// generator — speculative parallel verification (byte-identical rules
+// at any thread count) and the persistent rule cache (warm runs skip
+// synthesis entirely). Emits BENCH_synth.json.
+
+#include <filesystem>
+
+#include "cache/rule_cache.h"
+#include "common.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+using namespace isaria;
+using namespace isaria::bench;
+
+namespace
+{
+
+SynthConfig
+benchSynthConfig()
+{
+    SynthConfig config;
+    config.timeoutSeconds = 0; // run to completion: sizes must match
+    config.maxRules = 60;
+    config.enumConfig.maxDepth = 2;
+    config.enumConfig.maxReps = 60;
+    config.enumConfig.maxScalarCandidates = 800;
+    config.enumConfig.maxVectorCandidates = 1200;
+    config.enumConfig.maxLiftCandidates = 1200;
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    obs::ObsOptions opts = obs::ObsOptions::parse(argc, argv);
+    opts.alwaysRecord = true;
+    obs::ScopedTrace trace(opts);
+    BenchJson json("synth");
+
+    IsaSpec isa;
+    SynthConfig config = benchSynthConfig();
+
+    // --- lever 1: parallel verification ------------------------------
+    std::printf("synth_cache: sequential vs parallel synthesis\n");
+    config.numThreads = 1;
+    Stopwatch seqWatch;
+    SynthReport sequential = synthesizeRules(isa, config);
+    double seqSeconds = seqWatch.elapsedSeconds();
+
+    config.numThreads = 0; // auto: ISARIA_EQSAT_THREADS / hardware
+    Stopwatch parWatch;
+    SynthReport parallel = synthesizeRules(isa, config);
+    double parSeconds = parWatch.elapsedSeconds();
+
+    bool identical =
+        sequential.rules.toString() == parallel.rules.toString() &&
+        sequential.oneWideRules.toString() ==
+            parallel.oneWideRules.toString();
+    std::printf("  1 thread:  %6.2fs, %zu rules\n", seqSeconds,
+                sequential.rules.size());
+    std::printf("  %d threads: %6.2fs, %zu rules, byte-identical: %s\n",
+                parallel.verifyThreads, parSeconds,
+                parallel.rules.size(), identical ? "yes" : "NO");
+
+    BenchJsonObject &seqRow = json.newRow();
+    seqRow.text("run", "sequential");
+    seqRow.integer("threads", 1);
+    seqRow.number("seconds", seqSeconds);
+    seqRow.integer("rules", static_cast<std::int64_t>(
+                                sequential.rules.size()));
+    BenchJsonObject &parRow = json.newRow();
+    parRow.text("run", "parallel");
+    parRow.integer("threads", parallel.verifyThreads);
+    parRow.number("seconds", parSeconds);
+    parRow.integer("rules",
+                   static_cast<std::int64_t>(parallel.rules.size()));
+    parRow.integer("prefetched_verifications",
+                   static_cast<std::int64_t>(
+                       parallel.prefetchedVerifications));
+
+    // --- lever 2: the persistent cache --------------------------------
+    std::printf("synth_cache: cold vs warm cached synthesis\n");
+    std::string dir = "synth_cache.bench.cache";
+    std::filesystem::remove_all(dir);
+    RuleCache cache(dir);
+
+    Stopwatch coldWatch;
+    SynthReport cold = synthesizeRulesCached(isa, config, cache);
+    double coldSeconds = coldWatch.elapsedSeconds();
+    Stopwatch warmWatch;
+    SynthReport warm = synthesizeRulesCached(isa, config, cache);
+    double warmSeconds = warmWatch.elapsedSeconds();
+    bool warmIdentical = warm.fromCache &&
+                         warm.rules.toString() == cold.rules.toString();
+    std::printf("  cold: %6.2fs (%zu rules)\n", coldSeconds,
+                cold.rules.size());
+    std::printf("  warm: %6.3fs, from cache: %s, identical: %s\n",
+                warmSeconds, warm.fromCache ? "yes" : "NO",
+                warmIdentical ? "yes" : "NO");
+
+    BenchJsonObject &coldRow = json.newRow();
+    coldRow.text("run", "cache_cold");
+    coldRow.number("seconds", coldSeconds);
+    coldRow.integer("rules",
+                    static_cast<std::int64_t>(cold.rules.size()));
+    BenchJsonObject &warmRow = json.newRow();
+    warmRow.text("run", "cache_warm");
+    warmRow.number("seconds", warmSeconds);
+    warmRow.boolean("from_cache", warm.fromCache);
+
+    json.summary().integer("verify_threads", parallel.verifyThreads);
+    json.summary().number("sequential_seconds", seqSeconds);
+    json.summary().number("parallel_seconds", parSeconds);
+    json.summary().boolean("byte_identical", identical);
+    json.summary().number("cache_cold_seconds", coldSeconds);
+    json.summary().number("cache_warm_seconds", warmSeconds);
+    json.summary().number("cache_speedup",
+                          warmSeconds > 0 ? coldSeconds / warmSeconds
+                                          : 0.0);
+    json.summary().boolean("warm_identical", warmIdentical);
+    json.write(trace);
+    return identical && warmIdentical ? 0 : 1;
+}

@@ -7,13 +7,24 @@
 //   kernel_explorer [conv R C KR KC | matmul N M K | qprod | qrd N]
 //                   [--asm] [--budget SECONDS] [--optimize]
 //                   [--eqsat-threads=N] [--mem-mb=N] [--fault=SPEC]
+//                   [--cache-dir=DIR] [--memo-entries=N]
 //                   [--trace FILE] [--trace-format {jsonl,chrome}]
 //                   [--stats]
 //
 // --eqsat-threads=N runs every equality-saturation search phase on N
 // worker threads (default: ISARIA_EQSAT_THREADS, else the hardware
 // concurrency; 1 = sequential). The result is identical for any N —
-// only compile time changes.
+// only compile time changes. Rule synthesis itself is parallelized
+// the same way and is byte-identical at any thread count.
+//
+// --cache-dir=DIR persists synthesized rule sets under DIR keyed by
+// a fingerprint of the ISA + synthesis configuration (defaults to
+// $ISARIA_CACHE when set; empty = no caching). A warm cache makes
+// compiler generation near-instant.
+//
+// --memo-entries=N enables the in-memory compile memo: up to N
+// previously compiled programs are served from the memo instead of
+// re-running equality saturation.
 //
 // --mem-mb=N caps the accounted e-graph footprint of every
 // saturation at N MiB; a compile that hits the ceiling degrades to
@@ -60,6 +71,8 @@ main(int argc, char **argv)
     double budget = 20;
     int eqsatThreads = 0; // 0 = auto (env / hardware concurrency)
     std::size_t memLimitMb = 0; // 0 = unlimited
+    RuleCache cache = RuleCache::fromEnv(); // $ISARIA_CACHE default
+    std::size_t memoEntries = 0; // 0 = memo disabled
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -91,6 +104,14 @@ main(int argc, char **argv)
         } else if (arg.rfind("--mem-mb=", 0) == 0) {
             memLimitMb = static_cast<std::size_t>(
                 std::atoll(arg.c_str() + 9));
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            cache = RuleCache(arg.substr(12));
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            cache = RuleCache(argv[i + 1]);
+            i += 1;
+        } else if (arg.rfind("--memo-entries=", 0) == 0) {
+            memoEntries = static_cast<std::size_t>(
+                std::atoll(arg.c_str() + 15));
         } else if (arg.rfind("--fault=", 0) == 0) {
             auto plan = FaultPlan::parse(arg.c_str() + 8);
             if (!plan.ok()) {
@@ -111,15 +132,22 @@ main(int argc, char **argv)
                 h.scalarProgram().root().children.size());
 
     IsaSpec isa;
-    std::printf("Generating the Isaria compiler (budget %.0fs)...\n",
-                budget);
+    std::printf("Generating the Isaria compiler (budget %.0fs%s)...\n",
+                budget,
+                cache.enabled() ? (", cache " + cache.dir()).c_str()
+                                : "");
     SynthConfig synth;
     synth.timeoutSeconds = budget;
+    synth.numThreads = eqsatThreads;
     synth.derivLimits.numThreads = eqsatThreads;
     CompilerConfig compilerConfig;
     compilerConfig.withEqSatThreads(eqsatThreads);
     compilerConfig.withMemLimitBytes(memLimitMb * 1024 * 1024);
-    GeneratedCompiler gen = generateCompiler(isa, synth, compilerConfig);
+    compilerConfig.memoEntries = memoEntries;
+    GeneratedCompiler gen =
+        generateCompiler(isa, cache, synth, compilerConfig);
+    if (gen.synth.fromCache)
+        std::printf("  (rule set served from the persistent cache)\n");
     IsariaCompiler dios = makeDiospyrosCompiler(compilerConfig);
 
     RunOutcome base = h.runScalarBaseline();

@@ -2,9 +2,17 @@
 // vectorization rules of Section 2 from nothing but the ISA's
 // interpreter, then see the cost-based analysis sort them into the
 // three phases of Section 3.2.
+//
+// Usage: rule_synthesis_tour [--cache-dir=DIR]
+//
+// --cache-dir=DIR persists the synthesized rule set under DIR
+// (defaults to $ISARIA_CACHE when set); rerunning the tour with an
+// unchanged configuration then skips synthesis entirely.
 
 #include <cstdio>
+#include <string>
 
+#include "cache/rule_cache.h"
 #include "phase/phase.h"
 #include "synth/synthesize.h"
 #include "support/panic.h"
@@ -12,17 +20,31 @@
 using namespace isaria;
 
 int
-main()
+main(int argc, char **argv)
 {
     return guardedMain([&] {
     IsaSpec isa;
     SynthConfig config;
     config.timeoutSeconds = 20;
+    RuleCache cache = RuleCache::fromEnv();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--cache-dir=", 0) == 0) {
+            cache = RuleCache(arg.substr(12));
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            return 1;
+        }
+    }
 
     std::printf("Synthesizing rewrite rules for '%s' from its "
                 "interpreter...\n",
                 isa.name().c_str());
-    SynthReport report = synthesizeRules(isa, config);
+    SynthReport report = synthesizeRulesCached(isa, config, cache);
+    if (report.fromCache)
+        std::printf("  (served from cache dir %s — delete the entry "
+                    "to re-synthesize)\n",
+                    cache.dir().c_str());
     std::printf("  candidates considered: %zu\n",
                 report.candidatesConsidered);
     std::printf("  rejected as unsound:   %zu\n", report.rejectedUnsound);

@@ -13,7 +13,8 @@ namespace isaria
 {
 
 IsariaCompiler::IsariaCompiler(PhasedRules rules, CompilerConfig config)
-    : rules_(std::move(rules)), config_(config)
+    : rules_(std::move(rules)), config_(config),
+      memo_(config.memoEntries)
 {
     expansion_ = compileRules(rules_.ofPhase(Phase::Expansion));
     compilation_ = compileRules(rules_.ofPhase(Phase::Compilation));
@@ -55,10 +56,11 @@ CompileStats::toString() const
     char line[256];
     std::snprintf(line, sizeof line,
                   "compile: cost %" PRIu64 " -> %" PRIu64
-                  " in %.3fs, %d rounds, %d eqsats, peak %zu nodes%s\n",
+                  " in %.3fs, %d rounds, %d eqsats, peak %zu nodes%s%s\n",
                   initialCost, finalCost, seconds, loopIterations,
                   eqsatCalls, peakNodes,
-                  ranOutOfMemory ? " [hit node budget]" : "");
+                  ranOutOfMemory ? " [hit node budget]" : "",
+                  memoHit ? " [memo hit]" : "");
     out += line;
     // EqSatReport::toString carries the stop reason and flags step
     // budget truncation, so a false "saturated" reads as such here.
@@ -105,12 +107,29 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
     const DspCostModel &cost = config_.costModel;
     st.initialCost = cost.exprCost(program);
 
+    // Memo fast path: a verbatim repeat of a compiled program costs
+    // one tree-hash lookup instead of the whole Fig. 3 loop.
+    if (auto hit = memo_.lookup(program)) {
+        st.memoHit = true;
+        st.finalCost = hit->cost;
+        st.seconds = watch.elapsedSeconds();
+        obs::counter("compile/memo/hit", 1);
+        return std::move(hit->compiled);
+    }
+    if (memo_.enabled())
+        obs::counter("compile/memo/miss", 1);
+
     // The ladder's last rung: whatever escapes the per-round guards
     // of compileImpl — including failures outside any round — still
     // yields a runnable program: the scalar input itself.
     try {
         RecExpr out = compileImpl(program, st);
         st.seconds = watch.elapsedSeconds();
+        // Only clean compiles are worth memoizing: a degraded result
+        // (budget cancellation, injected fault) should be retried
+        // fresh next time rather than pinned in the cache.
+        if (st.degradation == DegradeLevel::None)
+            memo_.store(program, {out, st.finalCost});
         return out;
     } catch (const std::exception &e) {
         noteDegrade(st, DegradeLevel::ScalarFallback,
@@ -155,9 +174,26 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
     auto extractChecked = [&](const EGraph &eg, EClassId root) {
         obs::Span extractSpan("compile/extract",
                               static_cast<std::int64_t>(eg.numNodes()));
-        auto got = extractBest(eg, root, cost);
-        if (!got.has_value())
+        // Extraction is interruptible (satellite of the caching PR):
+        // a healthy round's extraction polls the caller's token, so a
+        // cancel that lands mid-extraction stops it within a few
+        // hundred class visits. If the token has *already* fired —
+        // this extraction is the best-so-far degradation path — it
+        // runs under a fresh grace deadline instead, so degradation
+        // stays bounded without being self-defeating.
+        bool alreadyCancelled = token && token->cancelled();
+        Deadline grace(alreadyCancelled
+                           ? config_.cancelledExtractGraceSeconds
+                           : 0);
+        ExecControl control(alreadyCancelled ? &grace : nullptr,
+                            alreadyCancelled ? nullptr : token);
+        auto got = extractBest(eg, root, cost, &control);
+        if (!got.has_value()) {
+            if (control.interrupted())
+                ISARIA_FATAL("extraction interrupted (cancelled or "
+                             "out of grace budget)");
             ISARIA_FATAL("extraction found no program");
+        }
         return std::move(*got);
     };
 

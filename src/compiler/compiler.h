@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "compiler/memo.h"
 #include "egraph/runner.h"
 #include "phase/phase.h"
 
@@ -59,6 +60,23 @@ struct CompilerConfig
     /** Phase-scheduled saturation; false = one saturation over the
      *  whole rule set (the Section 2.2 / 5.2 strawman). */
     bool phasing = true;
+    /**
+     * Wall-clock grace budget for the best-so-far extraction of a
+     * round whose saturation was cancelled. The cancellation token has
+     * already fired at that point, so the extraction — which *is* the
+     * degradation path — runs under this fresh deadline instead of the
+     * token; a healthy round's extraction polls the token itself.
+     */
+    double cancelledExtractGraceSeconds = 2.0;
+    /**
+     * Entries retained by the in-memory compile memo (kernel term ->
+     * compiled program); 0 disables memoization. Each IsariaCompiler
+     * owns its memo, so hits are always consistent with this
+     * compiler's rule set and budgets. Repeated compiles of the same
+     * kernel (bench sweeps, --asm/--optimize re-lowering) become a
+     * hash lookup.
+     */
+    std::size_t memoEntries = 0;
 
     /**
      * Sets the e-matching thread count of every per-phase EqSat
@@ -164,6 +182,9 @@ struct CompileStats
     std::vector<std::string> degradeEvents;
     /** Saturations whose stop was forced by an injected fault. */
     int faultsInjected = 0;
+    /** The result came from the compiler's in-memory memo; no eqsat
+     *  work ran (see CompilerConfig::memoEntries). */
+    bool memoHit = false;
     /** Every saturation report, in call order (kept for existing
      *  consumers; `rounds` is the structured view). */
     std::vector<EqSatReport> reports;
@@ -198,6 +219,9 @@ class IsariaCompiler
     const PhasedRules &rules() const { return rules_; }
     const CompilerConfig &config() const { return config_; }
 
+    /** Hit/miss counters of the in-memory compile memo. */
+    CompileMemo::Stats memoStats() const { return memo_.stats(); }
+
   private:
     /** The fallible Fig. 3 body; compile() wraps it in the ladder's
      *  last rung (scalar fallback on any escaped failure). */
@@ -205,6 +229,9 @@ class IsariaCompiler
 
     PhasedRules rules_;
     CompilerConfig config_;
+    /** Program -> compiled-program memo (thread-safe; see
+     *  CompilerConfig::memoEntries). */
+    mutable CompileMemo memo_;
     std::vector<CompiledRule> expansion_;
     std::vector<CompiledRule> compilation_;
     std::vector<CompiledRule> optimization_;

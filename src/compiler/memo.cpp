@@ -1,0 +1,71 @@
+#include "compiler/memo.h"
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+std::optional<CompileMemo::Entry>
+CompileMemo::lookup(const RecExpr &program) const
+{
+    if (!enabled())
+        return std::nullopt;
+    std::size_t h = program.treeHash();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = table_.find(h);
+    if (it != table_.end()) {
+        for (const Slot &slot : it->second) {
+            if (slot.program.equalTree(program)) {
+                ++stats_.hits;
+                return slot.entry;
+            }
+        }
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+CompileMemo::store(const RecExpr &program, Entry entry)
+{
+    if (!enabled())
+        return;
+    std::size_t h = program.treeHash();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Slot> &chain = table_[h];
+    for (const Slot &slot : chain) {
+        if (slot.program.equalTree(program))
+            return; // first result wins; keep stats monotone
+    }
+    chain.push_back(Slot{program, std::move(entry)});
+    order_.push_back(h);
+    ++stats_.insertions;
+    while (order_.size() > maxEntries_) {
+        std::size_t victim = order_.front();
+        order_.pop_front();
+        auto vit = table_.find(victim);
+        ISARIA_ASSERT(vit != table_.end() && !vit->second.empty(),
+                      "memo eviction order out of sync");
+        vit->second.erase(vit->second.begin());
+        if (vit->second.empty())
+            table_.erase(vit);
+        ++stats_.evictions;
+    }
+}
+
+CompileMemo::Stats
+CompileMemo::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+CompileMemo::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    table_.clear();
+    order_.clear();
+}
+
+} // namespace isaria

@@ -1,0 +1,113 @@
+#ifndef ISARIA_COMPILER_MEMO_H
+#define ISARIA_COMPILER_MEMO_H
+
+/**
+ * @file
+ * In-memory compile memo: kernel term -> compiled program.
+ *
+ * The Fig. 3 loop is expensive (several equality saturations) and
+ * deterministic up to wall-clock budgets, while workloads — bench
+ * sweeps, the kernel explorer's --asm/--optimize re-compiles, a
+ * service compiling the same hot kernels over and over — repeat
+ * programs verbatim. The memo keys on the unfolded-tree hash of the
+ * input program (with a full equalTree check against collisions) and
+ * returns the first compilation's output, so repeats cost one lookup.
+ *
+ * Thread-safe: a mutex guards the table, and the stored expressions
+ * are copied out on hit. Capacity-bounded with FIFO eviction — the
+ * memo is a working-set cache, not an unbounded leak.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "term/rec_expr.h"
+
+namespace isaria
+{
+
+/** A bounded program -> compiled-program cache (see file comment). */
+class CompileMemo
+{
+  public:
+    /** @p maxEntries of 0 disables the memo entirely. */
+    explicit CompileMemo(std::size_t maxEntries = 0)
+        : maxEntries_(maxEntries)
+    {}
+
+    CompileMemo(const CompileMemo &) = delete;
+    CompileMemo &operator=(const CompileMemo &) = delete;
+
+    /** Movable so IsariaCompiler stays movable: the contents migrate,
+     *  the mutex is freshly constructed. The source must not be in
+     *  concurrent use while being moved from. */
+    CompileMemo(CompileMemo &&other) noexcept
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        maxEntries_ = other.maxEntries_;
+        table_ = std::move(other.table_);
+        order_ = std::move(other.order_);
+        stats_ = other.stats_;
+    }
+
+    bool enabled() const { return maxEntries_ > 0; }
+
+    /** Re-bounds the memo (drops everything; used at construction). */
+    void
+    setCapacity(std::size_t maxEntries)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        maxEntries_ = maxEntries;
+        table_.clear();
+        order_.clear();
+    }
+
+    struct Entry
+    {
+        RecExpr compiled;
+        std::uint64_t cost = 0;
+    };
+
+    /** Cumulative hit/miss/eviction counters. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    /** The memoized compilation of @p program, if present. */
+    std::optional<Entry> lookup(const RecExpr &program) const;
+
+    /** Records @p entry for @p program (idempotent per program). */
+    void store(const RecExpr &program, Entry entry);
+
+    Stats stats() const;
+
+    void clear();
+
+  private:
+    struct Slot
+    {
+        RecExpr program;
+        Entry entry;
+    };
+
+    mutable std::mutex mutex_;
+    std::size_t maxEntries_ = 0;
+    /** treeHash -> slots with that hash (collision chain). */
+    std::unordered_map<std::size_t, std::vector<Slot>> table_;
+    /** Insertion order (hashes; chains evict front-first) for FIFO
+     *  eviction. */
+    std::deque<std::size_t> order_;
+    mutable Stats stats_;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_COMPILER_MEMO_H

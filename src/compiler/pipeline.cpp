@@ -5,18 +5,38 @@
 namespace isaria
 {
 
-GeneratedCompiler
-generateCompiler(const IsaSpec &isa, const SynthConfig &synthConfig,
-                 const CompilerConfig &config)
+namespace
 {
-    obs::Span pipelineSpan("pipeline/generate");
-    SynthReport synth = synthesizeRules(isa, synthConfig);
+
+GeneratedCompiler
+assembleCompiler(SynthReport synth, const CompilerConfig &config)
+{
     PhasedRules phased = assignPhases(synth.rules, config.costModel);
     obs::Span buildSpan("pipeline/build-compiler",
                         static_cast<std::int64_t>(phased.all.size()));
     IsariaCompiler compiler(phased, config);
     return GeneratedCompiler{std::move(synth), std::move(phased),
                              std::move(compiler)};
+}
+
+} // namespace
+
+GeneratedCompiler
+generateCompiler(const IsaSpec &isa, const SynthConfig &synthConfig,
+                 const CompilerConfig &config)
+{
+    obs::Span pipelineSpan("pipeline/generate");
+    return assembleCompiler(synthesizeRules(isa, synthConfig), config);
+}
+
+GeneratedCompiler
+generateCompiler(const IsaSpec &isa, const RuleCache &cache,
+                 const SynthConfig &synthConfig,
+                 const CompilerConfig &config)
+{
+    obs::Span pipelineSpan("pipeline/generate");
+    return assembleCompiler(
+        synthesizeRulesCached(isa, synthConfig, cache), config);
 }
 
 } // namespace isaria

@@ -7,6 +7,7 @@
  * model in, vectorizing compiler out.
  */
 
+#include "cache/rule_cache.h"
 #include "compiler/compiler.h"
 #include "synth/synthesize.h"
 
@@ -27,6 +28,19 @@ struct GeneratedCompiler
  * generation" half of Fig. 2.
  */
 GeneratedCompiler generateCompiler(const IsaSpec &isa,
+                                   const SynthConfig &synthConfig = {},
+                                   const CompilerConfig &config = {});
+
+/**
+ * Cache-aware offline stage: rule synthesis goes through @p cache
+ * (see synthesizeRulesCached), so an unchanged configuration skips
+ * enumeration and verification entirely on a warm cache. Phase
+ * assignment is always recomputed under config.costModel — it is
+ * cheap, and the compiler's thresholds may differ from the
+ * fingerprinted synthesis cost parameters.
+ */
+GeneratedCompiler generateCompiler(const IsaSpec &isa,
+                                   const RuleCache &cache,
                                    const SynthConfig &synthConfig = {},
                                    const CompilerConfig &config = {});
 

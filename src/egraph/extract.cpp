@@ -20,12 +20,25 @@ struct Choice
 } // namespace
 
 std::optional<Extracted>
-extractBest(const EGraph &egraph, EClassId root, const CostFn &cost)
+extractBest(const EGraph &egraph, EClassId root, const CostFn &cost,
+            const ExecControl *control)
 {
     ISARIA_ASSERT(!egraph.dirty(), "extracting from a dirty e-graph");
     std::vector<EClassId> classes = egraph.canonicalClasses();
     std::unordered_map<EClassId, Choice> best;
     best.reserve(classes.size());
+
+    // The fixpoint below is the only unbounded loop left once the
+    // saturation phases have stopped, so it polls the caller's
+    // deadline/cancellation control at a fixed class-visit stride —
+    // frequent enough that even a multi-second extraction reacts
+    // within the ~50 ms granularity the in-flight eqsat checks give.
+    constexpr std::size_t kPollStride = 256;
+    std::size_t visits = 0;
+    auto interrupted = [&]() {
+        return control && ++visits % kPollStride == 0 &&
+               control->interrupted();
+    };
 
     // Bottom-up fixpoint: keep relaxing class costs until stable.
     bool changed = true;
@@ -33,6 +46,8 @@ extractBest(const EGraph &egraph, EClassId root, const CostFn &cost)
     while (changed) {
         changed = false;
         for (EClassId id : classes) {
+            if (interrupted())
+                return std::nullopt;
             Choice &cur = best[id];
             for (const ENode &node : egraph.eclass(id).nodes) {
                 childCosts.clear();

@@ -17,6 +17,7 @@
 #include <span>
 
 #include "egraph/egraph.h"
+#include "support/cancel.h"
 
 namespace isaria
 {
@@ -59,11 +60,16 @@ struct Extracted
 
 /**
  * Extracts the minimum-cost term of @p root's class. Returns nullopt
- * only if the class contains no finite-cost term (e.g. every node sits
- * on a cycle).
+ * if the class contains no finite-cost term (e.g. every node sits on
+ * a cycle) — or, when @p control is supplied, if its deadline or
+ * cancellation token fired mid-extraction. The bottom-up fixpoint
+ * polls @p control every few hundred class visits, so extraction on a
+ * huge e-graph honors the same --mem-mb/timeout guards as the
+ * saturation phases instead of running unbounded after them.
  */
 std::optional<Extracted> extractBest(const EGraph &egraph, EClassId root,
-                                     const CostFn &cost);
+                                     const CostFn &cost,
+                                     const ExecControl *control = nullptr);
 
 } // namespace isaria
 

@@ -1,8 +1,8 @@
 #include "support/interner.h"
 
+#include <deque>
 #include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "support/panic.h"
 
@@ -16,7 +16,10 @@ struct InternTable
 {
     std::mutex mutex;
     std::unordered_map<std::string, SymbolId> byName;
-    std::vector<std::string> names;
+    /** A deque, not a vector: symbolName hands out references into
+     *  this container that callers hold after the lock is released,
+     *  so growth must never relocate existing strings. */
+    std::deque<std::string> names;
 };
 
 InternTable &

@@ -1,8 +1,10 @@
 #include "synth/enumerate.h"
 
+#include <exception>
 #include <unordered_map>
 
 #include "support/panic.h"
+#include "support/thread_pool.h"
 
 namespace isaria
 {
@@ -19,12 +21,19 @@ struct TermInfo
     int depth;
 };
 
+/** Terms whose fingerprints run in one parallel chunk. Large enough
+ *  to amortize the fan-out, small enough that the cap counters (only
+ *  updated at classification) never lag by much built-but-discarded
+ *  work. */
+constexpr std::size_t kFingerprintChunk = 256;
+
 class Enumerator
 {
   public:
     Enumerator(const IsaSpec &isa, const EnumConfig &config,
-               const Deadline &deadline)
+               const Deadline &deadline, ThreadPool *workers)
         : isa_(isa), config_(config), deadline_(deadline),
+          workers_(workers),
           envs_(makeWildcardEnvs(config.numScalarVars, config.numVectorVars,
                                  /*width=*/1, config.numEnvs, config.seed))
     {}
@@ -69,6 +78,10 @@ class Enumerator
             e.addWildcard(kVectorWildcardBase + v);
             consider(std::move(e), 0);
         }
+        // Atoms are classified unconditionally (the sequential engine
+        // never gated them on the deadline); they seed the layer-1
+        // representative lists.
+        flush(/*checkStop=*/false);
     }
 
     void
@@ -100,6 +113,9 @@ class Enumerator
             applyOp(op, vectors, depth);
         for (Op op : isa_.scalarOps())
             applyOp(op, scalars, depth);
+        // Drain the chunk so this layer's representatives exist before
+        // the next layer snapshots them.
+        flush(/*checkStop=*/true);
     }
 
     void
@@ -163,11 +179,58 @@ class Enumerator
         consider(std::move(e), depth);
     }
 
+    /**
+     * Queues @p expr for fingerprinting. Fingerprints are pure and
+     * computed chunk-at-a-time (in parallel when a pool is attached);
+     * classification stays sequential in enumeration order, and the
+     * stop predicate is re-evaluated before each classification, so
+     * every counter, cap cutoff, candidate and representative is
+     * byte-identical to the single-threaded engine. The build loops
+     * may overshoot a freshly-reached cap by at most one chunk of
+     * discarded work.
+     */
     void
     consider(RecExpr expr, int depth)
     {
+        pending_.push_back(Pending{std::move(expr), depth});
+        if (pending_.size() >= kFingerprintChunk)
+            flush(/*checkStop=*/true);
+    }
+
+    void
+    flush(bool checkStop)
+    {
+        if (pending_.empty())
+            return;
+        std::vector<CVec> cvecs(pending_.size());
+        std::vector<std::exception_ptr> errors(pending_.size());
+        if (workers_ && workers_->threadCount() > 1) {
+            workers_->parallelFor(pending_.size(), [&](std::size_t i) {
+                try {
+                    cvecs[i] = fingerprint(pending_[i].expr, envs_);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        } else {
+            for (std::size_t i = 0; i < pending_.size(); ++i)
+                cvecs[i] = fingerprint(pending_[i].expr, envs_);
+        }
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            if (checkStop && stop())
+                break; // the sequential engine stopped here too
+            if (errors[i])
+                std::rethrow_exception(errors[i]);
+            classify(std::move(pending_[i].expr), std::move(cvecs[i]),
+                     pending_[i].depth);
+        }
+        pending_.clear();
+    }
+
+    void
+    classify(RecExpr expr, CVec cvec, int depth)
+    {
         ++result_.termsEnumerated;
-        CVec cvec = fingerprint(expr, envs_);
         // Terms with too little defined behaviour (e.g. division by a
         // zero constant) would collide vacuously; drop them.
         int minDefined = std::max(3, config_.numEnvs / 4);
@@ -217,10 +280,19 @@ class Enumerator
             reps.push_back(terms_.size() - 1);
     }
 
+    /** A term awaiting its (possibly parallel) fingerprint. */
+    struct Pending
+    {
+        RecExpr expr;
+        int depth;
+    };
+
     const IsaSpec &isa_;
     const EnumConfig &config_;
     const Deadline &deadline_;
+    ThreadPool *workers_;
     std::vector<Env> envs_;
+    std::vector<Pending> pending_;
     std::vector<TermInfo> terms_;
     std::vector<std::size_t> scalarReps_;
     std::vector<std::size_t> vectorReps_;
@@ -235,9 +307,9 @@ class Enumerator
 
 EnumResult
 enumerateTerms(const IsaSpec &isa, const EnumConfig &config,
-               const Deadline &deadline)
+               const Deadline &deadline, ThreadPool *workers)
 {
-    Enumerator e(isa, config, deadline);
+    Enumerator e(isa, config, deadline, workers);
     return e.run();
 }
 

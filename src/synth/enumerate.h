@@ -24,6 +24,8 @@
 namespace isaria
 {
 
+class ThreadPool;
+
 /** Enumeration budget and grammar parameters. */
 struct EnumConfig
 {
@@ -74,9 +76,16 @@ struct EnumResult
  * has one lane), collecting candidate pairs until limits or
  * @p deadline. The ISA's vector ops are included; Concat and List are
  * not part of the synthesis grammar (see DESIGN.md).
+ *
+ * When @p workers is given (and sized above 1), cvec fingerprints are
+ * computed in parallel chunks; classification — the only stateful
+ * step, and the only one the caps and counters observe — stays
+ * sequential in enumeration order, so the result is identical to the
+ * single-threaded run at any thread count.
  */
 EnumResult enumerateTerms(const IsaSpec &isa, const EnumConfig &config,
-                          const Deadline &deadline);
+                          const Deadline &deadline,
+                          ThreadPool *workers = nullptr);
 
 } // namespace isaria
 

@@ -1,11 +1,15 @@
 #include "synth/synthesize.h"
 
 #include <algorithm>
+#include <exception>
+#include <limits>
 #include <unordered_set>
 
 #include "obs/obs.h"
 #include "support/fault.h"
+#include "support/hash.h"
 #include "support/panic.h"
+#include "support/thread_pool.h"
 
 namespace isaria
 {
@@ -13,11 +17,23 @@ namespace isaria
 namespace
 {
 
+/**
+ * Per-lane scalar wildcards get ids in a reserved band far above both
+ * the enumeration grammar's scalar ids (0, 1, 2, ...) and the vector
+ * wildcard ids (kVectorWildcardBase + v = 1000, 1001, ...). The old
+ * encoding `w * 16 + lane` aliased: scalar wildcard 62 at lane 8
+ * collided with lane 0 of wildcard 63, and any width > 16 wrapped
+ * lanes into the next wildcard's band — either way two unrelated
+ * variables silently unified and the generalized rule claimed more
+ * than was verified.
+ */
+constexpr std::int32_t kLaneWildcardBase = 1 << 20;
+
 /** Scalar wildcard id for lane @p lane of original wildcard @p w. */
 std::int32_t
-laneScalarId(std::int32_t w, int lane)
+laneScalarId(std::int32_t w, int lane, int width)
 {
-    return w * 16 + lane;
+    return kLaneWildcardBase + w * width + lane;
 }
 
 NodeId
@@ -43,7 +59,7 @@ generalizeNode(const RecExpr &src, NodeId id,
         if (sorts[id] == Sort::Vector)
             return out.addWildcard(w); // whole-vector variable
         ISARIA_ASSERT(lane >= 0, "scalar wildcard outside any Vec");
-        return out.addWildcard(laneScalarId(w, lane));
+        return out.addWildcard(laneScalarId(w, lane, width));
       }
       default: {
         std::vector<NodeId> kids;
@@ -57,20 +73,46 @@ generalizeNode(const RecExpr &src, NodeId id,
     }
 }
 
-/** Canonical key for an unordered candidate pair. */
+/**
+ * Canonical key for an unordered candidate pair: the two directional
+ * canonical hashes, sorted, folded with hashCombine. The previous key
+ * XORed them, which is order-independent but also self-annihilating —
+ * any palindromic pair (a, a-renamed) XORed to the same neighbourhood,
+ * and two unrelated pairs whose hashes happened to share the XOR
+ * collided silently, dropping a sound candidate before verification.
+ */
 std::size_t
 pairKey(const CandidatePair &pair)
 {
     Rule ab{pair.a, pair.b, "", false};
     Rule ba{pair.b, pair.a, "", false};
-    return ab.canonical().hash() ^ ba.canonical().hash();
+    std::size_t lo = ab.canonical().hash();
+    std::size_t hi = ba.canonical().hash();
+    if (lo > hi)
+        std::swap(lo, hi);
+    std::size_t key = lo;
+    hashCombine(key, hi);
+    return key;
 }
+
+/** Verdict of one speculative verifyRule call. An exception escaping
+ *  the worker is parked here and rethrown when the candidate is
+ *  consumed in sequential order, so parallel runs fail at the same
+ *  candidate the sequential engine would. */
+struct VerifyOutcome
+{
+    Verdict verdict = Verdict::Rejected;
+    std::exception_ptr error;
+};
 
 struct ScoredCandidate
 {
     CandidatePair pair;
     std::size_t score;
     bool dead = false;
+    /** A speculative verdict is ready in `outcome`. */
+    bool verified = false;
+    VerifyOutcome outcome;
 };
 
 /**
@@ -102,6 +144,18 @@ generalizeToWidth(const RecExpr &pattern, int width)
         hasVecLiteral |= pattern.node(id).op == Op::Vec;
     if (!hasVecLiteral)
         return pattern; // scalar or whole-vector rule: nothing to widen
+    // Disjointness guard: whole-vector wildcards pass through with
+    // their original ids, so every original id must sit strictly below
+    // the per-lane band, and the widest per-lane id must not overflow.
+    for (std::int32_t w : pattern.wildcardIds()) {
+        ISARIA_ASSERT(w >= 0 && w < kLaneWildcardBase,
+                      "original wildcard id reaches the per-lane band");
+        ISARIA_ASSERT(
+            w <= (std::numeric_limits<std::int32_t>::max() -
+                  kLaneWildcardBase - (width - 1)) /
+                     std::max(width, 1),
+            "lane generalization would overflow the wildcard id space");
+    }
     RecExpr out;
     std::vector<Sort> sorts = pattern.inferSorts();
     generalizeNode(pattern, pattern.rootId(), sorts, /*lane=*/-1, width,
@@ -128,6 +182,19 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
     Stopwatch watch;
     obs::Span synthSpan("synth/run");
 
+    // Worker pool for the two pure hot loops: cvec fingerprinting and
+    // candidate verification. Verification is only parallelized when
+    // no fault plan is armed — the SynthVerify fault site counts
+    // arrival ordinals, and those must match the sequential engine's
+    // for fault tests to stay deterministic. Fingerprinting has no
+    // fault site and parallelizes unconditionally.
+    ThreadPool workers(
+        static_cast<unsigned>(resolveEqSatThreads(config.numThreads)));
+    const bool parallelVerify =
+        workers.threadCount() > 1 && !faultPlanActive();
+    report.verifyThreads =
+        parallelVerify ? static_cast<int>(workers.threadCount()) : 1;
+
     // --- Phase 1: enumerate candidate pairs over the 1-wide ISA.
     // Enumeration gets a slice of the budget so shrinking always has
     // room to run.
@@ -136,7 +203,7 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
                               ? config.timeoutSeconds * config.enumFraction
                               : 0);
     EnumResult enumerated =
-        enumerateTerms(isa, config.enumConfig, enumDeadline);
+        enumerateTerms(isa, config.enumConfig, enumDeadline, &workers);
     report.candidatesConsidered = enumerated.candidates.size();
     report.enumerateSeconds = watch.elapsedSeconds();
     watch.reset();
@@ -158,8 +225,10 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
         std::unordered_set<std::size_t> seen;
         for (CandidatePair &pair : enumerated.candidates) {
             std::size_t key = pairKey(pair);
-            if (!seen.insert(key).second)
+            if (!seen.insert(key).second) {
+                ++report.duplicatePairs;
                 continue;
+            }
             // Smaller is better; more wildcards (more generality) is
             // better at equal size, so `(+ ?a 0) ~> ?a` is accepted
             // before its ground instances and prunes them.
@@ -185,6 +254,8 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
         std::stable_sort(vectorPool.begin(), vectorPool.end(), byScore);
         std::stable_sort(scalarPool.begin(), scalarPool.end(), byScore);
     }
+    obs::counter("synth/duplicate-pairs",
+                 static_cast<std::int64_t>(report.duplicatePairs));
 
     // --- Phase 2: shrink — accept small sound rules, prune the rest
     // by derivability under equality saturation.
@@ -253,6 +324,42 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
     // Verdict tallies for the shrink phase's stats counters.
     std::size_t verdictCounts[3] = {0, 0, 0};
 
+    // Speculatively verifies a window of upcoming live candidates on
+    // the worker pool. verifyRule is pure, so an out-of-order verdict
+    // is identical to the one the sequential engine would compute at
+    // the cursor; decisions (accept/reject, naming, pruning) are still
+    // committed strictly in cursor order by acceptOne, which is what
+    // keeps the rule set byte-identical at any thread count. Verdicts
+    // survive across prune rounds: a candidate killed after its
+    // verdict landed is simply never consumed (speculation waste, not
+    // a correctness issue).
+    auto prefetchVerdicts = [&](std::vector<ScoredCandidate> &cands,
+                                std::size_t from) {
+        std::vector<ScoredCandidate *> batch;
+        std::size_t want =
+            std::max<std::size_t>(workers.threadCount() * 4, 16);
+        for (std::size_t i = from;
+             i < cands.size() && batch.size() < want; ++i) {
+            if (!cands[i].dead && !cands[i].verified)
+                batch.push_back(&cands[i]);
+        }
+        if (batch.empty())
+            return;
+        obs::Span batchSpan("synth/verify-batch",
+                            static_cast<std::int64_t>(batch.size()));
+        report.prefetchedVerifications += batch.size();
+        workers.parallelFor(batch.size(), [&](std::size_t t) {
+            ScoredCandidate &c = *batch[t];
+            try {
+                Rule forward{c.pair.a, c.pair.b, "", false};
+                c.outcome.verdict = verifyRule(forward, config.verify);
+            } catch (...) {
+                c.outcome.error = std::current_exception();
+            }
+            c.verified = true;
+        });
+    };
+
     // Accepts the next live candidate of @p pool; returns false when
     // the pool is exhausted.
     auto acceptOne = [&](std::vector<ScoredCandidate> &pool,
@@ -268,8 +375,18 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
                 continue;
 
             Rule forward{cand.pair.a, cand.pair.b, "", false};
-            Verdict verdict = checkedVerify(forward, config.verify,
-                                            report);
+            Verdict verdict;
+            if (parallelVerify) {
+                if (!cand.verified)
+                    prefetchVerdicts(pool, cursor - 1);
+                ISARIA_ASSERT(cand.verified,
+                              "prefetch missed the cursor candidate");
+                if (cand.outcome.error)
+                    std::rethrow_exception(cand.outcome.error);
+                verdict = cand.outcome.verdict;
+            } else {
+                verdict = checkedVerify(forward, config.verify, report);
+            }
             ++verdictCounts[static_cast<int>(verdict)];
             if (verdict == Verdict::Rejected) {
                 ++report.rejectedUnsound;
@@ -343,21 +460,59 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
 
     // --- Phase 3: generalize across lanes to the ISA width, then
     // re-verify every expanded rule (the paper's soundness backstop).
+    // The re-verifications are independent, so the parallel engine
+    // computes them in one fan-out and commits acceptance (and the
+    // sequential syn-N naming) in rule order.
     obs::Span generalizeSpan("synth/generalize");
     int width = isa.vectorWidth();
+    struct WideCandidate
+    {
+        Rule wide;
+        bool needsVerify = false;
+        VerifyOutcome outcome;
+    };
+    std::vector<WideCandidate> wides;
+    wides.reserve(report.oneWideRules.size());
     for (const Rule &rule : report.oneWideRules.rules()) {
-        Rule wide = generalizeRule(rule, width);
-        if (!wide.lhs.equalTree(rule.lhs) ||
-            !wide.rhs.equalTree(rule.rhs)) {
-            Verdict verdict = checkedVerify(wide, config.verify, report);
+        WideCandidate wc;
+        wc.wide = generalizeRule(rule, width);
+        wc.needsVerify = !wc.wide.lhs.equalTree(rule.lhs) ||
+                         !wc.wide.rhs.equalTree(rule.rhs);
+        wides.push_back(std::move(wc));
+    }
+    if (parallelVerify) {
+        std::vector<WideCandidate *> batch;
+        for (WideCandidate &wc : wides)
+            if (wc.needsVerify)
+                batch.push_back(&wc);
+        report.prefetchedVerifications += batch.size();
+        workers.parallelFor(batch.size(), [&](std::size_t t) {
+            try {
+                batch[t]->outcome.verdict =
+                    verifyRule(batch[t]->wide, config.verify);
+            } catch (...) {
+                batch[t]->outcome.error = std::current_exception();
+            }
+        });
+    }
+    for (WideCandidate &wc : wides) {
+        if (wc.needsVerify) {
+            Verdict verdict;
+            if (parallelVerify) {
+                if (wc.outcome.error)
+                    std::rethrow_exception(wc.outcome.error);
+                verdict = wc.outcome.verdict;
+            } else {
+                verdict = checkedVerify(wc.wide, config.verify, report);
+            }
             if (verdict == Verdict::Rejected) {
                 ++report.droppedAtGeneralization;
                 continue;
             }
-            wide.verifiedExactly = (verdict == Verdict::Proved);
+            wc.wide.verifiedExactly = (verdict == Verdict::Proved);
         }
-        wide.name = "syn-" + std::to_string(report.rules.size());
-        report.rules.add(std::move(wide));
+        wc.wide.name = "syn-" + std::to_string(report.rules.size());
+        report.rules.add(std::move(wc.wide));
     }
     report.generalizeSeconds = watch.elapsedSeconds();
     generalizeSpan.close();

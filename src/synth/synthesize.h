@@ -55,6 +55,21 @@ struct SynthConfig
                                .maxIters = 2,
                                .timeoutSeconds = 1.0,
                                .maxMatchesPerRule = 2'000};
+    /**
+     * Worker threads for candidate verification and cvec
+     * fingerprinting (the offline-phase hot loops). 0 = auto: the
+     * ISARIA_EQSAT_THREADS environment variable if set, otherwise
+     * hardware concurrency; 1 = fully sequential. Verification is
+     * pure, so candidates are verified speculatively in batches and
+     * their accept/reject decisions committed in the sequential
+     * order — the synthesized rule set is byte-identical at any
+     * thread count (deadline exits aside, which carry the same
+     * wall-clock nondeterminism as the sequential engine). When a
+     * fault-injection plan is armed the run drops to the sequential
+     * path so the synth-verify site keeps its deterministic arrival
+     * ordinals.
+     */
+    int numThreads = 0;
 };
 
 /** Outcome of the offline pipeline. */
@@ -69,10 +84,22 @@ struct SynthReport
     std::size_t rejectedUnsound = 0;
     std::size_t prunedDerivable = 0;
     std::size_t droppedAtGeneralization = 0;
+    /** Candidate pairs dropped as duplicates of an earlier pair
+     *  (keyed on the sorted canonical hash pair, collision-free). */
+    std::size_t duplicatePairs = 0;
+    /** verifyRule calls issued speculatively by the batched parallel
+     *  verifier; the consumed subset shows up in the verdict
+     *  counters, the rest is parallel slack. */
+    std::size_t prefetchedVerifications = 0;
     double enumerateSeconds = 0;
     double shrinkSeconds = 0;
     double generalizeSeconds = 0;
     bool hitDeadline = false;
+    /** Verification threads actually used (resolved from numThreads). */
+    int verifyThreads = 1;
+    /** The report was served from a persistent cache (src/cache/):
+     *  no enumeration, verification, or shrinking ran. */
+    bool fromCache = false;
     /** Verifier calls lost to injected faults; each rejects its
      *  candidate, so synthesis degrades to a smaller rule set. */
     std::size_t verifierFaults = 0;

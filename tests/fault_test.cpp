@@ -12,6 +12,7 @@
 
 #include "baseline/diospyros.h"
 #include "compiler/compiler.h"
+#include "egraph/extract.h"
 #include "egraph/runner.h"
 #include "frontend/kernels.h"
 #include "lower/lower.h"
@@ -296,6 +297,38 @@ TEST(ResourceGuards, TimeoutStopsMidIteration)
     EXPECT_EQ(report.stop, StopReason::TimeLimit);
     EXPECT_LT(elapsed, 0.5) << "50 ms budget overshot to " << elapsed
                             << "s; in-flight checks are not firing";
+}
+
+// Extraction is the last unbounded loop after saturation stops, so it
+// polls the same ExecControl sources the runner does. A fired token or
+// deadline makes extractBest return nullopt within one poll stride
+// instead of finishing the fixpoint on a huge e-graph.
+TEST(ResourceGuards, CancelledExtractionStopsQuickly)
+{
+    auto rules = compileRules(diospyrosHandRules().rules());
+    RecExpr program = liftKernel(make2DConv(3, 3, 2, 2), 4);
+    EGraph eg;
+    EClassId root = eg.addExpr(program);
+    EqSatLimits limits;
+    limits.maxIters = 2;
+    limits.maxNodes = 60'000;
+    runEqSat(eg, rules, limits);
+    DspCostModel cost;
+
+    // Sanity: without a control, extraction completes normally.
+    ASSERT_TRUE(extractBest(eg, root, cost).has_value());
+
+    CancellationToken token;
+    token.cancel();
+    ExecControl viaToken(nullptr, &token);
+    Stopwatch watch;
+    EXPECT_FALSE(extractBest(eg, root, cost, &viaToken).has_value());
+    EXPECT_LT(watch.elapsedSeconds(), 0.5)
+        << "cancelled extraction ran to completion anyway";
+
+    Deadline expired(1e-9);
+    ExecControl viaDeadline(&expired, nullptr);
+    EXPECT_FALSE(extractBest(eg, root, cost, &viaDeadline).has_value());
 }
 
 // ---------------------------------------------------------------------

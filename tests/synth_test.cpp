@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "support/thread_pool.h"
 #include "synth/synthesize.h"
 #include "term/sexpr.h"
 
@@ -142,6 +145,77 @@ TEST(Generalize, MacCompileRule)
     EXPECT_TRUE(wide.sameAs(expected));
 }
 
+// Regression for the wildcard-aliasing bug: the old per-lane encoding
+// (w * 16 + lane) wrapped into the next wildcard's band at width > 16
+// — lane 17 of ?0 collided with lane 1 of ?1, silently unifying
+// unrelated variables — and could even reach the whole-vector
+// wildcard ids. The fixed encoding keeps every (wildcard, lane) pair
+// distinct at any width, so each side of a 3-variable rule carries
+// exactly 3 * width distinct per-lane wildcards.
+TEST(Generalize, LaneIdsStayDistinctAtEveryWidth)
+{
+    Rule narrow = parseRule(
+        "(Vec (+ ?a (* ?b ?c))) ~> (VecMAC (Vec ?a) (Vec ?b) (Vec ?c))");
+    for (int width : {4, 16, 32}) {
+        Rule wide = generalizeRule(narrow, width);
+        std::vector<std::int32_t> lhsIds = wide.lhs.wildcardIds();
+        std::vector<std::int32_t> rhsIds = wide.rhs.wildcardIds();
+        std::set<std::int32_t> lhs(lhsIds.begin(), lhsIds.end());
+        std::set<std::int32_t> rhs(rhsIds.begin(), rhsIds.end());
+        EXPECT_EQ(lhs.size(), static_cast<std::size_t>(3 * width))
+            << "width " << width << ": lane wildcards aliased";
+        EXPECT_EQ(lhs, rhs) << "width " << width;
+        EXPECT_TRUE(wide.wellFormed());
+    }
+    // Sampled verification still proves the widened rule (small
+    // battery: 32-lane vectors are expensive to evaluate).
+    VerifyOptions options;
+    options.samples = 24;
+    EXPECT_EQ(verifyRule(generalizeRule(narrow, 32), options),
+              Verdict::Proved);
+}
+
+// A whole-vector wildcard passing through generalization verbatim must
+// never collide with the fresh per-lane ids of a Vec literal in the
+// same pattern.
+TEST(Generalize, VectorWildcardsStayDisjointFromLaneIds)
+{
+    Rule narrow =
+        parseRule("(VecAdd ?v (Vec (* ?a ?b))) ~> "
+                  "(VecAdd ?v (VecMul (Vec ?a) (Vec ?b)))");
+    for (int width : {4, 16, 32}) {
+        Rule wide = generalizeRule(narrow, width);
+        std::vector<std::int32_t> ids = wide.lhs.wildcardIds();
+        std::set<std::int32_t> distinct(ids.begin(), ids.end());
+        // ?v plus width lanes each of ?a and ?b.
+        EXPECT_EQ(distinct.size(), static_cast<std::size_t>(2 * width + 1))
+            << "width " << width;
+        EXPECT_TRUE(wide.wellFormed());
+    }
+}
+
+TEST(Enumerate, ParallelFingerprintingMatchesSequential)
+{
+    IsaSpec isa;
+    EnumConfig config;
+    config.maxDepth = 2;
+    config.maxReps = 60;
+    config.maxScalarCandidates = 1500;
+    config.maxVectorCandidates = 2000;
+    config.maxLiftCandidates = 2000;
+    EnumResult seq = enumerateTerms(isa, config, Deadline::unlimited());
+    ThreadPool pool(4);
+    EnumResult par =
+        enumerateTerms(isa, config, Deadline::unlimited(), &pool);
+    EXPECT_EQ(seq.termsEnumerated, par.termsEnumerated);
+    EXPECT_EQ(seq.classes, par.classes);
+    ASSERT_EQ(seq.candidates.size(), par.candidates.size());
+    for (std::size_t i = 0; i < seq.candidates.size(); ++i) {
+        EXPECT_TRUE(seq.candidates[i].a.equalTree(par.candidates[i].a));
+        EXPECT_TRUE(seq.candidates[i].b.equalTree(par.candidates[i].b));
+    }
+}
+
 TEST(Synthesize, ProducesSoundUsefulRules)
 {
     IsaSpec isa;
@@ -185,6 +259,46 @@ TEST(Synthesize, RespectsRuleBudget)
     config.maxRules = 30;
     SynthReport report = synthesizeRules(isa, config);
     EXPECT_LE(report.oneWideRules.size(), 30u);
+}
+
+// The tentpole determinism guarantee: verification is pure and
+// decisions commit in cursor order, so the synthesized rule set is
+// byte-identical at any thread count. Run with no wall-clock deadline
+// so the only nondeterminism source (deadline exits) is off.
+TEST(Synthesize, ByteIdenticalAcrossThreadCounts)
+{
+    IsaSpec isa;
+    SynthConfig config;
+    config.timeoutSeconds = 0; // unlimited: determinism must be exact
+    config.maxRules = 40;
+    config.enumConfig.maxDepth = 2;
+    config.enumConfig.maxReps = 40;
+    config.enumConfig.maxScalarCandidates = 500;
+    config.enumConfig.maxVectorCandidates = 700;
+    config.enumConfig.maxLiftCandidates = 700;
+
+    config.numThreads = 1;
+    SynthReport sequential = synthesizeRules(isa, config);
+    EXPECT_EQ(sequential.verifyThreads, 1);
+
+    config.numThreads = 4;
+    SynthReport parallel = synthesizeRules(isa, config);
+    EXPECT_EQ(parallel.verifyThreads, 4);
+
+    EXPECT_EQ(sequential.oneWideRules.toString(),
+              parallel.oneWideRules.toString());
+    EXPECT_EQ(sequential.rules.toString(), parallel.rules.toString());
+    EXPECT_EQ(sequential.candidatesConsidered,
+              parallel.candidatesConsidered);
+    EXPECT_EQ(sequential.rejectedUnsound, parallel.rejectedUnsound);
+    EXPECT_EQ(sequential.prunedDerivable, parallel.prunedDerivable);
+    EXPECT_EQ(sequential.duplicatePairs, parallel.duplicatePairs);
+    EXPECT_EQ(sequential.droppedAtGeneralization,
+              parallel.droppedAtGeneralization);
+    // The parallel engine actually took the speculative path (the
+    // 1-thread run verifies inline and never prefetches).
+    EXPECT_GT(parallel.prefetchedVerifications, 0u);
+    EXPECT_EQ(sequential.prefetchedVerifications, 0u);
 }
 
 TEST(Synthesize, CustomInstructionsEnterTheRuleset)

@@ -1,0 +1,138 @@
+// CI cache smoke: proves the persistent rule cache's end-to-end
+// contract on a real (small) synthesis run.
+//
+//   1. Cold run against an empty cache directory: synthesis executes,
+//      a miss and a store are counted, and at least one enumeration
+//      span is recorded.
+//   2. Warm run against the same directory: the report comes from the
+//      cache, a hit is counted, and — the load-bearing check — ZERO
+//      enumeration / verification spans are recorded: the warm path
+//      does no synthesis work at all.
+//   3. The warm rule sets are byte-identical to the cold ones.
+//
+// Exits nonzero on the first violated property.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "cache/rule_cache.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "support/panic.h"
+#include "synth/synthesize.h"
+
+using namespace isaria;
+
+namespace
+{
+
+SynthConfig
+smokeConfig()
+{
+    SynthConfig config;
+    config.timeoutSeconds = 0;
+    config.maxRules = 25;
+    config.enumConfig.maxDepth = 2;
+    config.enumConfig.maxReps = 30;
+    config.enumConfig.maxScalarCandidates = 300;
+    config.enumConfig.maxVectorCandidates = 400;
+    config.enumConfig.maxLiftCandidates = 400;
+    return config;
+}
+
+std::uint64_t
+spanCount(const obs::StatsReport &stats, const std::string &name)
+{
+    for (const obs::StatsEntry &e : stats.spans)
+        if (e.name == name)
+            return e.count;
+    return 0;
+}
+
+std::int64_t
+counterSum(const obs::StatsReport &stats, const std::string &name)
+{
+    for (const obs::StatsEntry &e : stats.counters)
+        if (e.name == name)
+            return e.sum;
+    return 0;
+}
+
+bool
+expect(bool ok, const char *what)
+{
+    if (!ok)
+        std::fprintf(stderr, "cache_smoke: FAILED: %s\n", what);
+    return ok;
+}
+
+} // namespace
+
+int
+main()
+{
+    return guardedMain([&] {
+        std::string dir = "cache_smoke.cache";
+        std::filesystem::remove_all(dir);
+        RuleCache cache(dir);
+        IsaSpec isa;
+        SynthConfig config = smokeConfig();
+
+        // --- cold run -------------------------------------------------
+        SynthReport cold;
+        obs::StatsReport coldStats;
+        {
+            obs::TraceSession session;
+            session.activate();
+            cold = synthesizeRulesCached(isa, config, cache);
+            session.deactivate();
+            coldStats = obs::aggregateStats(session);
+        }
+        bool ok = true;
+        ok &= expect(!cold.fromCache, "cold run claimed a cache hit");
+        ok &= expect(cold.rules.size() > 0, "cold run produced no rules");
+        ok &= expect(counterSum(coldStats, "synth/cache/miss") == 1,
+                     "cold run did not count a miss");
+        ok &= expect(counterSum(coldStats, "synth/cache/store") == 1,
+                     "cold run did not publish an entry");
+        ok &= expect(spanCount(coldStats, "synth/enumerate") > 0,
+                     "cold run recorded no enumeration spans");
+        std::printf("cache_smoke: cold run synthesized %zu rules "
+                    "(%llu enumeration spans)\n",
+                    cold.rules.size(),
+                    static_cast<unsigned long long>(
+                        spanCount(coldStats, "synth/enumerate")));
+
+        // --- warm run -------------------------------------------------
+        SynthReport warm;
+        obs::StatsReport warmStats;
+        {
+            obs::TraceSession session;
+            session.activate();
+            warm = synthesizeRulesCached(isa, config, cache);
+            session.deactivate();
+            warmStats = obs::aggregateStats(session);
+        }
+        ok &= expect(warm.fromCache, "warm run missed the cache");
+        ok &= expect(counterSum(warmStats, "synth/cache/hit") == 1,
+                     "warm run did not count a hit");
+        ok &= expect(spanCount(warmStats, "synth/enumerate") == 0,
+                     "warm run enumerated terms");
+        ok &= expect(spanCount(warmStats, "synth/verify-batch") == 0,
+                     "warm run verified candidates");
+        ok &= expect(spanCount(warmStats, "synth/shrink") == 0,
+                     "warm run ran shrinking");
+        ok &= expect(warm.rules.toString() == cold.rules.toString(),
+                     "warm rules differ from cold rules");
+        ok &= expect(warm.oneWideRules.toString() ==
+                         cold.oneWideRules.toString(),
+                     "warm one-wide rules differ from cold ones");
+        if (!ok)
+            return 1;
+        std::printf("cache_smoke ok: warm run served %zu byte-identical "
+                    "rules with zero synthesis work\n",
+                    warm.rules.size());
+        return 0;
+    });
+}
