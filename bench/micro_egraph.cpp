@@ -19,7 +19,12 @@
 
 #include "common.h"
 
+#include <map>
+#include <utility>
+
 #include "baseline/diospyros.h"
+#include "baseline/harness.h"
+#include "compiler/compiler.h"
 #include "egraph/extract.h"
 #include "egraph/runner.h"
 #include "frontend/kernels.h"
@@ -262,6 +267,273 @@ BM_Extract(benchmark::State &state)
     state.counters["egraph_nodes"] = static_cast<double>(eg.numNodes());
 }
 BENCHMARK(BM_Extract)->Unit(benchmark::kMillisecond);
+
+/**
+ * A saturated conv e-graph grown to roughly @p maxNodes e-nodes,
+ * built once per size and shared across benchmark repetitions
+ * (saturating to 10^5 nodes is far more expensive than extracting).
+ */
+const std::pair<EGraph, EClassId> &
+extractionGraph(std::size_t maxNodes)
+{
+    static std::map<std::size_t, std::pair<EGraph, EClassId>> cache;
+    auto it = cache.find(maxNodes);
+    if (it != cache.end())
+        return it->second;
+    std::vector<Rule> all = diospyrosHandRules().rules();
+    all.push_back(parseRule("(+ ?a ?b) ~> (+ ?b ?a)"));
+    all.push_back(parseRule("(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))"));
+    auto rules = compileRules(all);
+    EGraph eg;
+    EClassId root = eg.addExpr(convProgram(8, 3));
+    EqSatLimits limits;
+    limits.maxIters = 12;
+    limits.maxNodes = maxNodes;
+    runEqSat(eg, rules, limits);
+    auto [pos, inserted] =
+        cache.emplace(maxNodes, std::make_pair(std::move(eg), root));
+    return pos->second;
+}
+
+/**
+ * The tentpole acceptance workload: cold extraction (index build +
+ * cost propagation + term rebuild) on saturated e-graphs, worklist
+ * engine vs the reference global-sweep fixpoint, at sizes up to
+ * ~10^5 nodes. engine 0 = worklist, 1 = fixpoint.
+ */
+void
+BM_ExtractScaling(benchmark::State &state)
+{
+    ExtractorKind kind = state.range(0) == 0 ? ExtractorKind::Worklist
+                                             : ExtractorKind::Fixpoint;
+    const auto &[eg, root] =
+        extractionGraph(static_cast<std::size_t>(state.range(1)));
+    DspCostModel cost;
+    for (auto _ : state) {
+        Extractor extractor(kind); // fresh: cold index every time
+        auto best = extractor.extract(eg, root, cost);
+        benchmark::DoNotOptimize(best->cost);
+    }
+    state.counters["egraph_nodes"] = static_cast<double>(eg.numNodes());
+    state.counters["engine"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ExtractScaling)
+    ->ArgsProduct({{0, 1}, {10'000, 60'000, 120'000}})
+    ->ArgNames({"engine", "nodes"})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Warm extraction: a reused Extractor on an unchanged graph hits the
+ * (graphId, generation) cache and skips the dependency-index build —
+ * the Fig. 3 loop's repeated extract-per-round case.
+ */
+void
+BM_ExtractWarmIndex(benchmark::State &state)
+{
+    const auto &[eg, root] =
+        extractionGraph(static_cast<std::size_t>(state.range(0)));
+    DspCostModel cost;
+    Extractor extractor;
+    benchmark::DoNotOptimize(
+        extractor.extract(eg, root, cost)->cost); // build the index
+    for (auto _ : state) {
+        auto best = extractor.extract(eg, root, cost);
+        benchmark::DoNotOptimize(best->cost);
+    }
+    state.counters["egraph_nodes"] = static_cast<double>(eg.numNodes());
+}
+BENCHMARK(BM_ExtractWarmIndex)
+    ->Arg(60'000)
+    ->Arg(120'000)
+    ->ArgName("nodes")
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Cost model for the scrambled-dependency workload: Mul is ruinously
+ * expensive, so every chain class's converged best flows through the
+ * cheap Add chain instead of its local Mul alternative.
+ */
+class ChainCost : public CostFn
+{
+  public:
+    std::uint64_t
+    nodeCost(Op op, std::int64_t,
+             std::span<const std::uint64_t> childCosts) const override
+    {
+        std::uint64_t c = op == Op::Mul ? 1'000'000 : 1;
+        for (std::uint64_t child : childCosts)
+            c = satAddCost(c, child);
+        return c;
+    }
+};
+
+/**
+ * A graph whose merge history reverses dependency order: a depth-long
+ * chain where each class's cheap node points at a class with a
+ * *higher* canonical id (rewrites that introduce cheaper subterms
+ * late produce exactly this shape — the new nodes join early classes,
+ * but their children keep late ids). The ascending-id global sweep
+ * then propagates one chain level per pass, paying depth full-graph
+ * sweeps, while the worklist engine relaxes each edge once.
+ */
+static std::pair<EGraph, EClassId> &
+scrambledGraph(std::size_t depth, std::size_t totalNodes)
+{
+    static std::map<std::pair<std::size_t, std::size_t>,
+                    std::pair<EGraph, EClassId>>
+        cache;
+    auto key = std::make_pair(depth, totalNodes);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    EGraph eg;
+    auto constant = [&](std::int64_t v) {
+        ENode n;
+        n.op = Op::Const;
+        n.payload = v;
+        return eg.add(std::move(n));
+    };
+
+    // Anchors first (small, ascending ids); each starts as an
+    // expensive Mul so it resolves immediately but badly.
+    EClassId shared = constant(-1);
+    std::vector<EClassId> anchor(depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+        EClassId c = constant(static_cast<std::int64_t>(i));
+        ENode mul;
+        mul.op = Op::Mul;
+        mul.children.push_back(shared);
+        mul.children.push_back(c);
+        anchor[i] = eg.add(std::move(mul));
+    }
+    // Cheap terminal for the deepest anchor, then the chain nodes —
+    // created last (largest ids) and merged into the early anchors,
+    // so class i's best path runs through class i+1's higher id.
+    EClassId cheap = constant(static_cast<std::int64_t>(depth));
+    eg.merge(anchor[depth - 1], cheap);
+    for (std::size_t i = 0; i + 1 < depth; ++i) {
+        ENode add;
+        add.op = Op::Add;
+        add.children.push_back(anchor[i + 1]);
+        add.children.push_back(cheap);
+        eg.merge(anchor[i], eg.add(std::move(add)));
+    }
+    // Pad with resolved leaves: every global sweep still re-evaluates
+    // them, the worklist engine visits them exactly once.
+    for (std::int64_t v = static_cast<std::int64_t>(depth) + 1;
+         eg.numNodes() < totalNodes; ++v)
+        constant(v);
+    eg.rebuild();
+
+    auto [pos, inserted] =
+        cache.emplace(key, std::make_pair(std::move(eg), anchor[0]));
+    return pos->second;
+}
+
+/**
+ * Extraction on merge-scrambled dependency order — the case the
+ * worklist engine exists for. engine 0 = worklist, 1 = fixpoint.
+ */
+void
+BM_ExtractScrambled(benchmark::State &state)
+{
+    ExtractorKind kind = state.range(0) == 0 ? ExtractorKind::Worklist
+                                             : ExtractorKind::Fixpoint;
+    const auto &[eg, root] =
+        scrambledGraph(128, static_cast<std::size_t>(state.range(1)));
+    ChainCost cost;
+    for (auto _ : state) {
+        Extractor extractor(kind); // fresh: cold index every time
+        auto best = extractor.extract(eg, root, cost);
+        benchmark::DoNotOptimize(best->cost);
+    }
+    state.counters["egraph_nodes"] = static_cast<double>(eg.numNodes());
+    state.counters["engine"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ExtractScrambled)
+    ->ArgsProduct({{0, 1}, {60'000, 120'000}})
+    ->ArgNames({"engine", "nodes"})
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Scheduler on/off sweep on an explosive ruleset: the Diospyros hand
+ * rules plus raw associativity/commutativity, the mix that drowns the
+ * directed lowering rules in AC matches. With the backoff scheduler
+ * the AC rules get banned after exceeding their match budget and the
+ * saturation spends its iterations on the rules that make progress.
+ * scheduler 0 = simple, 1 = backoff.
+ */
+void
+BM_EqSatSchedulerSweep(benchmark::State &state)
+{
+    std::vector<Rule> all = diospyrosHandRules().rules();
+    all.push_back(parseRule("(+ ?a ?b) ~> (+ ?b ?a)"));
+    all.push_back(parseRule("(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))"));
+    all.push_back(parseRule("(* ?a ?b) ~> (* ?b ?a)"));
+    auto rules = compileRules(all);
+    RecExpr program = convProgram(4, 3);
+    EqSatLimits limits;
+    limits.maxIters = 6;
+    limits.maxNodes = 60'000;
+    limits.scheduler = state.range(0) == 0 ? EqSatScheduler::Simple
+                                           : EqSatScheduler::Backoff;
+    limits.schedMatchLimit = 1'000;
+    limits.schedBanLength = 2;
+    std::size_t bans = 0, nodes = 0;
+    int iters = 0;
+    for (auto _ : state) {
+        EGraph eg;
+        eg.addExpr(program);
+        EqSatReport report = runEqSat(eg, rules, limits);
+        benchmark::DoNotOptimize(report.nodes);
+        bans = report.schedBans;
+        nodes = report.nodes;
+        iters = report.iterations;
+    }
+    state.counters["scheduler"] = static_cast<double>(state.range(0));
+    state.counters["sched_bans"] = static_cast<double>(bans);
+    state.counters["egraph_nodes"] = static_cast<double>(nodes);
+    state.counters["iterations"] = static_cast<double>(iters);
+}
+BENCHMARK(BM_EqSatSchedulerSweep)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("scheduler")
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * End-to-end Fig. 3 compile (the paper's loop: expand, compile,
+ * extract, prune) with the scheduler on and off — the ISSUE's
+ * compile-speedup acceptance workload. scheduler 0 = simple,
+ * 1 = backoff.
+ */
+void
+BM_CompileFig3Scheduler(benchmark::State &state)
+{
+    CompilerConfig config;
+    config.withEqSatThreads(1);
+    if (state.range(0) == 1)
+        config.withScheduler(EqSatScheduler::Backoff, 500, 2);
+    IsariaCompiler compiler = makeDiospyrosCompiler(config);
+    KernelHarness harness(KernelSpec::conv2d(4, 4, 3, 3));
+    const RecExpr &program = harness.scalarProgram();
+    DspCostModel cost;
+    std::uint64_t finalCost = 0;
+    for (auto _ : state) {
+        CompileStats stats;
+        RecExpr out = compiler.compile(program, &stats);
+        benchmark::DoNotOptimize(out.size());
+        finalCost = stats.finalCost;
+    }
+    state.counters["scheduler"] = static_cast<double>(state.range(0));
+    state.counters["final_cost"] = static_cast<double>(finalCost);
+}
+BENCHMARK(BM_CompileFig3Scheduler)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("scheduler")
+    ->Unit(benchmark::kMillisecond);
 
 /**
  * The pin for the obs no-op fast path: one span construct/destroy per

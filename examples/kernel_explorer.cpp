@@ -7,6 +7,8 @@
 //   kernel_explorer [conv R C KR KC | matmul N M K | qprod | qrd N]
 //                   [--asm] [--budget SECONDS] [--optimize]
 //                   [--eqsat-threads=N] [--mem-mb=N] [--fault=SPEC]
+//                   [--eqsat-scheduler={simple,backoff}]
+//                   [--eqsat-match-limit=N] [--eqsat-ban-length=N]
 //                   [--cache-dir=DIR] [--memo-entries=N]
 //                   [--trace FILE] [--trace-format {jsonl,chrome}]
 //                   [--stats]
@@ -16,6 +18,13 @@
 // concurrency; 1 = sequential). The result is identical for any N —
 // only compile time changes. Rule synthesis itself is parallelized
 // the same way and is byte-identical at any thread count.
+//
+// --eqsat-scheduler=backoff enables egg-style rule backoff in every
+// saturation: a rule whose matches exceed --eqsat-match-limit
+// (default 1000) in one iteration is banned for --eqsat-ban-length
+// iterations (default 5); both double per repeat offense. Keeps
+// explosive associativity/commutativity rules from starving the
+// directed lowering rules. Deterministic at any --eqsat-threads.
 //
 // --cache-dir=DIR persists synthesized rule sets under DIR keyed by
 // a fingerprint of the ISA + synthesis configuration (defaults to
@@ -70,6 +79,9 @@ main(int argc, char **argv)
     bool optimize = false;
     double budget = 20;
     int eqsatThreads = 0; // 0 = auto (env / hardware concurrency)
+    EqSatScheduler scheduler = EqSatScheduler::Simple;
+    std::size_t schedMatchLimit = 0; // 0 = scheduler default
+    std::size_t schedBanLength = 0;  // 0 = scheduler default
     std::size_t memLimitMb = 0; // 0 = unlimited
     RuleCache cache = RuleCache::fromEnv(); // $ISARIA_CACHE default
     std::size_t memoEntries = 0; // 0 = memo disabled
@@ -101,6 +113,22 @@ main(int argc, char **argv)
         } else if (arg == "--eqsat-threads" && i + 1 < argc) {
             eqsatThreads = std::atoi(argv[i + 1]);
             i += 1;
+        } else if (arg.rfind("--eqsat-scheduler=", 0) == 0) {
+            auto parsed = eqSatSchedulerFromName(arg.c_str() + 18);
+            if (!parsed) {
+                std::fprintf(stderr,
+                             "bad --eqsat-scheduler (want simple or "
+                             "backoff): %s\n",
+                             arg.c_str() + 18);
+                return 1;
+            }
+            scheduler = *parsed;
+        } else if (arg.rfind("--eqsat-match-limit=", 0) == 0) {
+            schedMatchLimit = static_cast<std::size_t>(
+                std::atoll(arg.c_str() + 20));
+        } else if (arg.rfind("--eqsat-ban-length=", 0) == 0) {
+            schedBanLength = static_cast<std::size_t>(
+                std::atoll(arg.c_str() + 19));
         } else if (arg.rfind("--mem-mb=", 0) == 0) {
             memLimitMb = static_cast<std::size_t>(
                 std::atoll(arg.c_str() + 9));
@@ -142,6 +170,8 @@ main(int argc, char **argv)
     synth.derivLimits.numThreads = eqsatThreads;
     CompilerConfig compilerConfig;
     compilerConfig.withEqSatThreads(eqsatThreads);
+    compilerConfig.withScheduler(scheduler, schedMatchLimit,
+                                 schedBanLength);
     compilerConfig.withMemLimitBytes(memLimitMb * 1024 * 1024);
     compilerConfig.memoEntries = memoEntries;
     GeneratedCompiler gen =

@@ -171,6 +171,11 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
         st.reports.push_back(report);
     };
 
+    // One extraction engine for the whole compile: its dependency
+    // index is keyed on (graphId, generation), so rounds that extract
+    // repeatedly from an unchanged graph (and the no-pruning ablation,
+    // which keeps one graph across rounds) skip the index rebuild.
+    Extractor extractor;
     auto extractChecked = [&](const EGraph &eg, EClassId root) {
         obs::Span extractSpan("compile/extract",
                               static_cast<std::int64_t>(eg.numNodes()));
@@ -187,7 +192,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
                            : 0);
         ExecControl control(alreadyCancelled ? &grace : nullptr,
                             alreadyCancelled ? nullptr : token);
-        auto got = extractBest(eg, root, cost, &control);
+        auto got = extractor.extract(eg, root, cost, &control);
         if (!got.has_value()) {
             if (control.interrupted())
                 ISARIA_FATAL("extraction interrupted (cancelled or "

@@ -121,6 +121,27 @@ struct CompilerConfig
         optLimits.cancel = token;
         return *this;
     }
+
+    /**
+     * Sets the rule-application scheduling policy of every per-phase
+     * EqSat budget (the --eqsat-scheduler knob; see EqSatScheduler).
+     * @p matchLimit / @p banLength tune the backoff thresholds; pass 0
+     * to keep a limit's default.
+     */
+    CompilerConfig &
+    withScheduler(EqSatScheduler scheduler, std::size_t matchLimit = 0,
+                  std::size_t banLength = 0)
+    {
+        for (EqSatLimits *limits :
+             {&expansionLimits, &compilationLimits, &optLimits}) {
+            limits->scheduler = scheduler;
+            if (matchLimit)
+                limits->schedMatchLimit = matchLimit;
+            if (banLength)
+                limits->schedBanLength = banLength;
+        }
+        return *this;
+    }
 };
 
 /**

@@ -1,6 +1,8 @@
 #include "egraph/egraph.h"
 
 #include <algorithm>
+#include <atomic>
+#include <unordered_set>
 
 #include "support/fault.h"
 #include "support/panic.h"
@@ -11,13 +13,26 @@ namespace isaria
 static_assert(static_cast<unsigned>(Op::NumOps) <= 32,
               "the per-class operator mask is a 32-bit word");
 
+std::uint64_t
+EGraph::nextGraphId()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::size_t
 EGraph::enodeFootprint(const ENode &node)
 {
     // One copy lives in its class, one as the hashcons key, and each
     // child's parent list holds another (plus the back-pointer id).
-    std::size_t nodeBytes =
-        sizeof(ENode) + node.children.size() * sizeof(EClassId);
+    // Children up to ChildArray::kInlineCapacity live inside the node
+    // itself (already covered by sizeof(ENode)); only wider nodes
+    // charge a heap spill.
+    std::size_t spillBytes =
+        node.children.size() > ChildArray::kInlineCapacity
+            ? node.children.size() * sizeof(EClassId)
+            : 0;
+    std::size_t nodeBytes = sizeof(ENode) + spillBytes;
     return 2 * nodeBytes +
            node.children.size() * (nodeBytes + sizeof(EClassId));
 }
@@ -38,6 +53,7 @@ EGraph::add(ENode node)
     bytesUsed_ += enodeFootprint(canon) + sizeof(EClass) +
                   sizeof(EClassId) + sizeof(std::uint32_t);
 
+    ++generation_;
     EClassId id = uf_.makeSet();
     classes_.emplace_back();
     classes_[id].nodes.push_back(canon);
@@ -87,6 +103,7 @@ EGraph::merge(EClassId a, EClassId b)
     if (ra == rb)
         return false;
 
+    ++generation_;
     EClassId keep = uf_.join(ra, rb);
     EClassId gone = (keep == ra) ? rb : ra;
 
@@ -124,6 +141,7 @@ EGraph::merge(EClassId a, EClassId b)
 void
 EGraph::rebuild()
 {
+    bool merged = !worklist_.empty();
     while (!worklist_.empty()) {
         std::vector<EClassId> todo;
         todo.swap(worklist_);
@@ -135,6 +153,20 @@ EGraph::rebuild()
     // Freeze-friendly: after full compression findFrozen is one load,
     // so the parallel search phase never path-compresses (writes).
     uf_.compressAll();
+    if (!merged)
+        return;
+    // Final canonicalization sweep. Congruence can make two nodes of a
+    // class identical without that class ever reaching the worklist:
+    // when their shared *child* classes merge, the parent collision in
+    // repair() is a merge of the class with itself — a no-op that
+    // enqueues nothing. Sweeping every class once per rebuild
+    // canonicalizes all nodes in place and drops such duplicates, so
+    // numNodes() counts distinct canonical nodes regardless of the
+    // merge history (egg's rebuild_classes does the same).
+    for (EClassId id = 0; id < uf_.size(); ++id) {
+        if (uf_.find(id) == id)
+            dedupNodesInPlace(classes_[id]);
+    }
 }
 
 void
@@ -178,24 +210,63 @@ EGraph::repair(EClassId id)
     for (auto &[node, cid] : newParents)
         target.parents.emplace_back(node, uf_.find(cid));
 
-    // Deduplicate this class's own nodes under canonicalization.
-    EClass &self = classes_[uf_.find(id)];
-    std::unordered_map<ENode, bool, ENodeHash> dedup;
-    std::vector<ENode> nodes;
-    nodes.reserve(self.nodes.size());
-    for (ENode &node : self.nodes) {
-        ENode canon = node.canonical(uf_);
-        if (dedup.emplace(canon, true).second)
-            nodes.push_back(std::move(canon));
+    // Deduplicate this class's own nodes under canonicalization; the
+    // rebuild() sweep repeats this for every class once the worklist
+    // drains, catching classes whose nodes collided without the class
+    // itself ever being enqueued.
+    dedupNodesInPlace(classes_[uf_.find(id)]);
+}
+
+void
+EGraph::dedupNodesInPlace(EClass &self)
+{
+    // In place: each node's children are rewritten to canonical ids
+    // where they sit (no per-node copy), and survivors are compacted
+    // to the front in first-occurrence order. The dedup set holds
+    // pointers into the (never reallocated) node vector; a pointer is
+    // only inserted once its slot is final, so compaction moves never
+    // invalidate a set entry.
+    if (self.nodes.size() <= 1) {
+        if (!self.nodes.empty())
+            self.nodes.front().canonicalize(uf_);
+        return;
+    }
+    struct NodePtrHash
+    {
+        std::size_t
+        operator()(const ENode *node) const
+        {
+            return ENodeHash{}(*node);
+        }
+    };
+    struct NodePtrEq
+    {
+        bool
+        operator()(const ENode *a, const ENode *b) const
+        {
+            return *a == *b;
+        }
+    };
+    std::unordered_set<const ENode *, NodePtrHash, NodePtrEq> dedup;
+    dedup.reserve(self.nodes.size());
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < self.nodes.size(); ++i) {
+        self.nodes[i].canonicalize(uf_);
+        if (dedup.count(&self.nodes[i]))
+            continue;
+        if (keep != i)
+            self.nodes[keep] = std::move(self.nodes[i]);
+        dedup.insert(&self.nodes[keep]);
+        ++keep;
     }
     // Refund deduplicated nodes at the flat ENode rate; their
     // parent/hashcons share stays charged (it is churn the allocator
     // rarely returns anyway — bytesUsed() is a guard estimate,
     // deliberately on the conservative side).
-    std::size_t droppedNodes = self.nodes.size() - nodes.size();
+    std::size_t droppedNodes = self.nodes.size() - keep;
     bytesUsed_ -= std::min(bytesUsed_, droppedNodes * sizeof(ENode));
     liveNodes_ -= droppedNodes;
-    self.nodes = std::move(nodes);
+    self.nodes.resize(keep);
 }
 
 std::vector<EClassId>
@@ -210,7 +281,7 @@ EGraph::canonicalClasses() const
     return out;
 }
 
-const std::vector<EClassId> &
+OpClassesView
 EGraph::classesWithOp(Op op)
 {
     ISARIA_ASSERT(!dirty(), "op index queried on a dirty e-graph");
@@ -222,7 +293,12 @@ EGraph::classesWithOp(Op op)
         id = uf_.find(id);
     std::sort(list.begin(), list.end());
     list.erase(std::unique(list.begin(), list.end()), list.end());
-    return list;
+    OpClassesView view;
+    view.data_ = list.data();
+    view.size_ = list.size();
+    view.owner_ = this;
+    view.generation_ = generation_;
+    return view;
 }
 
 std::size_t

@@ -21,6 +21,12 @@
  *    append the surviving class for newly-gained ops and stale ids are
  *    compacted away on access instead of rebuilding the index from
  *    scratch each iteration.
+ *
+ * Every structural mutation (an e-node actually inserted, two classes
+ * actually merged) bumps a generation counter. Consumers that cache
+ * views or indexes derived from the graph — the op-index views below,
+ * the extraction dependency index (egraph/extract.h) — key their
+ * caches on (graphId, generation) and assert freshness on use.
  */
 
 #include <cstdint>
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "egraph/enode.h"
+#include "support/panic.h"
 #include "term/rec_expr.h"
 
 namespace isaria
@@ -40,6 +47,52 @@ struct EClass
     std::vector<ENode> nodes;
     /** Nodes (in other classes) that have this class as a child. */
     std::vector<std::pair<ENode, EClassId>> parents;
+};
+
+class EGraph;
+
+/**
+ * A checked view of one operator's class list (see classesWithOp).
+ * The underlying storage is owned by the e-graph and is only valid
+ * until the next structural mutation (add that inserts, merge that
+ * joins); every accessor asserts that the graph's generation still
+ * matches the one the view was taken at, turning a use-after-
+ * invalidate from silent garbage into an immediate panic.
+ */
+class OpClassesView
+{
+  public:
+    OpClassesView() = default;
+
+    const EClassId *begin() const { check(); return data_; }
+    const EClassId *end() const { check(); return data_ + size_; }
+    std::size_t size() const { check(); return size_; }
+    bool empty() const { check(); return size_ == 0; }
+    EClassId operator[](std::size_t i) const { check(); return data_[i]; }
+
+    /**
+     * An unchecked view over caller-owned storage (used by the runner
+     * for wildcard-rooted rules, whose candidate list is a local copy
+     * that cannot be invalidated by graph mutations).
+     */
+    static OpClassesView
+    unchecked(const std::vector<EClassId> &ids)
+    {
+        OpClassesView view;
+        view.data_ = ids.data();
+        view.size_ = ids.size();
+        return view;
+    }
+
+  private:
+    friend class EGraph;
+    void check() const;
+
+    const EClassId *data_ = nullptr;
+    std::size_t size_ = 0;
+    /** Owning graph; null for unchecked views. */
+    const EGraph *owner_ = nullptr;
+    std::uint64_t generation_ = 0;
 };
 
 /** Hash-consed congruence-closed e-graph. */
@@ -100,10 +153,35 @@ class EGraph
      * Canonical classes containing at least one e-node with operator
      * @p op, sorted ascending. Maintained incrementally: this call
      * compacts stale (merged-away) ids in place instead of rebuilding
-     * the index. Call only on a rebuilt (non-dirty) e-graph; the
-     * returned reference is valid until the next add/merge.
+     * the index. Call only on a rebuilt (non-dirty) e-graph. The view
+     * is valid until the next structural add/merge — and, unlike the
+     * bare reference this used to return, it asserts on any use after
+     * that point (the generation check in OpClassesView).
      */
-    const std::vector<EClassId> &classesWithOp(Op op);
+    OpClassesView classesWithOp(Op op);
+
+    /**
+     * Monotonic count of structural mutations: bumped by every add()
+     * that inserts a new e-node and every merge() that joins two
+     * distinct classes (congruence repairs inside rebuild() go through
+     * merge(), so they bump it too). Derived caches — op-index views,
+     * the extraction dependency index — are valid exactly while this
+     * stays unchanged.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+    /**
+     * Process-unique id of this EGraph instance. Two graphs never
+     * share an id, even when one is constructed at the address a
+     * destroyed one occupied — (graphId, generation) is therefore a
+     * sound cache key for derived indexes that may outlive the graph
+     * they were built from.
+     */
+    std::uint64_t graphId() const { return graphId_; }
+
+    /** Ids ever allocated (canonical or merged away): the exclusive
+     *  upper bound of every EClassId, for dense per-class arrays. */
+    std::size_t numIds() const { return classes_.size(); }
 
     /** Total e-nodes across canonical classes (O(1), incremental). */
     std::size_t numNodes() const { return liveNodes_; }
@@ -141,6 +219,7 @@ class EGraph
 
   private:
     void repair(EClassId id);
+    void dedupNodesInPlace(EClass &cls);
 
     static unsigned opBit(Op op) { return static_cast<unsigned>(op); }
 
@@ -157,6 +236,11 @@ class EGraph
     std::size_t liveClasses_ = 0;
     std::size_t bytesUsed_ = 0;
 
+    /** See generation() / graphId(). */
+    std::uint64_t generation_ = 0;
+    std::uint64_t graphId_ = nextGraphId();
+    static std::uint64_t nextGraphId();
+
     /** Bitmask of operators present in each class (by class id). */
     std::vector<std::uint32_t> opMask_;
     /** Per-op class lists; may hold stale ids until compacted. */
@@ -164,6 +248,14 @@ class EGraph
         std::vector<std::vector<EClassId>>(
             static_cast<std::size_t>(Op::NumOps));
 };
+
+inline void
+OpClassesView::check() const
+{
+    ISARIA_ASSERT(!owner_ || owner_->generation() == generation_,
+                  "op-index view used after invalidation (the e-graph "
+                  "mutated since classesWithOp)");
+}
 
 } // namespace isaria
 

@@ -4,10 +4,24 @@
 /**
  * @file
  * E-nodes: operator applications whose children are e-class ids.
+ *
+ * Two layout decisions keep the saturation hot loops cache-friendly:
+ *
+ *  - Children live in a small-buffer array (ChildArray): DSP operators
+ *    are at most 4-ary (Mac/Vec chunks), so the common case stores the
+ *    child ids inline in the e-node itself — no heap allocation per
+ *    node, no pointer chase per e-matching Bind dispatch. Wider nodes
+ *    (program roots listing many chunks) spill to the heap.
+ *  - The structural hash is cached inside the node (computed lazily by
+ *    ENodeHash, reset by any child mutation). Hashcons probes, memo
+ *    rehashes, and the congruence-repair maps all stop rehashing child
+ *    lists they already hashed.
  */
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <initializer_list>
 #include <vector>
 
 #include "egraph/union_find.h"
@@ -17,22 +31,203 @@
 namespace isaria
 {
 
+/**
+ * A vector-like container of e-class ids with a 4-element inline
+ * buffer. Only the operations the e-graph needs are provided; growth
+ * beyond the inline capacity moves to a heap allocation (and stays
+ * there).
+ */
+class ChildArray
+{
+  public:
+    static constexpr std::uint32_t kInlineCapacity = 4;
+
+    ChildArray() = default;
+
+    ChildArray(std::initializer_list<EClassId> ids)
+    {
+        reserve(static_cast<std::uint32_t>(ids.size()));
+        for (EClassId id : ids)
+            push_back(id);
+    }
+
+    ChildArray(const ChildArray &other) { copyFrom(other); }
+
+    ChildArray(ChildArray &&other) noexcept { moveFrom(other); }
+
+    ChildArray &
+    operator=(const ChildArray &other)
+    {
+        if (this != &other) {
+            release();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    ChildArray &
+    operator=(ChildArray &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    ~ChildArray() { release(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** True when the children spilled to a heap allocation. */
+    bool spilled() const { return capacity_ > kInlineCapacity; }
+
+    const EClassId *data() const
+    {
+        return spilled() ? heap_ : inline_;
+    }
+    EClassId *data() { return spilled() ? heap_ : inline_; }
+
+    const EClassId *begin() const { return data(); }
+    const EClassId *end() const { return data() + size_; }
+    EClassId *begin() { return data(); }
+    EClassId *end() { return data() + size_; }
+
+    EClassId operator[](std::size_t i) const { return data()[i]; }
+    EClassId &operator[](std::size_t i) { return data()[i]; }
+
+    void
+    reserve(std::size_t capacity)
+    {
+        if (capacity > capacity_)
+            grow(static_cast<std::uint32_t>(capacity));
+    }
+
+    void
+    push_back(EClassId id)
+    {
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        data()[size_++] = id;
+    }
+
+    void
+    clear()
+    {
+        size_ = 0;
+    }
+
+    bool
+    operator==(const ChildArray &other) const
+    {
+        return size_ == other.size_ &&
+               std::memcmp(data(), other.data(),
+                           size_ * sizeof(EClassId)) == 0;
+    }
+
+  private:
+    void
+    copyFrom(const ChildArray &other)
+    {
+        size_ = other.size_;
+        if (other.spilled()) {
+            capacity_ = other.capacity_;
+            heap_ = new EClassId[capacity_];
+            std::memcpy(heap_, other.heap_, size_ * sizeof(EClassId));
+        } else {
+            capacity_ = kInlineCapacity;
+            std::memcpy(inline_, other.inline_,
+                        size_ * sizeof(EClassId));
+        }
+    }
+
+    void
+    moveFrom(ChildArray &other) noexcept
+    {
+        size_ = other.size_;
+        capacity_ = other.capacity_;
+        if (other.spilled())
+            heap_ = other.heap_;
+        else
+            std::memcpy(inline_, other.inline_,
+                        size_ * sizeof(EClassId));
+        other.size_ = 0;
+        other.capacity_ = kInlineCapacity;
+    }
+
+    void
+    release()
+    {
+        if (spilled())
+            delete[] heap_;
+        size_ = 0;
+        capacity_ = kInlineCapacity;
+    }
+
+    void
+    grow(std::uint32_t newCapacity)
+    {
+        if (newCapacity < size_ + 1)
+            newCapacity = size_ + 1;
+        auto *fresh = new EClassId[newCapacity];
+        std::memcpy(fresh, data(), size_ * sizeof(EClassId));
+        if (spilled())
+            delete[] heap_;
+        heap_ = fresh;
+        capacity_ = newCapacity;
+    }
+
+    std::uint32_t size_ = 0;
+    std::uint32_t capacity_ = kInlineCapacity;
+    union
+    {
+        EClassId inline_[kInlineCapacity];
+        EClassId *heap_;
+    };
+};
+
 /** An operator applied to e-classes. */
 struct ENode
 {
     Op op = Op::Const;
     std::int64_t payload = 0;
-    std::vector<EClassId> children;
+    ChildArray children;
+    /**
+     * Lazily-cached structural hash (0 = not yet computed; see
+     * ENodeHash). Code that mutates `children` after the node may have
+     * been hashed must call invalidateHash() — inside this module the
+     * only post-hash mutation site is canonicalize().
+     */
+    mutable std::uint64_t hashCache = 0;
 
-    bool operator==(const ENode &other) const = default;
+    bool
+    operator==(const ENode &other) const
+    {
+        return op == other.op && payload == other.payload &&
+               children == other.children;
+    }
+
+    void invalidateHash() const { hashCache = 0; }
+
+    /** Replaces every child by its canonical id, in place. */
+    void
+    canonicalize(const UnionFind &uf)
+    {
+        for (EClassId &child : children)
+            child = uf.find(child);
+        invalidateHash();
+    }
 
     /** Returns a copy with every child replaced by its canonical id. */
     ENode
     canonical(const UnionFind &uf) const
     {
-        ENode out{op, payload, children};
-        for (EClassId &child : out.children)
-            child = uf.find(child);
+        ENode out;
+        out.op = op;
+        out.payload = payload;
+        out.children = children;
+        out.canonicalize(uf);
         return out;
     }
 };
@@ -42,11 +237,18 @@ struct ENodeHash
     std::size_t
     operator()(const ENode &node) const
     {
+        if (node.hashCache != 0)
+            return static_cast<std::size_t>(node.hashCache);
         std::size_t h = hashMix(static_cast<std::uint64_t>(node.op) *
                                     0x100000001ull +
                                 static_cast<std::uint64_t>(node.payload));
         for (EClassId child : node.children)
             hashCombine(h, hashMix(child));
+        // Reserve 0 as the "unset" sentinel so a recompute is the
+        // worst that can happen to an unlucky hash.
+        if (h == 0)
+            h = 1;
+        node.hashCache = h;
         return h;
     }
 };

@@ -11,81 +11,235 @@ namespace isaria
 namespace
 {
 
-struct Choice
+/**
+ * Interrupt-poll stride for the cost-propagation engines. The visit
+ * counter advances on every evaluation whether or not a control is
+ * supplied, so guarded and unguarded runs walk identical strides (the
+ * old engine only counted visits inside the short-circuit chain,
+ * silently changing the stride semantics when control was null).
+ */
+constexpr std::size_t kPollStride = 256;
+
+/** Evaluates one e-node's cost under the current per-class bests.
+ *  Returns kInfiniteCost while any child is still unreachable. */
+std::uint64_t
+evalNode(const EGraph &egraph, const ENode &node, const CostFn &cost,
+         const std::vector<std::uint64_t> &best,
+         std::vector<std::uint64_t> &childCosts)
 {
-    std::uint64_t cost = kInfiniteCost;
-    const ENode *node = nullptr;
-};
+    childCosts.clear();
+    for (EClassId child : node.children) {
+        std::uint64_t c = best[egraph.find(child)];
+        if (c == kInfiniteCost)
+            return kInfiniteCost;
+        childCosts.push_back(c);
+    }
+    return cost.nodeCost(node.op, node.payload, childCosts);
+}
 
 } // namespace
 
-std::optional<Extracted>
-extractBest(const EGraph &egraph, EClassId root, const CostFn &cost,
-            const ExecControl *control)
+void
+Extractor::buildIndex(const EGraph &egraph)
 {
-    ISARIA_ASSERT(!egraph.dirty(), "extracting from a dirty e-graph");
-    std::vector<EClassId> classes = egraph.canonicalClasses();
-    std::unordered_map<EClassId, Choice> best;
-    best.reserve(classes.size());
+    classes_ = egraph.canonicalClasses();
+    leaves_.clear();
+    const std::size_t numIds = egraph.numIds();
 
-    // The fixpoint below is the only unbounded loop left once the
-    // saturation phases have stopped, so it polls the caller's
-    // deadline/cancellation control at a fixed class-visit stride —
-    // frequent enough that even a multi-second extraction reacts
-    // within the ~50 ms granularity the in-flight eqsat checks give.
-    constexpr std::size_t kPollStride = 256;
+    if (kind_ == ExtractorKind::Fixpoint) {
+        // The reference engine sweeps classes globally; it needs no
+        // dependency edges.
+        parentOffset_.clear();
+        parentEdges_.clear();
+    } else {
+        // CSR build: count edges per child class, prefix-sum, fill.
+        // One edge per *distinct* canonical child of each node (a node
+        // like (+ x x) re-evaluates once, not twice, per improvement).
+        parentOffset_.assign(numIds + 1, 0);
+        auto forEachDistinctChild = [&](const ENode &node, auto &&fn) {
+            const std::size_t arity = node.children.size();
+            for (std::size_t i = 0; i < arity; ++i) {
+                EClassId child = egraph.find(node.children[i]);
+                bool seen = false;
+                for (std::size_t j = 0; j < i && !seen; ++j)
+                    seen = egraph.find(node.children[j]) == child;
+                if (!seen)
+                    fn(child);
+            }
+        };
+        std::size_t edges = 0;
+        for (EClassId id : classes_) {
+            for (const ENode &node : egraph.eclass(id).nodes) {
+                forEachDistinctChild(node, [&](EClassId child) {
+                    ++parentOffset_[child + 1];
+                    ++edges;
+                });
+            }
+        }
+        for (std::size_t i = 1; i <= numIds; ++i)
+            parentOffset_[i] += parentOffset_[i - 1];
+        parentEdges_.resize(edges);
+        std::vector<std::uint32_t> cursor(parentOffset_.begin(),
+                                          parentOffset_.end() - 1);
+        for (EClassId id : classes_) {
+            for (const ENode &node : egraph.eclass(id).nodes) {
+                forEachDistinctChild(node, [&](EClassId child) {
+                    parentEdges_[cursor[child]++] =
+                        ParentRef{id, &node};
+                });
+            }
+        }
+    }
+
+    for (EClassId id : classes_) {
+        for (const ENode &node : egraph.eclass(id).nodes) {
+            if (node.children.empty())
+                leaves_.push_back(ParentRef{id, &node});
+        }
+    }
+
+    cachedGraphId_ = egraph.graphId();
+    cachedGeneration_ = egraph.generation();
+    indexValid_ = true;
+}
+
+bool
+Extractor::propagateWorklist(const EGraph &egraph, const CostFn &cost,
+                             const ExecControl *control)
+{
+    best_.assign(egraph.numIds(), kInfiniteCost);
+    queued_.assign(egraph.numIds(), 0);
+    queue_.clear();
+
     std::size_t visits = 0;
     auto interrupted = [&]() {
-        return control && ++visits % kPollStride == 0 &&
+        ++visits;
+        return control && visits % kPollStride == 0 &&
+               control->interrupted();
+    };
+
+    auto relax = [&](EClassId cls, std::uint64_t c) {
+        if (c >= best_[cls])
+            return;
+        best_[cls] = c;
+        if (!queued_[cls]) {
+            queued_[cls] = 1;
+            queue_.push_back(cls);
+        }
+    };
+
+    std::vector<std::uint64_t> childCosts;
+    for (const ParentRef &leaf : leaves_) {
+        if (interrupted())
+            return false;
+        relax(leaf.cls, cost.nodeCost(leaf.node->op, leaf.node->payload,
+                                      {}));
+    }
+
+    // FIFO drain: a popped class's cost just improved, so re-evaluate
+    // exactly the nodes that depend on it. Monotone costs mean every
+    // relaxation strictly lowers a class best, so the drain
+    // terminates; total work is (dependency edges) x (improvements
+    // per class), near-linear in practice.
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+        EClassId id = queue_[head];
+        queued_[id] = 0;
+        const std::uint32_t beginEdge = parentOffset_[id];
+        const std::uint32_t endEdge = parentOffset_[id + 1];
+        for (std::uint32_t e = beginEdge; e < endEdge; ++e) {
+            if (interrupted())
+                return false;
+            const ParentRef &ref = parentEdges_[e];
+            std::uint64_t c =
+                evalNode(egraph, *ref.node, cost, best_, childCosts);
+            if (c != kInfiniteCost)
+                relax(ref.cls, c);
+        }
+    }
+    return true;
+}
+
+bool
+Extractor::propagateFixpoint(const EGraph &egraph, const CostFn &cost,
+                             const ExecControl *control)
+{
+    best_.assign(egraph.numIds(), kInfiniteCost);
+
+    std::size_t visits = 0;
+    auto interrupted = [&]() {
+        ++visits;
+        return control && visits % kPollStride == 0 &&
                control->interrupted();
     };
 
     // Bottom-up fixpoint: keep relaxing class costs until stable.
-    bool changed = true;
     std::vector<std::uint64_t> childCosts;
+    bool changed = true;
     while (changed) {
         changed = false;
-        for (EClassId id : classes) {
+        for (EClassId id : classes_) {
             if (interrupted())
-                return std::nullopt;
-            Choice &cur = best[id];
+                return false;
             for (const ENode &node : egraph.eclass(id).nodes) {
-                childCosts.clear();
-                bool ready = true;
-                for (EClassId child : node.children) {
-                    auto it = best.find(egraph.find(child));
-                    if (it == best.end() ||
-                        it->second.cost == kInfiniteCost) {
-                        ready = false;
-                        break;
-                    }
-                    childCosts.push_back(it->second.cost);
-                }
-                if (!ready)
-                    continue;
                 std::uint64_t c =
-                    cost.nodeCost(node.op, node.payload, childCosts);
-                if (c < cur.cost) {
-                    cur.cost = c;
-                    cur.node = &node;
+                    evalNode(egraph, node, cost, best_, childCosts);
+                if (c < best_[id]) {
+                    best_[id] = c;
                     changed = true;
                 }
             }
         }
     }
+    return true;
+}
 
-    EClassId canonicalRoot = egraph.find(root);
-    auto rootIt = best.find(canonicalRoot);
-    if (rootIt == best.end() || rootIt->second.cost == kInfiniteCost)
+std::optional<Extracted>
+Extractor::extract(const EGraph &egraph, EClassId root, const CostFn &cost,
+                   const ExecControl *control)
+{
+    ISARIA_ASSERT(!egraph.dirty(), "extracting from a dirty e-graph");
+    if (!indexValid_ || cachedGraphId_ != egraph.graphId() ||
+        cachedGeneration_ != egraph.generation()) {
+        buildIndex(egraph);
+    }
+
+    bool converged = kind_ == ExtractorKind::Worklist
+                         ? propagateWorklist(egraph, cost, control)
+                         : propagateFixpoint(egraph, cost, control);
+    if (!converged)
         return std::nullopt;
 
+    EClassId canonicalRoot = egraph.find(root);
+    if (best_[canonicalRoot] == kInfiniteCost)
+        return std::nullopt;
+
+    // Canonical node selection, shared by both engines: the chosen
+    // representative of a class is the *first* node in class order
+    // achieving the converged best cost. Selection is independent of
+    // relaxation history, so worklist and fixpoint extract identical
+    // terms. Resolved lazily, only for classes the chosen term visits.
+    std::vector<std::uint64_t> childCosts;
+    std::vector<const ENode *> chosen(egraph.numIds(), nullptr);
+    auto chooseNode = [&](EClassId cls) -> const ENode * {
+        if (chosen[cls])
+            return chosen[cls];
+        for (const ENode &node : egraph.eclass(cls).nodes) {
+            if (evalNode(egraph, node, cost, best_, childCosts) ==
+                best_[cls]) {
+                chosen[cls] = &node;
+                return &node;
+            }
+        }
+        ISARIA_PANIC("no e-node achieves its class's converged cost");
+    };
+
     // Rebuild the chosen term with DAG sharing: each class contributes
-    // one node to the output expression.
+    // one node to the output expression, emitted post-order via an
+    // explicit stack.
     Extracted out;
-    out.cost = rootIt->second.cost;
+    out.cost = best_[canonicalRoot];
     std::unordered_map<EClassId, NodeId> built;
 
-    // Post-order emission via explicit stack.
     struct Frame
     {
         EClassId cls;
@@ -99,8 +253,7 @@ extractBest(const EGraph &egraph, EClassId root, const CostFn &cost,
             stack.pop_back();
             continue;
         }
-        const ENode *node = best[cls].node;
-        ISARIA_ASSERT(node != nullptr, "extraction chose nothing");
+        const ENode *node = chooseNode(cls);
         if (frame.nextChild < node->children.size()) {
             EClassId child = egraph.find(node->children[frame.nextChild]);
             ++frame.nextChild;
@@ -117,6 +270,14 @@ extractBest(const EGraph &egraph, EClassId root, const CostFn &cost,
     }
 
     return out;
+}
+
+std::optional<Extracted>
+extractBest(const EGraph &egraph, EClassId root, const CostFn &cost,
+            const ExecControl *control)
+{
+    Extractor extractor(ExtractorKind::Worklist);
+    return extractor.extract(egraph, root, cost, control);
 }
 
 } // namespace isaria

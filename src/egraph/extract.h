@@ -7,14 +7,36 @@
  *
  * Works with any cost function of the form
  * cost(node) = f(op, payload, best costs of children), which covers
- * the strictly monotonic cost models Definition 2 requires. The
- * extractor runs a bottom-up fixpoint over classes, then rebuilds the
- * best term with DAG sharing.
+ * the strictly monotonic cost models Definition 2 requires.
+ *
+ * Two engines compute the per-class best costs:
+ *
+ *  - **Worklist** (the default): a parent-indexed dependency engine.
+ *    A child -> (class, node) index is built once per (graph,
+ *    generation); leaf nodes seed a FIFO worklist, and a class is
+ *    re-evaluated only when one of its children's best cost improves.
+ *    Amortized near-linear in the number of dependency edges, where
+ *    the old global fixpoint was O(rounds x classes x nodes).
+ *  - **Fixpoint** (the reference): the original repeated global sweep,
+ *    kept behind ExtractorKind::Fixpoint so tests can pin that the two
+ *    engines agree on every graph.
+ *
+ * Both engines converge on the same unique cost fixpoint, then run the
+ * same canonical selection pass (per class: the first node in class
+ * order achieving the converged best cost), so they produce identical
+ * terms — not just identical costs — regardless of relaxation order.
+ *
+ * The Extractor object owns the dependency index and reuses it across
+ * extract() calls while the e-graph's (graphId, generation) key is
+ * unchanged — the Fig. 3 loop extracts after every round, and rounds
+ * that saturate without structural change (or repeated extractions
+ * from a frozen graph) skip the index rebuild entirely.
  */
 
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "egraph/egraph.h"
 #include "support/cancel.h"
@@ -58,14 +80,87 @@ struct Extracted
     std::uint64_t cost = kInfiniteCost;
 };
 
+/** Which cost-propagation engine an Extractor runs. */
+enum class ExtractorKind
+{
+    /** Parent-indexed worklist engine (the default). */
+    Worklist,
+    /** The original global-sweep fixpoint, kept as the reference
+     *  implementation for differential testing. */
+    Fixpoint,
+};
+
 /**
- * Extracts the minimum-cost term of @p root's class. Returns nullopt
- * if the class contains no finite-cost term (e.g. every node sits on
- * a cycle) — or, when @p control is supplied, if its deadline or
- * cancellation token fired mid-extraction. The bottom-up fixpoint
- * polls @p control every few hundred class visits, so extraction on a
- * huge e-graph honors the same --mem-mb/timeout guards as the
- * saturation phases instead of running unbounded after them.
+ * A reusable extraction engine. extract() computes the minimum-cost
+ * term of the root's class; the worklist engine's dependency index is
+ * cached inside the object and rebuilt only when the target e-graph's
+ * (graphId, generation) changes, so repeated extractions from an
+ * unchanged graph — and Fig. 3 rounds that saturate without change —
+ * pay for the index once.
+ */
+class Extractor
+{
+  public:
+    explicit Extractor(ExtractorKind kind = ExtractorKind::Worklist)
+        : kind_(kind)
+    {}
+
+    ExtractorKind kind() const { return kind_; }
+
+    /**
+     * Extracts the minimum-cost term of @p root's class. Returns
+     * nullopt if the class contains no finite-cost term (e.g. every
+     * node sits on a cycle) — or, when @p control is supplied, if its
+     * deadline or cancellation token fired mid-extraction. The cost
+     * propagation polls @p control every few hundred evaluations, so
+     * extraction on a huge e-graph honors the same --mem-mb/timeout
+     * guards as the saturation phases.
+     */
+    std::optional<Extracted> extract(const EGraph &egraph, EClassId root,
+                                     const CostFn &cost,
+                                     const ExecControl *control = nullptr);
+
+  private:
+    /** One (user class, user node) edge of the dependency index. */
+    struct ParentRef
+    {
+        EClassId cls;
+        const ENode *node;
+    };
+
+    void buildIndex(const EGraph &egraph);
+    bool propagateWorklist(const EGraph &egraph, const CostFn &cost,
+                           const ExecControl *control);
+    bool propagateFixpoint(const EGraph &egraph, const CostFn &cost,
+                           const ExecControl *control);
+
+    ExtractorKind kind_;
+
+    /** Cache key of the dependency index below. */
+    std::uint64_t cachedGraphId_ = 0;
+    std::uint64_t cachedGeneration_ = 0;
+    bool indexValid_ = false;
+
+    /** Canonical classes of the indexed graph. */
+    std::vector<EClassId> classes_;
+    /** CSR dependency index: edges for child class c live at
+     *  parentEdges_[parentOffset_[c] .. parentOffset_[c + 1]). */
+    std::vector<std::uint32_t> parentOffset_;
+    std::vector<ParentRef> parentEdges_;
+    /** (class, leaf node) seeds: nodes with no children. */
+    std::vector<ParentRef> leaves_;
+
+    /** Dense per-class best costs, indexed by canonical id. */
+    std::vector<std::uint64_t> best_;
+    /** Worklist membership flags (dense, by canonical id). */
+    std::vector<std::uint8_t> queued_;
+    std::vector<EClassId> queue_;
+};
+
+/**
+ * One-shot convenience wrapper: a fresh worklist Extractor. Prefer a
+ * long-lived Extractor when extracting repeatedly (the Fig. 3 loop
+ * does), so the dependency index can be reused.
  */
 std::optional<Extracted> extractBest(const EGraph &egraph, EClassId root,
                                      const CostFn &cost,

@@ -32,7 +32,46 @@ struct SearchShard
     std::size_t steps;
 };
 
+/** Backoff state of one rule (see EqSatScheduler::Backoff). */
+struct RuleBackoff
+{
+    /** First iteration index the rule may search again. */
+    std::size_t bannedUntil = 0;
+    /** Prior bans; budget and ban length double per offense. */
+    unsigned offenses = 0;
+};
+
+/** @p value << @p shift, saturating instead of overflowing. */
+std::size_t
+saturatingShift(std::size_t value, unsigned shift)
+{
+    if (shift >= 48 || value > (SIZE_MAX >> shift))
+        return SIZE_MAX;
+    return value << shift;
+}
+
 } // namespace
+
+const char *
+eqSatSchedulerName(EqSatScheduler scheduler)
+{
+    switch (scheduler) {
+      case EqSatScheduler::Simple: return "simple";
+      case EqSatScheduler::Backoff: return "backoff";
+    }
+    return "?";
+}
+
+std::optional<EqSatScheduler>
+eqSatSchedulerFromName(const char *name)
+{
+    for (EqSatScheduler s :
+         {EqSatScheduler::Simple, EqSatScheduler::Backoff}) {
+        if (std::strcmp(eqSatSchedulerName(s), name) == 0)
+            return s;
+    }
+    return std::nullopt;
+}
 
 int
 resolveEqSatThreads(int requested)
@@ -73,12 +112,20 @@ stopReasonFromName(const char *name)
 std::string
 EqSatReport::toString() const
 {
+    std::string sched;
+    if (schedBans > 0) {
+        sched = " (sched: " + std::to_string(schedBans) + " bans, " +
+                std::to_string(schedSkippedSearches) +
+                " searches skipped, " +
+                std::to_string(schedThrottledMatches) +
+                " matches throttled)";
+    }
     return std::string(stopReasonName(stop)) + " after " +
            std::to_string(iterations) + " iters, " +
            std::to_string(nodes) + " nodes, " + std::to_string(classes) +
            " classes" +
            (stepBudgetExhausted ? " (step budget exhausted)" : "") +
-           (faultInjected ? " (fault injected)" : "");
+           (faultInjected ? " (fault injected)" : "") + sched;
 }
 
 EqSatReport
@@ -88,8 +135,22 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
     Stopwatch watch;
     Deadline deadline(limits.timeoutSeconds);
     EqSatReport report;
-    report.threads = resolveEqSatThreads(limits.numThreads);
+    // An armed fault plan forces the sequential path (the same
+    // fallback rule synthesis uses): fault ordinals are consumed per
+    // shard, and with workers racing, which shard a "fire on the Nth
+    // probe" ordinal lands on — and therefore which iteration's
+    // matches and scheduler ban ordinals survive — would depend on
+    // the schedule. Sequential search keeps injected-fault runs (and
+    // the backoff scheduler's ban bookkeeping) byte-identical at any
+    // requested thread count.
+    report.threads = faultPlanActive()
+                         ? 1
+                         : resolveEqSatThreads(limits.numThreads);
     ThreadPool pool(static_cast<unsigned>(report.threads));
+    report.ruleApplied.assign(rules.size(), 0);
+    report.ruleBannedIters.assign(rules.size(), 0);
+    std::vector<RuleBackoff> backoff(
+        limits.scheduler == EqSatScheduler::Backoff ? rules.size() : 0);
 
     // Tracing setup. Everything here is observation only — a traced
     // run produces byte-identical results to an untraced one — and
@@ -149,16 +210,29 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
         // frozen e-graph, so application order cannot bias results.
         // The e-graph's incrementally-maintained op index gives each
         // rule only the classes containing its root operator
-        // (wildcard-rooted rules still visit everything).
+        // (wildcard-rooted rules still visit everything). Rules the
+        // backoff scheduler has banned are skipped outright — that
+        // skip, not the post-search throttle, is the scheduler's
+        // perf win — and the ban state is itself deterministic, so
+        // the shard decomposition stays thread-count independent.
         Stopwatch searchWatch;
         std::vector<EClassId> allClasses = egraph.canonicalClasses();
-        std::vector<const std::vector<EClassId> *> candidates(
-            rules.size());
+        std::vector<OpClassesView> candidates(rules.size());
+        std::vector<std::uint8_t> banned(rules.size(), 0);
+        bool anySchedActivity = false;
         for (std::size_t r = 0; r < rules.size(); ++r) {
+            if (!backoff.empty() &&
+                static_cast<std::size_t>(iter) < backoff[r].bannedUntil) {
+                banned[r] = 1;
+                anySchedActivity = true;
+                ++report.schedSkippedSearches;
+                ++report.ruleBannedIters[r];
+                continue;
+            }
             Op rootOp = rules[r].lhs().pattern().root().op;
             candidates[r] = rootOp == Op::Wildcard
-                                ? &allClasses
-                                : &egraph.classesWithOp(rootOp);
+                                ? OpClassesView::unchecked(allClasses)
+                                : egraph.classesWithOp(rootOp);
         }
 
         // Cut each rule's candidate list into fixed-size shards and
@@ -167,7 +241,9 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
         // is independent of scheduling.
         std::vector<SearchShard> shards;
         for (std::size_t r = 0; r < rules.size(); ++r) {
-            std::size_t n = candidates[r]->size();
+            if (banned[r])
+                continue;
+            std::size_t n = candidates[r].size();
             if (n == 0)
                 continue;
             std::size_t numShards = (n + kShardSize - 1) / kShardSize;
@@ -214,8 +290,7 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
             obs::Span shardSpan(shardSpanName, trace,
                                 static_cast<std::int64_t>(shard.rule));
             const CompiledPattern &lhs = rules[shard.rule].lhs();
-            const std::vector<EClassId> &classes =
-                *candidates[shard.rule];
+            const OpClassesView &classes = candidates[shard.rule];
             std::vector<PatternMatch> &out = shardMatches[t];
             std::size_t steps = shard.steps;
             std::size_t scanned = 0;
@@ -271,6 +346,40 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
                 dst.push_back(std::move(m));
             }
         }
+
+        // Backoff throttle, applied to the merged (already
+        // thread-count-independent) match lists: a rule whose match
+        // volume exceeds its doubling budget is banned for a doubling
+        // number of iterations and contributes nothing this round.
+        if (!backoff.empty()) {
+            std::size_t bansBefore = report.schedBans;
+            for (std::size_t r = 0; r < rules.size(); ++r) {
+                if (banned[r])
+                    continue;
+                std::size_t budget = saturatingShift(
+                    limits.schedMatchLimit, backoff[r].offenses);
+                if (allMatches[r].size() <= budget)
+                    continue;
+                backoff[r].bannedUntil =
+                    static_cast<std::size_t>(iter) + 1 +
+                    saturatingShift(limits.schedBanLength,
+                                    backoff[r].offenses);
+                ++backoff[r].offenses;
+                ++report.schedBans;
+                report.schedThrottledMatches += allMatches[r].size();
+                allMatches[r].clear();
+                anySchedActivity = true;
+            }
+            if (report.schedBans > bansBefore) {
+                obs::counter("eqsat/sched/banned",
+                             static_cast<std::int64_t>(report.schedBans));
+            }
+            if (report.schedSkippedSearches > 0) {
+                obs::counter("eqsat/sched/skipped",
+                             static_cast<std::int64_t>(
+                                 report.schedSkippedSearches));
+            }
+        }
         if (trace) {
             std::vector<std::size_t> ruleSteps(rules.size());
             for (std::size_t t = 0; t < shards.size(); ++t)
@@ -290,7 +399,7 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
         // rather than only the rules that happened to come first.
         Stopwatch applyWatch;
         obs::Span applySpan("eqsat/apply");
-        std::vector<std::size_t> ruleApplied(trace ? rules.size() : 0);
+        std::vector<std::size_t> ruleApplied(rules.size());
         bool changed = false;
         std::size_t nodesBefore = egraph.numNodes();
         bool pending = true;
@@ -302,8 +411,7 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
                     continue;
                 pending = true;
                 changed |= rules[r].apply(egraph, allMatches[r][index]);
-                if (trace)
-                    ++ruleApplied[r];
+                ++ruleApplied[r];
                 // Poll all stop sources every 256 applications so a
                 // long apply phase cannot overshoot its budgets; a
                 // partial apply is kept (it is sound — merges only
@@ -333,6 +441,8 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
         report.applySeconds += applyWatch.elapsedSeconds();
         report.iterations = iter + 1;
         changed |= egraph.numNodes() != nodesBefore;
+        for (std::size_t r = 0; r < rules.size(); ++r)
+            report.ruleApplied[r] += ruleApplied[r];
         if (trace) {
             for (std::size_t r = 0; r < rules.size(); ++r) {
                 trace->recordCounter(
@@ -349,6 +459,17 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
         }
 
         if (!changed) {
+            // An unchanged iteration is only saturation if the
+            // scheduler held nothing back. Otherwise lift every ban
+            // and run one more full iteration: if *that* changes
+            // nothing, the graph is genuinely saturated (egg's
+            // can_stop semantics).
+            if (anySchedActivity) {
+                for (RuleBackoff &b : backoff)
+                    b.bannedUntil = 0;
+                report.stop = StopReason::IterLimit;
+                continue;
+            }
             report.stop = StopReason::Saturated;
             break;
         }

@@ -37,6 +37,31 @@
 namespace isaria
 {
 
+/**
+ * Rule-application scheduling policy for the saturation loop.
+ *
+ * Simple applies every rule every iteration (the original behavior).
+ * Backoff is egg's BackoffScheduler: each rule gets a per-iteration
+ * match budget; a rule that exceeds it is banned for a number of
+ * iterations, and both the budget and the ban length double on each
+ * repeat offense. Explosive rules (associativity/commutativity) stop
+ * starving the cheap directed rules, which is what keeps production
+ * saturation engines tractable. Ban decisions are computed from the
+ * deterministically merged per-rule match counts, after the parallel
+ * shard search — so scheduling is byte-identical at any thread count.
+ */
+enum class EqSatScheduler
+{
+    Simple,
+    Backoff,
+};
+
+/** Scheduler name ("simple"/"backoff"). */
+const char *eqSatSchedulerName(EqSatScheduler scheduler);
+
+/** Inverse of eqSatSchedulerName; nullopt for unknown names. */
+std::optional<EqSatScheduler> eqSatSchedulerFromName(const char *name);
+
 /** Budgets for one equality-saturation run. */
 struct EqSatLimits
 {
@@ -79,6 +104,18 @@ struct EqSatLimits
      * extract a best-so-far program from.
      */
     const CancellationToken *cancel = nullptr;
+    /** Rule-application scheduling policy (--eqsat-scheduler). */
+    EqSatScheduler scheduler = EqSatScheduler::Simple;
+    /**
+     * Backoff only: per-iteration match budget of a rule before it is
+     * banned (--eqsat-match-limit). Doubles per repeat offense.
+     */
+    std::size_t schedMatchLimit = 1'000;
+    /**
+     * Backoff only: iterations a first ban lasts
+     * (--eqsat-ban-length). Doubles per repeat offense.
+     */
+    std::size_t schedBanLength = 5;
 };
 
 /** Thread count actually used for @p requested (see EqSatLimits). */
@@ -140,6 +177,23 @@ struct EqSatReport
      * with StopReason::Cancelled.
      */
     bool faultInjected = false;
+    /**
+     * Backoff-scheduler activity (all zero under the simple
+     * scheduler): ban events, rule-iterations whose search was
+     * skipped while banned, and matches discarded at ban time. Fully
+     * deterministic — identical at any thread count.
+     */
+    std::size_t schedBans = 0;
+    std::size_t schedSkippedSearches = 0;
+    std::size_t schedThrottledMatches = 0;
+    /**
+     * Per-rule totals over the whole run, indexed like the rule
+     * vector passed to runEqSat: matches applied and iterations
+     * banned. What benchmarks read to see which rules the scheduler
+     * throttled (and that thread counts changed nothing).
+     */
+    std::vector<std::size_t> ruleApplied;
+    std::vector<std::size_t> ruleBannedIters;
 
     std::string toString() const;
 };

@@ -48,6 +48,39 @@ TEST(EGraph, DistinctTermsDistinctClasses)
     EXPECT_NE(eg.find(a), eg.find(b));
 }
 
+TEST(EGraph, OpIndexViewValidWhileGraphUnchanged)
+{
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ x y)"));
+    OpClassesView view = eg.classesWithOp(Op::Add);
+    ASSERT_EQ(view.size(), 1u);
+    // Reads and lookups that don't mutate keep the view alive.
+    EXPECT_EQ(eg.find(view[0]), view[0]);
+    EXPECT_FALSE(view.empty());
+    // Re-adding an existing term is not a structural mutation.
+    eg.addExpr(parseSexpr("(+ x y)"));
+    EXPECT_EQ(view.size(), 1u);
+}
+
+TEST(EGraphDeathTest, OpIndexViewDiesAfterInvalidation)
+{
+    // classesWithOp used to hand out a bare reference documented as
+    // "valid until the next add/merge" with nothing enforcing it; the
+    // generation-checked view turns that latent use-after-invalidate
+    // into a loud assert.
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ x y)"));
+    OpClassesView stale = eg.classesWithOp(Op::Add);
+    eg.addExpr(parseSexpr("(* x y)")); // structural mutation
+    EXPECT_DEATH((void)stale.size(),
+                 "op-index view used after invalidation");
+
+    OpClassesView staleMerge = eg.classesWithOp(Op::Add);
+    eg.merge(eg.addExpr(parseSexpr("x")), eg.addExpr(parseSexpr("y")));
+    EXPECT_DEATH((void)staleMerge.begin(),
+                 "op-index view used after invalidation");
+}
+
 TEST(EGraph, MergeJoinsClasses)
 {
     EGraph eg;

@@ -197,7 +197,7 @@ TEST(ParallelEqSat, OpIndexMatchesExhaustiveScan)
                     expected.insert(id);
             }
         }
-        const std::vector<EClassId> &got = eg.classesWithOp(op);
+        OpClassesView got = eg.classesWithOp(op);
         EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
         EXPECT_EQ(std::set<EClassId>(got.begin(), got.end()), expected)
             << "op index diverged for " << opInfo(op).name;
@@ -205,6 +205,150 @@ TEST(ParallelEqSat, OpIndexMatchesExhaustiveScan)
         for (EClassId id : got)
             EXPECT_EQ(eg.find(id), id);
     }
+}
+
+// ---------------------------------------------------------------------
+// The backoff rule scheduler.
+
+/** Explosive assoc/comm mixed with a directed simplification: the
+ *  shape the backoff scheduler exists for. */
+std::vector<CompiledRule>
+backoffRules()
+{
+    return compileRules({
+        parseRule("(+ ?a ?b) ~> (+ ?b ?a)"),
+        parseRule("(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))"),
+        parseRule("(+ ?a 0) ~> ?a"),
+    });
+}
+
+TEST(BackoffScheduler, NameRoundTrip)
+{
+    for (EqSatScheduler s :
+         {EqSatScheduler::Simple, EqSatScheduler::Backoff}) {
+        auto back = eqSatSchedulerFromName(eqSatSchedulerName(s));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, s);
+    }
+    EXPECT_FALSE(eqSatSchedulerFromName("no-such-policy").has_value());
+}
+
+TEST(BackoffScheduler, BansExplosiveRulesAndRecords)
+{
+    RecExpr program =
+        parseSexpr("(+ a (+ b (+ c (+ d (+ e (+ f (+ g 0)))))))");
+    EqSatLimits limits;
+    limits.maxIters = 8;
+    limits.maxNodes = 20'000;
+    limits.scheduler = EqSatScheduler::Backoff;
+    limits.schedMatchLimit = 8; // tiny: the comm/assoc rules must trip
+    limits.schedBanLength = 2;
+
+    auto rules = backoffRules();
+    EGraph eg;
+    EClassId root = eg.addExpr(program);
+    EqSatReport report = runEqSat(eg, rules, limits);
+
+    EXPECT_GT(report.schedBans, 0u);
+    EXPECT_GT(report.schedSkippedSearches, 0u);
+    EXPECT_GT(report.schedThrottledMatches, 0u);
+    ASSERT_EQ(report.ruleApplied.size(), rules.size());
+    ASSERT_EQ(report.ruleBannedIters.size(), rules.size());
+    // The explosive rules (0: comm, 1: assoc) get banned; every rule
+    // still applies at least once before its first ban.
+    EXPECT_GT(report.ruleBannedIters[0] + report.ruleBannedIters[1], 0u);
+
+    DspCostModel cost;
+    auto best = extractBest(eg, root, cost);
+    ASSERT_TRUE(best.has_value());
+}
+
+TEST(BackoffScheduler, SimpleSchedulerReportsNoActivity)
+{
+    RecExpr program = parseSexpr("(+ a (+ b (+ c 0)))");
+    EqSatLimits limits;
+    limits.maxIters = 4;
+    EGraph eg;
+    eg.addExpr(program);
+    EqSatReport report = runEqSat(eg, backoffRules(), limits);
+    EXPECT_EQ(report.schedBans, 0u);
+    EXPECT_EQ(report.schedSkippedSearches, 0u);
+    EXPECT_EQ(report.schedThrottledMatches, 0u);
+}
+
+TEST(BackoffScheduler, DeterministicAcrossThreadCounts)
+{
+    // The ISSUE's headline guarantee: scheduling decisions are made
+    // from the deterministically merged match counts, so the backoff
+    // run is byte-identical at any thread count — extracted term,
+    // iteration count, and every per-rule counter.
+    RecExpr program = liftKernel(make2DConv(3, 3, 2, 2), 4);
+    auto rules = compileRules(diospyrosHandRules().rules());
+    EqSatLimits limits;
+    limits.maxIters = 4;
+    limits.maxNodes = 40'000;
+    limits.scheduler = EqSatScheduler::Backoff;
+    limits.schedMatchLimit = 64;
+    limits.schedBanLength = 2;
+
+    EqSatReport seqReport;
+    std::string seq =
+        saturateAndExtract(program, rules, limits, 1, &seqReport);
+    ASSERT_FALSE(seq.empty());
+    for (int threads : {2, 4}) {
+        EqSatReport parReport;
+        std::string par = saturateAndExtract(program, rules, limits,
+                                             threads, &parReport);
+        EXPECT_EQ(seq, par) << "threads=" << threads;
+        EXPECT_EQ(seqReport.nodes, parReport.nodes);
+        EXPECT_EQ(seqReport.classes, parReport.classes);
+        EXPECT_EQ(seqReport.iterations, parReport.iterations);
+        EXPECT_EQ(seqReport.schedBans, parReport.schedBans);
+        EXPECT_EQ(seqReport.schedSkippedSearches,
+                  parReport.schedSkippedSearches);
+        EXPECT_EQ(seqReport.schedThrottledMatches,
+                  parReport.schedThrottledMatches);
+        EXPECT_EQ(seqReport.ruleApplied, parReport.ruleApplied);
+        EXPECT_EQ(seqReport.ruleBannedIters, parReport.ruleBannedIters);
+    }
+}
+
+TEST(BackoffScheduler, UnbansBeforeDeclaringSaturation)
+{
+    // A quiet iteration while rules sit banned is NOT saturation: the
+    // scheduler must lift the bans and re-try before stopping. With a
+    // generous iteration budget the backoff run must reach the same
+    // saturated e-graph as the simple scheduler.
+    RecExpr program = parseSexpr("(+ a (+ b (+ c 0)))");
+    auto rules = backoffRules();
+
+    EqSatLimits simple;
+    simple.maxIters = 40;
+    EGraph simpleEg;
+    EClassId simpleRoot = simpleEg.addExpr(program);
+    EqSatReport simpleReport = runEqSat(simpleEg, rules, simple);
+    ASSERT_EQ(simpleReport.stop, StopReason::Saturated);
+
+    EqSatLimits backoff = simple;
+    backoff.scheduler = EqSatScheduler::Backoff;
+    backoff.schedMatchLimit = 2;
+    backoff.schedBanLength = 3;
+    EGraph backoffEg;
+    EClassId backoffRoot = backoffEg.addExpr(program);
+    EqSatReport backoffReport = runEqSat(backoffEg, rules, backoff);
+    EXPECT_EQ(backoffReport.stop, StopReason::Saturated);
+    EXPECT_GT(backoffReport.schedBans, 0u);
+
+    // Same fixpoint: node/class counts and the extracted term agree.
+    EXPECT_EQ(simpleEg.numNodes(), backoffEg.numNodes());
+    EXPECT_EQ(simpleEg.numClasses(), backoffEg.numClasses());
+    DspCostModel cost;
+    auto simpleBest = extractBest(simpleEg, simpleRoot, cost);
+    auto backoffBest = extractBest(backoffEg, backoffRoot, cost);
+    ASSERT_TRUE(simpleBest.has_value());
+    ASSERT_TRUE(backoffBest.has_value());
+    EXPECT_EQ(printSexpr(simpleBest->expr), printSexpr(backoffBest->expr));
+    EXPECT_EQ(simpleBest->cost, backoffBest->cost);
 }
 
 TEST(ParallelEqSat, FrozenFindAgreesWithFind)

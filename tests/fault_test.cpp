@@ -454,6 +454,45 @@ TEST(Degradation, DegradedOutputIsThreadCountIndependent)
     }
 }
 
+TEST(Degradation, ArmedFaultPlanKeepsBackoffSchedulerDeterministic)
+{
+    // The backoff scheduler's ban decisions are ordinal-based (per
+    // iteration, per rule); a fault plan that let different thread
+    // counts abandon different iterations would desync those ordinals
+    // between runs. The runner therefore drops to one search thread
+    // whenever a plan is armed (the sequential-fallback pattern rule
+    // synthesis uses), so the banned-rule schedule — and the degraded
+    // output — is identical whatever --eqsat-threads asked for.
+    auto runAt = [&](int threads) {
+        FaultGuard guard("shard-search:2");
+        auto rules = compileRules(miniRules().rules());
+        EGraph eg;
+        EClassId root = eg.addExpr(paperExample());
+        EqSatLimits limits;
+        limits.maxIters = 6;
+        limits.numThreads = threads;
+        limits.scheduler = EqSatScheduler::Backoff;
+        limits.schedMatchLimit = 4;
+        limits.schedBanLength = 2;
+        EqSatReport report = runEqSat(eg, rules, limits);
+        EXPECT_EQ(report.threads, 1)
+            << "armed plan must force the sequential fallback";
+        DspCostModel cost;
+        auto best = extractBest(eg, root, cost);
+        EXPECT_TRUE(best.has_value());
+        return std::make_tuple(report.stop, report.iterations,
+                               report.schedBans,
+                               report.schedSkippedSearches,
+                               report.ruleApplied,
+                               report.ruleBannedIters,
+                               best ? printSexpr(best->expr)
+                                    : std::string());
+    };
+    auto sequential = runAt(1);
+    auto parallel = runAt(4);
+    EXPECT_EQ(sequential, parallel);
+}
+
 // ---------------------------------------------------------------------
 // Boundaries outside the compiler.
 
