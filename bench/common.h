@@ -17,6 +17,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "baseline/diospyros.h"
 #include "baseline/harness.h"
@@ -32,8 +33,34 @@ namespace isaria::bench
  * BenchJson. Bump when the sidecar layout changes incompatibly.
  * (BENCH_egraph.json is the one exception: it is raw google-benchmark
  * output; micro_egraph writes a BenchJson sidecar alongside it.)
+ *
+ * v2: every sidecar carries a "host" block (build_type, num_cpus,
+ * git_sha) so a number can always be traced back to the build that
+ * produced it — a Debug-build "speedup" is not a result.
  */
-inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr int kBenchSchemaVersion = 2;
+
+/** CMAKE_BUILD_TYPE baked in by bench/CMakeLists.txt. */
+inline const char *
+benchBuildType()
+{
+#ifdef ISARIA_BUILD_TYPE
+    return ISARIA_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+/** Abbreviated git commit baked in at configure time. */
+inline const char *
+benchGitSha()
+{
+#ifdef ISARIA_GIT_SHA
+    return ISARIA_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
 
 /** One flat JSON object, keys kept in insertion order. */
 class BenchJsonObject
@@ -128,8 +155,14 @@ class BenchJson
         }
         obs::StatsReport stats =
             obs::aggregateStats(trace.session());
+        BenchJsonObject host;
+        host.text("build_type", benchBuildType());
+        host.integer("num_cpus", static_cast<std::int64_t>(
+                                     std::thread::hardware_concurrency()));
+        host.text("git_sha", benchGitSha());
         out << "{\"schema_version\":" << kBenchSchemaVersion
             << ",\"bench\":\"" << obs::jsonEscape(name_) << "\"";
+        out << ",\"host\":" << host.render();
         out << ",\"summary\":" << summary_.render();
         out << ",\"rows\":[";
         for (std::size_t i = 0; i < rows_.size(); ++i) {

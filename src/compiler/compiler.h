@@ -57,6 +57,18 @@ struct CompilerConfig
     int maxLoopIterations = 10;
     /** Greedy pruning between loop iterations (Section 3.3). */
     bool pruning = true;
+    /**
+     * Speculative phase exploration: the improve loop keeps one
+     * e-graph across rounds and wraps each round's saturations in an
+     * EGraph::snapshot(). A round whose extraction improves the cost
+     * is kept (the accumulated equalities stay available to later
+     * rounds); a round that fails to improve is rolled back with
+     * restore(), reclaiming its memory instead of dragging the failed
+     * expansion along. Never emits a worse program than the
+     * non-speculative loop: `current` only advances on a strict cost
+     * improvement, and round 1 sees exactly the same seeded graph.
+     */
+    bool speculation = false;
     /** Phase-scheduled saturation; false = one saturation over the
      *  whole rule set (the Section 2.2 / 5.2 strawman). */
     bool phasing = true;
@@ -119,6 +131,14 @@ struct CompilerConfig
         expansionLimits.cancel = token;
         compilationLimits.cancel = token;
         optLimits.cancel = token;
+        return *this;
+    }
+
+    /** Toggles speculative phase exploration (see `speculation`). */
+    CompilerConfig &
+    withSpeculation(bool on)
+    {
+        speculation = on;
         return *this;
     }
 
@@ -203,6 +223,9 @@ struct CompileStats
     std::vector<std::string> degradeEvents;
     /** Saturations whose stop was forced by an injected fault. */
     int faultsInjected = 0;
+    /** Rounds the speculative loop rolled back for not improving the
+     *  extracted cost (always 0 without CompilerConfig::speculation). */
+    int speculativeRollbacks = 0;
     /** The result came from the compiler's in-memory memo; no eqsat
      *  work ran (see CompilerConfig::memoEntries). */
     bool memoHit = false;

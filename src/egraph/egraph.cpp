@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "support/fault.h"
 #include "support/panic.h"
 
@@ -13,11 +16,81 @@ namespace isaria
 static_assert(static_cast<unsigned>(Op::NumOps) <= 32,
               "the per-class operator mask is a 32-bit word");
 
+namespace
+{
+
+/**
+ * ISARIA_EGRAPH_ARENA=0 (or "off"/"false") routes the per-node
+ * allocations back through the global allocator — the A/B baseline
+ * the scaling benchmark measures the arena against. Read at each
+ * graph's construction (not cached) so a process can flip it between
+ * graphs.
+ */
+bool
+arenaEnabledFromEnv()
+{
+    const char *env = std::getenv("ISARIA_EGRAPH_ARENA");
+    if (!env || !*env)
+        return true;
+    return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0 &&
+           std::strcmp(env, "false") != 0;
+}
+
+} // namespace
+
 std::uint64_t
 EGraph::nextGraphId()
 {
     static std::atomic<std::uint64_t> counter{0};
     return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+EGraph::EGraph()
+    : mem_(std::make_unique<ArenaPool>()),
+      memo_(0, ENodeHash{}, std::equal_to<ENode>{}, MemoAlloc(mem_.get()))
+{
+    mem_->enabled = arenaEnabledFromEnv();
+}
+
+EGraph::EGraph(const EGraph &other)
+    : mem_(std::make_unique<ArenaPool>()),
+      memo_(0, ENodeHash{}, std::equal_to<ENode>{}, MemoAlloc(mem_.get()))
+{
+    mem_->enabled = other.mem_->enabled;
+    uf_ = other.uf_;
+    worklist_ = other.worklist_;
+    liveNodes_ = other.liveNodes_;
+    liveClasses_ = other.liveClasses_;
+    bytesUsed_ = other.bytesUsed_;
+    generation_ = other.generation_;
+    opMask_ = other.opMask_;
+    // graphId_ keeps its fresh default-initialized value: the copy is
+    // a distinct graph, and derived caches keyed on (graphId,
+    // generation) must not confuse it with the source.
+
+    classes_.reserve(other.classes_.size());
+    for (const EClass &src : other.classes_) {
+        EClass dst;
+        dst.nodes.reserve(src.nodes.size());
+        for (const ENode &node : src.nodes)
+            dst.nodes.push_back(graphCopy(node));
+        dst.parents.reserve(src.parents.size());
+        for (const auto &[node, pid] : src.parents)
+            dst.parents.emplace_back(graphCopy(node), pid);
+        classes_.push_back(std::move(dst));
+    }
+    // Rebuild (rather than copy) the hashcons so its nodes live in
+    // this graph's pool. Copied verbatim — including any stale ids the
+    // source's lazy index holds — so dirty graphs copy faithfully.
+    for (const auto &[node, id] : other.memo_)
+        memo_.emplace(graphCopy(node), id);
+    for (std::size_t i = 0; i < opClasses_.size(); ++i) {
+        for (EClassId id : other.opClasses_[i])
+            opClasses_[i].push_back(mem_->arena, id);
+    }
+    classEpoch_.assign(other.classes_.size(), 0);
+    // The outstanding snapshot (if any) stays with the source; the
+    // copy starts with none.
 }
 
 std::size_t
@@ -27,14 +100,40 @@ EGraph::enodeFootprint(const ENode &node)
     // child's parent list holds another (plus the back-pointer id).
     // Children up to ChildArray::kInlineCapacity live inside the node
     // itself (already covered by sizeof(ENode)); only wider nodes
-    // charge a heap spill.
-    std::size_t spillBytes =
-        node.children.size() > ChildArray::kInlineCapacity
-            ? node.children.size() * sizeof(EClassId)
-            : 0;
-    std::size_t nodeBytes = sizeof(ENode) + spillBytes;
-    return 2 * nodeBytes +
-           node.children.size() * (nodeBytes + sizeof(EClassId));
+    // charge a spill buffer.
+    std::size_t nb = nodeBytes(node);
+    return 2 * nb + node.children.size() * (nb + sizeof(EClassId));
+}
+
+ENode
+EGraph::graphCopy(const ENode &node) const
+{
+    ENode out;
+    out.op = node.op;
+    out.payload = node.payload;
+    if (mem_->enabled &&
+        node.children.size() > ChildArray::kInlineCapacity) {
+        out.children.assignArena(mem_->arena, node.children.data(),
+                                 node.children.size());
+    } else {
+        out.children = node.children;
+    }
+    out.hashCache = node.hashCache;
+    return out;
+}
+
+void
+EGraph::touch(EClassId id)
+{
+    if (!snapActive_ || id >= snapNumIds_ ||
+        classEpoch_[id] == snapEpoch_)
+        return;
+    classEpoch_[id] = snapEpoch_;
+    // The journal copy is a plain deep copy (heap-owned children):
+    // restore() rewinds the arena, so journal storage must not live
+    // in it.
+    journal_.emplace_back(id, classes_[id]);
+    journalOpMask_.push_back(opMask_[id]);
 }
 
 EClassId
@@ -50,20 +149,22 @@ EGraph::add(ENode node)
     // fault throws before any mutation, leaving the graph consistent.
     faultPoint(FaultSite::EGraphAlloc);
 
-    bytesUsed_ += enodeFootprint(canon) + sizeof(EClass) +
-                  sizeof(EClassId) + sizeof(std::uint32_t);
+    bytesUsed_ += enodeFootprint(canon) + kPerIdOverhead;
 
     ++generation_;
     EClassId id = uf_.makeSet();
     classes_.emplace_back();
-    classes_[id].nodes.push_back(canon);
+    classes_[id].nodes.push_back(graphCopy(canon));
     opMask_.push_back(1u << opBit(canon.op));
-    opClasses_[opBit(canon.op)].push_back(id);
+    opClasses_[opBit(canon.op)].push_back(mem_->arena, id);
+    classEpoch_.push_back(0);
     ++liveNodes_;
     ++liveClasses_;
-    for (EClassId child : canon.children)
-        classes_[child].parents.emplace_back(canon, id);
-    memo_.emplace(std::move(canon), id);
+    for (EClassId child : canon.children) {
+        touch(child);
+        classes_[child].parents.emplace_back(graphCopy(canon), id);
+    }
+    memo_.emplace(graphCopy(canon), id);
     return id;
 }
 
@@ -103,6 +204,9 @@ EGraph::merge(EClassId a, EClassId b)
     if (ra == rb)
         return false;
 
+    touch(ra);
+    touch(rb);
+
     ++generation_;
     EClassId keep = uf_.join(ra, rb);
     EClassId gone = (keep == ra) ? rb : ra;
@@ -130,7 +234,7 @@ EGraph::merge(EClassId a, EClassId b)
     while (gained) {
         unsigned bit = static_cast<unsigned>(__builtin_ctz(gained));
         gained &= gained - 1;
-        opClasses_[bit].push_back(keep);
+        opClasses_[bit].push_back(mem_->arena, keep);
     }
     --liveClasses_;
 
@@ -165,7 +269,7 @@ EGraph::rebuild()
     // merge history (egg's rebuild_classes does the same).
     for (EClassId id = 0; id < uf_.size(); ++id) {
         if (uf_.find(id) == id)
-            dedupNodesInPlace(classes_[id]);
+            dedupNodesInPlace(id);
     }
 }
 
@@ -174,15 +278,27 @@ EGraph::repair(EClassId id)
 {
     // Detach the stale parent list first: merges below may move
     // parent lists around, invalidating references into classes_.
+    touch(id);
     std::vector<std::pair<ENode, EClassId>> parents;
     parents.swap(classes_[id].parents);
 
     // Re-canonicalize parents. A collision — two parents becoming the
     // same canonical e-node — means they are congruent: merge them.
-    std::unordered_map<ENode, EClassId, ENodeHash> newParents;
+    // Accounting: each detached parent entry (and each hashcons key
+    // actually erased) is refunded here at its exact footprint;
+    // surviving canonical entries are re-charged on reinstall, so
+    // bytesUsed() tracks bytesUsedSlow() through the churn.
+    // Pool-backed like the memo: repair runs once per dirty class per
+    // rebuild, and its map nodes recycle through the same size
+    // buckets the memo uses instead of hitting the global allocator.
+    MemoMap newParents(0, ENodeHash{}, std::equal_to<ENode>{},
+                       MemoAlloc(mem_.get()));
     newParents.reserve(parents.size());
     for (auto &[pnode, pclass] : parents) {
-        memo_.erase(pnode);
+        std::size_t nb = nodeBytes(pnode);
+        bytesUsed_ -= nb + sizeof(EClassId);
+        if (memo_.erase(pnode) != 0)
+            bytesUsed_ -= nb;
         ENode canon = pnode.canonical(uf_);
         EClassId canonClass = uf_.find(pclass);
         auto it = newParents.find(canon);
@@ -197,28 +313,35 @@ EGraph::repair(EClassId id)
     // Reinstall into the hashcons; an existing entry for the same
     // canonical node is another congruence to merge, never overwrite.
     for (auto &[node, cid] : newParents) {
-        auto [mit, inserted] = memo_.try_emplace(node, cid);
-        if (!inserted) {
+        auto mit = memo_.find(node);
+        if (mit != memo_.end()) {
             merge(mit->second, cid);
             mit->second = uf_.find(mit->second);
+        } else {
+            bytesUsed_ += nodeBytes(node);
+            memo_.emplace(graphCopy(node), cid);
         }
     }
 
     // repair() may run on a class that has since been merged away;
     // route the refreshed parent list to the current representative.
-    EClass &target = classes_[uf_.find(id)];
-    for (auto &[node, cid] : newParents)
-        target.parents.emplace_back(node, uf_.find(cid));
+    EClassId tid = uf_.find(id);
+    touch(tid);
+    EClass &target = classes_[tid];
+    for (auto &[node, cid] : newParents) {
+        bytesUsed_ += nodeBytes(node) + sizeof(EClassId);
+        target.parents.emplace_back(graphCopy(node), uf_.find(cid));
+    }
 
     // Deduplicate this class's own nodes under canonicalization; the
     // rebuild() sweep repeats this for every class once the worklist
     // drains, catching classes whose nodes collided without the class
     // itself ever being enqueued.
-    dedupNodesInPlace(classes_[uf_.find(id)]);
+    dedupNodesInPlace(uf_.find(id));
 }
 
 void
-EGraph::dedupNodesInPlace(EClass &self)
+EGraph::dedupNodesInPlace(EClassId id)
 {
     // In place: each node's children are rewritten to canonical ids
     // where they sit (no per-node copy), and survivors are compacted
@@ -226,9 +349,42 @@ EGraph::dedupNodesInPlace(EClass &self)
     // pointers into the (never reallocated) node vector; a pointer is
     // only inserted once its slot is final, so compaction moves never
     // invalidate a set entry.
-    if (self.nodes.size() <= 1) {
-        if (!self.nodes.empty())
-            self.nodes.front().canonicalize(uf_);
+    EClass &self = classes_[id];
+    if (self.nodes.empty())
+        return;
+    touch(id);
+    if (self.nodes.size() == 1) {
+        self.nodes.front().canonicalize(uf_);
+        return;
+    }
+    // Small classes (the overwhelming majority during saturation) are
+    // deduped by quadratic scan: no hash-set allocation, same
+    // first-occurrence order. The cached structural hash makes each
+    // comparison cheap (hash check first, full compare on equality).
+    if (self.nodes.size() <= 16) {
+        ENodeHash hasher;
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < self.nodes.size(); ++i) {
+            self.nodes[i].canonicalize(uf_);
+            bool duplicate = false;
+            std::size_t hi = hasher(self.nodes[i]);
+            for (std::size_t j = 0; j < keep; ++j) {
+                if (hasher(self.nodes[j]) == hi &&
+                    self.nodes[j] == self.nodes[i]) {
+                    duplicate = true;
+                    break;
+                }
+            }
+            if (duplicate) {
+                bytesUsed_ -= nodeBytes(self.nodes[i]);
+                continue;
+            }
+            if (keep != i)
+                self.nodes[keep] = std::move(self.nodes[i]);
+            ++keep;
+        }
+        liveNodes_ -= self.nodes.size() - keep;
+        self.nodes.resize(keep);
         return;
     }
     struct NodePtrHash
@@ -252,20 +408,21 @@ EGraph::dedupNodesInPlace(EClass &self)
     std::size_t keep = 0;
     for (std::size_t i = 0; i < self.nodes.size(); ++i) {
         self.nodes[i].canonicalize(uf_);
-        if (dedup.count(&self.nodes[i]))
+        if (dedup.count(&self.nodes[i])) {
+            // Refund the dropped duplicate at its full flat footprint
+            // (struct plus any spill buffer) — refunding bare
+            // sizeof(ENode) would leak the spill bytes into
+            // bytesUsed() forever, drifting it away from
+            // bytesUsedSlow() on wide-node workloads.
+            bytesUsed_ -= nodeBytes(self.nodes[i]);
             continue;
+        }
         if (keep != i)
             self.nodes[keep] = std::move(self.nodes[i]);
         dedup.insert(&self.nodes[keep]);
         ++keep;
     }
-    // Refund deduplicated nodes at the flat ENode rate; their
-    // parent/hashcons share stays charged (it is churn the allocator
-    // rarely returns anyway — bytesUsed() is a guard estimate,
-    // deliberately on the conservative side).
-    std::size_t droppedNodes = self.nodes.size() - keep;
-    bytesUsed_ -= std::min(bytesUsed_, droppedNodes * sizeof(ENode));
-    liveNodes_ -= droppedNodes;
+    liveNodes_ -= self.nodes.size() - keep;
     self.nodes.resize(keep);
 }
 
@@ -285,14 +442,15 @@ OpClassesView
 EGraph::classesWithOp(Op op)
 {
     ISARIA_ASSERT(!dirty(), "op index queried on a dirty e-graph");
-    std::vector<EClassId> &list = opClasses_[opBit(op)];
+    ArenaVector<EClassId> &list = opClasses_[opBit(op)];
     // Compact: canonicalize, drop classes merged into ones already
     // listed, and keep the list sorted so search order (and therefore
     // match order) is deterministic.
     for (EClassId &id : list)
         id = uf_.find(id);
     std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
+    EClassId *last = std::unique(list.begin(), list.end());
+    list.truncate(static_cast<std::size_t>(last - list.begin()));
     OpClassesView view;
     view.data_ = list.data();
     view.size_ = list.size();
@@ -321,6 +479,153 @@ EGraph::numClassesSlow() const
             ++total;
     }
     return total;
+}
+
+std::size_t
+EGraph::bytesUsedSlow() const
+{
+    // The ground truth bytesUsed() must track: per-id overhead plus
+    // the flat footprint of every node copy actually held — class
+    // members, parent back-pointers (with their id), hashcons keys.
+    std::size_t total = classes_.size() * kPerIdOverhead;
+    for (const EClass &cls : classes_) {
+        for (const ENode &node : cls.nodes)
+            total += nodeBytes(node);
+        for (const auto &[node, pid] : cls.parents) {
+            (void)pid;
+            total += nodeBytes(node) + sizeof(EClassId);
+        }
+    }
+    for (const auto &[node, id] : memo_) {
+        (void)id;
+        total += nodeBytes(node);
+    }
+    return total;
+}
+
+void
+EGraph::snapshot()
+{
+    ISARIA_ASSERT(!dirty(),
+                  "snapshot of a dirty e-graph (rebuild() first)");
+    // A new snapshot replaces any outstanding one (LIFO depth 1).
+    snapActive_ = true;
+    ++snapEpoch_;
+    journal_.clear();
+    journalOpMask_.clear();
+    snapMark_ = mem_->arena.mark();
+    snapUfParents_ = uf_.snapshotParents();
+    snapNumIds_ = classes_.size();
+    snapLiveNodes_ = liveNodes_;
+    snapLiveClasses_ = liveClasses_;
+    snapBytesUsed_ = bytesUsed_;
+    ++numSnapshots_;
+    obs::counter("egraph/arena/snapshots",
+                 static_cast<std::int64_t>(numSnapshots_));
+}
+
+void
+EGraph::restore()
+{
+    // The injection site fires before any mutation: a failed restore
+    // leaves the graph exactly as it was (still usable, snapshot still
+    // outstanding).
+    faultPoint(FaultSite::SnapshotRestore);
+    ISARIA_ASSERT(snapActive_, "restore without an outstanding snapshot");
+
+    // Pending merges past the snapshot are being thrown away wholesale.
+    worklist_.clear();
+
+    // Journaled (first-touch) classes get their pre-snapshot contents
+    // back; classes created since the snapshot are dropped entirely.
+    for (std::size_t i = 0; i < journal_.size(); ++i) {
+        auto &[id, cls] = journal_[i];
+        classes_[id] = std::move(cls);
+        opMask_[id] = journalOpMask_[i];
+    }
+    journal_.clear();
+    journalOpMask_.clear();
+    classes_.resize(snapNumIds_);
+    opMask_.resize(snapNumIds_);
+    classEpoch_.resize(snapNumIds_);
+    uf_.restoreParents(std::move(snapUfParents_));
+
+    // The hashcons may hold arena nodes past the mark; reconstruct it
+    // empty (clear() would keep a possibly-arena bucket array), let
+    // its nodes drain to the pool's free lists, drop the free blocks
+    // the rewind is about to invalidate, then rewind.
+    memo_ = MemoMap(0, ENodeHash{}, std::equal_to<ENode>{},
+                    MemoAlloc(mem_.get()));
+    mem_->dropFreeBlocksAtOrAfter(snapMark_);
+    mem_->arena.release(snapMark_);
+
+    rebuildDerivedIndexes();
+
+    liveNodes_ = snapLiveNodes_;
+    liveClasses_ = snapLiveClasses_;
+    bytesUsed_ = snapBytesUsed_;
+    // The restored state is structurally the snapshot's, but the
+    // generation still advances: derived caches built between snapshot
+    // and restore point into storage the rewind just reclaimed, and
+    // must not revalidate.
+    ++generation_;
+    ++numRestores_;
+    snapActive_ = false;
+    obs::counter("egraph/arena/restores",
+                 static_cast<std::int64_t>(numRestores_));
+}
+
+void
+EGraph::discardSnapshot()
+{
+    ISARIA_ASSERT(snapActive_, "discard without an outstanding snapshot");
+    snapActive_ = false;
+    snapUfParents_.clear();
+    snapUfParents_.shrink_to_fit();
+    journal_.clear();
+    journalOpMask_.clear();
+}
+
+void
+EGraph::rebuildDerivedIndexes()
+{
+    // The op-index lists' buffers may postdate the mark; forget them
+    // all and repopulate from the restored class table. Iterating ids
+    // ascending leaves each per-op list sorted and duplicate-free, the
+    // same form classesWithOp() compacts to.
+    for (ArenaVector<EClassId> &list : opClasses_)
+        list.resetStorage();
+    for (EClassId id = 0; id < classes_.size(); ++id) {
+        if (uf_.find(id) != id)
+            continue;
+        std::uint32_t mask = opMask_[id];
+        while (mask) {
+            unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+            mask &= mask - 1;
+            opClasses_[bit].push_back(mem_->arena, id);
+        }
+        // On a clean graph the hashcons is exactly { canonical member
+        // node -> its class }, so rebuilding it from the class table
+        // reproduces the snapshot's memo byte-for-byte. (No accounting
+        // here: the caller restores bytesUsed() wholesale.)
+        for (const ENode &node : classes_[id].nodes)
+            memo_.emplace(graphCopy(node), id);
+    }
+}
+
+EGraphArenaStats
+EGraph::arenaStats() const
+{
+    EGraphArenaStats stats;
+    stats.arenaEnabled = mem_->enabled;
+    stats.bytesAllocated = mem_->arena.bytesAllocated();
+    stats.bytesReserved = mem_->arena.bytesReserved();
+    stats.numChunks = mem_->arena.numChunks();
+    stats.allocations = mem_->arena.allocations();
+    stats.chunkAllocations = mem_->arena.chunkAllocations();
+    stats.snapshots = numSnapshots_;
+    stats.restores = numRestores_;
+    return stats;
 }
 
 } // namespace isaria

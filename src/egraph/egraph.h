@@ -27,13 +27,38 @@
  * views or indexes derived from the graph — the op-index views below,
  * the extraction dependency index (egraph/extract.h) — key their
  * caches on (graphId, generation) and assert freshness on use.
+ *
+ * **Memory architecture** (DESIGN.md §12). The hot allocations of the
+ * saturation loop live in a per-graph Arena (support/arena.h): spill
+ * buffers of wide e-nodes (assignArena), the hash-cons table's nodes
+ * (PoolAllocator), and the op->classes index lists (ArenaVector).
+ * `ISARIA_EGRAPH_ARENA=0` reverts the node-level allocations to the
+ * global allocator for A/B measurement. Byte accounting is exact:
+ * bytesUsed() is maintained at every mutation site and equals
+ * bytesUsedSlow()'s full recount (tests pin this), so the runner's
+ * maxBytes guard cannot drift.
+ *
+ * **Snapshot/restore.** snapshot() captures the arena's high-water
+ * mark, the union-find forest, and an epoch number; mutations then
+ * journal the first touch of each pre-existing class. restore()
+ * rewinds the arena, puts journaled classes and the forest back,
+ * truncates everything created since, and rebuilds the derived
+ * indexes — returning the graph to a state structurally identical to
+ * the snapshot (same classes, nodes, and extraction results; the
+ * generation still advances, so stale derived caches cannot
+ * revalidate). One snapshot is outstanding at a time; taking a new
+ * one replaces the old. The compile loop uses this for speculative
+ * phase exploration: try a phase, keep it if the extracted cost
+ * improved, roll it back otherwise.
  */
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "egraph/enode.h"
+#include "support/arena.h"
 #include "support/panic.h"
 #include "term/rec_expr.h"
 
@@ -95,10 +120,49 @@ class OpClassesView
     std::uint64_t generation_ = 0;
 };
 
+/** Allocation and snapshot statistics of one e-graph's arena. */
+struct EGraphArenaStats
+{
+    /** False when ISARIA_EGRAPH_ARENA=0 routed node allocations to
+     *  the global allocator (the A/B baseline). */
+    bool arenaEnabled = false;
+    /** Live bytes at the arena frontier (rewinds with restore). */
+    std::uint64_t bytesAllocated = 0;
+    /** Chunk capacity resident (never shrinks). */
+    std::uint64_t bytesReserved = 0;
+    std::size_t numChunks = 0;
+    /** Monotonic arena allocation count (bump-pointer hits). */
+    std::uint64_t allocations = 0;
+    /** Monotonic count of chunks obtained from the heap — the
+     *  graph's actual allocator traffic for arena-backed storage. */
+    std::uint64_t chunkAllocations = 0;
+    std::uint64_t snapshots = 0;
+    std::uint64_t restores = 0;
+};
+
 /** Hash-consed congruence-closed e-graph. */
 class EGraph
 {
   public:
+    EGraph();
+
+    /**
+     * Deep copy. The copy gets a fresh graphId() (the implicit copy
+     * would have duplicated it, silently breaking the process-unique
+     * contract that derived caches key on), a fresh arena, and no
+     * outstanding snapshot; every copied node owns its storage.
+     */
+    EGraph(const EGraph &other);
+    EGraph(EGraph &&) noexcept = default;
+    /**
+     * Assignment is deliberately absent: the memo table's allocator
+     * points into the source graph's arena pool, so a member-wise
+     * assignment would free nodes through a dead pool. Construct a
+     * fresh graph instead.
+     */
+    EGraph &operator=(const EGraph &) = delete;
+    EGraph &operator=(EGraph &&) = delete;
+
     /** Adds (or finds) an e-node; children must be existing classes. */
     EClassId add(ENode node);
 
@@ -162,11 +226,12 @@ class EGraph
 
     /**
      * Monotonic count of structural mutations: bumped by every add()
-     * that inserts a new e-node and every merge() that joins two
-     * distinct classes (congruence repairs inside rebuild() go through
-     * merge(), so they bump it too). Derived caches — op-index views,
-     * the extraction dependency index — are valid exactly while this
-     * stays unchanged.
+     * that inserts a new e-node, every merge() that joins two distinct
+     * classes (congruence repairs inside rebuild() go through merge(),
+     * so they bump it too), and every restore() — the restored state
+     * is structurally the snapshot's, but caches built in between must
+     * not revalidate. Derived caches — op-index views, the extraction
+     * dependency index — are valid exactly while this stays unchanged.
      */
     std::uint64_t generation() const { return generation_; }
 
@@ -187,16 +252,21 @@ class EGraph
     std::size_t numNodes() const { return liveNodes_; }
 
     /**
-     * Approximate heap footprint of the e-graph in bytes, maintained
-     * incrementally: every add() charges its e-node (class member +
-     * hashcons key + per-child parent back-pointers + class
-     * overhead), and rebuild()'s deduplication refunds dropped nodes.
-     * It is an accounting estimate, not a malloc audit — the
-     * saturation runner polls it against EqSatLimits::maxBytes to
-     * realize the paper's "ran out of memory" condition at byte (not
-     * just node-count) granularity.
+     * Accounted footprint of the e-graph in bytes, maintained exactly
+     * at every mutation site: add() charges its e-node (class member
+     * + hashcons key + per-child parent back-pointers + class
+     * overhead), repair() refunds detached parents and erased
+     * hashcons keys and charges reinstalls, and deduplication refunds
+     * dropped nodes at their full footprint. bytesUsedSlow() recounts
+     * the same quantity from scratch; the two always agree (tests pin
+     * it). The saturation runner polls this against
+     * EqSatLimits::maxBytes to realize the paper's "ran out of
+     * memory" condition at byte (not just node-count) granularity.
      */
     std::size_t bytesUsed() const { return bytesUsed_; }
+
+    /** Full recount of bytesUsed() from the live structures. */
+    std::size_t bytesUsedSlow() const;
 
     /** Number of canonical classes (O(1), incremental). */
     std::size_t numClasses() const { return liveClasses_; }
@@ -217,19 +287,87 @@ class EGraph
     /** True when merges since the last rebuild() are pending. */
     bool dirty() const { return !worklist_.empty(); }
 
+    // -----------------------------------------------------------------
+    // Snapshot / restore (speculative phase exploration).
+
+    /**
+     * Captures the current state: arena high-water mark, union-find
+     * forest, live counters. The graph must be clean (rebuilt).
+     * Subsequent mutations journal the first touch of each
+     * pre-existing class; restore() undoes everything since. At most
+     * one snapshot is outstanding — taking another replaces it.
+     */
+    void snapshot();
+
+    /**
+     * Rolls the graph back to the outstanding snapshot: journaled
+     * classes and the union-find forest are restored, classes created
+     * since are dropped, the arena rewinds to its mark, and the
+     * hash-cons and op-index are rebuilt from the restored classes.
+     * The result is structurally identical to the snapshot state
+     * (same classes, nodes, counters, and extraction results).
+     * Consumes the snapshot. Fault-injection site
+     * "egraph-snapshot-restore" fires before any mutation, so a
+     * failed restore leaves the graph exactly as it was.
+     */
+    void restore();
+
+    /** Drops the outstanding snapshot, keeping the current state. */
+    void discardSnapshot();
+
+    /** True while a snapshot is outstanding. */
+    bool snapshotActive() const { return snapActive_; }
+
+    /** Allocation/snapshot counters (obs: egraph/arena/...). */
+    EGraphArenaStats arenaStats() const;
+
   private:
+    using MemoAlloc = PoolAllocator<std::pair<const ENode, EClassId>>;
+    using MemoMap = std::unordered_map<ENode, EClassId, ENodeHash,
+                                       std::equal_to<ENode>, MemoAlloc>;
+
     void repair(EClassId id);
-    void dedupNodesInPlace(EClass &cls);
+    void dedupNodesInPlace(EClassId id);
+
+    /** A copy of @p node for storage inside this graph: spill
+     *  children land in the arena (heap when the arena is off). */
+    ENode graphCopy(const ENode &node) const;
+
+    /** Journals @p id's class on its first mutation after snapshot(). */
+    void touch(EClassId id);
+
+    /** Rebuilds memo_ and opClasses_ from the (clean) class table. */
+    void rebuildDerivedIndexes();
 
     static unsigned opBit(Op op) { return static_cast<unsigned>(op); }
 
-    UnionFind uf_;
-    std::vector<EClass> classes_;
-    std::unordered_map<ENode, EClassId, ENodeHash> memo_;
-    std::vector<EClassId> worklist_;
+    /** Flat bytes of one e-node copy (struct + spill buffer). */
+    static std::size_t
+    nodeBytes(const ENode &node)
+    {
+        std::size_t spill =
+            node.children.size() > ChildArray::kInlineCapacity
+                ? node.children.size() * sizeof(EClassId)
+                : 0;
+        return sizeof(ENode) + spill;
+    }
 
     /** Bytes charged for one e-node's presence in the graph. */
     static std::size_t enodeFootprint(const ENode &node);
+
+    /** Per-class-id overhead charged once at id creation. */
+    static constexpr std::size_t kPerIdOverhead =
+        sizeof(EClass) + sizeof(EClassId) + sizeof(std::uint32_t);
+
+    /** Arena + free lists, heap-pinned so the memo allocator's pool
+     *  pointer survives moves of the EGraph itself. Declared first:
+     *  members holding arena memory must be destroyed before it. */
+    std::unique_ptr<ArenaPool> mem_;
+
+    UnionFind uf_;
+    std::vector<EClass> classes_;
+    MemoMap memo_;
+    std::vector<EClassId> worklist_;
 
     /** Incremental counters mirroring the slow scans. */
     std::size_t liveNodes_ = 0;
@@ -243,10 +381,28 @@ class EGraph
 
     /** Bitmask of operators present in each class (by class id). */
     std::vector<std::uint32_t> opMask_;
-    /** Per-op class lists; may hold stale ids until compacted. */
-    std::vector<std::vector<EClassId>> opClasses_ =
-        std::vector<std::vector<EClassId>>(
+    /** Per-op class lists (arena-backed); may hold stale ids until
+     *  compacted on access. */
+    std::vector<ArenaVector<EClassId>> opClasses_ =
+        std::vector<ArenaVector<EClassId>>(
             static_cast<std::size_t>(Op::NumOps));
+
+    // Snapshot state. classEpoch_[id] records the snapshot epoch that
+    // last journaled class id, so each class is copied at most once
+    // per snapshot (first-touch journaling).
+    bool snapActive_ = false;
+    std::uint64_t snapEpoch_ = 0;
+    Arena::Mark snapMark_;
+    std::vector<EClassId> snapUfParents_;
+    std::size_t snapNumIds_ = 0;
+    std::size_t snapLiveNodes_ = 0;
+    std::size_t snapLiveClasses_ = 0;
+    std::size_t snapBytesUsed_ = 0;
+    std::vector<std::pair<EClassId, EClass>> journal_;
+    std::vector<std::uint32_t> journalOpMask_;
+    std::vector<std::uint64_t> classEpoch_;
+    std::uint64_t numSnapshots_ = 0;
+    std::uint64_t numRestores_ = 0;
 };
 
 inline void

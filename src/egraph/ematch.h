@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <unordered_map>
 #include <vector>
 
@@ -35,12 +36,146 @@
 namespace isaria
 {
 
+/**
+ * Per-slot wildcard bindings with a 16-element inline buffer.
+ *
+ * Matches are produced by the million on explosive rulesets, and a
+ * heap-backed bindings vector was the single largest allocator-call
+ * source in the whole saturation loop. Sixteen slots cover every
+ * rule a 4-wide ISA synthesizes (4 lanes x a few variables each);
+ * wider patterns spill to one heap block.
+ */
+class BindingVec
+{
+  public:
+    static constexpr std::uint32_t kInlineCapacity = 16;
+
+    BindingVec() = default;
+    BindingVec(const BindingVec &other) { copyFrom(other); }
+    BindingVec(BindingVec &&other) noexcept { moveFrom(other); }
+
+    BindingVec &
+    operator=(const BindingVec &other)
+    {
+        if (this != &other) {
+            release();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    BindingVec &
+    operator=(BindingVec &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    ~BindingVec() { release(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const EClassId *data() const
+    {
+        return capacity_ > kInlineCapacity ? heap_ : inline_;
+    }
+    const EClassId *begin() const { return data(); }
+    const EClassId *end() const { return data() + size_; }
+
+    EClassId operator[](std::size_t i) const { return data()[i]; }
+
+    /** Pre-sizes the buffer; the only growth path (no push realloc). */
+    void
+    reserve(std::size_t capacity)
+    {
+        if (capacity > capacity_) {
+            auto *fresh = new EClassId[capacity];
+            std::memcpy(fresh, data(), size_ * sizeof(EClassId));
+            release();
+            heap_ = fresh;
+            capacity_ = static_cast<std::uint32_t>(capacity);
+        }
+    }
+
+    void
+    push_back(EClassId id)
+    {
+        if (size_ == capacity_)
+            reserve(capacity_ * 2);
+        mutableData()[size_++] = id;
+    }
+
+    bool
+    operator==(const BindingVec &other) const
+    {
+        return size_ == other.size_ &&
+               std::memcmp(data(), other.data(),
+                           size_ * sizeof(EClassId)) == 0;
+    }
+
+  private:
+    EClassId *mutableData()
+    {
+        return capacity_ > kInlineCapacity ? heap_ : inline_;
+    }
+
+    void
+    copyFrom(const BindingVec &other)
+    {
+        size_ = other.size_;
+        if (other.capacity_ > kInlineCapacity) {
+            capacity_ = other.capacity_;
+            heap_ = new EClassId[capacity_];
+            std::memcpy(heap_, other.heap_, size_ * sizeof(EClassId));
+        } else {
+            capacity_ = kInlineCapacity;
+            std::memcpy(inline_, other.inline_,
+                        size_ * sizeof(EClassId));
+        }
+    }
+
+    void
+    moveFrom(BindingVec &other) noexcept
+    {
+        size_ = other.size_;
+        capacity_ = other.capacity_;
+        if (other.capacity_ > kInlineCapacity)
+            heap_ = other.heap_;
+        else
+            std::memcpy(inline_, other.inline_,
+                        size_ * sizeof(EClassId));
+        other.size_ = 0;
+        other.capacity_ = kInlineCapacity;
+    }
+
+    void
+    release()
+    {
+        if (capacity_ > kInlineCapacity)
+            delete[] heap_;
+        size_ = 0;
+        capacity_ = kInlineCapacity;
+    }
+
+    std::uint32_t size_ = 0;
+    std::uint32_t capacity_ = kInlineCapacity;
+    union
+    {
+        EClassId inline_[kInlineCapacity];
+        EClassId *heap_;
+    };
+};
+
 /** One embedding of a pattern: root class + per-slot bindings. */
 struct PatternMatch
 {
     EClassId root;
     /** Binding for wildcard slot i (see CompiledPattern::slotIds). */
-    std::vector<EClassId> bindings;
+    BindingVec bindings;
 };
 
 /** One instruction of the compiled pattern machine. */

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "egraph/union_find.h"
+#include "support/arena.h"
 #include "support/hash.h"
 #include "term/op.h"
 
@@ -36,11 +37,20 @@ namespace isaria
  * buffer. Only the operations the e-graph needs are provided; growth
  * beyond the inline capacity moves to a heap allocation (and stays
  * there).
+ *
+ * A spill buffer can alternatively live in an Arena (assignArena):
+ * the top bit of the capacity word marks arena ownership, and such a
+ * buffer is never freed by this class — the arena reclaims it
+ * wholesale on release. The e-graph uses this for every node copy it
+ * stores (class members, hash-cons keys, parent back-pointers), so
+ * wide nodes stop costing one heap block per copy.
  */
 class ChildArray
 {
   public:
     static constexpr std::uint32_t kInlineCapacity = 4;
+    /** Capacity-word flag: the spill buffer is arena-owned. */
+    static constexpr std::uint32_t kArenaBit = 0x8000'0000u;
 
     ChildArray() = default;
 
@@ -80,8 +90,11 @@ class ChildArray
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
 
-    /** True when the children spilled to a heap allocation. */
-    bool spilled() const { return capacity_ > kInlineCapacity; }
+    /** True when the children spilled out of the inline buffer. */
+    bool spilled() const { return cap() > kInlineCapacity; }
+
+    /** True when the spill buffer is owned by an Arena. */
+    bool arenaOwned() const { return (capacity_ & kArenaBit) != 0; }
 
     const EClassId *data() const
     {
@@ -100,16 +113,36 @@ class ChildArray
     void
     reserve(std::size_t capacity)
     {
-        if (capacity > capacity_)
+        if (capacity > cap())
             grow(static_cast<std::uint32_t>(capacity));
     }
 
     void
     push_back(EClassId id)
     {
-        if (size_ == capacity_)
-            grow(capacity_ * 2);
+        if (size_ == cap())
+            grow(cap() * 2);
         data()[size_++] = id;
+    }
+
+    /**
+     * Replaces the contents with @p count ids from @p src, placing any
+     * spill buffer in @p arena (marked arena-owned: this array will
+     * never free it — the arena's release/destruction reclaims it).
+     */
+    void
+    assignArena(Arena &arena, const EClassId *src, std::size_t count)
+    {
+        release();
+        size_ = static_cast<std::uint32_t>(count);
+        if (count <= kInlineCapacity) {
+            capacity_ = kInlineCapacity;
+            std::memcpy(inline_, src, count * sizeof(EClassId));
+            return;
+        }
+        heap_ = arena.allocateArray<EClassId>(count);
+        std::memcpy(heap_, src, count * sizeof(EClassId));
+        capacity_ = size_ | kArenaBit;
     }
 
     void
@@ -127,12 +160,18 @@ class ChildArray
     }
 
   private:
+    /** Element capacity with the ownership flag masked off. */
+    std::uint32_t cap() const { return capacity_ & ~kArenaBit; }
+
     void
     copyFrom(const ChildArray &other)
     {
+        // Copies always own their storage: an arena-owned source
+        // yields an ordinary heap spill (callers that want the copy
+        // in an arena use assignArena instead).
         size_ = other.size_;
         if (other.spilled()) {
-            capacity_ = other.capacity_;
+            capacity_ = other.cap();
             heap_ = new EClassId[capacity_];
             std::memcpy(heap_, other.heap_, size_ * sizeof(EClassId));
         } else {
@@ -146,7 +185,7 @@ class ChildArray
     moveFrom(ChildArray &other) noexcept
     {
         size_ = other.size_;
-        capacity_ = other.capacity_;
+        capacity_ = other.capacity_; // ownership flag travels along
         if (other.spilled())
             heap_ = other.heap_;
         else
@@ -159,7 +198,7 @@ class ChildArray
     void
     release()
     {
-        if (spilled())
+        if (spilled() && !arenaOwned())
             delete[] heap_;
         size_ = 0;
         capacity_ = kInlineCapacity;
@@ -172,8 +211,10 @@ class ChildArray
             newCapacity = size_ + 1;
         auto *fresh = new EClassId[newCapacity];
         std::memcpy(fresh, data(), size_ * sizeof(EClassId));
-        if (spilled())
+        if (spilled() && !arenaOwned())
             delete[] heap_;
+        // Growth always lands on the heap, even from an arena-owned
+        // buffer (which stays behind in its arena).
         heap_ = fresh;
         capacity_ = newCapacity;
     }

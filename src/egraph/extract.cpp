@@ -1,5 +1,6 @@
 #include "egraph/extract.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -43,19 +44,24 @@ void
 Extractor::buildIndex(const EGraph &egraph)
 {
     classes_ = egraph.canonicalClasses();
-    leaves_.clear();
+    // All index storage lives in the arena; a rebuild rewinds it
+    // wholesale (the chunks stay resident, so steady-state rebuilds
+    // allocate nothing from the heap) and the stale vectors must
+    // forget their reclaimed buffers.
+    arena_.reset();
+    leaves_.resetStorage();
+    parentOffset_ = nullptr;
+    parentEdges_ = nullptr;
     const std::size_t numIds = egraph.numIds();
 
-    if (kind_ == ExtractorKind::Fixpoint) {
-        // The reference engine sweeps classes globally; it needs no
-        // dependency edges.
-        parentOffset_.clear();
-        parentEdges_.clear();
-    } else {
-        // CSR build: count edges per child class, prefix-sum, fill.
+    if (kind_ != ExtractorKind::Fixpoint) {
+        // The Fixpoint reference engine sweeps classes globally and
+        // needs no dependency edges; the worklist engine builds its
+        // CSR here: count edges per child class, prefix-sum, fill.
         // One edge per *distinct* canonical child of each node (a node
         // like (+ x x) re-evaluates once, not twice, per improvement).
-        parentOffset_.assign(numIds + 1, 0);
+        parentOffset_ = arena_.allocateArray<std::uint32_t>(numIds + 1);
+        std::fill_n(parentOffset_, numIds + 1, 0u);
         auto forEachDistinctChild = [&](const ENode &node, auto &&fn) {
             const std::size_t arity = node.children.size();
             for (std::size_t i = 0; i < arity; ++i) {
@@ -78,9 +84,9 @@ Extractor::buildIndex(const EGraph &egraph)
         }
         for (std::size_t i = 1; i <= numIds; ++i)
             parentOffset_[i] += parentOffset_[i - 1];
-        parentEdges_.resize(edges);
-        std::vector<std::uint32_t> cursor(parentOffset_.begin(),
-                                          parentOffset_.end() - 1);
+        parentEdges_ = arena_.allocateArray<ParentRef>(edges);
+        std::vector<std::uint32_t> cursor(parentOffset_,
+                                          parentOffset_ + numIds);
         for (EClassId id : classes_) {
             for (const ENode &node : egraph.eclass(id).nodes) {
                 forEachDistinctChild(node, [&](EClassId child) {
@@ -94,7 +100,7 @@ Extractor::buildIndex(const EGraph &egraph)
     for (EClassId id : classes_) {
         for (const ENode &node : egraph.eclass(id).nodes) {
             if (node.children.empty())
-                leaves_.push_back(ParentRef{id, &node});
+                leaves_.push_back(arena_, ParentRef{id, &node});
         }
     }
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "egraph/egraph.h"
+#include "support/arena.h"
 #include "support/cancel.h"
 
 namespace isaria
@@ -143,12 +144,21 @@ class Extractor
 
     /** Canonical classes of the indexed graph. */
     std::vector<EClassId> classes_;
-    /** CSR dependency index: edges for child class c live at
+    /**
+     * Backing store of the dependency index. Rebuilding for a new
+     * (graph, generation) resets the arena and carves the exact-sized
+     * CSR arrays out of it in two bumps — the repeated
+     * resize/shrink churn the old std::vector storage paid per Fig. 3
+     * round collapses into reuse of the same chunks.
+     */
+    Arena arena_;
+    /** CSR dependency index (arena-backed, numIds+1 offsets): edges
+     *  for child class c live at
      *  parentEdges_[parentOffset_[c] .. parentOffset_[c + 1]). */
-    std::vector<std::uint32_t> parentOffset_;
-    std::vector<ParentRef> parentEdges_;
+    std::uint32_t *parentOffset_ = nullptr;
+    ParentRef *parentEdges_ = nullptr;
     /** (class, leaf node) seeds: nodes with no children. */
-    std::vector<ParentRef> leaves_;
+    ArenaVector<ParentRef> leaves_;
 
     /** Dense per-class best costs, indexed by canonical id. */
     std::vector<std::uint64_t> best_;

@@ -25,7 +25,15 @@ bool
 CompiledRule::apply(EGraph &egraph, const PatternMatch &match) const
 {
     const RecExpr &rhs = rule_.rhs;
-    std::vector<EClassId> classOf(rhs.size());
+    // Applied once per match; small right-hand sides (all of them, in
+    // practice) stay off the heap.
+    EClassId inlineBuf[24];
+    std::vector<EClassId> heapBuf;
+    EClassId *classOf = inlineBuf;
+    if (rhs.size() > std::size(inlineBuf)) {
+        heapBuf.resize(rhs.size());
+        classOf = heapBuf.data();
+    }
     for (NodeId id = 0; id < static_cast<NodeId>(rhs.size()); ++id) {
         const TermNode &n = rhs.node(id);
         if (n.op == Op::Wildcard) {

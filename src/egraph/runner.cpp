@@ -456,6 +456,16 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
             trace->recordCounter(
                 obs::internName("egraph/classes"),
                 static_cast<std::int64_t>(egraph.numClasses()));
+            // And the memory curve beneath it: accounted bytes plus
+            // the arena's chunk footprint (how much of bytesUsed is
+            // bump-allocated rather than heap churn).
+            EGraphArenaStats arena = egraph.arenaStats();
+            trace->recordCounter(
+                obs::internName("egraph/arena/bytes"),
+                static_cast<std::int64_t>(arena.bytesAllocated));
+            trace->recordCounter(
+                obs::internName("egraph/arena/chunks"),
+                static_cast<std::int64_t>(arena.numChunks));
         }
 
         if (!changed) {

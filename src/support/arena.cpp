@@ -1,0 +1,52 @@
+#include "support/arena.h"
+
+namespace isaria
+{
+
+void *
+Arena::allocateSlow(std::size_t bytes, std::size_t align)
+{
+    // Walk forward through chunks retained by an earlier release();
+    // they are empty (used == 0) and may satisfy the request without
+    // touching the heap.
+    while (active_ + 1 < chunks_.size()) {
+        ++active_;
+        Chunk &chunk = chunks_[active_];
+        std::size_t at = (chunk.used + align - 1) & ~(align - 1);
+        if (at + bytes <= chunk.capacity) {
+            chunk.used = at + bytes;
+            bytesAllocated_ += bytes;
+            ++allocations_;
+            return chunk.data.get() + at;
+        }
+        // Too small for this request; skip it (it stays empty and is
+        // revisited after the next release).
+    }
+
+    // Fresh chunk: geometric growth from kMin to kMax, or a dedicated
+    // chunk when a single request is larger than kMax. The chunk base
+    // comes from operator new[], so it satisfies any fundamental
+    // alignment without an offset.
+    ISARIA_ASSERT(align <= alignof(std::max_align_t),
+                  "arena cannot serve over-aligned requests");
+    std::size_t capacity = kMinChunkBytes;
+    if (!chunks_.empty()) {
+        std::size_t last = chunks_.back().capacity;
+        capacity = last >= kMaxChunkBytes ? kMaxChunkBytes : last * 2;
+    }
+    if (bytes + align > capacity)
+        capacity = bytes + align;
+
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(capacity);
+    chunk.capacity = capacity;
+    chunk.used = bytes;
+    ++chunkAllocations_;
+    chunks_.push_back(std::move(chunk));
+    active_ = chunks_.size() - 1;
+    bytesAllocated_ += bytes;
+    ++allocations_;
+    return chunks_.back().data.get();
+}
+
+} // namespace isaria

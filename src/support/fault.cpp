@@ -68,6 +68,7 @@ faultSiteName(FaultSite site)
       case FaultSite::Rebuild: return "rebuild";
       case FaultSite::SynthVerify: return "synth-verify";
       case FaultSite::RuleParse: return "rule-parse";
+      case FaultSite::SnapshotRestore: return "egraph-snapshot-restore";
       case FaultSite::NumSites: break;
     }
     return "?";

@@ -27,7 +27,7 @@
  *          | site ':' N '/' D '@' SEED   // each arrival fails iff
  *                                        // hash(SEED^ordinal) % D < N
  *   site  := egraph-alloc | shard-search | rebuild
- *          | synth-verify | rule-parse
+ *          | synth-verify | rule-parse | egraph-snapshot-restore
  *
  * The disabled path costs one relaxed atomic load per site check.
  */
@@ -56,6 +56,8 @@ enum class FaultSite
     SynthVerify,
     /** Rules-file loading. */
     RuleParse,
+    /** EGraph::restore — a speculative-phase rollback failing. */
+    SnapshotRestore,
     NumSites,
 };
 

@@ -146,6 +146,54 @@ TEST(Compiler, RespectsNodeBudgetAsMemoryLimit)
         EXPECT_LE(r.nodes, 3000u); // budget + one apply round of slack
 }
 
+TEST(Compiler, SpeculativeNeverWorseThanPlain)
+{
+    // The rollback guarantee: with speculation on, a round that fails
+    // to improve is rolled back and compilation stops at the best
+    // program so far — so the result can never be worse than the
+    // non-speculative compile.
+    RecExpr examples[] = {
+        parseSexpr(
+            "(List (Vec (+ (Get sx 0) (Get sy 0)) (+ (Get sx 1) (Get sy 1))"
+            " (+ (Get sx 2) (Get sy 2)) (Get sx 3)))"),
+        parseSexpr(
+            "(List (Vec (+ (Get sa 0) (* (Get sb 0) (Get sc 0)))"
+            " (+ (Get sa 1) (* (Get sb 1) (Get sc 1)))"
+            " (+ (Get sa 2) (* (Get sb 2) (Get sc 2)))"
+            " (+ (Get sa 3) (* (Get sb 3) (Get sc 3)))))"),
+    };
+    for (const RecExpr &p : examples) {
+        CompileStats plain;
+        miniCompiler().compile(p, &plain);
+
+        CompilerConfig config;
+        config.speculation = true;
+        CompileStats spec;
+        RecExpr out = miniCompiler(config).compile(p, &spec);
+        EXPECT_LE(spec.finalCost, plain.finalCost);
+        EXPECT_LE(spec.finalCost, spec.initialCost);
+        EXPECT_TRUE(out.containsVectorOp());
+    }
+}
+
+TEST(Compiler, SpeculativeRollsBackNonImprovingRound)
+{
+    // An already-vectorized input gives the speculative loop nothing
+    // to improve: the first round must be rolled back (counted in
+    // stats) and the input returned untouched.
+    CompilerConfig config;
+    config.speculation = true;
+    IsariaCompiler compiler = miniCompiler(config);
+    RecExpr p = parseSexpr(
+        "(List (VecAdd (Vec (Get sv 0) (Get sv 1) (Get sv 2) (Get sv 3))"
+        " (Vec (Get sw 0) (Get sw 1) (Get sw 2) (Get sw 3))))");
+    CompileStats stats;
+    RecExpr out = compiler.compile(p, &stats);
+    EXPECT_EQ(stats.finalCost, stats.initialCost);
+    EXPECT_GE(stats.speculativeRollbacks, 1);
+    EXPECT_TRUE(out.equalTree(p));
+}
+
 TEST(Diospyros, HandRulesAreSoundAndWellFormed)
 {
     RuleSet rules = diospyrosHandRules();

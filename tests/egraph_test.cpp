@@ -427,6 +427,57 @@ TEST(Extract, SharedSubtermsCountedPerUse)
     EXPECT_EQ(got->expr.size(), 4u);
 }
 
+TEST(EGraph, BytesUsedExactAfterDedup)
+{
+    // Regression: dedupNodesInPlace used to refund only sizeof(ENode)
+    // per dropped duplicate, leaking the spill-children bytes from the
+    // accounting. Force duplicate wide nodes via congruence collapse
+    // and check the incremental counter against a full recount.
+    EGraph eg;
+    RecExpr e1, e2;
+    std::vector<NodeId> kids1, kids2;
+    for (int i = 0; i < 6; ++i) {
+        kids1.push_back(e1.addGet(internSymbol("bu"), i));
+        // Same node except the last child, which will be merged in.
+        kids2.push_back(e2.addGet(internSymbol("bu"), i == 5 ? 6 : i));
+    }
+    e1.add(Op::Vec, kids1);
+    e2.add(Op::Vec, kids2);
+    EClassId v1 = eg.addExpr(e1);
+    EClassId v2 = eg.addExpr(e2);
+    EClassId g5 = eg.addExpr(parseSexpr("(Get bu 5)"));
+    EClassId g6 = eg.addExpr(parseSexpr("(Get bu 6)"));
+    ASSERT_EQ(eg.bytesUsed(), eg.bytesUsedSlow());
+
+    // (Get bu 5) = (Get bu 6) makes the two wide Vec nodes congruent:
+    // their classes merge and one duplicate wide node is dropped.
+    eg.merge(g5, g6);
+    eg.rebuild();
+    EXPECT_TRUE(eg.same(v1, v2));
+    EXPECT_EQ(eg.bytesUsed(), eg.bytesUsedSlow());
+    EXPECT_EQ(eg.numNodes(), eg.numNodesSlow());
+}
+
+TEST(EGraph, BytesUsedExactThroughSaturation)
+{
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ (+ ba bb) (* bc (+ bd be)))"));
+    eg.rebuild();
+    EXPECT_EQ(eg.bytesUsed(), eg.bytesUsedSlow());
+    auto rules = compileRules({
+        parseRule("(+ ?a ?b) ~> (+ ?b ?a)"),
+        parseRule("(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))"),
+        parseRule("(* ?a (+ ?b ?c)) ~> (+ (* ?a ?b) (* ?a ?c))"),
+    });
+    EqSatLimits limits;
+    limits.maxIters = 4;
+    limits.maxNodes = 20'000;
+    runEqSat(eg, rules, limits);
+    EXPECT_EQ(eg.bytesUsed(), eg.bytesUsedSlow());
+    EXPECT_EQ(eg.numNodes(), eg.numNodesSlow());
+    EXPECT_EQ(eg.numClasses(), eg.numClassesSlow());
+}
+
 TEST(Extract, EmptyClassImpossible)
 {
     EGraph eg;

@@ -1,0 +1,523 @@
+// Arena memory subsystem and e-graph snapshot/restore tests.
+//
+// The differential oracle here is the contract ISSUE'd for speculative
+// compilation: snapshot -> mutate (saturate / merge / rebuild) ->
+// restore must yield a graph structurally identical to the snapshot
+// state — same node/class counts, same accounted bytes, same
+// extraction results, same per-class fingerprints — at 1 and 4
+// threads, with the arena on and off. The arena reuse/growth tests
+// double as the ASan target (build with ISARIA_SANITIZE=address).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "egraph/extract.h"
+#include "egraph/runner.h"
+#include "support/arena.h"
+#include "term/sexpr.h"
+
+namespace isaria
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Arena unit tests.
+
+TEST(Arena, BumpAllocationAndChunkGrowth)
+{
+    Arena arena;
+    EXPECT_EQ(arena.bytesAllocated(), 0u);
+    EXPECT_EQ(arena.numChunks(), 0u);
+
+    // Fill well past the first 4KiB chunk.
+    for (int i = 0; i < 1000; ++i) {
+        auto *p = arena.allocateArray<std::uint64_t>(8);
+        p[0] = static_cast<std::uint64_t>(i); // must be writable
+        EXPECT_EQ(p[0], static_cast<std::uint64_t>(i));
+    }
+    EXPECT_GE(arena.bytesAllocated(), 1000u * 8 * sizeof(std::uint64_t));
+    EXPECT_GT(arena.numChunks(), 1u);
+    EXPECT_EQ(arena.allocations(), 1000u);
+    EXPECT_GE(arena.bytesReserved(), arena.bytesAllocated());
+}
+
+TEST(Arena, OversizeAllocationGetsDedicatedChunk)
+{
+    Arena arena;
+    const std::size_t big = 4u << 20; // 4 MiB > kMaxChunkBytes
+    auto *p = static_cast<std::byte *>(arena.allocate(big, 16));
+    ASSERT_NE(p, nullptr);
+    p[0] = std::byte{1};
+    p[big - 1] = std::byte{2}; // whole span must be addressable
+    EXPECT_GE(arena.bytesReserved(), big);
+}
+
+TEST(Arena, MarkReleaseRewindsAndRetainsChunks)
+{
+    Arena arena;
+    (void)arena.allocate(512, 8);
+    Arena::Mark m = arena.mark();
+    std::uint64_t bytesAtMark = arena.bytesAllocated();
+
+    for (int i = 0; i < 500; ++i)
+        (void)arena.allocate(256, 8);
+    std::size_t chunksGrown = arena.numChunks();
+    std::uint64_t chunkAllocs = arena.chunkAllocations();
+    EXPECT_GT(arena.bytesAllocated(), bytesAtMark);
+
+    arena.release(m);
+    EXPECT_EQ(arena.bytesAllocated(), bytesAtMark);
+    // Chunks are retained for reuse, not freed.
+    EXPECT_EQ(arena.numChunks(), chunksGrown);
+
+    // Refilling the same volume reuses the retained chunks: no new
+    // chunk allocations (this is the reuse loop ASan must bless).
+    for (int i = 0; i < 500; ++i)
+        (void)arena.allocate(256, 8);
+    EXPECT_EQ(arena.chunkAllocations(), chunkAllocs);
+}
+
+TEST(Arena, AllocatedBeforeClassifiesPointers)
+{
+    Arena arena;
+    void *before = arena.allocate(64, 8);
+    Arena::Mark m = arena.mark();
+    void *after = arena.allocate(64, 8);
+    int stackVar = 0;
+
+    EXPECT_TRUE(arena.allocatedBefore(before, m));
+    EXPECT_FALSE(arena.allocatedBefore(after, m));
+    EXPECT_FALSE(arena.allocatedBefore(&stackVar, m));
+}
+
+TEST(Arena, ArenaVectorGrowTruncateReset)
+{
+    Arena arena;
+    ArenaVector<std::uint32_t> v;
+    EXPECT_TRUE(v.empty());
+    for (std::uint32_t i = 0; i < 1000; ++i)
+        v.push_back(arena, i);
+    ASSERT_EQ(v.size(), 1000u);
+    for (std::uint32_t i = 0; i < 1000; ++i)
+        EXPECT_EQ(v[i], i);
+
+    v.truncate(10);
+    EXPECT_EQ(v.size(), 10u);
+    EXPECT_EQ(v[9], 9u);
+
+    // Growth abandons old blocks inside the arena; after a wholesale
+    // reset the vector must forget its (now dangling) buffer.
+    arena.reset();
+    v.resetStorage();
+    EXPECT_TRUE(v.empty());
+    v.push_back(arena, 7u);
+    EXPECT_EQ(v[0], 7u);
+}
+
+TEST(Arena, PoolRecyclesExactSizeBlocks)
+{
+    ArenaPool pool;
+    void *a = pool.allocate(48);
+    pool.deallocate(a, 48);
+    // Same-size request must come from the free list, not the bump
+    // frontier.
+    EXPECT_EQ(pool.allocate(48), a);
+    // Different size misses the bucket.
+    EXPECT_NE(pool.allocate(64), a);
+}
+
+TEST(Arena, PoolDisabledRoutesToHeap)
+{
+    ArenaPool pool;
+    pool.enabled = false;
+    void *p = pool.allocate(32);
+    ASSERT_NE(p, nullptr);
+    pool.deallocate(p, 32);
+    EXPECT_EQ(pool.arena.bytesAllocated(), 0u);
+    EXPECT_TRUE(pool.freeBySize.empty());
+}
+
+TEST(Arena, PoolDropFreeBlocksAtOrAfterMark)
+{
+    ArenaPool pool;
+    void *keep = pool.allocate(40);
+    Arena::Mark m = pool.arena.mark();
+    void *drop = pool.allocate(40);
+    pool.deallocate(keep, 40);
+    pool.deallocate(drop, 40);
+    ASSERT_EQ(pool.freeBySize[40].size(), 2u);
+
+    pool.dropFreeBlocksAtOrAfter(m);
+    // The post-mark block would dangle after release(m); it must be
+    // gone from the free list while the pre-mark block stays.
+    ASSERT_EQ(pool.freeBySize[40].size(), 1u);
+    EXPECT_EQ(pool.freeBySize[40][0], keep);
+    pool.arena.release(m);
+    EXPECT_EQ(pool.allocate(40), keep);
+}
+
+TEST(Arena, ChildArraySpillOwnership)
+{
+    Arena arena;
+    std::vector<EClassId> ids = {1, 2, 3, 4, 5, 6, 7};
+    ChildArray wide;
+    wide.assignArena(arena, ids.data(), ids.size());
+    EXPECT_TRUE(wide.spilled());
+    EXPECT_TRUE(wide.arenaOwned());
+    ASSERT_EQ(wide.size(), 7u);
+    EXPECT_EQ(wide[6], 7u);
+
+    // Copies always own their storage (plain heap spill).
+    ChildArray copy = wide;
+    EXPECT_TRUE(copy.spilled());
+    EXPECT_FALSE(copy.arenaOwned());
+    EXPECT_TRUE(copy == wide);
+
+    // Growth from an arena-owned buffer lands on the heap and leaves
+    // the arena block behind — no delete of arena memory.
+    wide.push_back(8);
+    EXPECT_FALSE(wide.arenaOwned());
+    EXPECT_EQ(wide.size(), 8u);
+    EXPECT_EQ(wide[7], 8u);
+
+    // Inline-sized assignArena stays inline (no spill at all).
+    ChildArray small;
+    small.assignArena(arena, ids.data(), 3);
+    EXPECT_FALSE(small.spilled());
+    EXPECT_FALSE(small.arenaOwned());
+}
+
+// ---------------------------------------------------------------------
+// Snapshot/restore differential oracle.
+
+/** Simple additive cost: every node costs 1 + sum of children. */
+class UnitCost : public CostFn
+{
+  public:
+    std::uint64_t
+    nodeCost(Op, std::int64_t,
+             std::span<const std::uint64_t> childCosts) const override
+    {
+        std::uint64_t c = 1;
+        for (std::uint64_t child : childCosts)
+            c = satAddCost(c, child);
+        return c;
+    }
+};
+
+/**
+ * A canonical, order-independent structural fingerprint: every
+ * canonical class with its node multiset, children resolved to
+ * canonical ids. Two graphs with equal fingerprints are structurally
+ * identical (same classes, same membership).
+ */
+std::string
+graphFingerprint(const EGraph &eg)
+{
+    std::vector<EClassId> roots = eg.canonicalClasses();
+    std::sort(roots.begin(), roots.end());
+    std::ostringstream out;
+    for (EClassId root : roots) {
+        std::vector<std::string> nodes;
+        for (const ENode &node : eg.eclass(root).nodes) {
+            std::ostringstream n;
+            n << static_cast<int>(node.op) << ':' << node.payload << '(';
+            for (EClassId child : node.children)
+                n << eg.find(child) << ',';
+            n << ')';
+            nodes.push_back(n.str());
+        }
+        std::sort(nodes.begin(), nodes.end());
+        out << root << '{';
+        for (const std::string &n : nodes)
+            out << n << ' ';
+        out << "}\n";
+    }
+    return out.str();
+}
+
+/** Explosive AC ruleset (the §2.2 blowup) used as the mutation. */
+std::vector<CompiledRule>
+acRules()
+{
+    return compileRules({
+        parseRule("(+ ?a ?b) ~> (+ ?b ?a)"),
+        parseRule("(+ (+ ?a ?b) ?c) ~> (+ ?a (+ ?b ?c))"),
+        parseRule("(* ?a ?b) ~> (* ?b ?a)"),
+    });
+}
+
+struct SnapshotState
+{
+    std::size_t numNodes, numClasses, numIds, bytesUsed;
+    std::string fingerprint;
+    std::string bestExpr;
+    std::uint64_t bestCost;
+};
+
+SnapshotState
+captureState(const EGraph &eg, EClassId root)
+{
+    UnitCost cost;
+    auto best = extractBest(eg, eg.find(root), cost);
+    EXPECT_TRUE(best.has_value());
+    return SnapshotState{eg.numNodes(),  eg.numClasses(),
+                         eg.numIds(),    eg.bytesUsed(),
+                         graphFingerprint(eg),
+                         best ? printSexpr(best->expr) : "",
+                         best ? best->cost : 0};
+}
+
+void
+expectStateEqual(const SnapshotState &a, const SnapshotState &b)
+{
+    EXPECT_EQ(a.numNodes, b.numNodes);
+    EXPECT_EQ(a.numClasses, b.numClasses);
+    EXPECT_EQ(a.numIds, b.numIds);
+    EXPECT_EQ(a.bytesUsed, b.bytesUsed);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.bestExpr, b.bestExpr);
+    EXPECT_EQ(a.bestCost, b.bestCost);
+}
+
+/** snapshot -> saturate -> restore must be a structural no-op. */
+void
+runSaturationDifferential(int numThreads)
+{
+    EGraph eg;
+    EClassId root =
+        eg.addExpr(parseSexpr("(* (+ a (+ b (+ c d))) (+ e f))"));
+    eg.rebuild();
+    SnapshotState before = captureState(eg, root);
+    ASSERT_EQ(eg.bytesUsed(), eg.bytesUsedSlow());
+
+    eg.snapshot();
+    EXPECT_TRUE(eg.snapshotActive());
+
+    EqSatLimits limits;
+    limits.maxIters = 4;
+    limits.maxNodes = 20'000;
+    limits.numThreads = numThreads;
+    runEqSat(eg, acRules(), limits);
+    EXPECT_GT(eg.numNodes(), before.numNodes); // mutation really ran
+
+    eg.restore();
+    EXPECT_FALSE(eg.snapshotActive());
+    expectStateEqual(captureState(eg, root), before);
+    EXPECT_EQ(eg.bytesUsed(), eg.bytesUsedSlow());
+    EXPECT_EQ(eg.numNodes(), eg.numNodesSlow());
+    EXPECT_EQ(eg.numClasses(), eg.numClassesSlow());
+}
+
+TEST(Snapshot, SaturationDifferentialSingleThread)
+{
+    runSaturationDifferential(1);
+}
+
+TEST(Snapshot, SaturationDifferentialFourThreads)
+{
+    runSaturationDifferential(4);
+}
+
+TEST(Snapshot, SaturationDifferentialArenaDisabled)
+{
+    // The same oracle with the arena A/B switch off: snapshot/restore
+    // must be correct in pure-heap mode too.
+    setenv("ISARIA_EGRAPH_ARENA", "0", 1);
+    EGraph heapGraph;
+    unsetenv("ISARIA_EGRAPH_ARENA");
+    ASSERT_FALSE(heapGraph.arenaStats().arenaEnabled);
+
+    EClassId root = heapGraph.addExpr(parseSexpr("(+ (+ p q) (+ r s))"));
+    heapGraph.rebuild();
+    SnapshotState before = captureState(heapGraph, root);
+
+    heapGraph.snapshot();
+    EqSatLimits limits;
+    limits.maxIters = 3;
+    runEqSat(heapGraph, acRules(), limits);
+    heapGraph.restore();
+
+    expectStateEqual(captureState(heapGraph, root), before);
+    EXPECT_EQ(heapGraph.bytesUsed(), heapGraph.bytesUsedSlow());
+}
+
+TEST(Snapshot, MergeAndRebuildDifferential)
+{
+    EGraph eg;
+    EClassId root = eg.addExpr(parseSexpr("(* (neg x) (neg y))"));
+    EClassId x = eg.addExpr(parseSexpr("x"));
+    EClassId y = eg.addExpr(parseSexpr("y"));
+    eg.rebuild();
+    SnapshotState before = captureState(eg, root);
+
+    eg.snapshot();
+    // Congruence collapse: x=y makes (neg x)=(neg y), and the
+    // surviving class holds duplicate (* n n) parents to dedup.
+    eg.merge(x, y);
+    eg.rebuild();
+    EXPECT_LT(eg.numClasses(), before.numClasses);
+    EXPECT_EQ(eg.bytesUsed(), eg.bytesUsedSlow());
+
+    eg.restore();
+    expectStateEqual(captureState(eg, root), before);
+    EXPECT_FALSE(eg.same(x, y));
+}
+
+TEST(Snapshot, WideNodeDifferential)
+{
+    // Nodes with > 4 children exercise the arena spill path in every
+    // copy the e-graph stores (members, memo keys, parents).
+    EGraph eg;
+    RecExpr e;
+    std::vector<NodeId> leaves;
+    for (int i = 0; i < 8; ++i)
+        leaves.push_back(e.addGet(internSymbol("w"), i));
+    e.add(Op::Vec, leaves);
+    EClassId root = eg.addExpr(e);
+    eg.rebuild();
+    SnapshotState before = captureState(eg, root);
+    ASSERT_EQ(eg.bytesUsed(), eg.bytesUsedSlow());
+
+    eg.snapshot();
+    EClassId g0 = eg.addExpr(parseSexpr("(Get w 0)"));
+    EClassId g1 = eg.addExpr(parseSexpr("(Get w 1)"));
+    eg.merge(g0, g1); // dirties the wide parent
+    eg.rebuild();
+    eg.restore();
+
+    expectStateEqual(captureState(eg, root), before);
+    EXPECT_EQ(eg.bytesUsed(), eg.bytesUsedSlow());
+}
+
+TEST(Snapshot, RepeatedCyclesReuseArena)
+{
+    // The chunk-reuse loop: after the first cycle warms the arena,
+    // later cycles must not allocate new chunks, and every cycle must
+    // restore to the identical state. (ASan builds verify the reuse
+    // never touches freed memory.)
+    EGraph eg;
+    EClassId root = eg.addExpr(parseSexpr("(+ (+ a b) (+ c d))"));
+    eg.rebuild();
+    SnapshotState before = captureState(eg, root);
+
+    EqSatLimits limits;
+    limits.maxIters = 3;
+    std::uint64_t chunksAfterWarmup = 0;
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        eg.snapshot();
+        runEqSat(eg, acRules(), limits);
+        eg.restore();
+        expectStateEqual(captureState(eg, root), before);
+        std::uint64_t chunks = eg.arenaStats().chunkAllocations;
+        if (cycle == 0)
+            chunksAfterWarmup = chunks;
+        else if (eg.arenaStats().arenaEnabled)
+            EXPECT_EQ(chunks, chunksAfterWarmup);
+    }
+    EGraphArenaStats stats = eg.arenaStats();
+    EXPECT_EQ(stats.snapshots, 5u);
+    EXPECT_EQ(stats.restores, 5u);
+
+    // The graph stays fully usable after the cycles.
+    EClassId more = eg.addExpr(parseSexpr("(* (+ a b) 2)"));
+    eg.rebuild();
+    UnitCost cost;
+    EXPECT_TRUE(extractBest(eg, eg.find(more), cost).has_value());
+}
+
+TEST(Snapshot, DiscardKeepsMutatedState)
+{
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ m n)"));
+    eg.rebuild();
+    eg.snapshot();
+    std::size_t beforeNodes = eg.numNodes();
+    eg.addExpr(parseSexpr("(* m n)"));
+    eg.discardSnapshot();
+    EXPECT_FALSE(eg.snapshotActive());
+    EXPECT_GT(eg.numNodes(), beforeNodes);
+    EXPECT_EQ(eg.bytesUsed(), eg.bytesUsedSlow());
+}
+
+TEST(Snapshot, NewSnapshotReplacesOutstanding)
+{
+    EGraph eg;
+    EClassId root = eg.addExpr(parseSexpr("(+ u v)"));
+    eg.rebuild();
+    eg.snapshot();
+    eg.addExpr(parseSexpr("(* u v)"));
+    eg.rebuild();
+    SnapshotState second = captureState(eg, root);
+
+    eg.snapshot(); // replaces the first snapshot
+    eg.addExpr(parseSexpr("(neg u)"));
+    eg.rebuild();
+    eg.restore(); // rolls back to the *second* snapshot only
+    expectStateEqual(captureState(eg, root), second);
+    EXPECT_EQ(eg.classesWithOp(Op::Mul).size(), 1u);
+    EXPECT_EQ(eg.classesWithOp(Op::Neg).size(), 0u);
+}
+
+TEST(Snapshot, RestoreBumpsGeneration)
+{
+    // Derived caches key on (graphId, generation); a restore changes
+    // the structure, so it must look like a fresh mutation to them.
+    EGraph eg;
+    eg.addExpr(parseSexpr("(+ g h)"));
+    eg.rebuild();
+    eg.snapshot();
+    std::uint64_t gen = eg.generation();
+    eg.addExpr(parseSexpr("(* g h)"));
+    eg.restore();
+    EXPECT_GT(eg.generation(), gen);
+}
+
+TEST(Snapshot, DeterministicReplayAfterRestore)
+{
+    // Saturating, restoring, and saturating again must land on the
+    // same graph both times — restore leaves no hidden state behind.
+    EGraph eg;
+    EClassId root = eg.addExpr(parseSexpr("(+ (+ a b) (+ c d))"));
+    eg.rebuild();
+
+    EqSatLimits limits;
+    limits.maxIters = 3;
+    eg.snapshot();
+    runEqSat(eg, acRules(), limits);
+    SnapshotState firstRun = captureState(eg, root);
+    eg.restore();
+
+    eg.snapshot();
+    runEqSat(eg, acRules(), limits);
+    expectStateEqual(captureState(eg, root), firstRun);
+    eg.discardSnapshot();
+}
+
+TEST(Snapshot, CopyIsIndependentOfSnapshots)
+{
+    EGraph eg;
+    EClassId root = eg.addExpr(parseSexpr("(+ (neg k) k)"));
+    eg.rebuild();
+    eg.snapshot();
+
+    EGraph copy = eg; // fresh pool, no snapshot carried over
+    EXPECT_FALSE(copy.snapshotActive());
+    EXPECT_NE(copy.graphId(), eg.graphId());
+    expectStateEqual(captureState(copy, root), captureState(eg, root));
+
+    // Mutating and restoring the original never touches the copy.
+    eg.addExpr(parseSexpr("(* k k)"));
+    eg.restore();
+    EXPECT_EQ(copy.bytesUsed(), copy.bytesUsedSlow());
+    EXPECT_EQ(copy.classesWithOp(Op::Mul).size(), 0u);
+}
+
+} // namespace
+} // namespace isaria

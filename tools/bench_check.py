@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate BENCH_scaling.json against committed thresholds.
+
+Usage: bench_check.py BENCH_scaling.json thresholds.json
+
+The thresholds file records the baseline value of each gated summary
+metric and which direction is better:
+
+    {
+      "tolerance_pct": 20,
+      "metrics": {
+        "alloc_reduction_pct": {"baseline": 30.0, "better": "higher"},
+        "arena_saturation_speedup": {"baseline": 1.0, "better": "higher"}
+      }
+    }
+
+A fresh value regresses when it is worse than the baseline by more
+than tolerance_pct percent of the baseline ("higher"-is-better metrics
+may drop to baseline*(1 - tol); "lower"-is-better may rise to
+baseline*(1 + tol)). Exit code 0 = all gated metrics within tolerance,
+1 = regression or malformed input. Stdlib only: runs anywhere ctest
+found a python3.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> "None":
+    print(f"bench_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 3:
+        fail(f"usage: {argv[0]} BENCH_scaling.json thresholds.json")
+
+    try:
+        with open(argv[1]) as f:
+            bench = json.load(f)
+        with open(argv[2]) as f:
+            thresholds = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load inputs: {e}")
+
+    schema = bench.get("schema_version")
+    if schema != 2:
+        fail(f"unexpected schema_version {schema!r} (want 2)")
+    summary = bench.get("summary")
+    if not isinstance(summary, dict):
+        fail("missing summary block")
+
+    build_type = bench.get("host", {}).get("build_type", "unknown")
+    print(f"bench_check: {argv[1]} (build_type={build_type}, "
+          f"git_sha={bench.get('host', {}).get('git_sha', '?')})")
+
+    tol = float(thresholds.get("tolerance_pct", 20)) / 100.0
+    regressions = []
+    for name, spec in thresholds.get("metrics", {}).items():
+        if name not in summary:
+            regressions.append(f"{name}: missing from summary")
+            continue
+        value = float(summary[name])
+        baseline = float(spec["baseline"])
+        better = spec.get("better", "higher")
+        if better == "higher":
+            floor = baseline * (1.0 - tol)
+            ok = value >= floor
+            bound = f">= {floor:.4g}"
+        else:
+            ceil = baseline * (1.0 + tol)
+            ok = value <= ceil
+            bound = f"<= {ceil:.4g}"
+        status = "ok" if ok else "REGRESSION"
+        print(f"bench_check:   {name} = {value:.4g} "
+              f"(baseline {baseline:.4g}, want {bound}) {status}")
+        if not ok:
+            regressions.append(
+                f"{name}: {value:.4g} vs baseline {baseline:.4g} "
+                f"(want {bound})")
+
+    if regressions:
+        fail("; ".join(regressions))
+    print("bench_check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
