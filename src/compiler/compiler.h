@@ -59,14 +59,17 @@ struct CompilerConfig
     bool pruning = true;
     /**
      * Speculative phase exploration: the improve loop keeps one
-     * e-graph across rounds and wraps each round's saturations in an
-     * EGraph::snapshot(). A round whose extraction improves the cost
-     * is kept (the accumulated equalities stay available to later
-     * rounds); a round that fails to improve is rolled back with
-     * restore(), reclaiming its memory instead of dragging the failed
-     * expansion along. Never emits a worse program than the
-     * non-speculative loop: `current` only advances on a strict cost
-     * improvement, and round 1 sees exactly the same seeded graph.
+     * persistent e-graph across rounds. Each round snapshots the
+     * empty graph, seeds it with the best program so far, saturates,
+     * extracts, and is rolled back with restore() whether it improved
+     * or not — only `current` (the extracted term) advances; the
+     * saturated equalities are not carried into later rounds. The
+     * payoff is memory recycling: restore() keeps every arena chunk
+     * hot, so rounds after the first saturate into recycled chunks
+     * instead of growing a fresh heap per round. Never emits a worse
+     * program than the non-speculative loop: `current` only advances
+     * on a strict cost improvement, and every round sees exactly the
+     * seeded graph the plain pruning loop would build.
      */
     bool speculation = false;
     /** Phase-scheduled saturation; false = one saturation over the

@@ -593,6 +593,16 @@ EGraph::rebuildDerivedIndexes()
     // all and repopulate from the restored class table. Iterating ids
     // ascending leaves each per-op list sorted and duplicate-free, the
     // same form classesWithOp() compacts to.
+    //
+    // Buffers the lists held from *before* the mark are abandoned, not
+    // recycled: they sit below the frontier, so release() never
+    // reclaims them and ArenaVector growth never reuses them. Each
+    // snapshot/restore cycle on a non-empty graph therefore retires
+    // one generation of op-list buffers into the arena. The compile
+    // loop always snapshots the empty graph (pre-mark lists are
+    // empty, nothing is abandoned); callers snapshotting a populated
+    // graph repeatedly should expect bytesReserved() to creep by the
+    // op-index footprint per cycle.
     for (ArenaVector<EClassId> &list : opClasses_)
         list.resetStorage();
     for (EClassId id = 0; id < classes_.size(); ++id) {

@@ -49,7 +49,12 @@
  * revalidate). One snapshot is outstanding at a time; taking a new
  * one replaces the old. The compile loop uses this for speculative
  * phase exploration: try a phase, keep it if the extracted cost
- * improved, roll it back otherwise.
+ * improved, roll it back otherwise. Restoring is cheapest when the
+ * snapshot was taken on an empty graph (the compile loop's pattern):
+ * snapshotting a *populated* graph repeatedly leaks one generation of
+ * op-index list buffers into the arena per cycle, because the rebuilt
+ * lists cannot reuse buffers that sit below the mark (see
+ * rebuildDerivedIndexes()).
  */
 
 #include <cstdint>

@@ -95,7 +95,10 @@ class BindingVec
         if (capacity > capacity_) {
             auto *fresh = new EClassId[capacity];
             std::memcpy(fresh, data(), size_ * sizeof(EClassId));
-            release();
+            // Not release(): that would zero size_ and drop the
+            // existing bindings on the floor.
+            if (capacity_ > kInlineCapacity)
+                delete[] heap_;
             heap_ = fresh;
             capacity_ = static_cast<std::uint32_t>(capacity);
         }

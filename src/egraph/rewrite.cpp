@@ -44,8 +44,14 @@ CompiledRule::apply(EGraph &egraph, const PatternMatch &match) const
         enode.op = n.op;
         enode.payload = n.payload;
         enode.children.reserve(n.children.size());
-        for (NodeId child : n.children)
+        for (NodeId child : n.children) {
+            // classOf is written in id order without initialization;
+            // soundness needs RecExpr's children-before-parents id
+            // ordering, so pin it rather than read garbage.
+            ISARIA_ASSERT(child < id,
+                          "rhs nodes not topologically ordered");
             enode.children.push_back(classOf[child]);
+        }
         classOf[id] = egraph.add(std::move(enode));
     }
     return egraph.merge(match.root, classOf[rhs.rootId()]);

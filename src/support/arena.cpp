@@ -26,9 +26,8 @@ Arena::allocateSlow(std::size_t bytes, std::size_t align)
     // Fresh chunk: geometric growth from kMin to kMax, or a dedicated
     // chunk when a single request is larger than kMax. The chunk base
     // comes from operator new[], so it satisfies any fundamental
-    // alignment without an offset.
-    ISARIA_ASSERT(align <= alignof(std::max_align_t),
-                  "arena cannot serve over-aligned requests");
+    // alignment without an offset (allocate() already rejected
+    // over-aligned requests).
     std::size_t capacity = kMinChunkBytes;
     if (!chunks_.empty()) {
         std::size_t last = chunks_.back().capacity;

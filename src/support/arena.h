@@ -68,6 +68,12 @@ class Arena
     {
         ISARIA_ASSERT((align & (align - 1)) == 0,
                       "arena alignment must be a power of two");
+        // Chunk bases come from operator new[], which only guarantees
+        // fundamental alignment — an over-aligned request could slip
+        // through the offset-only alignment below, so reject it here
+        // on every path, not just in allocateSlow.
+        ISARIA_ASSERT(align <= alignof(std::max_align_t),
+                      "arena cannot serve over-aligned requests");
         if (!chunks_.empty()) {
             Chunk &chunk = chunks_[active_];
             std::size_t at = (chunk.used + align - 1) & ~(align - 1);

@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "egraph/ematch.h"
 #include "egraph/extract.h"
 #include "egraph/runner.h"
 #include "term/sexpr.h"
@@ -38,6 +39,39 @@ TEST(EGraph, HashConsDedup)
     // x, y, (+ x y) = 3 classes.
     EXPECT_EQ(eg.numClasses(), 3u);
     EXPECT_EQ(eg.numNodes(), 3u);
+}
+
+TEST(BindingVec, GrowthPastInlineCapacityKeepsBindings)
+{
+    // Regression: reserve() once reset size_ while spilling to the
+    // heap, so the 17th push_back silently discarded the first 16
+    // bindings. Push well past the inline capacity (through two
+    // doublings) and check every element survives each growth.
+    BindingVec v;
+    const std::uint32_t n = BindingVec::kInlineCapacity * 3;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        v.push_back(static_cast<EClassId>(i + 100));
+        ASSERT_EQ(v.size(), i + 1u);
+        for (std::uint32_t j = 0; j <= i; ++j)
+            ASSERT_EQ(v[j], static_cast<EClassId>(j + 100));
+    }
+
+    // Copy and move of a heap-backed vector preserve contents too.
+    BindingVec copy(v);
+    EXPECT_TRUE(copy == v);
+    BindingVec moved(std::move(copy));
+    EXPECT_TRUE(moved == v);
+    EXPECT_EQ(moved.size(), static_cast<std::size_t>(n));
+
+    // An explicit oversized reserve (the non-doubling growth path)
+    // also keeps existing bindings.
+    BindingVec w;
+    for (std::uint32_t i = 0; i < 5; ++i)
+        w.push_back(static_cast<EClassId>(i));
+    w.reserve(BindingVec::kInlineCapacity * 4);
+    ASSERT_EQ(w.size(), 5u);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        EXPECT_EQ(w[i], static_cast<EClassId>(i));
 }
 
 TEST(EGraph, DistinctTermsDistinctClasses)
