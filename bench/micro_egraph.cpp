@@ -29,6 +29,7 @@
 #include "egraph/runner.h"
 #include "frontend/kernels.h"
 #include "isa/cost_model.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "term/sexpr.h"
 
@@ -587,6 +588,59 @@ BM_ObsCounterEnabled(benchmark::State &state)
         outer->activate();
 }
 BENCHMARK(BM_ObsCounterEnabled);
+
+/**
+ * The metrics kill-switch path: one relaxed load + branch per site.
+ * Unlike tracing, metrics default to ON, so this bench is the A-side
+ * of the overhead story, not the operating mode.
+ */
+void
+BM_MetricsDisabled(benchmark::State &state)
+{
+    bool saved = obs::metricsEnabled();
+    obs::setMetricsEnabled(false);
+    static const obs::HistogramHandle h =
+        obs::metricHistogram("bench/metrics/disabled_ns");
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        obs::metricRecord(h, ++i);
+    obs::setMetricsEnabled(saved);
+}
+BENCHMARK(BM_MetricsDisabled);
+
+/**
+ * The always-on histogram hot path: bit-scan bucket index plus a
+ * handful of relaxed single-writer bumps. The ISSUE budget — and
+ * bench_thresholds.json, via scaling's summary metrics — pins this
+ * at ~10 ns/site.
+ */
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    bool saved = obs::metricsEnabled();
+    obs::setMetricsEnabled(true);
+    static const obs::HistogramHandle h =
+        obs::metricHistogram("bench/metrics/record_ns");
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        obs::metricRecord(h, ++i);
+    obs::setMetricsEnabled(saved);
+}
+BENCHMARK(BM_HistogramRecord);
+
+/** Counter add with metrics on: one relaxed load+store. */
+void
+BM_CounterAdd(benchmark::State &state)
+{
+    bool saved = obs::metricsEnabled();
+    obs::setMetricsEnabled(true);
+    static const obs::CounterHandle c =
+        obs::metricCounter("bench/metrics/adds");
+    for (auto _ : state)
+        obs::metricAdd(c);
+    obs::setMetricsEnabled(saved);
+}
+BENCHMARK(BM_CounterAdd);
 
 void
 BM_LiftKernel(benchmark::State &state)

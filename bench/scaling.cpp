@@ -30,6 +30,7 @@
 #include "egraph/rewrite.h"
 #include "egraph/runner.h"
 #include "frontend/kernels.h"
+#include "obs/metrics.h"
 #include "support/timer.h"
 #include "synth/synthesize.h"
 #include "term/pattern.h"
@@ -221,6 +222,47 @@ main(int argc, char **argv)
         static_cast<std::int64_t>(arena.arena.bytesReserved));
     json.summary().integer("saturation_nodes",
                            static_cast<std::int64_t>(arena.nodes));
+
+    // -----------------------------------------------------------------
+    // Metrics hot-path overhead: ns/op for a histogram record with
+    // the registry on and with the kill switch off, plus the global
+    // operator-new count across the recording loop — the steady-state
+    // hot path must stay allocation-free (gated at exactly 0 by
+    // bench_thresholds.json; the warm-up record takes the one-time
+    // shard/cell growth first).
+    {
+        constexpr std::uint64_t kOps = 2'000'000;
+        obs::HistogramHandle hist =
+            obs::metricHistogram("bench/metrics/overhead_ns");
+        obs::setMetricsEnabled(true);
+        obs::metricRecord(hist, 1);
+        std::uint64_t allocsBefore =
+            gNewCalls.load(std::memory_order_relaxed);
+        Stopwatch onWatch;
+        for (std::uint64_t i = 0; i < kOps; ++i)
+            obs::metricRecord(hist, i);
+        double recordNs = onWatch.elapsedSeconds() * 1e9 /
+                          static_cast<double>(kOps);
+        auto recordAllocs = static_cast<std::int64_t>(
+            gNewCalls.load(std::memory_order_relaxed) - allocsBefore);
+
+        obs::setMetricsEnabled(false);
+        Stopwatch offWatch;
+        for (std::uint64_t i = 0; i < kOps; ++i)
+            obs::metricRecord(hist, i);
+        double disabledNs = offWatch.elapsedSeconds() * 1e9 /
+                            static_cast<double>(kOps);
+        obs::setMetricsEnabled(true);
+
+        std::fprintf(stderr,
+                     "[scaling] metrics record: %.2f ns/op enabled, "
+                     "%.2f ns/op disabled, %lld allocs\n",
+                     recordNs, disabledNs,
+                     static_cast<long long>(recordAllocs));
+        json.summary().number("metrics_record_ns", recordNs);
+        json.summary().number("metrics_disabled_ns", disabledNs);
+        json.summary().integer("metrics_record_allocs", recordAllocs);
+    }
 
     // -----------------------------------------------------------------
     // Thread sweeps. Each row records absolute seconds plus speedup

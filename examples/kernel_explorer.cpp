@@ -12,7 +12,14 @@
 //                   [--eqsat-match-limit=N] [--eqsat-ban-length=N]
 //                   [--cache-dir=DIR] [--memo-entries=N]
 //                   [--trace FILE] [--trace-format {jsonl,chrome}]
-//                   [--stats]
+//                   [--stats] [--report FILE] [--metrics FILE]
+//                   [--metrics-interval SECONDS]
+//
+// --report=FILE writes the schema-versioned CompileReport JSON for
+// the Isaria compile (see src/compiler/report.h; validated by
+// tools/validate_report.py). --metrics=FILE publishes the always-on
+// metrics registry as an OpenMetrics text page at exit — and every
+// --metrics-interval seconds while running.
 //
 // --eqsat-threads=N runs every equality-saturation search phase on N
 // worker threads (default: ISARIA_EQSAT_THREADS, else the hardware
@@ -67,6 +74,7 @@
 #include "baseline/harness.h"
 #include "baseline/slp.h"
 #include "compiler/pipeline.h"
+#include "compiler/report.h"
 #include "lower/lower.h"
 #include "lower/optimize.h"
 #include "obs/obs.h"
@@ -80,7 +88,8 @@ int
 main(int argc, char **argv)
 {
     return guardedMain([&] {
-    // Consumes --trace/--trace-format/--stats before the kernel args.
+    // Consumes --trace/--trace-format/--stats/--metrics/--report
+    // before the kernel args.
     obs::ScopedTrace trace(obs::ObsOptions::parse(argc, argv));
 
     KernelSpec spec = KernelSpec::conv2d(4, 4, 3, 3);
@@ -243,6 +252,13 @@ main(int argc, char **argv)
     if (trace.options().stats)
         std::printf("\nPer-round compile breakdown:\n%s",
                     isariaOut.compileStats.toString().c_str());
+    if (!trace.options().reportPath.empty()) {
+        CompileReport report =
+            makeCompileReport(spec.label(), isariaOut.compileStats);
+        if (writeCompileReport(trace.options().reportPath, report))
+            std::printf("\nCompile report written: %s\n",
+                        trace.options().reportPath.c_str());
+    }
 
     if (optimize) {
         RecExpr compiled = gen.compiler.compile(h.scalarProgram());

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "support/hash.h"
 
@@ -294,6 +295,9 @@ RuleCache::load(const IsaSpec &isa, std::uint64_t fingerprint) const
         // Corrupt or stale: a miss with a diagnostic, never an abort.
         probe.diagnostic = path + ": " + decoded.error().toString();
         obs::counter("synth/cache/corrupt", 1);
+        static const obs::CounterHandle corruptMetric =
+            obs::metricCounter("synth/cache/corrupt");
+        obs::metricAdd(corruptMetric);
         return probe;
     }
     probe.entry = decoded.take();
@@ -332,6 +336,9 @@ RuleCache::store(const IsaSpec &isa, std::uint64_t fingerprint,
         return Error{"cannot publish cache entry " + path};
     }
     obs::counter("synth/cache/store", 1);
+    static const obs::CounterHandle storeMetric =
+        obs::metricCounter("synth/cache/store");
+    obs::metricAdd(storeMetric);
     return path;
 }
 
@@ -346,6 +353,9 @@ synthesizeRulesCached(const IsaSpec &isa, const SynthConfig &config,
     CacheProbe probe = cache.load(isa, fp);
     if (probe.hit()) {
         obs::counter("synth/cache/hit", 1);
+        static const obs::CounterHandle hitMetric =
+            obs::metricCounter("synth/cache/hit");
+        obs::metricAdd(hitMetric);
         SynthReport report;
         report.fromCache = true;
         report.oneWideRules = std::move(probe.entry->oneWideRules);
@@ -353,6 +363,9 @@ synthesizeRulesCached(const IsaSpec &isa, const SynthConfig &config,
         return report;
     }
     obs::counter("synth/cache/miss", 1);
+    static const obs::CounterHandle missMetric =
+        obs::metricCounter("synth/cache/miss");
+    obs::metricAdd(missMetric);
 
     SynthReport report = synthesizeRules(isa, config);
     // A deadline-cut run is a partial rule set; caching it would pin

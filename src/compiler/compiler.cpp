@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "egraph/extract.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "support/fault.h"
 #include "support/panic.h"
@@ -39,6 +40,53 @@ degradeLevelName(DegradeLevel level)
 namespace
 {
 
+/** Always-on registry sites of the compile loop (registered once per
+ *  process; handles are cheap POD ids — see obs/metrics.h). */
+struct CompileMetrics
+{
+    obs::HistogramHandle wallNs = obs::metricHistogram("compile/wall_ns");
+    obs::HistogramHandle roundNs =
+        obs::metricHistogram("compile/round_ns");
+    obs::HistogramHandle extractNs =
+        obs::metricHistogram("compile/extract_ns");
+    obs::CounterHandle compiles = obs::metricCounter("compile/compiles");
+    obs::CounterHandle memoHits = obs::metricCounter("compile/memo/hit");
+    obs::CounterHandle memoMisses =
+        obs::metricCounter("compile/memo/miss");
+    obs::CounterHandle degraded = obs::metricCounter("compile/degraded");
+    obs::CounterHandle faults =
+        obs::metricCounter("compile/faults_injected");
+    obs::CounterHandle rollbacks =
+        obs::metricCounter("compile/speculative_rollbacks");
+    obs::GaugeHandle finalCost = obs::metricGauge("compile/final_cost");
+};
+
+CompileMetrics &
+compileMetrics()
+{
+    static CompileMetrics metrics;
+    return metrics;
+}
+
+/** Seconds elapsed on @p watch as integral nanoseconds. */
+std::uint64_t
+elapsedNs(const Stopwatch &watch)
+{
+    double seconds = watch.elapsedSeconds();
+    return seconds <= 0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+/** RAII latency-histogram sample: records the scope's wall time. */
+struct ScopedLatency
+{
+    explicit ScopedLatency(obs::HistogramHandle handle) : handle(handle)
+    {}
+    ~ScopedLatency() { obs::metricRecord(handle, elapsedNs(watch)); }
+
+    obs::HistogramHandle handle;
+    Stopwatch watch;
+};
+
 /** Records one rung of the degradation ladder in stats and obs. */
 void
 noteDegrade(CompileStats &st, DegradeLevel level, std::string what)
@@ -46,6 +94,7 @@ noteDegrade(CompileStats &st, DegradeLevel level, std::string what)
     st.degradation = std::max(st.degradation, level);
     st.degradeEvents.push_back(std::move(what));
     obs::counter("compile/degraded", static_cast<std::int64_t>(level));
+    obs::metricAdd(compileMetrics().degraded);
 }
 
 } // namespace
@@ -112,6 +161,19 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
     CompileStats &st = stats ? *stats : local;
     st = CompileStats{};
 
+    const CompileMetrics &cm = compileMetrics();
+    auto finishMetrics = [&] {
+        obs::metricAdd(cm.compiles);
+        obs::metricRecord(cm.wallNs, elapsedNs(watch));
+        obs::metricSet(cm.finalCost,
+                       static_cast<std::int64_t>(st.finalCost));
+        obs::metricAdd(cm.faults,
+                       static_cast<std::uint64_t>(st.faultsInjected));
+        obs::metricAdd(
+            cm.rollbacks,
+            static_cast<std::uint64_t>(st.speculativeRollbacks));
+    };
+
     const DspCostModel &cost = config_.costModel;
     st.initialCost = cost.exprCost(program);
 
@@ -122,10 +184,14 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
         st.finalCost = hit->cost;
         st.seconds = watch.elapsedSeconds();
         obs::counter("compile/memo/hit", 1);
+        obs::metricAdd(cm.memoHits);
+        finishMetrics();
         return std::move(hit->compiled);
     }
-    if (memo_.enabled())
+    if (memo_.enabled()) {
         obs::counter("compile/memo/miss", 1);
+        obs::metricAdd(cm.memoMisses);
+    }
 
     // The ladder's last rung: whatever escapes the per-round guards
     // of compileImpl — including failures outside any round — still
@@ -138,6 +204,7 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
         // fresh next time rather than pinned in the cache.
         if (st.degradation == DegradeLevel::None)
             memo_.store(program, {out, st.finalCost});
+        finishMetrics();
         return out;
     } catch (const std::exception &e) {
         noteDegrade(st, DegradeLevel::ScalarFallback,
@@ -145,6 +212,7 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
                         "); emitting the scalar input program");
         st.finalCost = st.initialCost;
         st.seconds = watch.elapsedSeconds();
+        finishMetrics();
         return program;
     }
 }
@@ -187,6 +255,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
     auto extractChecked = [&](const EGraph &eg, EClassId root) {
         obs::Span extractSpan("compile/extract",
                               static_cast<std::int64_t>(eg.numNodes()));
+        ScopedLatency extractLatency(compileMetrics().extractNs);
         // Extraction is interruptible (satellite of the caching PR):
         // a healthy round's extraction polls the caller's token, so a
         // cancel that lands mid-extraction stops it within a few
@@ -217,6 +286,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
         // the entire synthesized rule set. Its one round degrades
         // straight to the input program on failure.
         obs::Span roundSpan("compile/round", 1);
+        ScopedLatency roundLatency(compileMetrics().roundNs);
         RoundStats round;
         round.round = 1;
         try {
@@ -263,6 +333,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
         for (int iter = 0; iter < config_.maxLoopIterations; ++iter) {
             ++st.loopIterations;
             obs::Span roundSpan("compile/round", iter + 1);
+            ScopedLatency roundLatency(compileMetrics().roundNs);
             RoundStats round;
             round.round = iter + 1;
             round.ranExpansion = true;
@@ -338,6 +409,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
         ++st.loopIterations;
         // Rounds are numbered from 1 in stats and trace output.
         obs::Span roundSpan("compile/round", iter + 1);
+        ScopedLatency roundLatency(compileMetrics().roundNs);
         RoundStats round;
         round.round = iter + 1;
         round.ranExpansion = true;

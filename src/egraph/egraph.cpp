@@ -6,6 +6,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "support/fault.h"
 #include "support/panic.h"
@@ -522,6 +523,9 @@ EGraph::snapshot()
     ++numSnapshots_;
     obs::counter("egraph/arena/snapshots",
                  static_cast<std::int64_t>(numSnapshots_));
+    static const obs::CounterHandle snapshots =
+        obs::metricCounter("egraph/arena/snapshots");
+    obs::metricAdd(snapshots);
 }
 
 void
@@ -573,6 +577,9 @@ EGraph::restore()
     snapActive_ = false;
     obs::counter("egraph/arena/restores",
                  static_cast<std::int64_t>(numRestores_));
+    static const obs::CounterHandle restores =
+        obs::metricCounter("egraph/arena/restores");
+    obs::metricAdd(restores);
 }
 
 void

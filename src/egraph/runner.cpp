@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "support/fault.h"
 #include "support/thread_pool.h"
@@ -48,6 +49,63 @@ saturatingShift(std::size_t value, unsigned shift)
     if (shift >= 48 || value > (SIZE_MAX >> shift))
         return SIZE_MAX;
     return value << shift;
+}
+
+/** Always-on registry sites of the saturation loop (see
+ *  obs/metrics.h; registered once per process). */
+struct EqSatMetrics
+{
+    obs::HistogramHandle iterNs = obs::metricHistogram("eqsat/iter_ns");
+    obs::HistogramHandle searchNs =
+        obs::metricHistogram("eqsat/search_ns");
+    obs::HistogramHandle applyNs =
+        obs::metricHistogram("eqsat/apply_ns");
+    obs::HistogramHandle runNs = obs::metricHistogram("eqsat/run_ns");
+    obs::CounterHandle runs = obs::metricCounter("eqsat/runs");
+    obs::CounterHandle iters = obs::metricCounter("eqsat/iters");
+    obs::CounterHandle schedBans =
+        obs::metricCounter("eqsat/sched/bans");
+    obs::CounterHandle schedSkipped =
+        obs::metricCounter("eqsat/sched/skipped");
+    obs::CounterHandle faults = obs::metricCounter("eqsat/faults");
+    obs::CounterHandle stepBudgetExhausted =
+        obs::metricCounter("eqsat/step_budget_exhausted");
+    obs::GaugeHandle peakNodes = obs::metricGauge("egraph/peak_nodes");
+    obs::GaugeHandle bytesUsed = obs::metricGauge("egraph/bytes_used");
+    obs::GaugeHandle arenaHighWater =
+        obs::metricGauge("egraph/arena/high_water_bytes");
+    obs::GaugeHandle arenaChunks =
+        obs::metricGauge("egraph/arena/chunks");
+    obs::GaugeHandle arenaOccupancy =
+        obs::metricGauge("egraph/arena/occupancy_pct");
+    /** One counter per StopReason ("eqsat/stop/<name>"). */
+    std::array<obs::CounterHandle, kAllStopReasons.size()> stops;
+
+    EqSatMetrics()
+    {
+        for (std::size_t i = 0; i < kAllStopReasons.size(); ++i) {
+            std::string name = std::string("eqsat/stop/") +
+                               stopReasonName(kAllStopReasons[i]);
+            stops[i] = obs::metricCounter(name.c_str());
+        }
+    }
+};
+
+const EqSatMetrics &
+eqSatMetrics()
+{
+    static EqSatMetrics metrics;
+    return metrics;
+}
+
+/** The stop counter for @p reason. */
+obs::CounterHandle
+stopCounter(StopReason reason)
+{
+    for (std::size_t i = 0; i < kAllStopReasons.size(); ++i)
+        if (kAllStopReasons[i] == reason)
+            return eqSatMetrics().stops[i];
+    return eqSatMetrics().stops[0];
 }
 
 } // namespace
@@ -205,6 +263,7 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
             break;
         }
         obs::Span iterSpan("eqsat/iter", iter);
+        obs::ScopedHistogramTimer iterTimer(eqSatMetrics().iterNs);
 
         // Search phase: gather matches for every rule against the
         // frozen e-graph, so application order cannot bias results.
@@ -319,7 +378,11 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
             if (trace)
                 shardSteps[t] = shard.steps - steps;
         });
-        report.searchSeconds += searchWatch.elapsedSeconds();
+        double searchSeconds = searchWatch.elapsedSeconds();
+        report.searchSeconds += searchSeconds;
+        obs::metricRecord(eqSatMetrics().searchNs,
+                          static_cast<std::uint64_t>(searchSeconds *
+                                                     1e9));
         report.stepBudgetExhausted |=
             stepsExhausted.load(std::memory_order_relaxed);
         searchSpan.close();
@@ -438,7 +501,11 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
             faultPoint(FaultSite::Rebuild);
             egraph.rebuild();
         }
-        report.applySeconds += applyWatch.elapsedSeconds();
+        double applySeconds = applyWatch.elapsedSeconds();
+        report.applySeconds += applySeconds;
+        obs::metricRecord(eqSatMetrics().applyNs,
+                          static_cast<std::uint64_t>(applySeconds *
+                                                     1e9));
         report.iterations = iter + 1;
         changed |= egraph.numNodes() != nodesBefore;
         for (std::size_t r = 0; r < rules.size(); ++r)
@@ -466,6 +533,34 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
             trace->recordCounter(
                 obs::internName("egraph/arena/chunks"),
                 static_cast<std::int64_t>(arena.numChunks));
+        }
+
+        // Always-on registry sampling, one probe per iteration: the
+        // memory-telemetry gauges (bytesUsed, arena high water / pool
+        // occupancy) and the high-water node count. The sampling
+        // point is itself a fault-injection site ("egraph-metrics"):
+        // a telemetry-path failure must degrade the run like any
+        // other mid-iteration fault, not abort the compile — the
+        // catch below absorbs it.
+        {
+            faultPoint(FaultSite::EGraphMetrics);
+            const EqSatMetrics &em = eqSatMetrics();
+            obs::metricMax(em.peakNodes, static_cast<std::int64_t>(
+                                             egraph.numNodes()));
+            obs::metricSet(em.bytesUsed, static_cast<std::int64_t>(
+                                             egraph.bytesUsed()));
+            EGraphArenaStats arena = egraph.arenaStats();
+            obs::metricMax(em.arenaHighWater,
+                           static_cast<std::int64_t>(
+                               arena.bytesReserved));
+            obs::metricMax(em.arenaChunks, static_cast<std::int64_t>(
+                                               arena.numChunks));
+            if (arena.bytesReserved) {
+                obs::metricSet(em.arenaOccupancy,
+                               static_cast<std::int64_t>(
+                                   arena.bytesAllocated * 100 /
+                                   arena.bytesReserved));
+            }
         }
 
         if (!changed) {
@@ -502,6 +597,23 @@ runEqSat(EGraph &egraph, const std::vector<CompiledRule> &rules,
     report.classes = egraph.numClasses();
     report.bytes = egraph.bytesUsed();
     report.seconds = watch.elapsedSeconds();
+
+    // End-of-run registry totals (always on; see obs/metrics.h).
+    const EqSatMetrics &em = eqSatMetrics();
+    obs::metricAdd(em.runs);
+    obs::metricAdd(em.iters,
+                   static_cast<std::uint64_t>(report.iterations));
+    obs::metricAdd(stopCounter(report.stop));
+    obs::metricRecord(em.runNs, static_cast<std::uint64_t>(
+                                    report.seconds * 1e9));
+    if (report.schedBans)
+        obs::metricAdd(em.schedBans, report.schedBans);
+    if (report.schedSkippedSearches)
+        obs::metricAdd(em.schedSkipped, report.schedSkippedSearches);
+    if (report.faultInjected)
+        obs::metricAdd(em.faults);
+    if (report.stepBudgetExhausted)
+        obs::metricAdd(em.stepBudgetExhausted);
     return report;
 }
 

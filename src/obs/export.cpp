@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/metrics.h"
+
 namespace isaria::obs
 {
 
@@ -64,11 +66,20 @@ void
 exportJsonl(const TraceSession &session, std::ostream &out)
 {
     std::vector<TaggedEvent> events = session.drain();
+    // The always-on registry's populated histograms ride along as
+    // schema-v2 "hist" summary records, so one trace file carries
+    // both the event stream and the latency distributions.
+    MetricsSnapshot metrics = snapshotMetrics();
+    std::size_t hists = 0;
+    for (const MetricValue &m : metrics.metrics)
+        if (m.kind == MetricKind::Histogram && m.histogram.count > 0)
+            ++hists;
     out << "{\"type\":\"meta\",\"schema\":" << kTraceSchemaVersion
         << ",\"tool\":\"isaria-obs\",\"threads\":"
         << session.threadCount()
         << ",\"dropped\":" << session.droppedEvents()
-        << ",\"events\":" << events.size() << "}\n";
+        << ",\"events\":" << events.size() << ",\"hists\":" << hists
+        << "}\n";
     for (const TaggedEvent &tagged : events) {
         const Event &e = tagged.event;
         out << "{\"type\":\"" << kindName(e.kind) << "\",\"name\":\""
@@ -77,6 +88,19 @@ exportJsonl(const TraceSession &session, std::ostream &out)
         if (e.kind == EventKind::Span)
             out << ",\"dur_ns\":" << e.durNs;
         out << ",\"value\":" << e.value << "}\n";
+    }
+    for (const MetricValue &m : metrics.metrics) {
+        if (m.kind != MetricKind::Histogram || m.histogram.count == 0)
+            continue;
+        const HistogramSummary &h = m.histogram;
+        out << "{\"type\":\"hist\",\"name\":\"" << jsonEscape(m.name)
+            << "\",\"unit\":\"" << jsonEscape(m.unit)
+            << "\",\"count\":" << h.count << ",\"sum\":" << h.sum
+            << ",\"min\":" << h.min << ",\"max\":" << h.max
+            << ",\"p50\":" << h.quantile(0.50)
+            << ",\"p90\":" << h.quantile(0.90)
+            << ",\"p95\":" << h.quantile(0.95)
+            << ",\"p99\":" << h.quantile(0.99) << "}\n";
     }
 }
 
@@ -226,7 +250,10 @@ StatsReport::toJson() const
                std::to_string(c.max) + ",\"count\":" +
                std::to_string(c.count) + "}";
     }
-    out += "}}";
+    // The always-on registry rides along in every obs block, so bench
+    // sidecars carry the latency quantiles even for untraced runs.
+    out += "},\"metrics\":" + metricsJson(snapshotMetrics());
+    out += "}";
     return out;
 }
 

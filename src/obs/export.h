@@ -30,8 +30,12 @@
 namespace isaria::obs
 {
 
-/** Version stamped into every exported artifact's meta record. */
-inline constexpr int kTraceSchemaVersion = 1;
+/** Version stamped into every exported artifact's meta record.
+ *  v2: the JSONL export appends one "hist" histogram-summary record
+ *  per populated registry histogram (and the meta line counts them
+ *  in "hists"), and the stats JSON block carries a "metrics"
+ *  sub-object — see obs/metrics.h and tools/trace_schema.json. */
+inline constexpr int kTraceSchemaVersion = 2;
 
 /** Escapes @p text for embedding inside a JSON string literal. */
 std::string jsonEscape(const std::string &text);

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace isaria::obs
 {
@@ -193,6 +194,18 @@ ObsOptions::fromEnv()
         stats && *stats && std::strcmp(stats, "0") != 0) {
         options.stats = true;
     }
+    if (const char *path = std::getenv("ISARIA_METRICS_FILE");
+        path && *path) {
+        options.metricsPath = path;
+    }
+    if (const char *interval = std::getenv("ISARIA_METRICS_INTERVAL");
+        interval && *interval) {
+        options.metricsIntervalSeconds = std::atof(interval);
+    }
+    if (const char *path = std::getenv("ISARIA_REPORT");
+        path && *path) {
+        options.reportPath = path;
+    }
     return options;
 }
 
@@ -213,6 +226,19 @@ ObsOptions::parse(int &argc, char **argv)
             options.format = parseFormat(argv[++i]);
         } else if (arg == "--stats") {
             options.stats = true;
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            options.metricsPath = arg.substr(10);
+        } else if (arg == "--metrics" && i + 1 < argc) {
+            options.metricsPath = argv[++i];
+        } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+            options.metricsIntervalSeconds =
+                std::atof(arg.c_str() + 19);
+        } else if (arg == "--metrics-interval" && i + 1 < argc) {
+            options.metricsIntervalSeconds = std::atof(argv[++i]);
+        } else if (arg.rfind("--report=", 0) == 0) {
+            options.reportPath = arg.substr(9);
+        } else if (arg == "--report" && i + 1 < argc) {
+            options.reportPath = argv[++i];
         } else {
             argv[kept++] = argv[i];
         }
@@ -227,8 +253,17 @@ ObsOptions::parse(int &argc, char **argv)
 
 ScopedTrace::ScopedTrace(ObsOptions options) : options_(std::move(options))
 {
-    if (options_.enabled() || options_.alwaysRecord)
+    // Bare --stats no longer activates a session: its report comes
+    // from the bounded always-on metrics registry, so long runs don't
+    // retain (and wrap) every event in memory. Only an actual trace
+    // file — or a harness that wants the aggregated span block —
+    // needs event retention.
+    if (options_.wantsSession())
         session_.activate();
+    if (!options_.metricsPath.empty()) {
+        metricsWriter_ = std::make_unique<MetricsSnapshotWriter>(
+            options_.metricsPath, options_.metricsIntervalSeconds);
+    }
 }
 
 ScopedTrace::~ScopedTrace()
@@ -243,10 +278,13 @@ ScopedTrace::finish()
         return true;
     finished_ = true;
     session_.deactivate();
-    if (!options_.enabled())
-        return true;
 
     bool ok = true;
+    if (metricsWriter_) {
+        metricsWriter_->stop(); // joins + writes the final page
+        std::fprintf(stderr, "[obs] metrics written: %s\n",
+                     metricsWriter_->path().c_str());
+    }
     if (!options_.tracePath.empty()) {
         std::ofstream out(options_.tracePath);
         if (!out) {
@@ -266,8 +304,13 @@ ScopedTrace::finish()
         }
     }
     if (options_.stats) {
-        StatsReport report = aggregateStats(session_);
-        std::fputs(report.toString().c_str(), stderr);
+        // Registry metrics always; trace-derived span tables only
+        // when a session actually retained events.
+        std::fputs(metricsToString(snapshotMetrics()).c_str(), stderr);
+        if (options_.wantsSession()) {
+            StatsReport report = aggregateStats(session_);
+            std::fputs(report.toString().c_str(), stderr);
+        }
     }
     return ok;
 }

@@ -268,22 +268,47 @@ enum class TraceFormat
     Chrome,
 };
 
-/** Parsed --trace/--trace-format/--stats + environment options. */
+/**
+ * Parsed --trace/--trace-format/--stats/--metrics/--report +
+ * environment options.
+ */
 struct ObsOptions
 {
     /** Trace output path; empty = no trace file. */
     std::string tracePath;
     TraceFormat format = TraceFormat::Jsonl;
-    /** Print the aggregated stats report to stderr at teardown. */
+    /**
+     * Print the stats report to stderr at teardown. The report always
+     * carries the always-on metrics registry (counters + histogram
+     * quantiles — bounded memory, works on arbitrarily long runs);
+     * trace-derived span tables are included only when a session was
+     * actually recording (a trace file or alwaysRecord), since those
+     * require retaining every event in the rings.
+     */
     bool stats = false;
     /**
-     * Record even when no trace file or stats report was requested.
+     * Record trace events even when no trace file was requested.
      * Used by the bench harnesses so their JSON sidecars always
      * carry an aggregated "obs" block.
      */
     bool alwaysRecord = false;
+    /** OpenMetrics text-page path (--metrics=FILE / ISARIA_METRICS_FILE);
+     *  written at teardown, and periodically when an interval is set.
+     *  Empty = no page. */
+    std::string metricsPath;
+    /** Seconds between periodic OpenMetrics rewrites
+     *  (--metrics-interval / ISARIA_METRICS_INTERVAL; 0 = final
+     *  write only). */
+    double metricsIntervalSeconds = 0;
+    /**
+     * CompileReport output path (--report=FILE / ISARIA_REPORT).
+     * ObsOptions only carries it — the binary owning the
+     * CompileStats writes the artifact (see compiler/report.h).
+     */
+    std::string reportPath;
 
-    /** ISARIA_TRACE / ISARIA_TRACE_FORMAT / ISARIA_STATS. */
+    /** ISARIA_TRACE / ISARIA_TRACE_FORMAT / ISARIA_STATS /
+     *  ISARIA_METRICS_FILE / ISARIA_METRICS_INTERVAL / ISARIA_REPORT. */
     static ObsOptions fromEnv();
 
     /**
@@ -299,12 +324,23 @@ struct ObsOptions
     {
         return !tracePath.empty() || stats;
     }
+
+    /** True when event *retention* is needed: a trace file (or
+     *  alwaysRecord) — but not bare --stats, which aggregates from
+     *  the bounded metrics registry instead. */
+    bool
+    wantsSession() const
+    {
+        return !tracePath.empty() || alwaysRecord;
+    }
 };
 
 /**
  * The one-liner for main(): owns a TraceSession, activates it when
- * @p options request recording, and on destruction deactivates,
- * writes the trace file, and prints the stats report.
+ * @p options request event retention, starts the periodic OpenMetrics
+ * writer when a metrics page was requested, and on destruction
+ * deactivates, writes the trace file and metrics page, and prints the
+ * stats report.
  */
 class ScopedTrace
 {
@@ -320,15 +356,18 @@ class ScopedTrace
     const ObsOptions &options() const { return options_; }
 
     /**
-     * Writes the trace file and prints stats now (idempotent;
-     * otherwise runs at destruction). Returns false if the trace
-     * file could not be written.
+     * Writes the trace file / metrics page and prints stats now
+     * (idempotent; otherwise runs at destruction). Returns false if
+     * an artifact could not be written.
      */
     bool finish();
 
   private:
     ObsOptions options_;
     TraceSession session_;
+    /** Periodic OpenMetrics republisher (see obs/metrics.h); null
+     *  unless options_.metricsPath is set. */
+    std::unique_ptr<class MetricsSnapshotWriter> metricsWriter_;
     bool finished_ = false;
 };
 

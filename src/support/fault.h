@@ -28,6 +28,7 @@
  *                                        // hash(SEED^ordinal) % D < N
  *   site  := egraph-alloc | shard-search | rebuild
  *          | synth-verify | rule-parse | egraph-snapshot-restore
+ *          | egraph-metrics
  *
  * The disabled path costs one relaxed atomic load per site check.
  */
@@ -58,6 +59,10 @@ enum class FaultSite
     RuleParse,
     /** EGraph::restore — a speculative-phase rollback failing. */
     SnapshotRestore,
+    /** The saturation loop's per-iteration metrics sampling point —
+     *  proves a telemetry failure degrades like any other
+     *  mid-iteration fault instead of aborting the compile. */
+    EGraphMetrics,
     NumSites,
 };
 

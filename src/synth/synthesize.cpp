@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "support/fault.h"
 #include "support/hash.h"
@@ -457,6 +458,20 @@ synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
             verdictCounts[static_cast<int>(Verdict::Rejected)]));
     obs::counter("synth/pruned-derivable",
                  static_cast<std::int64_t>(report.prunedDerivable));
+    // Always-on verdict tallies (the trace counters above vanish with
+    // the session; these feed the service-facing registry).
+    static const obs::CounterHandle provedMetric =
+        obs::metricCounter("synth/verified/proved");
+    static const obs::CounterHandle testedMetric =
+        obs::metricCounter("synth/verified/tested");
+    static const obs::CounterHandle rejectedMetric =
+        obs::metricCounter("synth/verified/rejected");
+    obs::metricAdd(provedMetric,
+                   verdictCounts[static_cast<int>(Verdict::Proved)]);
+    obs::metricAdd(testedMetric,
+                   verdictCounts[static_cast<int>(Verdict::Tested)]);
+    obs::metricAdd(rejectedMetric,
+                   verdictCounts[static_cast<int>(Verdict::Rejected)]);
 
     // --- Phase 3: generalize across lanes to the ISA width, then
     // re-verify every expanded rule (the paper's soundness backstop).

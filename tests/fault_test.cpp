@@ -401,9 +401,12 @@ TEST(Degradation, ChaosNeverAbortsCompile)
 
         // Sites on the compile path must have been absorbed as a
         // recorded degradation; the synthesis/loading sites simply
-        // never arrive here.
+        // never arrive here. The metrics sampling point runs once per
+        // saturation iteration, so it is a compile-path site too.
         if (site == FaultSite::EGraphAlloc ||
-            site == FaultSite::ShardSearch || site == FaultSite::Rebuild) {
+            site == FaultSite::ShardSearch ||
+            site == FaultSite::Rebuild ||
+            site == FaultSite::EGraphMetrics) {
             EXPECT_NE(stats.degradation, DegradeLevel::None) << spec;
         } else {
             EXPECT_EQ(stats.degradation, DegradeLevel::None) << spec;

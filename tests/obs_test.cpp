@@ -340,6 +340,7 @@ TEST(ObsExport, JsonlEveryLineParses)
     std::istringstream lines(out.str());
     std::string line;
     std::size_t count = 0;
+    std::size_t histLines = 0;
     bool sawMeta = false;
     while (std::getline(lines, line)) {
         if (line.empty())
@@ -348,13 +349,24 @@ TEST(ObsExport, JsonlEveryLineParses)
         if (count == 0) {
             sawMeta = line.find("\"type\":\"meta\"") !=
                       std::string::npos;
-            EXPECT_NE(line.find("\"schema\":1"), std::string::npos);
+            EXPECT_NE(line.find("\"schema\":2"), std::string::npos);
+            EXPECT_NE(line.find("\"hists\":"), std::string::npos);
+        } else if (line.find("\"type\":\"hist\"") !=
+                   std::string::npos) {
+            // Schema-v2 histogram summaries of the process-global
+            // metrics registry; how many exist depends on which
+            // tests ran before this one, so only check their shape.
+            ++histLines;
+            for (const char *field :
+                 {"\"count\":", "\"sum\":", "\"p50\":", "\"p90\":",
+                  "\"p95\":", "\"p99\":"})
+                EXPECT_NE(line.find(field), std::string::npos) << line;
         }
         ++count;
     }
     EXPECT_TRUE(sawMeta);
-    // meta + 2 spans + 2 counters + 1 instant.
-    EXPECT_EQ(count, 6u);
+    // meta + 2 spans + 2 counters + 1 instant (+ registry hists).
+    EXPECT_EQ(count - histLines, 6u);
 }
 
 TEST(ObsExport, ChromeTraceIsValidJson)

@@ -10,16 +10,19 @@ metric and which direction is better:
       "tolerance_pct": 20,
       "metrics": {
         "alloc_reduction_pct": {"baseline": 30.0, "better": "higher"},
-        "arena_saturation_speedup": {"baseline": 1.0, "better": "higher"}
+        "metrics_record_ns": {"baseline": 8.0, "better": "lower",
+                              "tolerance_pct": 100}
       }
     }
 
 A fresh value regresses when it is worse than the baseline by more
 than tolerance_pct percent of the baseline ("higher"-is-better metrics
 may drop to baseline*(1 - tol); "lower"-is-better may rise to
-baseline*(1 + tol)). Exit code 0 = all gated metrics within tolerance,
-1 = regression or malformed input. Stdlib only: runs anywhere ctest
-found a python3.
+baseline*(1 + tol)). A metric entry may carry its own tolerance_pct,
+overriding the file-level default — timing metrics want far looser
+bounds than deterministic counts. Exit code 0 = all gated metrics
+within tolerance, 1 = regression or malformed input. Stdlib only:
+runs anywhere ctest found a python3.
 """
 
 import json
@@ -54,7 +57,6 @@ def main(argv):
     print(f"bench_check: {argv[1]} (build_type={build_type}, "
           f"git_sha={bench.get('host', {}).get('git_sha', '?')})")
 
-    tol = float(thresholds.get("tolerance_pct", 20)) / 100.0
     regressions = []
     for name, spec in thresholds.get("metrics", {}).items():
         if name not in summary:
@@ -63,6 +65,8 @@ def main(argv):
         value = float(summary[name])
         baseline = float(spec["baseline"])
         better = spec.get("better", "higher")
+        tol = float(spec.get("tolerance_pct",
+                             thresholds.get("tolerance_pct", 20))) / 100.0
         if better == "higher":
             floor = baseline * (1.0 - tol)
             ok = value >= floor

@@ -3,10 +3,11 @@
 // degrades instead of aborting — the executable check behind the
 // "no fault site reachable from compile() can crash it" guarantee.
 //
-// For each compile-path site (egraph-alloc, shard-search, rebuild)
-// the n=1 ordinal fault is armed and a full Fig. 3 compile + lower +
-// simulate runs; the result must still be numerically correct and
-// the degradation must be recorded in CompileStats. The rule-parse
+// For each compile-path site (egraph-alloc, shard-search, rebuild,
+// egraph-metrics) the n=1 ordinal fault is armed and a full Fig. 3
+// compile + lower + simulate runs; the result must still be
+// numerically correct and the degradation must be recorded in
+// CompileStats — for egraph-metrics, also in the metrics registry. The rule-parse
 // site is driven through rules-file loading (must yield a diagnostic,
 // not an abort) and synth-verify through a tiny synthesis run (must
 // finish with the fault counted).
@@ -20,6 +21,7 @@
 
 #include "baseline/diospyros.h"
 #include "baseline/harness.h"
+#include "obs/metrics.h"
 #include "phase/phase.h"
 #include "support/fault.h"
 #include "support/panic.h"
@@ -71,6 +73,37 @@ compileSurvives(FaultSite site)
                 static_cast<unsigned long long>(outcome.cycles),
                 static_cast<unsigned long long>(st.initialCost),
                 static_cast<unsigned long long>(st.finalCost));
+    return true;
+}
+
+/** Reads a registry counter's current merged value (0 if never
+ *  registered). */
+std::uint64_t
+registryCounter(const char *name)
+{
+    obs::MetricsSnapshot snap = obs::snapshotMetrics();
+    const obs::MetricValue *m = snap.find(name);
+    return m ? m->counter : 0;
+}
+
+/** The egraph-metrics site fires at the always-on telemetry sampling
+ *  point inside the saturation loop; beyond the usual clean-degrade
+ *  check, the degradation must also land in the metrics registry —
+ *  the counter an operator's dashboard would actually alert on. */
+bool
+metricsFaultCounted()
+{
+    std::uint64_t degradedBefore = registryCounter("compile/degraded");
+    std::uint64_t faultsBefore = registryCounter("eqsat/faults");
+    if (!compileSurvives(FaultSite::EGraphMetrics))
+        return false;
+    if (registryCounter("compile/degraded") <= degradedBefore ||
+        registryCounter("eqsat/faults") <= faultsBefore) {
+        std::fprintf(stderr,
+                     "chaos_smoke: egraph-metrics degraded but the "
+                     "metrics registry did not count it\n");
+        return false;
+    }
     return true;
 }
 
@@ -177,6 +210,7 @@ main()
         ok &= compileSurvives(FaultSite::EGraphAlloc);
         ok &= compileSurvives(FaultSite::ShardSearch);
         ok &= compileSurvives(FaultSite::Rebuild);
+        ok &= metricsFaultCounted();
         ok &= snapshotRestoreSurvives();
         ok &= ruleParseSurvives();
         ok &= synthVerifySurvives();

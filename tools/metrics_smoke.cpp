@@ -1,0 +1,200 @@
+// CI smoke for the always-on metrics tier: compiles every examples
+// kernel shape (2D conv, matmul, QProd, QR) through the Fig. 3 loop
+// with Diospyros hand rules (no synthesis, so it runs in seconds),
+// writing one CompileReport per kernel plus one OpenMetrics page for
+// the whole run. CTest chains tools/validate_report.py over the
+// reports and re-parses the OpenMetrics page here in-process.
+//
+// Beyond artifact validity this asserts the registry actually
+// recorded the work: compile/wall_ns must hold one sample per
+// compile with ordered quantiles p50 <= p95 <= p99, and the
+// compile/count counter must match.
+//
+// Exits nonzero if any compile is wrong, an artifact cannot be
+// written, or the registry is missing/inconsistent.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baseline/diospyros.h"
+#include "baseline/harness.h"
+#include "compiler/report.h"
+#include "obs/metrics.h"
+#include "phase/phase.h"
+#include "support/panic.h"
+
+using namespace isaria;
+
+namespace
+{
+
+/** Compiles @p spec and publishes its CompileReport to @p path. */
+bool
+compileAndReport(const KernelSpec &spec, const std::string &path)
+{
+    CompilerConfig config;
+    config.maxLoopIterations = 3;
+    IsariaCompiler compiler(
+        assignPhases(diospyrosHandRules(), config.costModel), config);
+    KernelHarness harness(spec);
+    RunOutcome outcome = harness.runCompiler(compiler);
+    if (!outcome.supported || !outcome.correct) {
+        std::fprintf(stderr, "metrics_smoke: %s produced %s\n",
+                     spec.label().c_str(),
+                     outcome.supported ? "a wrong result"
+                                       : "no program");
+        return false;
+    }
+    CompileReport report =
+        makeCompileReport(spec.label(), outcome.compileStats);
+    if (!writeCompileReport(path, report))
+        return false;
+    std::printf("  %-16s ok: cost %llu -> %llu, report %s\n",
+                spec.label().c_str(),
+                static_cast<unsigned long long>(
+                    outcome.compileStats.initialCost),
+                static_cast<unsigned long long>(
+                    outcome.compileStats.finalCost),
+                path.c_str());
+    return true;
+}
+
+/** The compile/wall_ns summary must carry @p expected samples with
+ *  ordered quantiles — the registry's proof it watched every run. */
+bool
+checkWallHistogram(std::size_t expected)
+{
+    obs::MetricsSnapshot snap = obs::snapshotMetrics();
+    const obs::MetricValue *wall = snap.find("compile/wall_ns");
+    if (!wall || wall->kind != obs::MetricKind::Histogram) {
+        std::fprintf(stderr,
+                     "metrics_smoke: compile/wall_ns not registered\n");
+        return false;
+    }
+    const obs::HistogramSummary &h = wall->histogram;
+    if (h.count != expected) {
+        std::fprintf(stderr,
+                     "metrics_smoke: compile/wall_ns has %llu samples, "
+                     "expected %zu\n",
+                     static_cast<unsigned long long>(h.count),
+                     expected);
+        return false;
+    }
+    std::uint64_t p50 = h.quantile(0.50);
+    std::uint64_t p95 = h.quantile(0.95);
+    std::uint64_t p99 = h.quantile(0.99);
+    if (p50 > p95 || p95 > p99 || h.min > p50 || p99 > h.max) {
+        std::fprintf(stderr,
+                     "metrics_smoke: compile/wall_ns quantiles out of "
+                     "order: p50=%llu p95=%llu p99=%llu\n",
+                     static_cast<unsigned long long>(p50),
+                     static_cast<unsigned long long>(p95),
+                     static_cast<unsigned long long>(p99));
+        return false;
+    }
+    const obs::MetricValue *count = snap.find("compile/compiles");
+    if (!count || count->counter != expected) {
+        std::fprintf(stderr,
+                     "metrics_smoke: compile/compiles disagrees with "
+                     "the wall histogram\n");
+        return false;
+    }
+    std::printf("  compile/wall_ns ok: %zu samples, p50=%llu ns, "
+                "p99=%llu ns\n",
+                expected, static_cast<unsigned long long>(p50),
+                static_cast<unsigned long long>(p99));
+    return true;
+}
+
+/** Writes the OpenMetrics page and re-checks it is parseable here,
+ *  independent of the python validator: every line is a comment or a
+ *  `name{labels} value` sample, and the page ends with `# EOF`. */
+bool
+writeAndCheckPage(const std::string &path)
+{
+    {
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr,
+                         "metrics_smoke: cannot open %s\n",
+                         path.c_str());
+            return false;
+        }
+        obs::exportOpenMetrics(obs::snapshotMetrics(), out);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::string last;
+    std::size_t samples = 0;
+    bool sawWallBucket = false;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            std::fprintf(stderr,
+                         "metrics_smoke: blank line in %s\n",
+                         path.c_str());
+            return false;
+        }
+        last = line;
+        if (line[0] == '#')
+            continue;
+        // Sample lines are `name value` or `name{label="..."} value`;
+        // both have a space-separated numeric tail.
+        std::size_t space = line.rfind(' ');
+        if (space == std::string::npos || space + 1 >= line.size()) {
+            std::fprintf(stderr,
+                         "metrics_smoke: malformed sample: %s\n",
+                         line.c_str());
+            return false;
+        }
+        ++samples;
+        if (line.rfind("isaria_compile_wall_ns_bucket{le=", 0) == 0)
+            sawWallBucket = true;
+    }
+    if (last != "# EOF") {
+        std::fprintf(stderr,
+                     "metrics_smoke: page does not end with # EOF\n");
+        return false;
+    }
+    if (samples == 0 || !sawWallBucket) {
+        std::fprintf(stderr,
+                     "metrics_smoke: page missing compile/wall_ns "
+                     "bucket series\n");
+        return false;
+    }
+    std::printf("  openmetrics ok: %zu samples, %s\n", samples,
+                path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    return guardedMain([&] {
+        std::vector<KernelSpec> specs = {
+            KernelSpec::conv2d(3, 3, 2, 2),
+            KernelSpec::matmul(2, 2, 2),
+            KernelSpec::qprod(),
+            KernelSpec::qrd(3),
+        };
+        std::printf("metrics_smoke: compiling %zu kernels\n",
+                    specs.size());
+        obs::resetMetrics(); // deltas below count only this run
+        bool ok = true;
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            ok &= compileAndReport(
+                specs[i],
+                "metrics_smoke_report_" + std::to_string(i) + ".json");
+        if (!ok)
+            return 1;
+        if (!checkWallHistogram(specs.size()))
+            return 1;
+        if (!writeAndCheckPage("metrics_smoke.om"))
+            return 1;
+        std::printf("metrics_smoke ok\n");
+        return 0;
+    });
+}

@@ -4,8 +4,10 @@
 Standard library only (CI images carry no jsonschema). Checks, in
 order: every line parses as JSON; the first line is the meta record
 with the expected schema version; every event line has a known type
-and carries the required fields with the right primitive types; and
-the meta record's event count matches the number of event lines.
+and carries the required fields with the right primitive types; hist
+records (schema v2 histogram summaries) have ordered quantiles
+p50 <= p90 <= p95 <= p99 within [min, max]; and the meta record's
+event and hist counts match the lines found.
 
 Usage: validate_trace.py TRACE.jsonl SCHEMA.json
 Exits 0 when valid, 1 with a line-numbered diagnostic otherwise.
@@ -36,6 +38,23 @@ def check_fields(obj, spec, lineno, what):
             )
 
 
+def check_hist(obj, lineno):
+    """Sanity-checks a histogram summary beyond field presence."""
+    if obj["count"] <= 0:
+        fail(f"line {lineno}: hist '{obj['name']}' has count <= 0")
+    quantiles = [obj["p50"], obj["p90"], obj["p95"], obj["p99"]]
+    if any(b < a for a, b in zip(quantiles, quantiles[1:])):
+        fail(
+            f"line {lineno}: hist '{obj['name']}' quantiles not "
+            f"monotone: {quantiles}"
+        )
+    if not obj["min"] <= obj["p50"] or not obj["p99"] <= obj["max"]:
+        fail(
+            f"line {lineno}: hist '{obj['name']}' quantiles outside "
+            f"[min, max]"
+        )
+
+
 def main():
     if len(sys.argv) != 3:
         fail("usage: validate_trace.py TRACE.jsonl SCHEMA.json")
@@ -46,6 +65,7 @@ def main():
 
     meta = None
     event_lines = 0
+    hist_lines = 0
     with open(trace_path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -75,7 +95,11 @@ def main():
             if spec is None:
                 fail(f"line {lineno}: unknown record type {kind!r}")
             check_fields(obj, spec, lineno, kind)
-            event_lines += 1
+            if kind == "hist":
+                check_hist(obj, lineno)
+                hist_lines += 1
+            else:
+                event_lines += 1
 
     if meta is None:
         fail("empty trace: no meta record")
@@ -84,9 +108,15 @@ def main():
             f"meta says {meta['events']} events, "
             f"found {event_lines} event lines"
         )
+    if meta["hists"] != hist_lines:
+        fail(
+            f"meta says {meta['hists']} hists, "
+            f"found {hist_lines} hist lines"
+        )
     print(
         f"validate_trace: ok ({event_lines} events, "
-        f"{meta['threads']} threads, {meta['dropped']} dropped)"
+        f"{hist_lines} hists, {meta['threads']} threads, "
+        f"{meta['dropped']} dropped)"
     )
 
 
