@@ -1,0 +1,274 @@
+// Load generator for the compile daemon: BENCH_serve.json.
+//
+// Two experiments against one in-process ServeServer on a private
+// unix socket (real wire protocol, real threads — only fork/exec is
+// skipped so the numbers stay comparable across machines):
+//
+//   1. Latency ladder: N in {1, 8, 64} concurrent clients, each
+//      hammering a memoized compile over a keep-alive connection.
+//      Per-request wall time is measured client-side; p50/p95/p99 go
+//      into one row per rung. Memoized requests measure the serving
+//      stack itself (framing, admission, queue, memo lookup) rather
+//      than eqsat throughput, which is what a latency SLO is about.
+//
+//   2. Overload: 2x the hard admission depth in simultaneous
+//      non-memoized compile requests against a small worker pool.
+//      Counts admitted / degraded / rejected responses and verifies
+//      every one of the 2x-overload storm got a *typed* response
+//      (overload_typed_pct — gated at exactly 100).
+//
+// Summary metrics are gated by tools/bench_check.py against the
+// "serve" section of bench_thresholds.json in Release builds.
+//
+// Usage: serve_bench [--quick] [--requests=N]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common.h"
+
+#include "serve/json.h"
+#include "serve/server.h"
+#include "serve/socket.h"
+#include "support/panic.h"
+#include "support/timer.h"
+
+using namespace isaria;
+
+namespace
+{
+
+/** Sorted-percentile in microseconds. */
+double
+percentileUs(std::vector<double> &samples, double q)
+{
+    if (samples.empty())
+        return 0;
+    std::sort(samples.begin(), samples.end());
+    auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+}
+
+std::string
+typeOf(const std::string &body)
+{
+    auto parsed = serve::parseJson(body);
+    if (!parsed.ok())
+        return "<unparseable>";
+    const serve::JsonValue *type = parsed.value().find("type");
+    return type ? type->text : "<untyped>";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return guardedMain([&] {
+        obs::ObsOptions opts = obs::ObsOptions::parse(argc, argv);
+        opts.alwaysRecord = true;
+        obs::ScopedTrace trace(opts);
+
+        int requestsPerClient = 40;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--quick")
+                requestsPerClient = 10;
+            else if (arg.rfind("--requests=", 0) == 0)
+                requestsPerClient = std::atoi(arg.c_str() + 11);
+        }
+
+        bench::BenchJson json("serve");
+        json.summary().integer("requests_per_client", requestsPerClient);
+
+        std::string body =
+            "{\"kernel\": {\"family\": \"matmul\", \"params\": "
+            "[2, 2, 2]}}";
+
+        // ---------------------------------------------------------
+        // Experiment 1: the latency ladder.
+        {
+            std::string socketPath = "isaria_serve_bench_" +
+                                     std::to_string(::getpid()) + ".sock";
+            CompilerConfig cc;
+            cc.memoEntries = 16;
+            IsariaCompiler compiler(
+                assignPhases(diospyrosHandRules(), cc.costModel), cc);
+            serve::ServeConfig sc;
+            sc.socketPath = socketPath;
+            sc.workers = 4;
+            // The ladder must never shed: memo hits are instant, so
+            // even 64 clients sit far below any sane soft depth.
+            sc.admission.softDepth = 256;
+            sc.admission.hardDepth = 512;
+            serve::ServeServer server(compiler, sc);
+            std::string error;
+            if (!server.start(&error)) {
+                std::fprintf(stderr, "serve_bench: %s\n", error.c_str());
+                return 1;
+            }
+
+            // Warm the memo once so the ladder measures serving, not
+            // the first compile.
+            {
+                std::string err;
+                UniqueFd fd = serve::connectUnix(socketPath, &err);
+                serve::HttpResponse warm;
+                if (!fd || !serve::httpRoundTrip(fd.get(), "POST",
+                                                 "/compile", body, warm) ||
+                    warm.status != 200) {
+                    std::fprintf(stderr,
+                                 "serve_bench: warm-up failed: %s\n",
+                                 warm.error.c_str());
+                    return 1;
+                }
+            }
+
+            for (int clients : {1, 8, 64}) {
+                std::vector<std::vector<double>> perClient(
+                    static_cast<std::size_t>(clients));
+                std::atomic<int> transportErrors{0};
+                std::vector<std::thread> threads;
+                for (int c = 0; c < clients; ++c) {
+                    threads.emplace_back([&, c] {
+                        std::string err;
+                        UniqueFd fd =
+                            serve::connectUnix(socketPath, &err);
+                        if (!fd) {
+                            transportErrors.fetch_add(requestsPerClient);
+                            return;
+                        }
+                        for (int i = 0; i < requestsPerClient; ++i) {
+                            Stopwatch watch;
+                            serve::HttpResponse r;
+                            if (!serve::httpRoundTrip(fd.get(), "POST",
+                                                      "/compile", body,
+                                                      r) ||
+                                r.status != 200) {
+                                transportErrors.fetch_add(1);
+                                continue;
+                            }
+                            perClient[static_cast<std::size_t>(c)]
+                                .push_back(watch.elapsedSeconds() * 1e6);
+                        }
+                    });
+                }
+                for (std::thread &t : threads)
+                    t.join();
+                std::vector<double> all;
+                for (const auto &v : perClient)
+                    all.insert(all.end(), v.begin(), v.end());
+                double p50 = percentileUs(all, 0.50);
+                double p95 = percentileUs(all, 0.95);
+                double p99 = percentileUs(all, 0.99);
+                std::printf("serve_bench: %2d clients  p50 %8.1f us  "
+                            "p95 %8.1f us  p99 %8.1f us  (%zu ok, %d "
+                            "errors)\n",
+                            clients, p50, p95, p99, all.size(),
+                            transportErrors.load());
+                auto &row = json.newRow();
+                row.text("experiment", "latency");
+                row.integer("clients", clients);
+                row.integer("requests", static_cast<std::int64_t>(
+                                            all.size()));
+                row.integer("transport_errors", transportErrors.load());
+                row.number("p50_us", p50);
+                row.number("p95_us", p95);
+                row.number("p99_us", p99);
+                std::string suffix = std::to_string(clients);
+                json.summary().number("p50_us_" + suffix, p50);
+                json.summary().number("p95_us_" + suffix, p95);
+                json.summary().number("p99_us_" + suffix, p99);
+                json.summary().integer("transport_errors_" + suffix,
+                                       transportErrors.load());
+            }
+            server.stopAndJoin();
+        }
+
+        // ---------------------------------------------------------
+        // Experiment 2: 2x overload against a tight admission edge.
+        {
+            std::string socketPath = "isaria_serve_bench_ov_" +
+                                     std::to_string(::getpid()) + ".sock";
+            CompilerConfig cc; // memo off: every request runs eqsat
+            IsariaCompiler compiler(
+                assignPhases(diospyrosHandRules(), cc.costModel), cc);
+            serve::ServeConfig sc;
+            sc.socketPath = socketPath;
+            sc.workers = 2;
+            sc.admission.softDepth = 4;
+            sc.admission.hardDepth = 8;
+            serve::ServeServer server(compiler, sc);
+            std::string error;
+            if (!server.start(&error)) {
+                std::fprintf(stderr, "serve_bench: %s\n", error.c_str());
+                return 1;
+            }
+
+            int storm = static_cast<int>(sc.admission.hardDepth) * 2;
+            std::vector<serve::HttpResponse> rs(
+                static_cast<std::size_t>(storm));
+            std::vector<std::thread> threads;
+            for (int i = 0; i < storm; ++i)
+                threads.emplace_back([&, i] {
+                    // Distinct shapes: no request is a memo hit.
+                    std::string slow =
+                        "{\"kernel\": {\"family\": \"conv2d\", "
+                        "\"params\": [" +
+                        std::to_string(3 + i % 4) + ", " +
+                        std::to_string(3 + i / 4) + ", 2, 2]}}";
+                    std::string err;
+                    UniqueFd fd = serve::connectUnix(socketPath, &err);
+                    if (fd)
+                        serve::httpRoundTrip(
+                            fd.get(), "POST", "/compile", slow,
+                            rs[static_cast<std::size_t>(i)],
+                            /*timeoutMs=*/300'000);
+                });
+            for (std::thread &t : threads)
+                t.join();
+            server.stopAndJoin();
+
+            int reports = 0, degraded = 0, rejected = 0, untyped = 0;
+            for (const serve::HttpResponse &r : rs) {
+                std::string type = typeOf(r.body);
+                if (type == "report")
+                    ++reports;
+                else if (type == "degraded-report")
+                    ++degraded;
+                else if (type == "overloaded")
+                    ++rejected;
+                else
+                    ++untyped;
+            }
+            double typedPct =
+                100.0 * static_cast<double>(storm - untyped) /
+                static_cast<double>(storm);
+            std::printf("serve_bench: overload storm %d: %d clean, %d "
+                        "degraded, %d rejected, %d untyped "
+                        "(%.1f%% typed)\n",
+                        storm, reports, degraded, rejected, untyped,
+                        typedPct);
+            auto &row = json.newRow();
+            row.text("experiment", "overload");
+            row.integer("storm_clients", storm);
+            row.integer("clean_reports", reports);
+            row.integer("degraded_reports", degraded);
+            row.integer("overloaded_rejects", rejected);
+            row.integer("untyped", untyped);
+            json.summary().integer("overload_clients", storm);
+            json.summary().integer("overload_degraded", degraded);
+            json.summary().integer("overload_rejects", rejected);
+            json.summary().number("overload_typed_pct", typedPct);
+        }
+
+        return json.write(trace) ? 0 : 1;
+    });
+}

@@ -80,6 +80,7 @@
 #include "obs/obs.h"
 #include "support/fault.h"
 #include "support/panic.h"
+#include "support/signal.h"
 #include "term/sexpr.h"
 
 using namespace isaria;
@@ -196,6 +197,10 @@ main(int argc, char **argv)
     compilerConfig.withMemLimitBytes(memLimitMb * 1024 * 1024);
     compilerConfig.withSpeculation(speculate);
     compilerConfig.memoEntries = memoEntries;
+    // Ctrl-C during a long exploration degrades the in-flight compile
+    // to best-so-far instead of killing the run mid-saturation
+    // (guardedMain has already routed SIGINT/SIGTERM to this token).
+    compilerConfig.withCancellation(&processShutdownToken());
     GeneratedCompiler gen =
         generateCompiler(isa, cache, synth, compilerConfig);
     if (gen.synth.fromCache)

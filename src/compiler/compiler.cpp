@@ -155,6 +155,14 @@ CompileStats::toString() const
 RecExpr
 IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
 {
+    return compile(program, config_, stats, /*memoWrite=*/true);
+}
+
+RecExpr
+IsariaCompiler::compile(const RecExpr &program,
+                        const CompilerConfig &config, CompileStats *stats,
+                        bool memoWrite) const
+{
     Stopwatch watch;
     obs::Span compileSpan("compile");
     CompileStats local;
@@ -174,7 +182,7 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
             static_cast<std::uint64_t>(st.speculativeRollbacks));
     };
 
-    const DspCostModel &cost = config_.costModel;
+    const DspCostModel &cost = config.costModel;
     st.initialCost = cost.exprCost(program);
 
     // Memo fast path: a verbatim repeat of a compiled program costs
@@ -197,12 +205,13 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
     // of compileImpl — including failures outside any round — still
     // yields a runnable program: the scalar input itself.
     try {
-        RecExpr out = compileImpl(program, st);
+        RecExpr out = compileImpl(program, config, st);
         st.seconds = watch.elapsedSeconds();
         // Only clean compiles are worth memoizing: a degraded result
-        // (budget cancellation, injected fault) should be retried
-        // fresh next time rather than pinned in the cache.
-        if (st.degradation == DegradeLevel::None)
+        // (budget cancellation, injected fault) — or one compiled
+        // under a request's shrunk budgets (memoWrite false) — should
+        // be retried fresh next time rather than pinned in the cache.
+        if (memoWrite && st.degradation == DegradeLevel::None)
             memo_.store(program, {out, st.finalCost});
         finishMetrics();
         return out;
@@ -218,10 +227,12 @@ IsariaCompiler::compile(const RecExpr &program, CompileStats *stats) const
 }
 
 RecExpr
-IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
+IsariaCompiler::compileImpl(const RecExpr &program,
+                            const CompilerConfig &config,
+                            CompileStats &st) const
 {
-    const DspCostModel &cost = config_.costModel;
-    const CancellationToken *token = config_.compilationLimits.cancel;
+    const DspCostModel &cost = config.costModel;
+    const CancellationToken *token = config.compilationLimits.cancel;
 
     auto note = [&](const char *phase, int round,
                     const EqSatReport &report) {
@@ -265,7 +276,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
         // stays bounded without being self-defeating.
         bool alreadyCancelled = token && token->cancelled();
         Deadline grace(alreadyCancelled
-                           ? config_.cancelledExtractGraceSeconds
+                           ? config.cancelledExtractGraceSeconds
                            : 0);
         ExecControl control(alreadyCancelled ? &grace : nullptr,
                             alreadyCancelled ? nullptr : token);
@@ -281,7 +292,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
 
     RecExpr current = program;
 
-    if (!config_.phasing) {
+    if (!config.phasing) {
         // Strawman (Section 2.2): a single equality saturation over
         // the entire synthesized rule set. Its one round degrades
         // straight to the input program on failure.
@@ -293,7 +304,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
             EGraph eg;
             EClassId root = eg.addExpr(current);
             round.compilation =
-                runEqSat(eg, everything_, config_.compilationLimits);
+                runEqSat(eg, everything_, config.compilationLimits);
             note("compilation", 1, round.compilation);
             Extracted best = extractChecked(eg, root);
             round.extractedCost = best.cost;
@@ -314,7 +325,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
 
     std::uint64_t oldCost = st.initialCost;
 
-    if (config_.speculation) {
+    if (config.speculation) {
         // Speculative phase exploration: the Fig. 3 pruning loop on
         // ONE persistent e-graph. Each round snapshots the graph
         // while it is empty, seeds it with the best program so far,
@@ -330,7 +341,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
         // counted as a rollback and ends the loop, mirroring the
         // plain loop's fixed-point test.
         EGraph eg;
-        for (int iter = 0; iter < config_.maxLoopIterations; ++iter) {
+        for (int iter = 0; iter < config.maxLoopIterations; ++iter) {
             ++st.loopIterations;
             obs::Span roundSpan("compile/round", iter + 1);
             ScopedLatency roundLatency(compileMetrics().roundNs);
@@ -343,10 +354,10 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
             try {
                 EClassId root = eg.addExpr(current);
                 round.expansion =
-                    runEqSat(eg, expansion_, config_.expansionLimits);
+                    runEqSat(eg, expansion_, config.expansionLimits);
                 note("expansion", round.round, round.expansion);
                 round.compilation = runEqSat(eg, compilation_,
-                                             config_.compilationLimits);
+                                             config.compilationLimits);
                 note("compilation", round.round, round.compilation);
                 Extracted best = extractChecked(eg, root);
                 round.extractedCost = best.cost;
@@ -402,10 +413,10 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
     // one e-graph across rounds.
     EGraph keptGraph;
     EClassId keptRoot = 0;
-    if (!config_.pruning)
+    if (!config.pruning)
         keptRoot = keptGraph.addExpr(current);
 
-    for (int iter = 0; iter < config_.maxLoopIterations; ++iter) {
+    for (int iter = 0; iter < config.maxLoopIterations; ++iter) {
         ++st.loopIterations;
         // Rounds are numbered from 1 in stats and trace output.
         obs::Span roundSpan("compile/round", iter + 1);
@@ -421,15 +432,15 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
         // extraction, so it is always the best completed round.
         try {
             EGraph freshGraph;
-            EGraph &eg = config_.pruning ? freshGraph : keptGraph;
+            EGraph &eg = config.pruning ? freshGraph : keptGraph;
             EClassId root =
-                config_.pruning ? eg.addExpr(current) : keptRoot;
+                config.pruning ? eg.addExpr(current) : keptRoot;
 
             round.expansion =
-                runEqSat(eg, expansion_, config_.expansionLimits);
+                runEqSat(eg, expansion_, config.expansionLimits);
             note("expansion", round.round, round.expansion);
             round.compilation =
-                runEqSat(eg, compilation_, config_.compilationLimits);
+                runEqSat(eg, compilation_, config.compilationLimits);
             note("compilation", round.round, round.compilation);
 
             Extracted best = extractChecked(eg, root);
@@ -457,7 +468,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
         oldCost = newCost;
     }
 
-    } // !config_.speculation
+    } // !config.speculation
 
     // Final phase: optimize the chosen vectorization. Failure keeps
     // the unoptimized (still valid) program.
@@ -465,7 +476,7 @@ IsariaCompiler::compileImpl(const RecExpr &program, CompileStats &st) const
         obs::Span optSpan("compile/optimize");
         EGraph eg;
         EClassId root = eg.addExpr(current);
-        st.optimization = runEqSat(eg, optimization_, config_.optLimits);
+        st.optimization = runEqSat(eg, optimization_, config.optLimits);
         st.ranOptimization = true;
         note("optimize", st.loopIterations, st.optimization);
         Extracted best = extractChecked(eg, root);

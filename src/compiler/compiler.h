@@ -17,6 +17,7 @@
  * reproduce the Section 5.2 ablations.
  */
 
+#include <algorithm>
 #include <vector>
 
 #include "compiler/memo.h"
@@ -146,6 +147,43 @@ struct CompilerConfig
     }
 
     /**
+     * A copy of this config with every eqsat budget shrunk by
+     * @p scale in (0, 1] — the serve tier's soft-pressure band.
+     * Wall-clock timeouts, node ceilings, and the improve-loop cap
+     * all scale down, and the backoff scheduler is forced on with a
+     * proportionally smaller match budget so explosive rules are
+     * throttled first. The request still runs the full degradation
+     * ladder; it just reaches "good enough" sooner and returns the
+     * pool slot to the queue.
+     */
+    CompilerConfig
+    scaledForPressure(double scale) const
+    {
+        CompilerConfig out = *this;
+        if (scale <= 0 || scale >= 1)
+            return out;
+        auto shrink = [&](EqSatLimits &limits) {
+            limits.timeoutSeconds *= scale;
+            limits.maxNodes = std::max<std::size_t>(
+                1'000, static_cast<std::size_t>(
+                           static_cast<double>(limits.maxNodes) * scale));
+            limits.maxIters =
+                std::max(1, static_cast<int>(limits.maxIters * scale));
+            limits.scheduler = EqSatScheduler::Backoff;
+            limits.schedMatchLimit = std::max<std::size_t>(
+                64, static_cast<std::size_t>(
+                        static_cast<double>(limits.schedMatchLimit) *
+                        scale));
+        };
+        shrink(out.expansionLimits);
+        shrink(out.compilationLimits);
+        shrink(out.optLimits);
+        out.maxLoopIterations =
+            std::max(1, static_cast<int>(out.maxLoopIterations * scale));
+        return out;
+    }
+
+    /**
      * Sets the rule-application scheduling policy of every per-phase
      * EqSat budget (the --eqsat-scheduler knob; see EqSatScheduler).
      * @p matchLimit / @p banLength tune the backoff thresholds; pass 0
@@ -263,6 +301,20 @@ class IsariaCompiler
     RecExpr compile(const RecExpr &program,
                     CompileStats *stats = nullptr) const;
 
+    /**
+     * Compiles @p program under @p config instead of the construction
+     * config — the serve tier's per-request plumbing: one shared
+     * compiler (rules, warm memo) serves many requests, each with its
+     * own budgets, cancellation token, byte ceiling, and scheduler
+     * knobs. The memo is always consulted (a hit compiled under fuller
+     * budgets is at least as good as what this request would build),
+     * but only stored into when @p memoWrite is set *and* the compile
+     * was clean — a soft-pressure or deadline-cut result must not pin
+     * a worse program for future full-budget requests.
+     */
+    RecExpr compile(const RecExpr &program, const CompilerConfig &config,
+                    CompileStats *stats, bool memoWrite) const;
+
     const PhasedRules &rules() const { return rules_; }
     const CompilerConfig &config() const { return config_; }
 
@@ -272,7 +324,9 @@ class IsariaCompiler
   private:
     /** The fallible Fig. 3 body; compile() wraps it in the ladder's
      *  last rung (scalar fallback on any escaped failure). */
-    RecExpr compileImpl(const RecExpr &program, CompileStats &st) const;
+    RecExpr compileImpl(const RecExpr &program,
+                        const CompilerConfig &config,
+                        CompileStats &st) const;
 
     PhasedRules rules_;
     CompilerConfig config_;

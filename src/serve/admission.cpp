@@ -1,0 +1,72 @@
+#include "serve/admission.h"
+
+namespace isaria::serve
+{
+
+const char *
+admissionVerdictName(AdmissionVerdict verdict)
+{
+    switch (verdict) {
+      case AdmissionVerdict::Admit: return "admit";
+      case AdmissionVerdict::Degrade: return "degrade";
+      case AdmissionVerdict::Reject: return "reject";
+    }
+    return "?";
+}
+
+AdmissionVerdict
+AdmissionController::admit(std::size_t payloadBytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_)
+        return AdmissionVerdict::Reject;
+    if (depth_ >= limits_.hardDepth ||
+        bytes_ + payloadBytes > limits_.maxBytes)
+        return AdmissionVerdict::Reject;
+    ++depth_;
+    bytes_ += payloadBytes;
+    // The verdict is decided on the post-admission depth: with a soft
+    // limit of S, the S+1-th concurrent request is the first degraded
+    // one.
+    return depth_ > limits_.softDepth ? AdmissionVerdict::Degrade
+                                      : AdmissionVerdict::Admit;
+}
+
+void
+AdmissionController::release(std::size_t payloadBytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (depth_ > 0)
+        --depth_;
+    bytes_ = bytes_ >= payloadBytes ? bytes_ - payloadBytes : 0;
+}
+
+void
+AdmissionController::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+}
+
+bool
+AdmissionController::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+std::size_t
+AdmissionController::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return depth_;
+}
+
+std::size_t
+AdmissionController::chargedBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+}
+
+} // namespace isaria::serve

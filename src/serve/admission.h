@@ -1,0 +1,104 @@
+#ifndef ISARIA_SERVE_ADMISSION_H
+#define ISARIA_SERVE_ADMISSION_H
+
+/**
+ * @file
+ * Admission control for the compile daemon: bounded queue, explicit
+ * overload policy, and a soft-pressure degrade band.
+ *
+ * The controller tracks two resources — queued+running request count
+ * and queued+running request payload bytes — and classifies each
+ * arrival into one of three verdicts:
+ *
+ *   depth <= soft limit                 -> Admit (full budgets)
+ *   soft  <  depth <= hard limit        -> Degrade (shrunk budgets:
+ *                                          CompilerConfig::
+ *                                          scaledForPressure)
+ *   depth >  hard limit or bytes > cap  -> Reject (typed `overloaded`
+ *                                          response, never queued)
+ *
+ * Rejecting at a hard edge keeps tail latency bounded (a queue that
+ * only ever grows converts overload into timeouts for *everyone*),
+ * while the degrade band sheds load gradually first — requests still
+ * succeed, just with smaller eqsat budgets. Both thresholds are
+ * static configuration; verdict counts are exported through the
+ * metrics registry by the server.
+ *
+ * Thread-safe: admit/release are a mutex'd counter update, far off
+ * any hot path (once per request, not per e-node).
+ */
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace isaria::serve
+{
+
+/** Static admission thresholds. */
+struct AdmissionLimits
+{
+    /** Requests admitted at full budgets while depth < softDepth. */
+    std::size_t softDepth = 8;
+    /** Hard ceiling on queued+running requests; beyond it arrivals
+     *  are rejected with `overloaded`. */
+    std::size_t hardDepth = 16;
+    /** Ceiling on summed payload bytes of queued+running requests. */
+    std::size_t maxBytes = 8u << 20;
+    /** Budget scale applied in the degrade band (see
+     *  CompilerConfig::scaledForPressure). */
+    double degradeScale = 0.5;
+};
+
+/** What to do with one arriving request. */
+enum class AdmissionVerdict
+{
+    Admit,
+    Degrade,
+    Reject,
+};
+
+/** Wire/metrics name ("admit" / "degrade" / "reject"). */
+const char *admissionVerdictName(AdmissionVerdict verdict);
+
+/** Bounded-queue accounting (see file comment). */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionLimits limits = {})
+        : limits_(limits)
+    {}
+
+    /**
+     * Classifies an arrival of @p payloadBytes. Admit/Degrade charge
+     * the request against the queue (pair with release()); Reject
+     * charges nothing. When draining, everything is rejected.
+     */
+    AdmissionVerdict admit(std::size_t payloadBytes);
+
+    /** Returns one admitted request's charge (on completion, however
+     *  it resolved). */
+    void release(std::size_t payloadBytes);
+
+    /** Stops admitting anything (the drain path). */
+    void beginDrain();
+    bool draining() const;
+
+    /** Queued+running requests currently charged. */
+    std::size_t depth() const;
+    /** Payload bytes currently charged. */
+    std::size_t chargedBytes() const;
+
+    const AdmissionLimits &limits() const { return limits_; }
+
+  private:
+    AdmissionLimits limits_;
+    mutable std::mutex mutex_;
+    std::size_t depth_ = 0;
+    std::size_t bytes_ = 0;
+    bool draining_ = false;
+};
+
+} // namespace isaria::serve
+
+#endif // ISARIA_SERVE_ADMISSION_H

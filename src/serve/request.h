@@ -1,0 +1,121 @@
+#ifndef ISARIA_SERVE_REQUEST_H
+#define ISARIA_SERVE_REQUEST_H
+
+/**
+ * @file
+ * Typed compile requests and responses for the serve tier.
+ *
+ * A request is one JSON object naming a kernel — either a benchmark
+ * family with parameters or a raw kernel s-expression — plus optional
+ * per-request knobs (deadline, memory ceiling, eqsat threads,
+ * scheduler). Parsing is strict: a malformed body, an unknown key, an
+ * out-of-range parameter, or a bad sexpr all become line-numbered
+ * Error diagnostics (the same Result discipline as RuleSet::parse),
+ * so the server can answer with a typed `error` response and move on
+ * with zero state mutated.
+ *
+ * Every response the daemon ever writes is one of four types —
+ * `report`, `degraded-report`, `error`, `overloaded` — which is what
+ * the chaos suite asserts: under fault injection and overload, each
+ * request still gets exactly one typed response.
+ *
+ * Request JSON:
+ *
+ *   {
+ *     "kernel": {"family": "conv2d", "params": [4, 4, 3, 3]},
+ *     // ...or instead of "kernel":
+ *     "sexpr": "(List (Vec (Get a 0) ...))", "label": "custom",
+ *     "deadline_ms": 2000,        // wall budget; 0/absent = server default
+ *     "mem_mb": 64,               // e-graph byte ceiling per saturation
+ *     "eqsat_threads": 1,         // search threads inside this request
+ *     "scheduler": "backoff",    // rule scheduling policy
+ *     "max_loop_iterations": 6,   // Fig. 3 improve-loop cap
+ *     "emit_program": true        // include the compiled sexpr
+ *   }
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "baseline/harness.h"
+#include "support/result.h"
+#include "term/rec_expr.h"
+
+namespace isaria::serve
+{
+
+/** Largest kernel dimension a request may ask for; bounds the cost
+ *  of lifting and the size of the seeded e-graph (a 16x16 conv is
+ *  already far beyond the paper's evaluation sizes). */
+inline constexpr int kMaxKernelParam = 16;
+
+/** One parsed, validated compile request. */
+struct CompileRequest
+{
+    /** Display label ("conv2d 4x4 3x3" or the client's "label"). */
+    std::string label;
+    /** The lifted scalar program to vectorize. */
+    RecExpr program;
+    /** Wall-clock deadline in seconds (0 = server default). */
+    double deadlineSeconds = 0;
+    /** Per-saturation byte ceiling (0 = server default). */
+    std::size_t memBytes = 0;
+    /** EqSat search threads (0 = server default). */
+    int eqsatThreads = 0;
+    /** Scheduler override (absent = server default). */
+    std::optional<EqSatScheduler> scheduler;
+    /** Fig. 3 loop cap override (0 = server default). */
+    int maxLoopIterations = 0;
+    /** Echo the compiled program sexpr in the response. */
+    bool emitProgram = false;
+};
+
+/**
+ * Parses and validates @p body. Errors carry the 1-based line within
+ * the request body. Pure: no server state is touched on any path.
+ */
+Result<CompileRequest> parseCompileRequest(std::string_view body);
+
+/** The four response types every request resolves to. */
+enum class ResponseType
+{
+    /** Clean compile: full-budget result, no degradation. */
+    Report,
+    /** The compile degraded (soft-pressure budgets, deadline cut,
+     *  absorbed fault, client disconnect) but still emitted a
+     *  program and its report. */
+    DegradedReport,
+    /** The request itself was unusable (framing, JSON, validation). */
+    Error,
+    /** Admission control refused the request (hard overload or
+     *  draining); retry later. */
+    Overloaded,
+};
+
+/** Wire name of @p type ("report", "degraded-report", ...). */
+const char *responseTypeName(ResponseType type);
+
+/** One response about to be framed onto the socket. */
+struct ServeResponse
+{
+    ResponseType type = ResponseType::Error;
+    /** HTTP status the framing layer sends (200/400/413/503). */
+    int status = 500;
+    /** The JSON body ({"type": ..., ...}). */
+    std::string body;
+};
+
+/** Builds the typed `error` response for @p error (status 400, or
+ *  @p status when given, e.g. 413 for an oversized payload). */
+ServeResponse makeErrorResponse(const Error &error, int status = 400);
+
+/** Builds the typed `overloaded` response. @p reason is the wire
+ *  string ("queue-full", "bytes-full", "draining"). */
+ServeResponse makeOverloadedResponse(const std::string &reason,
+                                     std::size_t queueDepth,
+                                     double retryAfterSeconds);
+
+} // namespace isaria::serve
+
+#endif // ISARIA_SERVE_REQUEST_H

@@ -1,0 +1,456 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "serve/socket.h"
+#include "support/timer.h"
+
+namespace isaria::serve
+{
+
+namespace
+{
+
+/** One admitted request in flight: the worker's input, the monitor's
+ *  cancellation surface, and the connection thread's wait handle. */
+struct RequestState
+{
+    RequestState(CompileRequest req, AdmissionVerdict v, int clientFd,
+                 double deadlineSeconds)
+        : request(std::move(req)), verdict(v), fd(clientFd),
+          deadline(deadlineSeconds)
+    {}
+
+    CompileRequest request;
+    AdmissionVerdict verdict;
+    /** The client socket, probed by the monitor for hangup while the
+     *  connection thread is parked on `cv`. */
+    int fd;
+    Deadline deadline;
+    CancellationToken token;
+    std::atomic<bool> deadlineHit{false};
+    std::atomic<bool> disconnectHit{false};
+    Stopwatch queued;
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    ServeResponse response;
+};
+
+} // namespace
+
+struct ServeServer::Impl
+{
+    Impl(const IsariaCompiler &compiler, ServeConfig cfg)
+        : service(compiler, std::move(cfg))
+    {}
+
+    CompileService service;
+    UniqueFd listener;
+
+    std::atomic<bool> draining{false};
+    std::atomic<bool> joined{false};
+    /** Workers exit only once this is set — which stopAndJoin() does
+     *  strictly after every connection thread has been joined, so a
+     *  request admitted in the instant before the drain flag flipped
+     *  still finds a live worker for its queued job. */
+    std::atomic<bool> workersStop{false};
+    /** Set by the monitor once the drain deadline passes. */
+    std::atomic<bool> drainExpired{false};
+    std::mutex drainMutex;
+    /** Valid while draining; guarded by drainMutex. */
+    std::unique_ptr<Deadline> drainDeadline;
+
+    // Compile job queue (bounded upstream by admission control).
+    std::mutex queueMutex;
+    std::condition_variable queueCv;
+    std::deque<std::shared_ptr<RequestState>> queue;
+
+    // Every admitted, unresponded request (monitor scan set).
+    mutable std::mutex activeMutex;
+    std::vector<std::shared_ptr<RequestState>> active;
+
+    std::thread acceptThread;
+    std::vector<std::thread> workers;
+    std::thread monitorThread;
+    std::mutex connMutex;
+    std::vector<std::thread> connections;
+    std::condition_variable connCv;
+    std::size_t liveConnections = 0;
+
+    // -----------------------------------------------------------------
+
+    void
+    registerActive(const std::shared_ptr<RequestState> &state)
+    {
+        std::lock_guard<std::mutex> lock(activeMutex);
+        active.push_back(state);
+        static const obs::GaugeHandle gActive =
+            obs::metricGauge("serve/active_requests");
+        obs::metricSet(gActive,
+                       static_cast<std::int64_t>(active.size()));
+    }
+
+    void
+    unregisterActive(const std::shared_ptr<RequestState> &state)
+    {
+        std::lock_guard<std::mutex> lock(activeMutex);
+        for (auto it = active.begin(); it != active.end(); ++it) {
+            if (it->get() == state.get()) {
+                active.erase(it);
+                break;
+            }
+        }
+        static const obs::GaugeHandle gActive =
+            obs::metricGauge("serve/active_requests");
+        obs::metricSet(gActive,
+                       static_cast<std::int64_t>(active.size()));
+    }
+
+    void
+    enqueue(const std::shared_ptr<RequestState> &state)
+    {
+        {
+            std::lock_guard<std::mutex> lock(queueMutex);
+            queue.push_back(state);
+            static const obs::GaugeHandle gDepth =
+                obs::metricGauge("serve/queue_depth");
+            static const obs::GaugeHandle gPeak =
+                obs::metricGauge("serve/queue_depth_peak");
+            obs::metricSet(gDepth,
+                           static_cast<std::int64_t>(queue.size()));
+            obs::metricMax(gPeak,
+                           static_cast<std::int64_t>(queue.size()));
+        }
+        queueCv.notify_one();
+    }
+
+    void
+    workerLoop()
+    {
+        while (true) {
+            std::shared_ptr<RequestState> job;
+            {
+                std::unique_lock<std::mutex> lock(queueMutex);
+                queueCv.wait(lock, [&] {
+                    return !queue.empty() || workersStop.load();
+                });
+                if (queue.empty())
+                    return; // stopping and nothing left
+                job = std::move(queue.front());
+                queue.pop_front();
+                static const obs::GaugeHandle gDepth =
+                    obs::metricGauge("serve/queue_depth");
+                obs::metricSet(gDepth,
+                               static_cast<std::int64_t>(queue.size()));
+            }
+            ServeResponse response = service.compileAdmitted(
+                job->request, job->verdict, &job->token,
+                job->queued.elapsedSeconds());
+            {
+                std::lock_guard<std::mutex> lock(job->m);
+                job->response = std::move(response);
+                job->done = true;
+            }
+            job->cv.notify_all();
+        }
+    }
+
+    void
+    monitorLoop()
+    {
+        static const obs::CounterHandle cDeadline =
+            obs::metricCounter("serve/deadline_cancelled");
+        static const obs::CounterHandle cDisconnect =
+            obs::metricCounter("serve/disconnect_cancelled");
+        while (!joined.load()) {
+            {
+                std::vector<std::shared_ptr<RequestState>> scan;
+                {
+                    std::lock_guard<std::mutex> lock(activeMutex);
+                    scan = active;
+                }
+                bool drainCut = false;
+                if (draining.load() && !drainExpired.load()) {
+                    std::lock_guard<std::mutex> lock(drainMutex);
+                    if (drainDeadline && drainDeadline->expired()) {
+                        drainExpired.store(true);
+                        drainCut = true;
+                    }
+                }
+                for (const auto &state : scan) {
+                    if (state->token.cancelled())
+                        continue;
+                    if (drainCut || drainExpired.load()) {
+                        state->token.cancel();
+                        continue;
+                    }
+                    if (state->deadline.expired()) {
+                        state->deadlineHit.store(true);
+                        state->token.cancel();
+                        obs::metricAdd(cDeadline);
+                        continue;
+                    }
+                    if (peerDisconnected(state->fd)) {
+                        state->disconnectHit.store(true);
+                        state->token.cancel();
+                        obs::metricAdd(cDisconnect);
+                    }
+                }
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    }
+
+    // -----------------------------------------------------------------
+
+    void
+    serveMetrics(int fd)
+    {
+        std::ostringstream page;
+        obs::exportOpenMetrics(obs::snapshotMetrics(), page);
+        writeHttpResponse(fd, 200, page.str(),
+                          "text/plain; charset=utf-8");
+    }
+
+    void
+    serveHealth(int fd)
+    {
+        std::string body = std::string("{\"status\":\"") +
+                           (draining.load() ? "draining" : "ok") +
+                           "\"}";
+        writeHttpResponse(fd, 200, body);
+    }
+
+    /** Handles one POST /compile body on a connection thread. */
+    void
+    serveCompile(int fd, std::string &&body)
+    {
+        static const obs::HistogramHandle hRequest =
+            obs::metricHistogram("serve/request_ns");
+        Stopwatch watch;
+        std::size_t payloadBytes = body.size();
+        Intake in = service.intake(body);
+        if (!in.admitted) {
+            writeHttpResponse(fd, in.response.status, in.response.body);
+            return;
+        }
+
+        double deadline = in.request.deadlineSeconds > 0
+                              ? in.request.deadlineSeconds
+                              : service.config().defaultDeadlineSeconds;
+        auto state = std::make_shared<RequestState>(
+            std::move(in.request), in.verdict, fd, deadline);
+        registerActive(state);
+        enqueue(state);
+        {
+            std::unique_lock<std::mutex> lock(state->m);
+            state->cv.wait(lock, [&] { return state->done; });
+        }
+        unregisterActive(state);
+        service.finish(payloadBytes);
+        obs::metricRecord(
+            hRequest,
+            static_cast<std::uint64_t>(watch.elapsedSeconds() * 1e9));
+        // A hung-up client gets no write (EPIPE is harmless anyway,
+        // SIGPIPE being ignored process-wide), but the compile already
+        // stopped early: its token fired on the disconnect.
+        if (!state->disconnectHit.load())
+            writeHttpResponse(fd, state->response.status,
+                              state->response.body);
+    }
+
+    void
+    connectionLoop(UniqueFd fd)
+    {
+        static const obs::CounterHandle cConnections =
+            obs::metricCounter("serve/connections");
+        obs::metricAdd(cConnections);
+        Stopwatch idle;
+        while (true) {
+            // Poll in short slices so a drain closes idle connections
+            // promptly instead of waiting out the full idle timeout.
+            if (!waitReadable(fd.get(), 100)) {
+                if (draining.load())
+                    break;
+                if (idle.elapsedSeconds() * 1000.0 >
+                    service.config().idleTimeoutMs)
+                    break;
+                continue;
+            }
+            HttpRequest request;
+            FrameStatus status = readHttpRequest(
+                fd.get(), request, service.config().maxBodyBytes,
+                service.config().idleTimeoutMs);
+            if (status == FrameStatus::Closed ||
+                status == FrameStatus::Truncated ||
+                status == FrameStatus::TimedOut)
+                break;
+            if (status == FrameStatus::Malformed ||
+                status == FrameStatus::TooLarge) {
+                static const obs::CounterHandle cFrameErrors =
+                    obs::metricCounter("serve/frame_errors");
+                obs::metricAdd(cFrameErrors);
+                ServeResponse response = makeErrorResponse(
+                    Error{request.error, 1},
+                    status == FrameStatus::TooLarge ? 413 : 400);
+                writeHttpResponse(fd.get(), response.status,
+                                  response.body);
+                break; // framing is broken; don't trust the stream
+            }
+            if (request.method == "GET" &&
+                request.target == "/metrics") {
+                serveMetrics(fd.get());
+            } else if (request.method == "GET" &&
+                       request.target == "/healthz") {
+                serveHealth(fd.get());
+            } else if (request.method == "POST" &&
+                       request.target == "/compile") {
+                serveCompile(fd.get(), std::move(request.body));
+            } else {
+                ServeResponse response = makeErrorResponse(
+                    Error{"no such endpoint: " + request.method + " " +
+                              request.target,
+                          1},
+                    404);
+                writeHttpResponse(fd.get(), response.status,
+                                  response.body);
+            }
+            idle.reset();
+        }
+        std::lock_guard<std::mutex> lock(connMutex);
+        --liveConnections;
+        connCv.notify_all();
+    }
+
+    void
+    acceptLoop()
+    {
+        while (!draining.load()) {
+            if (!waitReadable(listener.get(), 100))
+                continue;
+            int client = ::accept(listener.get(), nullptr, nullptr);
+            if (client < 0)
+                continue;
+            std::lock_guard<std::mutex> lock(connMutex);
+            ++liveConnections;
+            connections.emplace_back(
+                [this, fd = UniqueFd(client)]() mutable {
+                    connectionLoop(std::move(fd));
+                });
+        }
+    }
+};
+
+ServeServer::ServeServer(const IsariaCompiler &compiler, ServeConfig config)
+    : impl_(std::make_unique<Impl>(compiler, std::move(config)))
+{}
+
+ServeServer::~ServeServer()
+{
+    stopAndJoin();
+}
+
+bool
+ServeServer::start(std::string *error)
+{
+    impl_->listener = listenUnix(impl_->service.config().socketPath,
+                                 /*backlog=*/64, error);
+    if (!impl_->listener)
+        return false;
+    int workers = std::max(1, impl_->service.config().workers);
+    for (int i = 0; i < workers; ++i)
+        impl_->workers.emplace_back([this] { impl_->workerLoop(); });
+    impl_->monitorThread = std::thread([this] { impl_->monitorLoop(); });
+    impl_->acceptThread = std::thread([this] { impl_->acceptLoop(); });
+    return true;
+}
+
+void
+ServeServer::requestStop()
+{
+    bool expected = false;
+    if (!impl_->draining.compare_exchange_strong(expected, true))
+        return;
+    impl_->service.admission().beginDrain();
+    {
+        std::lock_guard<std::mutex> lock(impl_->drainMutex);
+        impl_->drainDeadline = std::make_unique<Deadline>(
+            impl_->service.config().drainDeadlineSeconds);
+    }
+    static const obs::CounterHandle cDrains =
+        obs::metricCounter("serve/drains");
+    obs::metricAdd(cDrains);
+    impl_->queueCv.notify_all();
+}
+
+void
+ServeServer::stopAndJoin()
+{
+    if (impl_->joined.load())
+        return;
+    requestStop();
+    if (impl_->acceptThread.joinable())
+        impl_->acceptThread.join();
+    {
+        // Connection threads notice the drain within one 100 ms poll
+        // slice; in-flight requests finish first (their compiles are
+        // cut by the monitor once the drain deadline passes).
+        std::unique_lock<std::mutex> lock(impl_->connMutex);
+        impl_->connCv.wait(lock,
+                           [&] { return impl_->liveConnections == 0; });
+        for (std::thread &t : impl_->connections)
+            if (t.joinable())
+                t.join();
+        impl_->connections.clear();
+    }
+    impl_->workersStop.store(true);
+    impl_->queueCv.notify_all();
+    for (std::thread &t : impl_->workers)
+        if (t.joinable())
+            t.join();
+    impl_->workers.clear();
+    impl_->joined.store(true);
+    if (impl_->monitorThread.joinable())
+        impl_->monitorThread.join();
+    impl_->listener.reset();
+    ::unlink(impl_->service.config().socketPath.c_str());
+    if (!impl_->service.config().finalMetricsPath.empty()) {
+        obs::MetricsSnapshotWriter writer(
+            impl_->service.config().finalMetricsPath,
+            /*intervalSeconds=*/0);
+        writer.writeNow();
+    }
+}
+
+std::size_t
+ServeServer::activeRequests() const
+{
+    std::lock_guard<std::mutex> lock(impl_->activeMutex);
+    return impl_->active.size();
+}
+
+CompileService &
+ServeServer::service()
+{
+    return impl_->service;
+}
+
+const ServeConfig &
+ServeServer::config() const
+{
+    return impl_->service.config();
+}
+
+} // namespace isaria::serve

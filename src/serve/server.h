@@ -1,0 +1,88 @@
+#ifndef ISARIA_SERVE_SERVER_H
+#define ISARIA_SERVE_SERVER_H
+
+/**
+ * @file
+ * The compile daemon's transport: unix-socket listener, connection
+ * threads, compile worker pool, and the monitor thread that turns
+ * deadlines, client disconnects, and drain into cancellation.
+ *
+ * Thread architecture (all cooperating through CompileService):
+ *
+ *   accept thread      blocks in accept(); one connection thread per
+ *                      client (unix sockets, local clients — the
+ *                      admission controller, not the thread count, is
+ *                      the concurrency bound that matters).
+ *   connection thread  frames requests (socket.h), runs the cheap
+ *                      intake half (parse + admission), enqueues the
+ *                      compile job, waits for its completion, writes
+ *                      the response, loops (keep-alive).
+ *   compile workers    N threads draining the bounded job queue; each
+ *                      runs CompileService::compileAdmitted under the
+ *                      request's token.
+ *   monitor thread     ~20 ms scan of in-flight requests: trips a
+ *                      request's token on deadline expiry or client
+ *                      hangup (peerDisconnected — the connection
+ *                      thread is parked waiting on the worker, so the
+ *                      socket is quiet), and trips every token once a
+ *                      drain outlives ServeConfig::drainDeadlineSeconds.
+ *
+ * Drain (requestStop, or the tool's SIGTERM/SIGINT watcher): admission
+ * flips to reject-everything ("draining"), the listener closes,
+ * connection threads finish their in-flight request and exit, workers
+ * drain the queue — every admitted request still gets its typed
+ * response, degraded at worst — and stopAndJoin() writes the final
+ * OpenMetrics page.
+ *
+ * Request isolation: nothing a client sends reaches the server as an
+ * exception (framing is classified, parsing returns Result, the
+ * compiler absorbs its own failures into the degradation ladder), so
+ * one hostile request can neither kill the process nor poison the
+ * shared caches.
+ */
+
+#include <memory>
+#include <string>
+
+#include "serve/service.h"
+
+namespace isaria::serve
+{
+
+/** See the file comment. start() → (drain signal →) stopAndJoin(). */
+class ServeServer
+{
+  public:
+    /** @p compiler must outlive the server. */
+    ServeServer(const IsariaCompiler &compiler, ServeConfig config);
+    ~ServeServer();
+
+    ServeServer(const ServeServer &) = delete;
+    ServeServer &operator=(const ServeServer &) = delete;
+
+    /** Binds the socket and launches the threads. False + @p error on
+     *  bind failure. */
+    bool start(std::string *error);
+
+    /** Begins the drain (idempotent, callable from any thread — the
+     *  signal watcher calls this). Returns immediately. */
+    void requestStop();
+
+    /** requestStop() + joins everything + final metrics flush.
+     *  Called by the destructor if the caller didn't. */
+    void stopAndJoin();
+
+    /** Requests currently past admission and not yet responded. */
+    std::size_t activeRequests() const;
+
+    CompileService &service();
+    const ServeConfig &config() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace isaria::serve
+
+#endif // ISARIA_SERVE_SERVER_H

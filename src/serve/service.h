@@ -1,0 +1,145 @@
+#ifndef ISARIA_SERVE_SERVICE_H
+#define ISARIA_SERVE_SERVICE_H
+
+/**
+ * @file
+ * The socket-free core of the compile daemon.
+ *
+ * CompileService owns everything about a request's lifecycle except
+ * the wire: parsing and validation, the admission verdict, deriving
+ * the per-request CompilerConfig from the server defaults and the
+ * request's knobs, running the shared compiler, and building the
+ * typed response envelope. ServeServer (server.h) is a thin transport
+ * around it — which is what makes the malformed-request and chaos
+ * suites table-driven: they drive the exact production request path
+ * through handle() with no sockets or threads in the way.
+ *
+ * The lifecycle is split into three calls so the server can run the
+ * cheap half on a connection thread and the expensive half on a
+ * compile worker:
+ *
+ *   intake()          parse + admission verdict (holds the queue
+ *                     charge on Admit/Degrade)
+ *   compileAdmitted() the compile itself, under the per-request
+ *                     config and cancellation token
+ *   finish()          returns the queue charge
+ *
+ * handle() composes all three for synchronous callers (tests, the
+ * smoke tool).
+ */
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "compiler/compiler.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+#include "support/cancel.h"
+
+namespace isaria::serve
+{
+
+/** Daemon-wide configuration (socket, pools, defaults, drain). */
+struct ServeConfig
+{
+    /** Filesystem path of the unix-domain listening socket. */
+    std::string socketPath = "isaria.sock";
+    /** Compile worker threads draining the admission queue. */
+    int workers = 2;
+    /** Admission thresholds (soft degrade band, hard reject edge). */
+    AdmissionLimits admission;
+    /** Wall-clock deadline applied when a request names none. */
+    double defaultDeadlineSeconds = 30.0;
+    /** Per-saturation e-graph byte ceiling when a request names none
+     *  (EqSatLimits::maxBytes; the per-request memory account). */
+    std::size_t defaultMemBytes = 64u << 20;
+    /** EqSat search threads per request when a request names none.
+     *  Kept at 1: request-level parallelism comes from the worker
+     *  pool, and every extra search thread multiplies across workers. */
+    int defaultEqsatThreads = 1;
+    /** Hard cap on a request body (admission charges payload bytes). */
+    std::size_t maxBodyBytes = 1u << 20;
+    /** Per-read idle timeout on a connection (ms). */
+    int idleTimeoutMs = 10'000;
+    /** After SIGTERM/SIGINT: in-flight compiles get this long before
+     *  their tokens are tripped and they finish best-so-far. */
+    double drainDeadlineSeconds = 5.0;
+    /** Suggested client backoff stamped into `overloaded` responses. */
+    double retryAfterSeconds = 0.25;
+    /** Final OpenMetrics page written on shutdown ("" = skip). */
+    std::string finalMetricsPath;
+};
+
+/** Result of the parse + admission half of one request. */
+struct Intake
+{
+    /** False: `response` is final (error or overloaded), nothing is
+     *  charged. True: `request`/`verdict` are live and the admission
+     *  charge is held — the caller owes exactly one finish(). */
+    bool admitted = false;
+    CompileRequest request;
+    AdmissionVerdict verdict = AdmissionVerdict::Reject;
+    ServeResponse response;
+};
+
+/** See the file comment. Thread-safe: any number of threads may run
+ *  intake/compileAdmitted/finish concurrently against one service. */
+class CompileService
+{
+  public:
+    /** @p compiler is shared across every request (warm rule cache
+     *  and compile memo); it must outlive the service. */
+    CompileService(const IsariaCompiler &compiler, ServeConfig config);
+
+    /**
+     * Parses @p body and takes the admission verdict, charging
+     * body.size() payload bytes. Records the request/reject/error
+     * metrics. Pure with respect to compiler state on every failure
+     * path.
+     */
+    Intake intake(std::string_view body);
+
+    /**
+     * Compiles an admitted request. @p cancel (may be null) is the
+     * per-request token — deadline expiry, client disconnect, and
+     * drain all arrive through it. @p queueSeconds is how long the
+     * request waited between intake and this call (stamped into the
+     * response and the serve/queue_ns histogram). Never throws; an
+     * escaped compile failure is already absorbed by the compiler's
+     * scalar-fallback rung.
+     */
+    ServeResponse compileAdmitted(const CompileRequest &request,
+                                  AdmissionVerdict verdict,
+                                  const CancellationToken *cancel,
+                                  double queueSeconds);
+
+    /** Returns the admission charge of one admitted intake(). */
+    void finish(std::size_t payloadBytes);
+
+    /** intake + compileAdmitted + finish, synchronously. */
+    ServeResponse handle(std::string_view body,
+                         const CancellationToken *cancel = nullptr);
+
+    /**
+     * The per-request CompilerConfig: server defaults overlaid with
+     * the request's knobs, soft-pressure-scaled when @p verdict is
+     * Degrade, cancellation threaded. Exposed for the config tests.
+     */
+    CompilerConfig effectiveConfig(const CompileRequest &request,
+                                   AdmissionVerdict verdict,
+                                   const CancellationToken *cancel) const;
+
+    AdmissionController &admission() { return admission_; }
+    const ServeConfig &config() const { return config_; }
+    const IsariaCompiler &compiler() const { return compiler_; }
+
+  private:
+    const IsariaCompiler &compiler_;
+    ServeConfig config_;
+    AdmissionController admission_;
+};
+
+} // namespace isaria::serve
+
+#endif // ISARIA_SERVE_SERVICE_H

@@ -1,0 +1,398 @@
+#include "serve/socket.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace isaria::serve
+{
+
+namespace
+{
+
+/** Fills @p addr for @p path; false when the path does not fit. */
+bool
+unixAddress(const std::string &path, sockaddr_un &addr)
+{
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (path.size() + 1 > sizeof addr.sun_path)
+        return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+/** read(2) with EINTR retry; -1 error, 0 EOF, else bytes. */
+ssize_t
+readRetry(int fd, char *buf, std::size_t len)
+{
+    while (true) {
+        ssize_t n = ::read(fd, buf, len);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+} // namespace
+
+UniqueFd
+listenUnix(const std::string &path, int backlog, std::string *error)
+{
+    sockaddr_un addr;
+    if (!unixAddress(path, addr)) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return {};
+    }
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return {};
+    }
+    // A stale socket file from a crashed predecessor blocks bind;
+    // this server instance owns the path, so clear it.
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        if (error)
+            *error = "bind " + path + ": " + std::strerror(errno);
+        return {};
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        if (error)
+            *error = "listen " + path + ": " + std::strerror(errno);
+        return {};
+    }
+    return fd;
+}
+
+UniqueFd
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!unixAddress(path, addr)) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return {};
+    }
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return {};
+    }
+    while (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                     sizeof addr) != 0) {
+        if (errno == EINTR)
+            continue;
+        if (error)
+            *error = "connect " + path + ": " + std::strerror(errno);
+        return {};
+    }
+    return fd;
+}
+
+bool
+waitReadable(int fd, int timeoutMs)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    while (true) {
+        int got = ::poll(&pfd, 1, timeoutMs);
+        if (got > 0)
+            return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+        if (got == 0)
+            return false;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+bool
+peerDisconnected(int fd)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    int got = ::poll(&pfd, 1, 0);
+    if (got <= 0)
+        return false;
+    if (pfd.revents & (POLLHUP | POLLERR))
+        return true;
+    if (pfd.revents & POLLIN) {
+        // Readable while the protocol expects no client bytes means
+        // either EOF or a pipelined/garbage burst; only a zero-byte
+        // peek — orderly shutdown — counts as gone.
+        char probe;
+        ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+        return n == 0;
+    }
+    return false;
+}
+
+FrameStatus
+readHttpRequest(int fd, HttpRequest &request, std::size_t maxBodyBytes,
+                int idleTimeoutMs)
+{
+    request = HttpRequest{};
+    std::string header;
+    std::size_t headerEnd = std::string::npos;
+    char buf[4096];
+    std::string spill; // bytes past the header (start of the body)
+
+    // Accumulate until the blank line.
+    while (headerEnd == std::string::npos) {
+        if (!waitReadable(fd, idleTimeoutMs))
+            return FrameStatus::TimedOut;
+        ssize_t n = readRetry(fd, buf, sizeof buf);
+        if (n < 0)
+            return FrameStatus::Truncated;
+        if (n == 0)
+            return header.empty() ? FrameStatus::Closed
+                                  : FrameStatus::Truncated;
+        header.append(buf, static_cast<std::size_t>(n));
+        headerEnd = header.find("\r\n\r\n");
+        std::size_t sepLen = 4;
+        if (headerEnd == std::string::npos) {
+            headerEnd = header.find("\n\n");
+            sepLen = 2;
+        }
+        if (headerEnd != std::string::npos) {
+            spill = header.substr(headerEnd + sepLen);
+            header.resize(headerEnd);
+        } else if (header.size() > kMaxHeaderBytes) {
+            request.error = "request header exceeds " +
+                            std::to_string(kMaxHeaderBytes) + " bytes";
+            return FrameStatus::Malformed;
+        }
+    }
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    std::size_t lineEnd = header.find('\n');
+    std::string line = header.substr(
+        0, lineEnd == std::string::npos ? header.size() : lineEnd);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    std::size_t sp1 = line.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        request.error = "malformed request line";
+        return FrameStatus::Malformed;
+    }
+    request.method = line.substr(0, sp1);
+    request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    // Headers: only Content-Length matters to this subset.
+    std::size_t contentLength = 0;
+    bool haveLength = false;
+    std::size_t pos = lineEnd == std::string::npos ? header.size()
+                                                   : lineEnd + 1;
+    while (pos < header.size()) {
+        std::size_t end = header.find('\n', pos);
+        if (end == std::string::npos)
+            end = header.size();
+        std::string h = header.substr(pos, end - pos);
+        if (!h.empty() && h.back() == '\r')
+            h.pop_back();
+        pos = end + 1;
+        std::size_t colon = h.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string name = h.substr(0, colon);
+        for (char &c : name)
+            c = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c)));
+        if (name != "content-length")
+            continue;
+        std::size_t value = 0;
+        bool any = false, bad = false;
+        for (std::size_t i = colon + 1; i < h.size(); ++i) {
+            char c = h[i];
+            if (c == ' ' || c == '\t')
+                continue;
+            if (c < '0' || c > '9') {
+                bad = true;
+                break;
+            }
+            // Cheap overflow guard: no real body needs > 2^53 bytes.
+            if (value > (std::size_t{1} << 53)) {
+                bad = true;
+                break;
+            }
+            value = value * 10 + static_cast<std::size_t>(c - '0');
+            any = true;
+        }
+        if (bad || !any) {
+            request.error = "malformed Content-Length";
+            return FrameStatus::Malformed;
+        }
+        contentLength = value;
+        haveLength = true;
+    }
+
+    if (request.method == "POST" && !haveLength) {
+        request.error = "POST requires Content-Length";
+        return FrameStatus::Malformed;
+    }
+    if (contentLength > maxBodyBytes) {
+        request.error = "payload of " + std::to_string(contentLength) +
+                        " bytes exceeds the " +
+                        std::to_string(maxBodyBytes) + "-byte limit";
+        return FrameStatus::TooLarge;
+    }
+
+    request.body = std::move(spill);
+    if (request.body.size() > contentLength)
+        request.body.resize(contentLength); // ignore pipelined extra
+    while (request.body.size() < contentLength) {
+        if (!waitReadable(fd, idleTimeoutMs))
+            return FrameStatus::TimedOut;
+        ssize_t n = readRetry(fd, buf, sizeof buf);
+        if (n <= 0)
+            return FrameStatus::Truncated;
+        std::size_t want = contentLength - request.body.size();
+        request.body.append(buf, std::min(static_cast<std::size_t>(n),
+                                          want));
+    }
+    return FrameStatus::Ok;
+}
+
+bool
+writeHttpResponse(int fd, int status, const std::string &body,
+                  const char *contentType)
+{
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       httpStatusText(status) + "\r\n" +
+                       "Content-Type: " + contentType + "\r\n" +
+                       "Content-Length: " + std::to_string(body.size()) +
+                       "\r\n\r\n";
+    std::string frame = head + body;
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readHttpResponse(int fd, HttpResponse &response, int timeoutMs)
+{
+    response = HttpResponse{};
+    // Read the response header, then exactly Content-Length body bytes.
+    std::string header;
+    std::string spill;
+    std::size_t headerEnd = std::string::npos;
+    char buf[4096];
+    while (headerEnd == std::string::npos) {
+        if (!waitReadable(fd, timeoutMs)) {
+            response.error = "timed out waiting for the response";
+            return false;
+        }
+        ssize_t n = readRetry(fd, buf, sizeof buf);
+        if (n <= 0) {
+            response.error = "connection closed mid-response";
+            return false;
+        }
+        header.append(buf, static_cast<std::size_t>(n));
+        headerEnd = header.find("\r\n\r\n");
+        if (headerEnd != std::string::npos) {
+            spill = header.substr(headerEnd + 4);
+            header.resize(headerEnd);
+        } else if (header.size() > kMaxHeaderBytes) {
+            response.error = "oversized response header";
+            return false;
+        }
+    }
+    // Status line: HTTP/1.1 NNN Reason.
+    std::size_t sp = header.find(' ');
+    if (sp == std::string::npos) {
+        response.error = "malformed status line";
+        return false;
+    }
+    response.status = std::atoi(header.c_str() + sp + 1);
+    std::size_t contentLength = 0;
+    std::size_t pos = header.find("\ncontent-length:");
+    if (pos == std::string::npos) {
+        // Case-insensitive fallback scan.
+        std::string lowered = header;
+        for (char &c : lowered)
+            c = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c)));
+        pos = lowered.find("\ncontent-length:");
+    }
+    if (pos != std::string::npos)
+        contentLength = static_cast<std::size_t>(
+            std::atoll(header.c_str() + pos + 16));
+    response.body = std::move(spill);
+    if (response.body.size() > contentLength)
+        response.body.resize(contentLength);
+    while (response.body.size() < contentLength) {
+        if (!waitReadable(fd, timeoutMs)) {
+            response.error = "timed out reading the response body";
+            return false;
+        }
+        ssize_t n = readRetry(fd, buf, sizeof buf);
+        if (n <= 0) {
+            response.error = "connection closed mid-body";
+            return false;
+        }
+        std::size_t want = contentLength - response.body.size();
+        response.body.append(buf, std::min(static_cast<std::size_t>(n),
+                                           want));
+    }
+    return true;
+}
+
+bool
+httpRoundTrip(int fd, const std::string &method,
+              const std::string &target, const std::string &body,
+              HttpResponse &response, int timeoutMs)
+{
+    response = HttpResponse{};
+    std::string frame = method + " " + target + " HTTP/1.1\r\n" +
+                        "Content-Length: " +
+                        std::to_string(body.size()) + "\r\n\r\n" + body;
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            response.error = std::string("send: ") + std::strerror(errno);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return readHttpResponse(fd, response, timeoutMs);
+}
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 408: return "Request Timeout";
+      case 413: return "Payload Too Large";
+      case 503: return "Service Unavailable";
+      default: return "Status";
+    }
+}
+
+} // namespace isaria::serve

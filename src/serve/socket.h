@@ -1,0 +1,130 @@
+#ifndef ISARIA_SERVE_SOCKET_H
+#define ISARIA_SERVE_SOCKET_H
+
+/**
+ * @file
+ * Unix-domain sockets and minimal HTTP/1.1 framing for the daemon.
+ *
+ * The wire protocol is a deliberately small HTTP subset — enough that
+ * `curl --unix-socket` works against the daemon while keeping the
+ * parser small enough to reason about under hostile input:
+ *
+ *   POST /compile  Content-Length-framed JSON body -> typed response
+ *   GET  /metrics  -> the OpenMetrics page of the registry
+ *   GET  /healthz  -> {"status": "ok" | "draining"}
+ *
+ * Framing failures are classified, not thrown: a truncated header or
+ * body, an oversized payload, or a bare disconnect each map to a
+ * distinct FrameStatus the connection loop turns into a typed error
+ * response (or a silent close for a half-request hangup). All reads
+ * carry a poll() timeout so a stalled client cannot pin a connection
+ * thread forever.
+ */
+
+#include <cstddef>
+#include <string>
+
+#include "support/fd.h"
+
+namespace isaria::serve
+{
+
+/** Bound, listening unix-domain socket at @p path (unlinks a stale
+ *  socket file first). Empty UniqueFd + @p error on failure. */
+UniqueFd listenUnix(const std::string &path, int backlog,
+                    std::string *error);
+
+/** Blocking client connect to @p path. */
+UniqueFd connectUnix(const std::string &path, std::string *error);
+
+/** True when @p fd has readable data or EOF within @p timeoutMs. */
+bool waitReadable(int fd, int timeoutMs);
+
+/**
+ * True when the peer of @p fd has hung up: POLLHUP/POLLERR, or
+ * pending EOF (a zero-byte MSG_PEEK read). Non-blocking; safe to
+ * call from the monitor thread while no one is reading the socket.
+ */
+bool peerDisconnected(int fd);
+
+/** Outcome of reading one framed request. */
+enum class FrameStatus
+{
+    /** A complete request was parsed. */
+    Ok,
+    /** Orderly EOF before any request byte (client done). */
+    Closed,
+    /** Connection died mid-frame (truncated header or body). */
+    Truncated,
+    /** Syntactically invalid request line or headers. */
+    Malformed,
+    /** Content-Length exceeds the server's payload ceiling. */
+    TooLarge,
+    /** No bytes within the idle timeout. */
+    TimedOut,
+};
+
+/** One parsed HTTP request. */
+struct HttpRequest
+{
+    std::string method;
+    std::string target;
+    std::string body;
+    /** Parse diagnostic when the status is Malformed/TooLarge. */
+    std::string error;
+};
+
+/** Hard cap on request-line + header bytes. */
+inline constexpr std::size_t kMaxHeaderBytes = 8 * 1024;
+
+/**
+ * Reads one request from @p fd. @p maxBodyBytes bounds Content-
+ * Length; @p idleTimeoutMs bounds the wait for the first byte (and
+ * each subsequent read). Never throws.
+ */
+FrameStatus readHttpRequest(int fd, HttpRequest &request,
+                            std::size_t maxBodyBytes, int idleTimeoutMs);
+
+/**
+ * Writes a complete response (status line, Content-Type:
+ * application/json unless @p contentType overrides, Content-Length,
+ * blank line, body). False when the peer is gone (EPIPE — ignored
+ * thanks to the process-wide SIGPIPE policy).
+ */
+bool writeHttpResponse(int fd, int status, const std::string &body,
+                       const char *contentType = "application/json");
+
+/** Standard reason phrase for @p status ("OK", "Bad Request", ...). */
+const char *httpStatusText(int status);
+
+/** A client-side view of one response. */
+struct HttpResponse
+{
+    int status = 0;
+    std::string body;
+    /** Transport diagnostic when the round trip failed. */
+    std::string error;
+};
+
+/**
+ * Client-side response reader: parses one status line + headers +
+ * Content-Length body from @p fd. False + @p response.error on
+ * transport failure. Usable on its own when the request bytes went
+ * out by hand (the chaos suite's hostile frames).
+ */
+bool readHttpResponse(int fd, HttpResponse &response,
+                      int timeoutMs = 30'000);
+
+/**
+ * Client half of the protocol: writes one Content-Length-framed
+ * request and reads the response. Used by the smoke/chaos/bench
+ * clients; the server never calls this. False + @p response.error on
+ * transport failure.
+ */
+bool httpRoundTrip(int fd, const std::string &method,
+                   const std::string &target, const std::string &body,
+                   HttpResponse &response, int timeoutMs = 30'000);
+
+} // namespace isaria::serve
+
+#endif // ISARIA_SERVE_SOCKET_H

@@ -1,0 +1,71 @@
+#ifndef ISARIA_SUPPORT_FD_H
+#define ISARIA_SUPPORT_FD_H
+
+/**
+ * @file
+ * RAII ownership for POSIX file descriptors.
+ *
+ * The serve daemon juggles a listener socket plus one descriptor per
+ * connection across accept, worker, and monitor threads; every early
+ * return on a malformed frame or a mid-request fault must still close
+ * the descriptor. UniqueFd is the one owner: move-only, closes on
+ * destruction, and survives double-close-free refactoring the way a
+ * unique_ptr does.
+ */
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace isaria
+{
+
+/** Move-only owner of one file descriptor (-1 = empty). */
+class UniqueFd
+{
+  public:
+    UniqueFd() = default;
+    explicit UniqueFd(int fd) : fd_(fd) {}
+
+    UniqueFd(const UniqueFd &) = delete;
+    UniqueFd &operator=(const UniqueFd &) = delete;
+
+    UniqueFd(UniqueFd &&other) noexcept
+        : fd_(std::exchange(other.fd_, -1))
+    {}
+
+    UniqueFd &
+    operator=(UniqueFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = std::exchange(other.fd_, -1);
+        }
+        return *this;
+    }
+
+    ~UniqueFd() { reset(); }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    explicit operator bool() const { return valid(); }
+
+    /** Closes the held descriptor (if any) and adopts @p fd. */
+    void
+    reset(int fd = -1)
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = fd;
+    }
+
+    /** Releases ownership without closing. */
+    int release() { return std::exchange(fd_, -1); }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace isaria
+
+#endif // ISARIA_SUPPORT_FD_H

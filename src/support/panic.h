@@ -53,16 +53,26 @@ fatalImpl(const char *file, int line, const char *msg)
                      ": " + msg);
 }
 
+/** Installs the process-wide signal policy (SIGPIPE ignored,
+ *  SIGTERM/SIGINT trip processShutdownToken); see support/signal.h.
+ *  Declared here so guardedMain can call it without pulling the
+ *  signal header into every translation unit. */
+void installProcessSignalHandlers();
+
 /**
  * Runs @p body, turning an escaped FatalError (or any stray
  * exception) into a diagnostic plus nonzero exit instead of a
- * std::terminate abort. Every CLI main wraps itself in this.
+ * std::terminate abort. Every CLI main wraps itself in this. Also
+ * installs the default signal handlers first, so a disconnecting
+ * pipe never kills a tool and Ctrl-C cancels through the graceful-
+ * degradation ladder instead of skipping it.
  */
 template <typename Body>
 int
 guardedMain(Body &&body)
 {
     try {
+        installProcessSignalHandlers();
         return body();
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fatal: %s\n", e.what());

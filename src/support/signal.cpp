@@ -1,0 +1,71 @@
+#include "support/signal.h"
+
+#include <atomic>
+
+namespace isaria
+{
+
+namespace
+{
+
+/** Written from the signal handler; sig_atomic_t per POSIX. */
+volatile std::sig_atomic_t lastSignal = 0;
+
+/** True once the handler ran at least once (second signal = hard
+ *  exit; see installProcessSignalHandlers doc). */
+std::atomic<bool> shutdownRequested{false};
+
+void
+shutdownHandler(int signum)
+{
+    if (shutdownRequested.exchange(true, std::memory_order_acq_rel)) {
+        // Second request: the graceful path is stuck or the operator
+        // is insisting. Restore the default disposition and re-raise
+        // so the process dies with the conventional signal status.
+        std::signal(signum, SIG_DFL);
+        std::raise(signum);
+        return;
+    }
+    lastSignal = signum;
+    processShutdownToken().cancel();
+}
+
+} // namespace
+
+CancellationToken &
+processShutdownToken()
+{
+    static CancellationToken token;
+    return token;
+}
+
+void
+installProcessSignalHandlers()
+{
+    static const bool installed = [] {
+        // Touch the token before any handler can fire so the
+        // function-local static is constructed outside signal context.
+        processShutdownToken();
+        std::signal(SIGPIPE, SIG_IGN);
+        std::signal(SIGTERM, shutdownHandler);
+        std::signal(SIGINT, shutdownHandler);
+        return true;
+    }();
+    (void)installed;
+}
+
+int
+lastShutdownSignal()
+{
+    return static_cast<int>(lastSignal);
+}
+
+void
+resetProcessShutdownForTests()
+{
+    processShutdownToken().reset();
+    shutdownRequested.store(false, std::memory_order_release);
+    lastSignal = 0;
+}
+
+} // namespace isaria

@@ -1,0 +1,58 @@
+#ifndef ISARIA_SUPPORT_SIGNAL_H
+#define ISARIA_SUPPORT_SIGNAL_H
+
+/**
+ * @file
+ * Process-wide signal handling for the CLI tools and the daemon.
+ *
+ * Two behaviors every long-lived Isaria binary wants:
+ *
+ * 1. **SIGPIPE is ignored.** A client that hangs up mid-response must
+ *    surface as an EPIPE write error the serving code can absorb, not
+ *    as a process kill — the default SIGPIPE disposition would take
+ *    the whole daemon down with one disconnecting socket.
+ * 2. **SIGTERM / SIGINT trip a global CancellationToken** instead of
+ *    killing the process outright. CancellationToken::cancel() is one
+ *    atomic store, so it is async-signal-safe; every budgeted phase
+ *    already polls its token, which means Ctrl-C mid-compile walks
+ *    the graceful-degradation ladder (best-so-far extraction) and the
+ *    daemon gets a drain window (stop accepting, finish or cancel
+ *    in-flight work, flush a final metrics snapshot).
+ *
+ * guardedMain (support/panic.h) installs these handlers for every
+ * binary; installation is idempotent and keeps the first registration.
+ */
+
+#include <csignal>
+
+#include "support/cancel.h"
+
+namespace isaria
+{
+
+/**
+ * The token SIGTERM/SIGINT cancel. Long-running work that should be
+ * interruptible by Ctrl-C threads this into its CompilerConfig /
+ * EqSatLimits; the serve daemon watches it to begin draining.
+ */
+CancellationToken &processShutdownToken();
+
+/**
+ * Ignores SIGPIPE and routes SIGTERM/SIGINT to processShutdownToken()
+ * (idempotent; the first call installs, later calls are no-ops).
+ * A second SIGTERM/SIGINT after the token has already fired restores
+ * the default disposition and re-raises, so a wedged process can
+ * still be killed by pressing Ctrl-C twice.
+ */
+void installProcessSignalHandlers();
+
+/** The last shutdown signal received (0 when none fired yet). */
+int lastShutdownSignal();
+
+/** Test hook: re-arms the token and clears the last-signal record.
+ *  Not for production code — the handlers stay installed. */
+void resetProcessShutdownForTests();
+
+} // namespace isaria
+
+#endif // ISARIA_SUPPORT_SIGNAL_H

@@ -1,28 +1,40 @@
 #!/usr/bin/env python3
-"""Gate BENCH_scaling.json against committed thresholds.
+"""Gate a BENCH_*.json sidecar against committed thresholds.
 
-Usage: bench_check.py BENCH_scaling.json thresholds.json
+Usage: bench_check.py BENCH_<name>.json thresholds.json
 
-The thresholds file records the baseline value of each gated summary
-metric and which direction is better:
+The thresholds file holds one section per gated bench, keyed by the
+"bench" field every sidecar carries; each section records the baseline
+value of each gated summary metric and which direction is better:
 
     {
       "tolerance_pct": 20,
-      "metrics": {
-        "alloc_reduction_pct": {"baseline": 30.0, "better": "higher"},
-        "metrics_record_ns": {"baseline": 8.0, "better": "lower",
-                              "tolerance_pct": 100}
+      "benches": {
+        "scaling": {
+          "metrics": {
+            "alloc_reduction_pct": {"baseline": 30.0,
+                                    "better": "higher"},
+            "metrics_record_ns": {"baseline": 8.0, "better": "lower",
+                                  "tolerance_pct": 100}
+          }
+        },
+        "serve": { "metrics": { ... } }
       }
     }
+
+(The pre-section flat layout — a top-level "metrics" block applied to
+whatever sidecar is passed in — is still accepted.)
 
 A fresh value regresses when it is worse than the baseline by more
 than tolerance_pct percent of the baseline ("higher"-is-better metrics
 may drop to baseline*(1 - tol); "lower"-is-better may rise to
 baseline*(1 + tol)). A metric entry may carry its own tolerance_pct,
-overriding the file-level default — timing metrics want far looser
-bounds than deterministic counts. Exit code 0 = all gated metrics
-within tolerance, 1 = regression or malformed input. Stdlib only:
-runs anywhere ctest found a python3.
+overriding the section- or file-level default — timing metrics want
+far looser bounds than deterministic counts, and a tolerance of 0
+pins an exact floor/ceiling (e.g. "every overload response is typed"
+gates at exactly 100 percent). Exit code 0 = all gated metrics within
+tolerance, 1 = regression or malformed input. Stdlib only: runs
+anywhere ctest found a python3.
 """
 
 import json
@@ -57,16 +69,27 @@ def main(argv):
     print(f"bench_check: {argv[1]} (build_type={build_type}, "
           f"git_sha={bench.get('host', {}).get('git_sha', '?')})")
 
+    # Select the thresholds section for this sidecar's bench; fall
+    # back to the legacy flat layout (top-level "metrics").
+    section = thresholds
+    benches = thresholds.get("benches")
+    if isinstance(benches, dict):
+        name = bench.get("bench")
+        if name not in benches:
+            fail(f"no thresholds section for bench {name!r}")
+        section = benches[name]
+    default_tol = section.get("tolerance_pct",
+                              thresholds.get("tolerance_pct", 20))
+
     regressions = []
-    for name, spec in thresholds.get("metrics", {}).items():
+    for name, spec in section.get("metrics", {}).items():
         if name not in summary:
             regressions.append(f"{name}: missing from summary")
             continue
         value = float(summary[name])
         baseline = float(spec["baseline"])
         better = spec.get("better", "higher")
-        tol = float(spec.get("tolerance_pct",
-                             thresholds.get("tolerance_pct", 20))) / 100.0
+        tol = float(spec.get("tolerance_pct", default_tol)) / 100.0
         if better == "higher":
             floor = baseline * (1.0 - tol)
             ok = value >= floor

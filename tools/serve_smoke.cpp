@@ -1,0 +1,244 @@
+// CI smoke for the compile daemon: one in-process ServeServer on a
+// private unix socket, driven end to end through real sockets and the
+// wire protocol.
+//
+// Checks, in order:
+//   1. GET /healthz answers ok.
+//   2. POST /compile (matmul) returns a clean typed `report` whose
+//      embedded CompileReport parses and shows no degradation.
+//   3. The same request again is a shared-memo hit.
+//   4. Malformed JSON and an unknown endpoint produce typed,
+//      line-numbered `error` responses — and the server keeps serving.
+//   5. The admit -> degrade -> reject ladder, deterministically: with
+//      soft=1/hard=2 and one worker, two slow compiles occupy the
+//      queue (the second in the degrade band), and a third arrival is
+//      rejected with a typed `overloaded` response.
+//   6. GET /metrics serves an OpenMetrics page with the serve-tier
+//      series present.
+//   7. Drain: stopAndJoin() while idle returns promptly, unlinks the
+//      socket, and flushes the final metrics page.
+//
+// Exits nonzero on the first failed check.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "baseline/diospyros.h"
+#include "obs/metrics.h"
+#include "phase/phase.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "serve/socket.h"
+#include "support/panic.h"
+
+using namespace isaria;
+
+namespace
+{
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (ok) {
+        std::printf("  ok: %s\n", what);
+    } else {
+        std::fprintf(stderr, "  FAIL: %s\n", what);
+        ++failures;
+    }
+}
+
+/** One connect + request + response against @p path. */
+bool
+roundTrip(const std::string &path, const std::string &method,
+          const std::string &target, const std::string &body,
+          serve::HttpResponse &response)
+{
+    std::string error;
+    UniqueFd fd = serve::connectUnix(path, &error);
+    if (!fd) {
+        response.error = error;
+        return false;
+    }
+    return serve::httpRoundTrip(fd.get(), method, target, body, response,
+                                /*timeoutMs=*/120'000);
+}
+
+/** Parsed response body, or an explicit parse failure. */
+serve::JsonValue
+parsedBody(const serve::HttpResponse &response)
+{
+    auto parsed = serve::parseJson(response.body);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "  response body did not parse: %s\n",
+                     parsed.error().toString().c_str());
+        ++failures;
+        return serve::JsonValue{};
+    }
+    return parsed.value();
+}
+
+std::string
+field(const serve::JsonValue &root, const char *key)
+{
+    const serve::JsonValue *v = root.find(key);
+    return v ? v->text : "";
+}
+
+} // namespace
+
+int
+main()
+{
+    return guardedMain([&] {
+        std::string socketPath = "isaria_serve_smoke_" +
+                                 std::to_string(::getpid()) + ".sock";
+        std::string metricsPath = "serve_smoke_metrics.txt";
+
+        CompilerConfig cc;
+        cc.memoEntries = 16;
+        IsariaCompiler compiler(
+            assignPhases(diospyrosHandRules(), cc.costModel), cc);
+
+        serve::ServeConfig sc;
+        sc.socketPath = socketPath;
+        sc.workers = 1;
+        sc.admission.softDepth = 1;
+        sc.admission.hardDepth = 2;
+        sc.finalMetricsPath = metricsPath;
+        serve::ServeServer server(compiler, sc);
+        std::string error;
+        if (!server.start(&error)) {
+            std::fprintf(stderr, "serve_smoke: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("serve_smoke: listening on %s\n", socketPath.c_str());
+
+        // 1. Health.
+        serve::HttpResponse r;
+        check(roundTrip(socketPath, "GET", "/healthz", "", r) &&
+                  r.status == 200 &&
+                  r.body.find("\"ok\"") != std::string::npos,
+              "healthz answers ok");
+
+        // 2. A clean compile.
+        std::string matmul =
+            "{\"kernel\": {\"family\": \"matmul\", \"params\": "
+            "[2, 2, 2]}}";
+        check(roundTrip(socketPath, "POST", "/compile", matmul, r) &&
+                  r.status == 200,
+              "matmul compile returns 200");
+        {
+            serve::JsonValue root = parsedBody(r);
+            check(field(root, "type") == "report",
+                  "clean compile is a typed report");
+            check(field(root, "degrade_level") == "none",
+                  "clean compile did not degrade");
+            const serve::JsonValue *report = root.find("report");
+            check(report && report->find("memo_hit") &&
+                      !report->find("memo_hit")->boolean,
+                  "first compile is a memo miss");
+        }
+
+        // 3. Same request: shared warm memo.
+        check(roundTrip(socketPath, "POST", "/compile", matmul, r) &&
+                  r.status == 200,
+              "repeat compile returns 200");
+        {
+            serve::JsonValue root = parsedBody(r);
+            const serve::JsonValue *report = root.find("report");
+            check(report && report->find("memo_hit") &&
+                      report->find("memo_hit")->boolean,
+                  "repeat compile hits the shared memo");
+        }
+
+        // 4. Request isolation: garbage in, typed diagnostics out.
+        check(roundTrip(socketPath, "POST", "/compile", "{oops", r) &&
+                  r.status == 400,
+              "malformed JSON answers 400");
+        {
+            serve::JsonValue root = parsedBody(r);
+            check(field(root, "type") == "error" && root.find("error") &&
+                      root.find("error")->find("line"),
+              "malformed JSON error is typed and line-numbered");
+        }
+        check(roundTrip(socketPath, "GET", "/nope", "", r) &&
+                  r.status == 404,
+              "unknown endpoint answers 404");
+        check(roundTrip(socketPath, "POST", "/compile", matmul, r) &&
+                  r.status == 200,
+              "server still serves after hostile requests");
+
+        // 5. The admission ladder. Two slow conv compiles fill the
+        // depth-2 queue (worker=1); once both are charged, a third
+        // arrival must be rejected. conv shapes differ so neither is
+        // a memo hit.
+        auto slowBody = [](int n) {
+            return "{\"kernel\": {\"family\": \"conv2d\", \"params\": [" +
+                   std::to_string(n) + ", " + std::to_string(n) +
+                   ", 2, 2]}}";
+        };
+        serve::HttpResponse r1, r2;
+        std::thread c1([&] {
+            roundTrip(socketPath, "POST", "/compile", slowBody(3), r1);
+        });
+        // Admission order must be deterministic: wait for the first
+        // request to be charged before launching the second.
+        while (server.service().admission().depth() < 1)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        std::thread c2([&] {
+            roundTrip(socketPath, "POST", "/compile", slowBody(4), r2);
+        });
+        while (server.service().admission().depth() < 2)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        check(roundTrip(socketPath, "POST", "/compile", slowBody(5), r) &&
+                  r.status == 503,
+              "arrival past the hard edge answers 503");
+        {
+            serve::JsonValue root = parsedBody(r);
+            check(field(root, "type") == "overloaded" &&
+                      field(root, "reason") == "queue-full" &&
+                      root.find("retry_after_ms"),
+                  "reject is a typed overloaded response");
+        }
+        c1.join();
+        c2.join();
+        {
+            serve::JsonValue root1 = parsedBody(r1);
+            check(field(root1, "verdict") == "admit",
+                  "first slow compile was admitted at full budget");
+            serve::JsonValue root2 = parsedBody(r2);
+            check(field(root2, "type") == "degraded-report" &&
+                      field(root2, "verdict") == "degrade",
+                  "second slow compile landed in the degrade band");
+        }
+
+        // 6. Metrics endpoint.
+        check(roundTrip(socketPath, "GET", "/metrics", "", r) &&
+                  r.status == 200 &&
+                  r.body.find("isaria_serve_requests_total") !=
+                      std::string::npos &&
+                  r.body.find("# EOF") != std::string::npos,
+              "metrics endpoint serves the serve-tier series");
+
+        // 7. Drain.
+        server.stopAndJoin();
+        check(!std::filesystem::exists(socketPath),
+              "drain unlinked the socket");
+        check(std::filesystem::exists(metricsPath),
+              "drain flushed the final metrics page");
+
+        if (failures)
+            std::fprintf(stderr, "serve_smoke: %d FAILED checks\n",
+                         failures);
+        else
+            std::printf("serve_smoke: all checks passed\n");
+        return failures ? 1 : 0;
+    });
+}
