@@ -83,6 +83,7 @@ main()
         RecExpr compiled = compiler.compile(h.scalarProgram());
         for (bool vn : {true, false}) {
             LowerOptions options;
+            options.width = h.machine().vectorWidth;
             options.totalOutputs = h.kernel().totalOutputs();
             options.scalarizeRawChunks = true;
             options.valueNumbering = vn;

@@ -1,0 +1,113 @@
+// Retargeting truth (ISSUE 9): generate a compiler per shipped
+// machine description and drive a kernel ladder through each, with
+// the differential oracle on. The sidecar (BENCH_retarget.json) is
+// gated by tools/bench_check.py on the deterministic facts — every
+// shipped target compiles every kernel correctly, and the targets'
+// synthesis fingerprints never collide — while per-target compile
+// times and cycle counts ride along as ungated context.
+//
+//   retarget [--quick]
+//
+// --quick shrinks the synthesis budget for CI.
+
+#include "common.h"
+
+#include <cstring>
+
+#include "cache/rule_cache.h"
+#include "isa/machine_desc.h"
+#include "support/timer.h"
+
+using namespace isaria;
+using namespace isaria::bench;
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    double budget = quick ? 10.0 : kDefaultSynthBudget;
+
+    obs::ObsOptions opts;
+    opts.alwaysRecord = true;
+    obs::ScopedTrace trace(opts);
+    BenchJson json("retarget");
+
+    const std::vector<KernelSpec> suite = {
+        KernelSpec::conv2d(3, 3, 2, 2), KernelSpec::conv2d(4, 4, 3, 3),
+        KernelSpec::matmul(2, 2, 2),    KernelSpec::matmul(4, 4, 4),
+        KernelSpec::qprod(),            KernelSpec::qrd(3)};
+
+    std::vector<std::uint64_t> fingerprints;
+    int runs = 0, correct = 0;
+    for (const MachineDesc &machine : knownMachines()) {
+        SynthConfig synth = synthConfigFor(machine);
+        synth.timeoutSeconds = budget;
+        fingerprints.push_back(
+            synthFingerprint(IsaSpec(machine), synth));
+
+        Stopwatch genWatch;
+        CompilerConfig cc = compilerConfigFor(machine);
+        cc.expansionLimits.timeoutSeconds = 0.4;
+        cc.compilationLimits.timeoutSeconds = 0.8;
+        cc.compilationLimits.maxNodes = 40'000;
+        cc.optLimits.timeoutSeconds = 0.5;
+        cc.maxLoopIterations = 6;
+        GeneratedCompiler gen =
+            generateCompiler(IsaSpec(machine), synth, cc);
+        double genSeconds = genWatch.elapsedSeconds();
+        std::printf("%s: %zu rules in %.1fs (w=%d)\n",
+                    machine.name().c_str(), gen.synth.rules.size(),
+                    genSeconds, machine.vectorWidth);
+
+        for (const KernelSpec &spec : suite) {
+            KernelHarness h(spec, machine);
+            RunOutcome base = h.runScalarBaseline();
+            RunOutcome out = h.runCompiler(gen.compiler);
+            ++runs;
+            correct += out.correct ? 1 : 0;
+            std::printf("  %-18s %8llu cycles  %s  %s\n",
+                        spec.label().c_str(),
+                        static_cast<unsigned long long>(out.cycles),
+                        speedupCell(out, base.cycles).c_str(),
+                        out.correct ? "ok" : "WRONG");
+
+            BenchJsonObject &row = json.newRow();
+            row.text("target", machine.name());
+            row.text("kernel", spec.label());
+            row.integer("width", machine.vectorWidth);
+            row.number("compile_s", out.compileStats.seconds);
+            row.integer("initial_cost",
+                        static_cast<std::int64_t>(
+                            out.compileStats.initialCost));
+            row.integer("final_cost",
+                        static_cast<std::int64_t>(
+                            out.compileStats.finalCost));
+            row.integer("cycles",
+                        static_cast<std::int64_t>(out.cycles));
+            row.integer("scalar_cycles",
+                        static_cast<std::int64_t>(base.cycles));
+            row.boolean("correct", out.correct);
+        }
+    }
+
+    std::size_t distinct = 0;
+    for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+        bool fresh = true;
+        for (std::size_t j = 0; j < i; ++j)
+            fresh = fresh && fingerprints[j] != fingerprints[i];
+        distinct += fresh ? 1 : 0;
+    }
+
+    json.summary().integer(
+        "targets", static_cast<std::int64_t>(knownMachines().size()));
+    json.summary().integer("distinct_fingerprints",
+                           static_cast<std::int64_t>(distinct));
+    json.summary().number("correct_pct",
+                          runs ? 100.0 * correct / runs : 0.0);
+    json.summary().integer("kernels_per_target",
+                           static_cast<std::int64_t>(suite.size()));
+    return json.write(trace) && correct == runs ? 0 : 1;
+}

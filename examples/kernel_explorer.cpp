@@ -5,6 +5,7 @@
 //
 // Usage:
 //   kernel_explorer [conv R C KR KC | matmul N M K | qprod | qrd N]
+//                   [--target=NAME]
 //                   [--asm] [--budget SECONDS] [--optimize]
 //                   [--speculate]
 //                   [--eqsat-threads=N] [--mem-mb=N] [--fault=SPEC]
@@ -64,6 +65,11 @@
 // (MAC fusion, DCE, dual-issue scheduling) on the Isaria output and
 // reports the extra cycles they recover.
 //
+// --target=NAME compiles for that machine description (canonical
+// name or alias, e.g. --target=rvv8): lane width, op set, cost
+// model, and cycle timing all come from the description. Default:
+// ISARIA_TARGET env, else fusion-g3-w4.
+//
 // With no arguments, explores a 4x4 convolution with a 3x3 filter.
 
 #include <cstdio>
@@ -75,6 +81,7 @@
 #include "baseline/slp.h"
 #include "compiler/pipeline.h"
 #include "compiler/report.h"
+#include "isa/machine_desc.h"
 #include "lower/lower.h"
 #include "lower/optimize.h"
 #include "obs/obs.h"
@@ -105,6 +112,7 @@ main(int argc, char **argv)
     std::size_t memLimitMb = 0; // 0 = unlimited
     RuleCache cache = RuleCache::fromEnv(); // $ISARIA_CACHE default
     std::size_t memoEntries = 0; // 0 = memo disabled
+    MachineDesc machine = MachineDesc::fromEnv();
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -162,6 +170,16 @@ main(int argc, char **argv)
         } else if (arg.rfind("--memo-entries=", 0) == 0) {
             memoEntries = static_cast<std::size_t>(
                 std::atoll(arg.c_str() + 15));
+        } else if (arg.rfind("--target=", 0) == 0) {
+            auto found = machineByName(arg.substr(9));
+            if (!found) {
+                std::fprintf(stderr,
+                             "unknown --target %s (known: %s)\n",
+                             arg.c_str() + 9,
+                             knownMachineNames().c_str());
+                return 1;
+            }
+            machine = *found;
         } else if (arg.rfind("--fault=", 0) == 0) {
             auto plan = FaultPlan::parse(arg.c_str() + 8);
             if (!plan.ok()) {
@@ -176,21 +194,23 @@ main(int argc, char **argv)
         }
     }
 
-    KernelHarness h(spec);
+    KernelHarness h(spec, machine);
     std::printf("Kernel: %s (%d outputs, %zu-chunk program)\n",
                 spec.label().c_str(), h.kernel().totalOutputs(),
                 h.scalarProgram().root().children.size());
+    std::printf("Target: %s (%d lanes)\n", machine.name().c_str(),
+                machine.vectorWidth);
 
-    IsaSpec isa;
+    IsaSpec isa(machine);
     std::printf("Generating the Isaria compiler (budget %.0fs%s)...\n",
                 budget,
                 cache.enabled() ? (", cache " + cache.dir()).c_str()
                                 : "");
-    SynthConfig synth;
+    SynthConfig synth = synthConfigFor(machine);
     synth.timeoutSeconds = budget;
     synth.numThreads = eqsatThreads;
     synth.derivLimits.numThreads = eqsatThreads;
-    CompilerConfig compilerConfig;
+    CompilerConfig compilerConfig = compilerConfigFor(machine);
     compilerConfig.withEqSatThreads(eqsatThreads);
     compilerConfig.withScheduler(scheduler, schedMatchLimit,
                                  schedBanLength);
@@ -258,8 +278,8 @@ main(int argc, char **argv)
         std::printf("\nPer-round compile breakdown:\n%s",
                     isariaOut.compileStats.toString().c_str());
     if (!trace.options().reportPath.empty()) {
-        CompileReport report =
-            makeCompileReport(spec.label(), isariaOut.compileStats);
+        CompileReport report = makeCompileReport(
+            spec.label(), isariaOut.compileStats, machine.name());
         if (writeCompileReport(trace.options().reportPath, report))
             std::printf("\nCompile report written: %s\n",
                         trace.options().reportPath.c_str());
@@ -268,11 +288,12 @@ main(int argc, char **argv)
     if (optimize) {
         RecExpr compiled = gen.compiler.compile(h.scalarProgram());
         LowerOptions options;
+        options.width = machine.vectorWidth;
         options.totalOutputs = h.kernel().totalOutputs();
         options.scalarizeRawChunks = true;
         VmProgram raw = lowerProgram(compiled, options);
         VmOptStats stats;
-        VmProgram tuned = optimizeProgram(raw, {}, &stats);
+        VmProgram tuned = optimizeProgram(raw, machine.latency, &stats);
         RunOutcome before = h.runProgramChecked(raw);
         RunOutcome after = h.runProgramChecked(tuned);
         std::printf("\nPost-lowering passes: %llu -> %llu cycles "
@@ -287,6 +308,7 @@ main(int argc, char **argv)
     if (dumpAsm) {
         RecExpr compiled = gen.compiler.compile(h.scalarProgram());
         LowerOptions options;
+        options.width = machine.vectorWidth;
         options.totalOutputs = h.kernel().totalOutputs();
         options.scalarizeRawChunks = true;
         std::printf("\nIsaria-generated DSP assembly:\n%s",

@@ -103,10 +103,11 @@ defaultSuite()
     };
 }
 
-KernelHarness::KernelHarness(const KernelSpec &spec, int width,
+KernelHarness::KernelHarness(const KernelSpec &spec,
+                             const MachineDesc &machine,
                              std::uint64_t seed)
-    : spec_(spec), width_(width), kernel_(spec.build()),
-      program_(liftKernel(kernel_, width))
+    : spec_(spec), machine_(machine), kernel_(spec.build()),
+      program_(liftKernel(kernel_, machine.vectorWidth))
 {
     // Deterministic pseudo-random inputs in [-2, -0.25] U [0.25, 2]:
     // bounded away from zero so QR's pivots are well conditioned.
@@ -126,7 +127,12 @@ KernelHarness::KernelHarness(const KernelSpec &spec, int width,
 RunOutcome
 KernelHarness::runProgramChecked(const VmProgram &program) const
 {
-    VmRunResult run = runProgram(program, inputs_);
+    // Every program this harness measures must have been built for
+    // this machine — a width drift between a comparator and the spec
+    // is a miscompile, not a measurement.
+    ISARIA_ASSERT(program.width == machine_.vectorWidth,
+                  "program width disagrees with the machine description");
+    VmRunResult run = runProgram(program, inputs_, machine_.latency);
     RunOutcome out;
     out.cycles = run.cycles;
     out.instructions = run.instructions;
@@ -154,7 +160,7 @@ RunOutcome
 KernelHarness::runScalarBaseline() const
 {
     LowerOptions options;
-    options.width = width_;
+    options.width = machine_.vectorWidth;
     options.scalarOnly = true;
     options.totalOutputs = kernel_.totalOutputs();
     return runProgramChecked(lowerProgram(program_, options));
@@ -165,7 +171,7 @@ KernelHarness::runSlp() const
 {
     RecExpr packed = slpVectorize(program_);
     LowerOptions options;
-    options.width = width_;
+    options.width = machine_.vectorWidth;
     options.scalarizeRawChunks = true;
     options.totalOutputs = kernel_.totalOutputs();
     return runProgramChecked(lowerProgram(packed, options));
@@ -174,7 +180,7 @@ KernelHarness::runSlp() const
 RunOutcome
 KernelHarness::runNature() const
 {
-    auto program = spec_.natureProgram(width_);
+    auto program = spec_.natureProgram(machine_.vectorWidth);
     if (!program) {
         RunOutcome out;
         out.supported = false;
@@ -189,7 +195,7 @@ KernelHarness::runCompiler(const IsariaCompiler &compiler) const
     CompileStats stats;
     RecExpr compiled = compiler.compile(program_, &stats);
     LowerOptions options;
-    options.width = width_;
+    options.width = machine_.vectorWidth;
     options.totalOutputs = kernel_.totalOutputs();
     options.scalarizeRawChunks = true;
     Result<VmProgram> lowered = tryLowerProgram(compiled, options);

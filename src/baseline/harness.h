@@ -17,6 +17,7 @@
 
 #include "compiler/compiler.h"
 #include "frontend/kernels.h"
+#include "isa/machine_desc.h"
 #include "lower/lower.h"
 #include "vm/machine.h"
 
@@ -68,18 +69,24 @@ struct RunOutcome
     bool loweredScalarFallback = false;
 };
 
-/** Drives one kernel through lifting, compilation, and simulation. */
+/** Drives one kernel through lifting, compilation, and simulation.
+ *  Lane width, latency table, and issue shape all come from one
+ *  machine description, so the baselines and the generated compiler
+ *  can never silently run at different widths in a comparison. */
 class KernelHarness
 {
   public:
-    explicit KernelHarness(const KernelSpec &spec, int width = 4,
+    explicit KernelHarness(const KernelSpec &spec,
+                           const MachineDesc &machine =
+                               MachineDesc::fromEnv(),
                            std::uint64_t seed = 0xBE11A);
 
     const KernelSpec &spec() const { return spec_; }
     const Kernel &kernel() const { return kernel_; }
     /** The lifted scalar program (List of raw Vec chunks). */
     const RecExpr &scalarProgram() const { return program_; }
-    int width() const { return width_; }
+    const MachineDesc &machine() const { return machine_; }
+    int width() const { return machine_.vectorWidth; }
 
     /** Unvectorized baseline (the Figure 4 denominator). */
     RunOutcome runScalarBaseline() const;
@@ -94,7 +101,7 @@ class KernelHarness
 
   private:
     KernelSpec spec_;
-    int width_;
+    MachineDesc machine_;
     Kernel kernel_;
     RecExpr program_;
     VmMemory inputs_;

@@ -78,18 +78,66 @@ parsePhase(const std::string &name)
     return std::nullopt;
 }
 
-} // namespace
+/** Folds a full cost table into the fingerprint. */
+void
+mixCostParams(std::size_t &seed, const CostParams &cp)
+{
+    mix(seed, cp.leaf);
+    mix(seed, cp.scalarAlu);
+    mix(seed, cp.scalarDiv);
+    mix(seed, cp.scalarSqrt);
+    mix(seed, cp.scalarMulSub);
+    mix(seed, cp.scalarSqrtSgn);
+    mix(seed, cp.vecAlu);
+    mix(seed, cp.vecDiv);
+    mix(seed, cp.vecSqrt);
+    mix(seed, cp.vecMac);
+    mix(seed, cp.vecSqrtSgn);
+    mix(seed, cp.laneMove);
+    mix(seed, cp.vecBase);
+    mix(seed, cp.concat);
+    mix(seed, cp.listBase);
+    mix(seed, cp.alpha);
+    mix(seed, cp.beta);
+}
 
 std::uint64_t
-synthFingerprint(const IsaSpec &isa, const SynthConfig &config)
+synthFingerprintImpl(const IsaSpec &isa, const SynthConfig &config)
 {
     std::size_t seed = 0x15A21AC4C8Eull;
     mix(seed, kRuleCacheSchemaVersion);
 
-    const IsaConfig &ic = isa.config();
-    mix(seed, ic.vectorWidth);
-    mix(seed, ic.enableMulSub);
-    mix(seed, ic.enableSqrtSgn);
+    // The *entire* machine description, not just width plus the two
+    // custom-op flags: two same-width machines differing in family,
+    // op set, cost table, latency table, or issue shape must never
+    // share a cache entry.
+    const MachineDesc &m = isa.machine();
+    mix(seed, m.family.size());
+    for (char c : m.family)
+        mix(seed, static_cast<std::uint64_t>(
+                      static_cast<unsigned char>(c)));
+    mix(seed, m.vectorWidth);
+    mix(seed, isa.scalarOps().size());
+    for (Op op : isa.scalarOps())
+        mix(seed, static_cast<std::uint64_t>(op));
+    mix(seed, isa.vectorOps().size());
+    for (Op op : isa.vectorOps())
+        mix(seed, static_cast<std::uint64_t>(op));
+    mixCostParams(seed, m.cost);
+    const LatencyModel &lat = m.latency;
+    mix(seed, lat.dualIssue);
+    mix(seed, lat.scalarAlu);
+    mix(seed, lat.scalarDiv);
+    mix(seed, lat.scalarSqrt);
+    mix(seed, lat.scalarSgn);
+    mix(seed, lat.scalarNeg);
+    mix(seed, lat.vectorAlu);
+    mix(seed, lat.vectorDiv);
+    mix(seed, lat.vectorSqrt);
+    mix(seed, lat.load);
+    mix(seed, lat.insertLane);
+    mix(seed, lat.loadConst);
+    mix(seed, lat.store);
 
     const EnumConfig &ec = config.enumConfig;
     mix(seed, ec.numScalarVars);
@@ -128,26 +176,22 @@ synthFingerprint(const IsaSpec &isa, const SynthConfig &config)
     // derivLimits.numThreads and config.numThreads are *not* mixed:
     // results are byte-identical at any thread count.
 
-    const CostParams &cp = config.costParams;
-    mix(seed, cp.leaf);
-    mix(seed, cp.scalarAlu);
-    mix(seed, cp.scalarDiv);
-    mix(seed, cp.scalarSqrt);
-    mix(seed, cp.scalarMulSub);
-    mix(seed, cp.scalarSqrtSgn);
-    mix(seed, cp.vecAlu);
-    mix(seed, cp.vecDiv);
-    mix(seed, cp.vecSqrt);
-    mix(seed, cp.vecMac);
-    mix(seed, cp.vecSqrtSgn);
-    mix(seed, cp.laneMove);
-    mix(seed, cp.vecBase);
-    mix(seed, cp.concat);
-    mix(seed, cp.listBase);
-    mix(seed, cp.alpha);
-    mix(seed, cp.beta);
+    mixCostParams(seed, config.costParams);
 
     return static_cast<std::uint64_t>(seed);
+}
+
+} // namespace
+
+std::uint64_t
+synthFingerprint(const IsaSpec &isa, const SynthConfig &config)
+{
+    // Fingerprint the configuration synthesis would actually run
+    // under: machine-derived fields (the verifier's sampling width)
+    // are forced from the spec first, exactly as synthesizeRules
+    // does, so the cache key can never describe a run that differs
+    // from the one that produced the entry.
+    return synthFingerprintImpl(isa, effectiveSynthConfig(isa, config));
 }
 
 std::string

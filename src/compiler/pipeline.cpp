@@ -39,4 +39,20 @@ generateCompiler(const IsaSpec &isa, const RuleCache &cache,
         synthesizeRulesCached(isa, synthConfig, cache), config);
 }
 
+SynthConfig
+synthConfigFor(const MachineDesc &machine)
+{
+    SynthConfig config;
+    config.costParams = machine.cost;
+    return config;
+}
+
+CompilerConfig
+compilerConfigFor(const MachineDesc &machine)
+{
+    CompilerConfig config;
+    config.costModel = DspCostModel(machine.cost);
+    return config;
+}
+
 } // namespace isaria

@@ -44,6 +44,21 @@ GeneratedCompiler generateCompiler(const IsaSpec &isa,
                                    const SynthConfig &synthConfig = {},
                                    const CompilerConfig &config = {});
 
+/**
+ * A SynthConfig whose cost parameters (shortcut detection,
+ * alpha/beta) come from @p machine's cost table instead of the
+ * default-constructed one. Start from this when retargeting; every
+ * other knob keeps its default and stays caller-tunable.
+ */
+SynthConfig synthConfigFor(const MachineDesc &machine);
+
+/**
+ * A CompilerConfig whose cost model (extraction, improvement test,
+ * phase thresholds) is @p machine's. The machine-honest counterpart
+ * of CompilerConfig{} for non-default targets.
+ */
+CompilerConfig compilerConfigFor(const MachineDesc &machine);
+
 } // namespace isaria
 
 #endif // ISARIA_COMPILER_PIPELINE_H

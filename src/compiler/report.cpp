@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "isa/machine_desc.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 
@@ -61,6 +62,7 @@ CompileReport::toJson() const
     out += "\"schema_version\":" +
            std::to_string(kCompileReportSchemaVersion);
     out += ",\"kernel\":\"" + obs::jsonEscape(kernel) + "\"";
+    out += ",\"target\":\"" + obs::jsonEscape(target) + "\"";
     out += ",\"wall_ns\":" + std::to_string(secondsToNs(st.seconds));
     out += ",\"initial_cost\":" + std::to_string(st.initialCost);
     out += ",\"final_cost\":" + std::to_string(st.finalCost);
@@ -105,10 +107,13 @@ CompileReport::toJson() const
 }
 
 CompileReport
-makeCompileReport(std::string kernel, const CompileStats &stats)
+makeCompileReport(std::string kernel, const CompileStats &stats,
+                  std::string target)
 {
     CompileReport report;
     report.kernel = kernel.empty() ? "unknown" : std::move(kernel);
+    report.target = target.empty() ? MachineDesc::fromEnv().name()
+                                   : std::move(target);
     report.stats = stats;
     return report;
 }

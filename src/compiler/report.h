@@ -26,8 +26,9 @@
 namespace isaria
 {
 
-/** Version stamped into every CompileReport ("schema_version"). */
-inline constexpr int kCompileReportSchemaVersion = 1;
+/** Version stamped into every CompileReport ("schema_version").
+ *  v2: added "target" (the machine description's canonical name). */
+inline constexpr int kCompileReportSchemaVersion = 2;
 
 /** One compile() call's structured outcome. */
 struct CompileReport
@@ -35,6 +36,10 @@ struct CompileReport
     /** Kernel label ("conv2d 4x4 k3x3"); never empty in emitted
      *  reports — makeCompileReport defaults it to "unknown". */
     std::string kernel;
+    /** Canonical target name (MachineDesc::name, width-bearing);
+     *  never empty — makeCompileReport defaults it to the session
+     *  machine. */
+    std::string target;
     CompileStats stats;
 
     /** The report as a single JSON object (embeds the current metrics
@@ -42,9 +47,11 @@ struct CompileReport
     std::string toJson() const;
 };
 
-/** Builds a report for @p stats, labelled @p kernel. */
+/** Builds a report for @p stats, labelled @p kernel, compiled for
+ *  @p target (empty = the session machine, MachineDesc::fromEnv). */
 CompileReport makeCompileReport(std::string kernel,
-                                const CompileStats &stats);
+                                const CompileStats &stats,
+                                std::string target = {});
 
 /**
  * Serializes @p report to @p path (tempfile + rename, like every

@@ -5,19 +5,42 @@
 namespace isaria
 {
 
-IsaSpec::IsaSpec(IsaConfig config) : config_(config)
+namespace
 {
-    ISARIA_ASSERT(config_.vectorWidth >= 1, "bad vector width");
+
+MachineDesc
+fusionFromConfig(const IsaConfig &config)
+{
+    MachineDesc m =
+        MachineDesc::fusionG3(config.enableMulSub, config.enableSqrtSgn);
+    m.vectorWidth = config.vectorWidth;
+    return m;
+}
+
+} // namespace
+
+IsaSpec::IsaSpec() : IsaSpec(MachineDesc::fromEnv()) {}
+
+IsaSpec::IsaSpec(IsaConfig config) : IsaSpec(fusionFromConfig(config)) {}
+
+IsaSpec::IsaSpec(MachineDesc machine) : machine_(std::move(machine))
+{
+    ISARIA_ASSERT(machine_.vectorWidth >= 1, "bad vector width");
+    config_.vectorWidth = machine_.vectorWidth;
+    config_.enableMulSub = machine_.enableMulSub;
+    config_.enableSqrtSgn = machine_.enableSqrtSgn;
 
     scalarOps_ = {Op::Add, Op::Sub, Op::Mul, Op::Div,
                   Op::Neg, Op::Sgn, Op::Sqrt};
     vectorOps_ = {Op::VecAdd, Op::VecMinus, Op::VecMul, Op::VecDiv,
-                  Op::VecNeg, Op::VecSgn,   Op::VecSqrt, Op::VecMAC};
-    if (config_.enableMulSub) {
+                  Op::VecNeg, Op::VecSgn,   Op::VecSqrt};
+    if (machine_.enableVecMac)
+        vectorOps_.push_back(Op::VecMAC);
+    if (machine_.enableMulSub) {
         scalarOps_.push_back(Op::MulSub);
         vectorOps_.push_back(Op::VecMulSub);
     }
-    if (config_.enableSqrtSgn) {
+    if (machine_.enableSqrtSgn) {
         scalarOps_.push_back(Op::SqrtSgn);
         vectorOps_.push_back(Op::VecSqrtSgn);
     }
@@ -29,26 +52,17 @@ IsaSpec::opEnabled(Op op) const
     switch (op) {
       case Op::MulSub:
       case Op::VecMulSub:
-        return config_.enableMulSub;
+        return machine_.enableMulSub;
       case Op::SqrtSgn:
       case Op::VecSqrtSgn:
-        return config_.enableSqrtSgn;
+        return machine_.enableSqrtSgn;
+      case Op::VecMAC:
+        return machine_.enableVecMac;
       case Op::Wildcard:
         return false;
       default:
         return true;
     }
-}
-
-std::string
-IsaSpec::name() const
-{
-    std::string out = "fusion-g3";
-    if (config_.enableMulSub)
-        out += "+mulsub";
-    if (config_.enableSqrtSgn)
-        out += "+sqrtsgn";
-    return out;
 }
 
 } // namespace isaria

@@ -3,26 +3,31 @@
 
 /**
  * @file
- * The target instruction set, as a configuration over the DSL.
+ * The target instruction set, as a view over one MachineDesc.
  *
- * The baseline models the Tensilica Fusion G3's single-precision
- * vector pipeline (4-wide SIMD) as used by Diospyros and Isaria. The
- * two custom instructions of Section 5.4 — VecMulSub and VecSqrtSgn —
- * can be toggled on, which is exactly how a DSP engineer explores an
- * ISA customization: flip the flag (a few lines of interpreter and
- * cost model in the paper), re-run the offline pipeline, get a new
- * compiler.
+ * An IsaSpec is what rule synthesis and the offline pipeline consume:
+ * the enabled op lists, the lane width, and the target name — all
+ * derived from a machine description (machine_desc.h), never from
+ * parallel hardcoded defaults. The legacy IsaConfig surface survives
+ * as the Fusion-family customization knob of Section 5.4: flip a
+ * flag (a few lines of interpreter and cost model in the paper),
+ * re-run the offline pipeline, get a new compiler.
  */
 
 #include <string>
 #include <vector>
 
+#include "isa/machine_desc.h"
 #include "term/op.h"
 
 namespace isaria
 {
 
-/** Which optional instructions the target DSP provides. */
+/**
+ * Legacy Fusion-family customization surface: width plus the two
+ * Section 5.4 custom instructions. IsaSpec(IsaConfig) always means
+ * the fusion-g3 family; use IsaSpec(MachineDesc) for other targets.
+ */
 struct IsaConfig
 {
     /** SIMD width in lanes (Fusion G3 single-precision: 4). */
@@ -33,14 +38,23 @@ struct IsaConfig
     bool enableSqrtSgn = false;
 };
 
-/** An instruction set instance: enabled ops + width. */
+/** An instruction set instance: enabled ops + width, from a machine
+ *  description. */
 class IsaSpec
 {
   public:
-    explicit IsaSpec(IsaConfig config = {});
+    /** The session default target (MachineDesc::fromEnv). */
+    IsaSpec();
+    /** The fusion-g3 family with @p config's width and custom ops. */
+    explicit IsaSpec(IsaConfig config);
+    /** Any target. */
+    explicit IsaSpec(MachineDesc machine);
 
+    /** The full machine description this spec was built from. */
+    const MachineDesc &machine() const { return machine_; }
+    /** Width + custom-op view (legacy accessor). */
     const IsaConfig &config() const { return config_; }
-    int vectorWidth() const { return config_.vectorWidth; }
+    int vectorWidth() const { return machine_.vectorWidth; }
 
     /** True if @p op exists on this target. */
     bool opEnabled(Op op) const;
@@ -51,10 +65,12 @@ class IsaSpec
     /** Lane-wise vector ops available to rule synthesis. */
     const std::vector<Op> &vectorOps() const { return vectorOps_; }
 
-    /** Short identifier, e.g. "fusion-g3+mulsub". */
-    std::string name() const;
+    /** Canonical target name, e.g. "fusion-g3-w4+mulsub" — always
+     *  width-bearing (MachineDesc::name). */
+    std::string name() const { return machine_.name(); }
 
   private:
+    MachineDesc machine_;
     IsaConfig config_;
     std::vector<Op> scalarOps_;
     std::vector<Op> vectorOps_;

@@ -1,0 +1,144 @@
+#include "isa/machine_desc.h"
+
+#include <cstdlib>
+
+#include "support/panic.h"
+
+namespace isaria
+{
+
+std::string
+MachineDesc::name() const
+{
+    std::string out = family + "-w" + std::to_string(vectorWidth);
+    if (enableMulSub)
+        out += "+mulsub";
+    if (enableSqrtSgn)
+        out += "+sqrtsgn";
+    if (!enableVecMac)
+        out += "-nomac";
+    return out;
+}
+
+MachineDesc
+MachineDesc::fusionG3(bool mulSub, bool sqrtSgn)
+{
+    // The defaults of CostParams and LatencyModel *are* the Fusion
+    // G3 numbers (see cost_model.h / machine.h); this factory only
+    // names the family and applies the custom-op toggles.
+    MachineDesc m;
+    m.family = "fusion-g3";
+    m.vectorWidth = 4;
+    m.enableMulSub = mulSub;
+    m.enableSqrtSgn = sqrtSgn;
+    return m;
+}
+
+MachineDesc
+MachineDesc::rvv8()
+{
+    MachineDesc m;
+    m.family = "rvv";
+    m.vectorWidth = 8;
+    // An application-class core: vfmsac exists (mulsub), there is no
+    // sqrt-sign-product custom op.
+    m.enableMulSub = true;
+    m.enableSqrtSgn = false;
+    m.enableVecMac = true;
+
+    // Cost table: the scalar FPU is pipelined and much closer to the
+    // vector unit than Fusion's slow scalar path, lane moves
+    // (vslide/vmv) are cheaper, and vector div/sqrt are relatively
+    // pricier. Alpha/beta shrink with the smaller scalar/vector gap.
+    m.cost.leaf = 1;
+    m.cost.scalarAlu = 8;
+    m.cost.scalarDiv = 24;
+    m.cost.scalarSqrt = 30;
+    m.cost.scalarMulSub = 9;
+    m.cost.scalarSqrtSgn = 30;
+    m.cost.vecAlu = 1;
+    m.cost.vecDiv = 8;
+    m.cost.vecSqrt = 10;
+    m.cost.vecMac = 1;
+    m.cost.vecSqrtSgn = 10;
+    m.cost.laneMove = 16;
+    m.cost.vecBase = 1;
+    m.cost.concat = 6;
+    m.cost.listBase = 1;
+    m.cost.alpha = 12;
+    m.cost.beta = 10;
+
+    // Timing: single-issue (vector and load/store share the one
+    // pipe), longer but pipelined vector latencies, a faster scalar
+    // FPU, slightly slower memory.
+    m.latency.dualIssue = false;
+    m.latency.scalarAlu = 6;
+    m.latency.scalarDiv = 24;
+    m.latency.scalarSqrt = 30;
+    m.latency.scalarSgn = 3;
+    m.latency.scalarNeg = 3;
+    m.latency.vectorAlu = 4;
+    m.latency.vectorDiv = 24;
+    m.latency.vectorSqrt = 28;
+    m.latency.load = 4;
+    m.latency.insertLane = 3;
+    m.latency.loadConst = 1;
+    m.latency.store = 2;
+    return m;
+}
+
+const MachineDesc &
+MachineDesc::fromEnv()
+{
+    static const MachineDesc machine = [] {
+        const char *env = std::getenv("ISARIA_TARGET");
+        if (env == nullptr || *env == '\0')
+            return fusionG3();
+        std::optional<MachineDesc> found = machineByName(env);
+        if (!found) {
+            std::string msg =
+                "ISARIA_TARGET names unknown machine \"" +
+                std::string(env) + "\" (known: " +
+                knownMachineNames() + ")";
+            ISARIA_PANIC(msg.c_str());
+        }
+        return *found;
+    }();
+    return machine;
+}
+
+std::optional<MachineDesc>
+machineByName(const std::string &name)
+{
+    for (const MachineDesc &m : knownMachines()) {
+        if (name == m.name())
+            return m;
+    }
+    if (name == "fusion" || name == "fusion-g3")
+        return MachineDesc::fusionG3();
+    if (name == "rvv" || name == "rvv8")
+        return MachineDesc::rvv8();
+    return std::nullopt;
+}
+
+const std::vector<MachineDesc> &
+knownMachines()
+{
+    static const std::vector<MachineDesc> machines = {
+        MachineDesc::fusionG3(), MachineDesc::rvv8()};
+    return machines;
+}
+
+std::string
+knownMachineNames()
+{
+    std::string out;
+    for (const MachineDesc &m : knownMachines()) {
+        if (!out.empty())
+            out += ", ";
+        out += m.name();
+    }
+    return out;
+}
+
+} // namespace isaria

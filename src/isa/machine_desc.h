@@ -1,0 +1,109 @@
+#ifndef ISARIA_ISA_MACHINE_DESC_H
+#define ISARIA_ISA_MACHINE_DESC_H
+
+/**
+ * @file
+ * The machine description: one value that fully determines a target.
+ *
+ * Everything the pipeline knows about a DSP comes from here — lane
+ * width, which optional ops exist, the abstract cost table that
+ * drives extraction and phase assignment, the cycle-simulator latency
+ * table, and the issue-slot shape. IsaSpec, the lowering width, the
+ * verifier's sampling width, the VM lane width, and the rule-cache
+ * fingerprint are all instantiated from one MachineDesc, so two
+ * targets can never silently disagree about any of them.
+ *
+ * Two targets ship in the registry:
+ *
+ *   fusion-g3-w4   the paper's 4-wide Tensilica Fusion G3-like DSP
+ *                  (dual-issue VLIW, slow scalar float path), with
+ *                  the Section 5.4 custom ops as toggles;
+ *   rvv-w8+mulsub  an 8-wide RVV-flavoured vector unit: single
+ *                  issue, a faster scalar FPU (smaller scalar/vector
+ *                  gap), cheaper lane moves, pricier vector
+ *                  div/sqrt, and a fused multiply-subtract.
+ *
+ * The registry is open: construct any MachineDesc by hand, or start
+ * from a factory and mutate fields. `ISARIA_TARGET=<name>` retargets
+ * every default-constructed IsaSpec/KernelHarness, which is how the
+ * fig4-fig9 benches and the integration suites run per-target with
+ * zero code changes.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/cost_model.h"
+#include "vm/machine.h"
+
+namespace isaria
+{
+
+/** A complete, self-consistent description of one target. */
+struct MachineDesc
+{
+    /** Target family, the leading component of name(). */
+    std::string family = "fusion-g3";
+    /** SIMD width in lanes; the single source of truth for the
+     *  lowering width, the verifier default width, and the VM lane
+     *  width. */
+    int vectorWidth = 4;
+
+    // --- Op set (per-op enables beyond the always-on base set).
+    /** Custom multiply-subtract (Section 5.4). */
+    bool enableMulSub = false;
+    /** Custom square-root-sign-product (Section 5.4). */
+    bool enableSqrtSgn = false;
+    /** Fused multiply-accumulate on the vector unit. */
+    bool enableVecMac = true;
+
+    /** Abstract cost table (Definition 1) incl. alpha/beta phase
+     *  thresholds. Drives extraction, phase assignment, and the
+     *  synthesizer's shortcut detection. */
+    CostParams cost;
+    /** Cycle-simulator timing: per-op latencies and the issue-slot
+     *  shape (LatencyModel::dualIssue). */
+    LatencyModel latency;
+
+    /**
+     * Canonical target name, e.g. "fusion-g3-w4" or
+     * "rvv-w8+mulsub". Always embeds the lane width and every
+     * optional-op toggle, so cache entry paths, CompileReport.target,
+     * and bench labels can never conflate two widths or op sets.
+     */
+    std::string name() const;
+
+    /** The paper's 4-wide Fusion G3-like DSP; @p mulSub / @p sqrtSgn
+     *  toggle the Section 5.4 custom instructions. */
+    static MachineDesc fusionG3(bool mulSub = false,
+                                bool sqrtSgn = false);
+    /** The 8-wide RVV-flavoured second target (see file comment). */
+    static MachineDesc rvv8();
+
+    /**
+     * The session's default target: `ISARIA_TARGET` resolved through
+     * machineByName() when set (panics on an unknown name — a typo'd
+     * sweep must fail loudly, not silently measure fusion), otherwise
+     * fusionG3(). Every default-constructed IsaSpec and KernelHarness
+     * goes through here.
+     */
+    static const MachineDesc &fromEnv();
+};
+
+/**
+ * Resolves @p name against the built-in registry. Accepts canonical
+ * names ("fusion-g3-w4", "rvv-w8+mulsub") and the short aliases
+ * "fusion", "fusion-g3", "rvv", "rvv8". Nullopt for unknown names.
+ */
+std::optional<MachineDesc> machineByName(const std::string &name);
+
+/** The built-in targets, canonical-name order. */
+const std::vector<MachineDesc> &knownMachines();
+
+/** Comma-separated canonical names, for diagnostics. */
+std::string knownMachineNames();
+
+} // namespace isaria
+
+#endif // ISARIA_ISA_MACHINE_DESC_H

@@ -364,6 +364,10 @@ lowerProgram(const RecExpr &program, const LowerOptions &options)
 {
     obs::Span span("lower",
                    static_cast<std::int64_t>(program.size()));
+    if (options.width < 1) {
+        ISARIA_FATAL("LowerOptions.width unset: derive it from the "
+                     "machine description");
+    }
     Lowerer lowerer(program, options);
     VmProgram out = lowerer.run();
     if (obs::enabled()) {

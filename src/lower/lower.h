@@ -27,7 +27,10 @@ namespace isaria
 /** Options for one lowering. */
 struct LowerOptions
 {
-    int width = 4;
+    /** Lane width, derived from the active machine description at
+     *  every construction site (MachineDesc::vectorWidth). 0 = unset;
+     *  lowering rejects it rather than assuming a target. */
+    int width = 0;
     /**
      * Forbid vector instructions: every Vec chunk is computed lane by
      * lane on the scalar path (the unvectorized-clang baseline).

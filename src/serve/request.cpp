@@ -110,6 +110,7 @@ parseCompileRequest(std::string_view body)
     CompileRequest request;
     const JsonValue *kernel = nullptr;
     const JsonValue *sexpr = nullptr;
+    std::optional<MachineDesc> machine;
 
     for (const auto &[key, value] : root.fields) {
         if (key == "kernel") {
@@ -159,6 +160,16 @@ parseCompileRequest(std::string_view body)
                 return errorAt(value,
                                "\"emit_program\" must be a boolean");
             request.emitProgram = value.boolean;
+        } else if (key == "target") {
+            if (!value.isString())
+                return errorAt(value, "\"target\" must be a string");
+            std::optional<MachineDesc> found =
+                machineByName(value.text);
+            if (!found)
+                return errorAt(value, "unknown target \"" + value.text +
+                                          "\" (known: " +
+                                          knownMachineNames() + ")");
+            machine = std::move(found);
         } else {
             return errorAt(value, "unknown request key \"" + key + "\"");
         }
@@ -168,11 +179,17 @@ parseCompileRequest(std::string_view body)
         return errorAt(root, "request needs exactly one of \"kernel\" "
                              "or \"sexpr\"");
 
+    // Resolve the machine before lifting: the kernel is lifted at the
+    // *target's* lane width, not a baked-in one.
+    if (!machine)
+        machine = MachineDesc::fromEnv();
+    request.target = machine->name();
+
     if (kernel) {
         Result<KernelSpec> spec = parseKernelSpec(*kernel);
         if (!spec.ok())
             return spec.error();
-        KernelHarness harness(spec.value());
+        KernelHarness harness(spec.value(), *machine);
         request.program = harness.scalarProgram();
         if (request.label.empty())
             request.label = spec.value().label();

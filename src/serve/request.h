@@ -30,7 +30,10 @@
  *     "eqsat_threads": 1,         // search threads inside this request
  *     "scheduler": "backoff",    // rule scheduling policy
  *     "max_loop_iterations": 6,   // Fig. 3 improve-loop cap
- *     "emit_program": true        // include the compiled sexpr
+ *     "emit_program": true,       // include the compiled sexpr
+ *     "target": "rvv8"            // machine description (canonical
+ *                                 // name or alias; absent = server
+ *                                 // default target)
  *   }
  */
 
@@ -69,6 +72,10 @@ struct CompileRequest
     int maxLoopIterations = 0;
     /** Echo the compiled program sexpr in the response. */
     bool emitProgram = false;
+    /** Canonical name of the requested machine (always resolved —
+     *  parsing canonicalizes aliases and defaults to the session
+     *  machine). Kernel lifting happens at this target's width. */
+    std::string target;
 };
 
 /**

@@ -441,6 +441,13 @@ ServeServer::activeRequests() const
     return impl_->active.size();
 }
 
+void
+ServeServer::addTarget(const std::string &name,
+                       const IsariaCompiler &compiler)
+{
+    impl_->service.addTarget(name, compiler);
+}
+
 CompileService &
 ServeServer::service()
 {

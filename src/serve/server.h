@@ -60,6 +60,11 @@ class ServeServer
     ServeServer(const ServeServer &) = delete;
     ServeServer &operator=(const ServeServer &) = delete;
 
+    /** Registers one more target compiler (canonical MachineDesc
+     *  name) with the service. Call before start(). */
+    void addTarget(const std::string &name,
+                   const IsariaCompiler &compiler);
+
     /** Binds the socket and launches the threads. False + @p error on
      *  bind failure. */
     bool start(std::string *error);

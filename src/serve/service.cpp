@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "compiler/report.h"
+#include "isa/machine_desc.h"
 #include "obs/metrics.h"
 #include "serve/json.h"
 #include "support/timer.h"
@@ -35,7 +36,34 @@ CompileService::CompileService(const IsariaCompiler &compiler,
                                ServeConfig config)
     : compiler_(compiler), config_(std::move(config)),
       admission_(config_.admission)
-{}
+{
+    targets_.emplace_back(MachineDesc::fromEnv().name(), &compiler_);
+}
+
+void
+CompileService::addTarget(const std::string &name,
+                          const IsariaCompiler &compiler)
+{
+    for (auto &[existing, slot] : targets_) {
+        if (existing == name) {
+            slot = &compiler;
+            return;
+        }
+    }
+    targets_.emplace_back(name, &compiler);
+}
+
+const IsariaCompiler *
+CompileService::compilerFor(const std::string &target) const
+{
+    if (target.empty())
+        return targets_.front().second;
+    for (const auto &[name, compiler] : targets_) {
+        if (name == target)
+            return compiler;
+    }
+    return nullptr;
+}
 
 Intake
 CompileService::intake(std::string_view body)
@@ -101,7 +129,12 @@ CompileService::effectiveConfig(const CompileRequest &request,
                                AdmissionVerdict verdict,
                                const CancellationToken *cancel) const
 {
-    CompilerConfig cfg = compiler_.config();
+    // Base config comes from the compiler serving the request's
+    // target (falling back to the default compiler for requests built
+    // outside intake(), e.g. the config tests).
+    const IsariaCompiler *serving = compilerFor(request.target);
+    CompilerConfig cfg =
+        serving ? serving->config() : compiler_.config();
     cfg.withMemLimitBytes(request.memBytes ? request.memBytes
                                            : config_.defaultMemBytes);
     cfg.withEqSatThreads(request.eqsatThreads
@@ -151,6 +184,20 @@ CompileService::compileAdmitted(const CompileRequest &request,
         obs::metricCounter("serve/compiled_degraded");
     obs::metricRecord(hQueue, toNanos(queueSeconds));
 
+    const IsariaCompiler *serving = compilerFor(request.target);
+    if (!serving) {
+        // intake() validated the name against the machine registry,
+        // but this daemon may simply not have a compiler loaded for
+        // it. Charge nothing extra; answer with a typed error.
+        static const obs::CounterHandle cErrors =
+            obs::metricCounter("serve/errors");
+        obs::metricAdd(cErrors);
+        return makeErrorResponse(
+            Error{"target \"" + request.target +
+                      "\" is not served by this daemon",
+                  1});
+    }
+
     CompilerConfig cfg = effectiveConfig(request, verdict, cancel);
     // Only full-budget compiles may seed the shared memo: a result cut
     // by soft pressure must not pin a worse program for future
@@ -161,7 +208,7 @@ CompileService::compileAdmitted(const CompileRequest &request,
     Stopwatch watch;
     CompileStats stats;
     RecExpr compiled =
-        compiler_.compile(request.program, cfg, &stats, memoWrite);
+        serving->compile(request.program, cfg, &stats, memoWrite);
     double compileSeconds = watch.elapsedSeconds();
     obs::metricRecord(hCompile, toNanos(compileSeconds));
 
@@ -169,7 +216,8 @@ CompileService::compileAdmitted(const CompileRequest &request,
                     stats.degradation != DegradeLevel::None;
     obs::metricAdd(degraded ? cDegradedResult : cClean);
 
-    CompileReport report = makeCompileReport(request.label, stats);
+    CompileReport report =
+        makeCompileReport(request.label, stats, request.target);
     ServeResponse response;
     response.type = degraded ? ResponseType::DegradedReport
                              : ResponseType::Report;

@@ -31,6 +31,8 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "compiler/compiler.h"
 #include "serve/admission.h"
@@ -89,8 +91,22 @@ class CompileService
 {
   public:
     /** @p compiler is shared across every request (warm rule cache
-     *  and compile memo); it must outlive the service. */
+     *  and compile memo); it must outlive the service. It serves the
+     *  session default target (MachineDesc::fromEnv). */
     CompileService(const IsariaCompiler &compiler, ServeConfig config);
+
+    /**
+     * Registers a compiler for one more target (canonical
+     * MachineDesc name). Call before serving traffic — the registry
+     * is read lock-free by the worker threads. @p compiler must
+     * outlive the service. Re-registering a name replaces it.
+     */
+    void addTarget(const std::string &name,
+                   const IsariaCompiler &compiler);
+
+    /** The compiler serving @p target ("" = the default target);
+     *  nullptr when no compiler is registered for it. */
+    const IsariaCompiler *compilerFor(const std::string &target) const;
 
     /**
      * Parses @p body and takes the admission verdict, charging
@@ -138,6 +154,10 @@ class CompileService
     const IsariaCompiler &compiler_;
     ServeConfig config_;
     AdmissionController admission_;
+    /** target name -> compiler; small, linear-scanned, written only
+     *  before traffic starts. The default target is entry 0. */
+    std::vector<std::pair<std::string, const IsariaCompiler *>>
+        targets_;
 };
 
 } // namespace isaria::serve

@@ -175,9 +175,17 @@ generalizeRule(const Rule &rule, int width)
     return out;
 }
 
-SynthReport
-synthesizeRules(const IsaSpec &isa, const SynthConfig &config)
+SynthConfig
+effectiveSynthConfig(const IsaSpec &isa, SynthConfig config)
 {
+    config.verify.defaultWidth = isa.vectorWidth();
+    return config;
+}
+
+SynthReport
+synthesizeRules(const IsaSpec &isa, const SynthConfig &rawConfig)
+{
+    const SynthConfig config = effectiveSynthConfig(isa, rawConfig);
     SynthReport report;
     Deadline deadline(config.timeoutSeconds);
     Stopwatch watch;

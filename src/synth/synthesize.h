@@ -109,6 +109,16 @@ struct SynthReport
 SynthReport synthesizeRules(const IsaSpec &isa, const SynthConfig &config);
 
 /**
+ * The configuration synthesis actually runs under for @p isa:
+ * machine-derived fields are forced from the spec — today that is
+ * VerifyOptions::defaultWidth, which must equal the ISA's lane width
+ * or lane generalization and verification would sample at different
+ * widths. Both synthesizeRules() and synthFingerprint() go through
+ * this, so the cache key always describes the effective run.
+ */
+SynthConfig effectiveSynthConfig(const IsaSpec &isa, SynthConfig config);
+
+/**
  * Lane generalization (§3.1): expands every 1-wide Vec literal of the
  * pattern to @p width lanes, renaming the scalar wildcards of each
  * lane to fresh ids (consistently across all Vec literals, so shared

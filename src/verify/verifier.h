@@ -38,7 +38,10 @@ struct VerifyOptions
     int samples = 96;
     /** Minimum samples on which both sides were fully defined. */
     int minDefined = 5;
-    /** Lane width for vector wildcards when the rule has no Vec. */
+    /** Lane width for vector wildcards when the rule has no Vec.
+     *  The synthesis pipeline always overrides this with the target
+     *  ISA's width (effectiveSynthConfig); the default only applies
+     *  to standalone verifyRule() calls with no machine in scope. */
     int defaultWidth = 4;
     std::uint64_t seed = 0xC0FFEEULL;
 };

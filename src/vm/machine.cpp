@@ -126,8 +126,12 @@ struct Machine
         if (inst.op == VmOp::InsertLane)
             vr(inst.dst); // read-modify-write of the vector register
 
+        // Issue shape: dual-issue machines give load/store/move ops
+        // their own slot; single-issue machines funnel everything
+        // through the compute cursor.
         std::uint64_t &slot =
-            vmOpIsMoveSlot(inst.op) ? moveFree : computeFree;
+            latency.dualIssue && vmOpIsMoveSlot(inst.op) ? moveFree
+                                                         : computeFree;
         std::uint64_t issue = std::max(ready, slot);
         std::uint64_t done = issue + latency.latencyOf(inst.op);
         // The scalar FPU is not pipelined: it blocks its slot for the
@@ -267,6 +271,9 @@ runProgram(const VmProgram &program, const VmMemory &inputs,
 {
     obs::Span span("vm/run",
                    static_cast<std::int64_t>(program.code.size()));
+    ISARIA_ASSERT(program.width >= 1,
+                  "VmProgram.width unset: the builder must derive it "
+                  "from the machine description");
     Machine machine(program, inputs, latency);
     for (const VmInst &inst : program.code)
         machine.exec(inst);

@@ -5,14 +5,17 @@
  * @file
  * Cycle-level simulator for the virtual DSP.
  *
- * Stands in for the proprietary Tensilica cycle simulator the paper
- * measures with. The model is an in-order dual-issue VLIW: one
- * compute slot (scalar or vector) and one load/store/move slot per
- * cycle, with per-opcode latencies and full pipelining — an
- * instruction occupies its slot for one cycle and its result is ready
- * `latency` cycles later. Absolute numbers differ from real silicon,
- * but the scalar/vector/data-movement cost ratios that drive every
- * experiment in the paper are preserved.
+ * Stands in for the proprietary cycle simulators the paper measures
+ * with. The model is in-order with a configurable issue shape
+ * (LatencyModel::dualIssue): either a VLIW with one compute slot
+ * (scalar or vector) and one load/store/move slot per cycle, or a
+ * single-issue pipe where every op shares one slot. Per-opcode
+ * latencies come from the machine description; an instruction
+ * occupies its slot for one cycle (the non-pipelined scalar FPU
+ * aside) and its result is ready `latency` cycles later. Absolute
+ * numbers differ from real silicon, but the scalar/vector/
+ * data-movement cost ratios that drive every experiment in the paper
+ * are preserved.
  */
 
 #include <unordered_map>
@@ -23,15 +26,21 @@ namespace isaria
 {
 
 /**
- * Per-opcode result latencies, in cycles.
+ * Per-opcode result latencies and the issue-slot shape, in cycles.
  *
  * The scalar floating-point unit is modeled as *non-pipelined* (it
  * occupies the compute slot for its full latency), matching the slow
  * scalar path of low-power DSPs; the SIMD unit and the load/store
- * unit are fully pipelined.
+ * unit are fully pipelined. The defaults are the Fusion G3-like
+ * numbers; other targets supply their own table via
+ * MachineDesc::latency.
  */
 struct LatencyModel
 {
+    /** Issue-slot shape: true = dual-issue VLIW (a compute slot plus
+     *  a load/store/move slot per cycle); false = single-issue (all
+     *  ops share one slot). */
+    bool dualIssue = true;
     int scalarAlu = 8;   ///< Slow scalar float path.
     int scalarDiv = 20;
     int scalarSqrt = 25;

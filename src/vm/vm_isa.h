@@ -5,12 +5,13 @@
  * @file
  * The virtual DSP instruction set executed by the cycle simulator.
  *
- * This models a Fusion-G3-like embedded DSP: a slow scalar
- * floating-point path, a 4-wide SIMD unit, and explicit data movement
- * between them. Code is straight-line (kernels are fully unrolled by
- * the front-end, exactly as in the paper) over an unbounded virtual
- * register file; the cycle model charges issue slots and latencies,
- * not register pressure.
+ * This models an embedded DSP with a scalar floating-point path, a
+ * W-wide SIMD unit, and explicit data movement between them; the lane
+ * width W, latencies, and issue shape all come from the machine
+ * description (isa/machine_desc.h). Code is straight-line (kernels
+ * are fully unrolled by the front-end, exactly as in the paper) over
+ * an unbounded virtual register file; the cycle model charges issue
+ * slots and latencies, not register pressure.
  */
 
 #include <cstdint>
@@ -75,7 +76,11 @@ struct VmProgram
     std::vector<VmInst> code;
     std::int32_t numScalarRegs = 0;
     std::int32_t numVectorRegs = 0;
-    int width = 4;
+    /** Lane width, derived from the machine description by whoever
+     *  builds the program. 0 = unset; runProgram() rejects it, so a
+     *  builder that forgets fails loudly instead of silently running
+     *  at a default width. */
+    int width = 0;
 
     std::string toString() const;
 

@@ -396,6 +396,7 @@ TEST(Degradation, ChaosNeverAbortsCompile)
 
         EXPECT_FALSE(printSexpr(out).empty()) << spec;
         LowerOptions options;
+        options.width = 4;
         options.scalarizeRawChunks = true;
         EXPECT_TRUE(tryLowerProgram(out, options).ok()) << spec;
 
@@ -428,6 +429,7 @@ TEST(Degradation, ChaosStormStillEmitsARunnableProgram)
         CompileStats stats;
         RecExpr out = compiler.compile(paperExample(), &stats);
         LowerOptions options;
+        options.width = 4;
         options.scalarizeRawChunks = true;
         EXPECT_TRUE(tryLowerProgram(out, options).ok()) << spec;
     }
@@ -539,6 +541,7 @@ TEST(Degradation, SpeculativeCompileAbsorbsRestoreFault)
     EXPECT_NE(stats.degradation, DegradeLevel::None);
     EXPECT_TRUE(out.containsVectorOp());
     LowerOptions options;
+    options.width = 4;
     options.scalarizeRawChunks = true;
     EXPECT_TRUE(tryLowerProgram(out, options).ok());
 }
@@ -549,7 +552,9 @@ TEST(Degradation, SpeculativeCompileAbsorbsRestoreFault)
 TEST(Boundaries, TryLowerReportsUnlowerableTerms)
 {
     RecExpr notAList = parseSexpr("(+ (Get a 0) (Get b 0))");
-    auto got = tryLowerProgram(notAList, LowerOptions{});
+    LowerOptions notAListOptions;
+    notAListOptions.width = 4;
+    auto got = tryLowerProgram(notAList, notAListOptions);
     ASSERT_FALSE(got.ok());
     EXPECT_NE(got.error().message.find("lowering failed"),
               std::string::npos);

@@ -2,28 +2,35 @@
 // specification to measured, differentially-checked kernels.
 //
 // These tests run real (small-budget) rule synthesis once and share
-// the generated compiler across cases.
+// the generated compiler across cases. Everything is derived from the
+// session machine description (ISARIA_TARGET), so the whole suite
+// re-runs unchanged against the second target — that registration
+// lives in tests/CMakeLists.txt.
 
 #include <gtest/gtest.h>
 
 #include "baseline/diospyros.h"
 #include "baseline/harness.h"
 #include "compiler/pipeline.h"
+#include "isa/machine_desc.h"
 
 namespace isaria
 {
 namespace
 {
 
-/** Synthesizes the shared test compiler once (small budget). */
+/** Synthesizes the shared test compiler once (small budget) for the
+ *  session machine description. */
 const GeneratedCompiler &
 sharedCompiler()
 {
     static GeneratedCompiler gen = [] {
-        IsaSpec isa;
-        SynthConfig config;
+        const MachineDesc &machine = MachineDesc::fromEnv();
+        IsaSpec isa(machine);
+        SynthConfig config = synthConfigFor(machine);
         config.timeoutSeconds = 20;
-        return generateCompiler(isa, config);
+        return generateCompiler(isa, config,
+                                compilerConfigFor(machine));
     }();
     return gen;
 }
@@ -66,7 +73,13 @@ TEST(Pipeline, VectorizesRegularKernels)
     RunOutcome base = h.runScalarBaseline();
     RunOutcome isaria_ = h.runCompiler(gen.compiler);
     // Must beat the unvectorized baseline clearly on a regular kernel.
-    EXPECT_LT(isaria_.cycles * 2, base.cycles);
+    // The 2x bar assumes the vector width divides the kernel's rows
+    // (4-wide machine, 4x4 matmul); a wider machine half-fills its
+    // lanes here, so demand a clear win rather than a fixed multiple.
+    if (MachineDesc::fromEnv().vectorWidth <= 4)
+        EXPECT_LT(isaria_.cycles * 2, base.cycles);
+    else
+        EXPECT_LT(isaria_.cycles * 10, base.cycles * 9);
     EXPECT_LT(isaria_.compileStats.finalCost,
               isaria_.compileStats.initialCost);
 }
@@ -96,7 +109,7 @@ TEST(Pipeline, PhasesOffFindsNoVectorization)
     // The Section 5.2 ablation: one saturation over the whole
     // synthesized rule set exhausts its budget without vectorizing.
     const GeneratedCompiler &gen = sharedCompiler();
-    CompilerConfig config;
+    CompilerConfig config = compilerConfigFor(MachineDesc::fromEnv());
     config.phasing = false;
     config.compilationLimits.maxNodes = 40'000;
     config.compilationLimits.timeoutSeconds = 2.0;
@@ -114,14 +127,18 @@ TEST(Pipeline, PhasesOffFindsNoVectorization)
 
 TEST(Pipeline, CustomIsaCompilesQrWithNewInstructions)
 {
-    IsaConfig ic;
-    ic.enableMulSub = true;
-    ic.enableSqrtSgn = true;
-    IsaSpec isa(ic);
-    SynthConfig config;
+    // The session machine, plus both custom ops: the harness and the
+    // compiler must come from the *same* description (width included)
+    // or the differential check would compare mismatched programs.
+    MachineDesc machine = MachineDesc::fromEnv();
+    machine.enableMulSub = true;
+    machine.enableSqrtSgn = true;
+    IsaSpec isa(machine);
+    SynthConfig config = synthConfigFor(machine);
     config.timeoutSeconds = 20;
-    GeneratedCompiler gen = generateCompiler(isa, config);
-    KernelHarness h(KernelSpec::qrd(3));
+    GeneratedCompiler gen =
+        generateCompiler(isa, config, compilerConfigFor(machine));
+    KernelHarness h(KernelSpec::qrd(3), machine);
     RunOutcome out = h.runCompiler(gen.compiler);
     EXPECT_TRUE(out.correct) << "err=" << out.maxError;
 }

@@ -21,11 +21,21 @@ countOp(const VmProgram &p, VmOp op)
     return n;
 }
 
+// The hand-written programs in this file are all 4-lane; lowering
+// requires an explicit width (it no longer has a baked-in default).
+LowerOptions
+width4()
+{
+    LowerOptions options;
+    options.width = 4;
+    return options;
+}
+
 TEST(Lower, ContiguousVecBecomesVectorLoad)
 {
     RecExpr p = parseSexpr(
         "(List (Vec (Get lA 0) (Get lA 1) (Get lA 2) (Get lA 3)))");
-    VmProgram vm = lowerProgram(p, {});
+    VmProgram vm = lowerProgram(p, width4());
     EXPECT_EQ(countOp(vm, VmOp::LoadVec), 1u);
     EXPECT_EQ(countOp(vm, VmOp::InsertLane), 0u);
 }
@@ -34,7 +44,7 @@ TEST(Lower, NonContiguousVecGathers)
 {
     RecExpr p = parseSexpr(
         "(List (Vec (Get lA 0) (Get lA 2) (Get lA 1) (Get lA 3)))");
-    VmProgram vm = lowerProgram(p, {});
+    VmProgram vm = lowerProgram(p, width4());
     EXPECT_EQ(countOp(vm, VmOp::LoadVec), 0u);
     EXPECT_EQ(countOp(vm, VmOp::InsertLane), 4u);
 }
@@ -42,7 +52,7 @@ TEST(Lower, NonContiguousVecGathers)
 TEST(Lower, ConstantVecIsOneLoad)
 {
     RecExpr p = parseSexpr("(List (Vec 1 2 3 4))");
-    VmProgram vm = lowerProgram(p, {});
+    VmProgram vm = lowerProgram(p, width4());
     EXPECT_EQ(countOp(vm, VmOp::LoadConstV), 1u);
     EXPECT_EQ(vm.code.size(), 2u); // load + store
 }
@@ -52,7 +62,7 @@ TEST(Lower, VectorOpsMapOneToOne)
     RecExpr p = parseSexpr(
         "(List (VecMAC (Vec 0 0 0 0) (Vec (Get lB 0) (Get lB 1) (Get lB 2)"
         " (Get lB 3)) (Vec 2 2 2 2)))");
-    VmProgram vm = lowerProgram(p, {});
+    VmProgram vm = lowerProgram(p, width4());
     EXPECT_EQ(countOp(vm, VmOp::VMac), 1u);
 }
 
@@ -64,7 +74,7 @@ TEST(Lower, ValueNumberingDeduplicatesAcrossChunks)
         " (Vec 1 1 1 1))"
         " (VecMul (Vec (Get lC 0) (Get lC 1) (Get lC 2) (Get lC 3))"
         " (Vec 2 2 2 2)))");
-    VmProgram vm = lowerProgram(p, {});
+    VmProgram vm = lowerProgram(p, width4());
     EXPECT_EQ(countOp(vm, VmOp::LoadVec), 1u);
 }
 
@@ -76,6 +86,7 @@ TEST(Lower, ValueNumberingDeduplicatesScalarExpressions)
         "(List (Vec (+ (Get lD 0) (Get lD 1)) 0 0 0)"
         " (Vec (* (+ (Get lD 0) (Get lD 1)) (Get lD 2)) 0 0 0))");
     LowerOptions options;
+    options.width = 4;
     options.scalarOnly = true;
     VmProgram vm = lowerProgram(p, options);
     EXPECT_EQ(countOp(vm, VmOp::SAdd), 1u);
@@ -86,6 +97,7 @@ TEST(Lower, ScalarOnlyUsesNoVectorInstructions)
     RecExpr p = parseSexpr(
         "(List (Vec (+ (Get lE 0) 1) (* (Get lE 1) 2) 0 0))");
     LowerOptions options;
+    options.width = 4;
     options.scalarOnly = true;
     options.totalOutputs = 2;
     VmProgram vm = lowerProgram(p, options);
@@ -100,7 +112,7 @@ TEST(Lower, SplatForUniformLanes)
     NodeId g = e.addGet(internSymbol("lF"), 0);
     NodeId vec = e.add(Op::Vec, {g, g, g, g});
     e.add(Op::List, {vec});
-    VmProgram vm = lowerProgram(e, {});
+    VmProgram vm = lowerProgram(e, width4());
     EXPECT_EQ(countOp(vm, VmOp::Splat), 1u);
 }
 
@@ -110,6 +122,7 @@ TEST(Lower, ScalarizeRawChunksLeavesRealVectorsAlone)
         "(List (Vec (+ (Get lG 0) 1) (Get lG 1) 0 0)"
         " (Vec (Get lG 4) (Get lG 5) (Get lG 6) (Get lG 7)))");
     LowerOptions options;
+    options.width = 4;
     options.scalarizeRawChunks = true;
     options.totalOutputs = 8;
     VmProgram vm = lowerProgram(p, options);
@@ -130,7 +143,7 @@ TEST(Lower, EndToEndMatchesReference)
     VmMemory mem;
     mem[internSymbol("lH")] = {4, -2, 8, 1, 0.5, 1.5, -2.5, 3.5};
     auto ref = evalProgramDoubles(p, mem);
-    VmProgram vm = lowerProgram(p, {});
+    VmProgram vm = lowerProgram(p, width4());
     auto run = runProgram(vm, mem);
     const auto &got = run.memory.at(outputArraySymbol());
     ASSERT_GE(got.size(), ref.size());
@@ -143,7 +156,7 @@ TEST(Lower, CustomInstructionsLower)
     RecExpr p = parseSexpr(
         "(List (VecMulSub (Vec 1 1 1 1) (Vec 2 2 2 2) (Vec 3 3 3 3))"
         " (VecSqrtSgn (Vec 4 4 4 4) (Vec -1 -1 -1 -1)))");
-    VmProgram vm = lowerProgram(p, {});
+    VmProgram vm = lowerProgram(p, width4());
     EXPECT_EQ(countOp(vm, VmOp::VMulSub), 1u);
     EXPECT_EQ(countOp(vm, VmOp::VSqrtSgn), 1u);
     auto run = runProgram(vm, {});

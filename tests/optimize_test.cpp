@@ -36,6 +36,7 @@ VmProgram
 mulAddProgram()
 {
     VmProgram p;
+    p.width = 4;
     p.numVectorRegs = 4;
     SymbolId out = internSymbol("__out");
     p.code = {
@@ -79,6 +80,7 @@ TEST(Fusion, MultiUseMulIsNotFused)
 TEST(Dce, RemovesUnusedLoads)
 {
     VmProgram p;
+    p.width = 4;
     p.numScalarRegs = 2;
     SymbolId out = internSymbol("__out");
     p.code = {
@@ -95,6 +97,7 @@ TEST(Dce, RemovesUnusedLoads)
 TEST(Dce, KeepsInsertLaneChains)
 {
     VmProgram p;
+    p.width = 4;
     p.numScalarRegs = 1;
     p.numVectorRegs = 1;
     SymbolId out = internSymbol("__out");
@@ -114,6 +117,7 @@ TEST(Schedule, PreservesStoreOrderAndSemantics)
 {
     // Stores to overlapping locations must keep their order.
     VmProgram p;
+    p.width = 4;
     p.numScalarRegs = 2;
     SymbolId out = internSymbol("__out");
     p.code = {
@@ -132,6 +136,7 @@ TEST(Schedule, RespectsStoreLoadDependencies)
     // A load after a store to the same array must see the stored
     // value (the Nature padded-buffer pattern).
     VmProgram p;
+    p.width = 4;
     p.numScalarRegs = 2;
     SymbolId buf = internSymbol("schedBuf");
     SymbolId out = internSymbol("__out");
@@ -159,6 +164,7 @@ TEST(Schedule, DoesNotSlowDownKernels)
     mem[internSymbol("B")] = cells;
 
     LowerOptions options;
+    options.width = 4;
     options.scalarOnly = true;
     options.totalOutputs = 16;
     VmProgram base = lowerProgram(program, options);
@@ -194,6 +200,7 @@ TEST_P(OptimizeProperty, PipelinePreservesKernelSemantics)
     auto ref = evalProgramDoubles(program, mem);
 
     LowerOptions options;
+    options.width = 4;
     options.scalarizeRawChunks = true;
     options.totalOutputs = kernel.totalOutputs();
     VmOptStats stats;

@@ -167,11 +167,13 @@ TEST(Phase, AlphaBetaExtremesCollapsePhases)
 
 TEST(IsaSpecTest, CustomInstructionToggles)
 {
-    IsaSpec base;
+    // Pin the machine explicitly: this test is about the Fusion
+    // custom-op toggles, not the session default target.
+    IsaSpec base(MachineDesc::fusionG3());
     EXPECT_FALSE(base.opEnabled(Op::VecMulSub));
     EXPECT_FALSE(base.opEnabled(Op::SqrtSgn));
     EXPECT_TRUE(base.opEnabled(Op::VecMAC));
-    EXPECT_EQ(base.name(), "fusion-g3");
+    EXPECT_EQ(base.name(), "fusion-g3-w4");
 
     IsaConfig config;
     config.enableMulSub = true;
@@ -179,7 +181,7 @@ TEST(IsaSpecTest, CustomInstructionToggles)
     IsaSpec custom(config);
     EXPECT_TRUE(custom.opEnabled(Op::VecMulSub));
     EXPECT_TRUE(custom.opEnabled(Op::VecSqrtSgn));
-    EXPECT_EQ(custom.name(), "fusion-g3+mulsub+sqrtsgn");
+    EXPECT_EQ(custom.name(), "fusion-g3-w4+mulsub+sqrtsgn");
     EXPECT_GT(custom.scalarOps().size(), base.scalarOps().size());
     EXPECT_GT(custom.vectorOps().size(), base.vectorOps().size());
 }

@@ -108,6 +108,7 @@ TEST_P(DifferentialTest, LoweringPreservesSemantics)
 
     for (bool scalarOnly : {false, true}) {
         LowerOptions options;
+        options.width = 4;
         options.scalarOnly = scalarOnly;
         VmProgram code = lowerProgram(program, options);
         auto run = runProgram(code, mem);
@@ -132,6 +133,7 @@ TEST_P(DifferentialTest, CompileThenLowerPreservesSemantics)
     static IsariaCompiler dios = makeDiospyrosCompiler();
     RecExpr compiled = dios.compile(program);
     LowerOptions options;
+    options.width = 4;
     options.scalarizeRawChunks = true;
     VmProgram code = lowerProgram(compiled, options);
     auto run = runProgram(code, mem);

@@ -1,0 +1,245 @@
+// Retargeting tests: the machine description is the single source of
+// truth for lane width, op set, cost table, and timing — and every
+// layer above it (synthesis, phase discovery, the cache fingerprint,
+// lowering, the simulator, the differential oracle) follows it with
+// zero code changes.
+//
+// The suite proves the ISSUE's bugfix three ways:
+//   1. identity — machine names and synthesis fingerprints are
+//      distinct whenever any retargeting-relevant field differs
+//      (width alone, op set alone, cost table alone);
+//   2. isolation — a rule cache warmed for one machine never serves
+//      another (cross-contamination);
+//   3. behaviour — for every benchmark kernel and both shipped
+//      targets, generated-compiler output stays differentially equal
+//      to scalar reference, at 1 and at 4 eqsat threads.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "baseline/harness.h"
+#include "cache/rule_cache.h"
+#include "compiler/pipeline.h"
+#include "isa/machine_desc.h"
+
+namespace isaria
+{
+namespace
+{
+
+/** Small synthesis budget shared by the cache tests here. */
+SynthConfig
+tinySynth()
+{
+    SynthConfig config;
+    config.timeoutSeconds = 0;
+    config.maxRules = 25;
+    config.enumConfig.maxDepth = 2;
+    config.enumConfig.maxReps = 30;
+    config.enumConfig.maxScalarCandidates = 300;
+    config.enumConfig.maxVectorCandidates = 400;
+    config.enumConfig.maxLiftCandidates = 400;
+    return config;
+}
+
+std::string
+scratchDir(const std::string &name)
+{
+    std::string dir =
+        testing::TempDir() + "isaria_retarget_test_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** One generated compiler per shipped target, synthesized once. */
+const GeneratedCompiler &
+compilerForMachine(const MachineDesc &machine)
+{
+    static std::vector<std::pair<std::string, GeneratedCompiler>> done;
+    for (const auto &[name, gen] : done)
+        if (name == machine.name())
+            return gen;
+    SynthConfig synth = synthConfigFor(machine);
+    synth.timeoutSeconds = 20;
+    done.emplace_back(machine.name(),
+                      generateCompiler(IsaSpec(machine), synth,
+                                       compilerConfigFor(machine)));
+    return done.back().second;
+}
+
+// ---------------------------------------------------------------------
+// 1. Identity: names and fingerprints.
+
+TEST(RetargetIdentity, WidthAloneChangesNameAndFingerprint)
+{
+    // The original bug: a width-8 variant of the same family used to
+    // collide with the width-4 spec in every name-keyed artifact
+    // (cache entries, reports, bench sidecars).
+    MachineDesc narrow = MachineDesc::fusionG3();
+    MachineDesc wide = MachineDesc::fusionG3();
+    wide.vectorWidth = 8;
+
+    EXPECT_NE(narrow.name(), wide.name());
+    EXPECT_NE(narrow.name().find("-w4"), std::string::npos);
+    EXPECT_NE(wide.name().find("-w8"), std::string::npos);
+
+    SynthConfig config = tinySynth();
+    EXPECT_NE(synthFingerprint(IsaSpec(narrow), config),
+              synthFingerprint(IsaSpec(wide), config));
+}
+
+TEST(RetargetIdentity, OpSetAloneChangesNameAndFingerprint)
+{
+    MachineDesc base = MachineDesc::fusionG3();
+    MachineDesc mulsub = MachineDesc::fusionG3(/*mulSub=*/true);
+    MachineDesc nomac = MachineDesc::fusionG3();
+    nomac.enableVecMac = false;
+
+    EXPECT_NE(base.name(), mulsub.name());
+    EXPECT_NE(base.name(), nomac.name());
+
+    SynthConfig config = tinySynth();
+    std::uint64_t baseFp = synthFingerprint(IsaSpec(base), config);
+    EXPECT_NE(baseFp, synthFingerprint(IsaSpec(mulsub), config));
+    EXPECT_NE(baseFp, synthFingerprint(IsaSpec(nomac), config));
+}
+
+TEST(RetargetIdentity, CostTableAloneChangesFingerprint)
+{
+    // Cost drives phase discovery, so two machines that differ only
+    // in the cost table must not share cached rule sets — even though
+    // their names (family + width + op set) coincide.
+    MachineDesc base = MachineDesc::fusionG3();
+    MachineDesc pricier = MachineDesc::fusionG3();
+    pricier.cost.laneMove += 1;
+
+    EXPECT_EQ(base.name(), pricier.name());
+    SynthConfig config = tinySynth();
+    EXPECT_NE(synthFingerprint(IsaSpec(base), config),
+              synthFingerprint(IsaSpec(pricier), config));
+}
+
+TEST(RetargetIdentity, LatencyTableChangesFingerprint)
+{
+    MachineDesc base = MachineDesc::fusionG3();
+    MachineDesc singleIssue = MachineDesc::fusionG3();
+    singleIssue.latency.dualIssue = false;
+    SynthConfig config = tinySynth();
+    EXPECT_NE(synthFingerprint(IsaSpec(base), config),
+              synthFingerprint(IsaSpec(singleIssue), config));
+}
+
+TEST(RetargetIdentity, ShippedTargetsAreDistinct)
+{
+    ASSERT_GE(knownMachines().size(), 2u);
+    SynthConfig config = tinySynth();
+    std::uint64_t fusion =
+        synthFingerprint(IsaSpec(MachineDesc::fusionG3()), config);
+    std::uint64_t rvv =
+        synthFingerprint(IsaSpec(MachineDesc::rvv8()), config);
+    EXPECT_NE(fusion, rvv);
+    EXPECT_EQ(MachineDesc::rvv8().name(), "rvv-w8+mulsub");
+    EXPECT_EQ(MachineDesc::fusionG3().name(), "fusion-g3-w4");
+}
+
+TEST(RetargetIdentity, RegistryResolvesCanonicalNamesAndAliases)
+{
+    for (const MachineDesc &m : knownMachines()) {
+        auto found = machineByName(m.name());
+        ASSERT_TRUE(found.has_value()) << m.name();
+        EXPECT_EQ(found->name(), m.name());
+    }
+    ASSERT_TRUE(machineByName("rvv8").has_value());
+    EXPECT_EQ(machineByName("rvv8")->name(), "rvv-w8+mulsub");
+    ASSERT_TRUE(machineByName("fusion").has_value());
+    EXPECT_EQ(machineByName("fusion")->name(), "fusion-g3-w4");
+    EXPECT_FALSE(machineByName("vax-11").has_value());
+}
+
+// ---------------------------------------------------------------------
+// 2. Isolation: the rule cache never cross-serves machines.
+
+TEST(RetargetCache, WarmEntryForOneMachineMissesForAnother)
+{
+    RuleCache cache(scratchDir("cross"));
+    SynthConfig config = tinySynth();
+    IsaSpec fusion((MachineDesc::fusionG3()));
+    IsaSpec rvv((MachineDesc::rvv8()));
+
+    SynthReport cold = synthesizeRulesCached(fusion, config, cache);
+    EXPECT_FALSE(cold.fromCache);
+    // Same machine, same config: warm.
+    EXPECT_TRUE(
+        synthesizeRulesCached(fusion, config, cache).fromCache);
+    // Other machine, same config: the warm fusion entry must not
+    // leak — this is a fresh synthesis, then its own warm hit.
+    SynthReport other = synthesizeRulesCached(rvv, config, cache);
+    EXPECT_FALSE(other.fromCache);
+    EXPECT_TRUE(synthesizeRulesCached(rvv, config, cache).fromCache);
+}
+
+// ---------------------------------------------------------------------
+// 3. Behaviour: the per-target differential oracle.
+
+/** Compiles and differentially checks every benchmark kernel for
+ *  @p machine at 1 and 4 eqsat threads. */
+void
+runSuiteOracle(const MachineDesc &machine)
+{
+    const GeneratedCompiler &gen = compilerForMachine(machine);
+    for (int threads : {1, 4}) {
+        CompilerConfig cc = compilerConfigFor(machine);
+        cc.withEqSatThreads(threads);
+        // Bound each saturation and the improve loop so the whole
+        // ladder stays inside the ctest timeout; a budget-cut compile
+        // still has to be correct.
+        for (EqSatLimits *limits :
+             {&cc.expansionLimits, &cc.compilationLimits,
+              &cc.optLimits}) {
+            if (limits->timeoutSeconds <= 0 ||
+                limits->timeoutSeconds > 1.5)
+                limits->timeoutSeconds = 1.5;
+        }
+        if (cc.maxLoopIterations <= 0 || cc.maxLoopIterations > 4)
+            cc.maxLoopIterations = 4;
+        IsariaCompiler compiler(gen.phased, cc);
+        for (const KernelSpec &spec : defaultSuite()) {
+            KernelHarness h(spec, machine);
+            RunOutcome out = h.runCompiler(compiler);
+            EXPECT_TRUE(out.correct)
+                << machine.name() << " " << spec.label() << " threads="
+                << threads << " err=" << out.maxError;
+        }
+    }
+}
+
+TEST(RetargetOracle, FusionSuiteIsDifferentiallyCorrect)
+{
+    runSuiteOracle(MachineDesc::fusionG3());
+}
+
+TEST(RetargetOracle, RvvSuiteIsDifferentiallyCorrect)
+{
+    runSuiteOracle(MachineDesc::rvv8());
+}
+
+TEST(RetargetOracle, LoweredWidthFollowsTheMachine)
+{
+    for (const MachineDesc &machine : knownMachines()) {
+        KernelHarness h(KernelSpec::matmul(2, 2, 2), machine);
+        LowerOptions options;
+        options.width = machine.vectorWidth;
+        options.totalOutputs = h.kernel().totalOutputs();
+        options.scalarizeRawChunks = true;
+        VmProgram program = lowerProgram(h.scalarProgram(), options);
+        EXPECT_EQ(program.width, machine.vectorWidth)
+            << machine.name();
+        EXPECT_TRUE(h.runProgramChecked(program).correct)
+            << machine.name();
+    }
+}
+
+} // namespace
+} // namespace isaria

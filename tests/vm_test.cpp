@@ -24,6 +24,7 @@ inst(VmOp op, std::int32_t dst = -1, std::int32_t a = -1,
 TEST(Machine, ScalarArithmetic)
 {
     VmProgram p;
+    p.width = 4;
     p.numScalarRegs = 3;
     SymbolId out = internSymbol("__out");
     p.code = {
@@ -39,6 +40,7 @@ TEST(Machine, ScalarArithmetic)
 TEST(Machine, VectorLaneSemantics)
 {
     VmProgram p;
+    p.width = 4;
     p.numScalarRegs = 1;
     p.numVectorRegs = 3;
     SymbolId in = internSymbol("vmIn");
@@ -59,6 +61,7 @@ TEST(Machine, VectorLaneSemantics)
 TEST(Machine, MacAndMulSub)
 {
     VmProgram p;
+    p.width = 4;
     p.numVectorRegs = 5;
     SymbolId out = internSymbol("__out");
     p.code = {
@@ -78,6 +81,7 @@ TEST(Machine, MacAndMulSub)
 TEST(Machine, SplatAndInsert)
 {
     VmProgram p;
+    p.width = 4;
     p.numScalarRegs = 2;
     p.numVectorRegs = 1;
     SymbolId out = internSymbol("__out");
@@ -98,6 +102,7 @@ TEST(Machine, SplatAndInsert)
 TEST(Machine, SqrtSgnInstruction)
 {
     VmProgram p;
+    p.width = 4;
     p.numScalarRegs = 3;
     SymbolId out = internSymbol("__out");
     p.code = {
@@ -116,6 +121,7 @@ TEST(Cycles, IndependentScalarOpsSerializeOnScalarFpu)
     // about twice one add.
     auto mk = [&](int n) {
         VmProgram p;
+        p.width = 4;
         p.numScalarRegs = n + 1;
         p.code.push_back(
             inst(VmOp::LoadConstS, 0, -1, -1, -1, 0, 0, {1}));
@@ -132,6 +138,7 @@ TEST(Cycles, IndependentVectorOpsPipeline)
 {
     auto mk = [&](int n) {
         VmProgram p;
+        p.width = 4;
         p.numVectorRegs = n + 1;
         p.code.push_back(
             inst(VmOp::LoadConstV, 0, -1, -1, -1, 0, 0, {1, 1, 1, 1}));
@@ -147,6 +154,7 @@ TEST(Cycles, DependentChainPaysLatency)
 {
     auto mk = [&](int n) {
         VmProgram p;
+        p.width = 4;
         p.numVectorRegs = n + 1;
         p.code.push_back(
             inst(VmOp::LoadConstV, 0, -1, -1, -1, 0, 0, {1, 1, 1, 1}));
@@ -164,6 +172,7 @@ TEST(Cycles, DualIssueOverlapsMovesAndCompute)
     // overlap almost completely.
     SymbolId in = internSymbol("vmIn2");
     VmProgram loads;
+    loads.width = 4;
     loads.numVectorRegs = 16;
     loads.code.push_back(
         inst(VmOp::LoadConstV, 8, -1, -1, -1, 0, 0, {1, 1, 1, 1}));
@@ -213,6 +222,7 @@ TEST(VmIsaTest, SlotClassification)
 TEST(VmIsaTest, ProgramPrinting)
 {
     VmProgram p;
+    p.width = 4;
     p.numVectorRegs = 1;
     p.code = {inst(VmOp::LoadVec, 0, -1, -1, -1, internSymbol("A"), 4)};
     std::string text = p.toString();

@@ -19,6 +19,10 @@
 // (instant startup, deterministic); --synth runs the full offline
 // synthesis pipeline against the persistent rule cache first.
 //
+// The daemon serves every known machine description: a request may
+// pick one with {"target": "rvv8"}; absent, the session default
+// (ISARIA_TARGET env, else fusion-g3-w4) handles it.
+//
 // Shutdown: SIGTERM/SIGINT trip the process shutdown token
 // (installed by guardedMain), the daemon drains — new requests get
 // typed `overloaded` responses, in-flight compiles finish (cut to
@@ -29,12 +33,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <string>
 #include <thread>
 
 #include "baseline/diospyros.h"
 #include "cache/rule_cache.h"
 #include "compiler/pipeline.h"
+#include "isa/machine_desc.h"
 #include "phase/phase.h"
 #include "serve/server.h"
 #include "support/panic.h"
@@ -92,26 +98,42 @@ main(int argc, char **argv)
             }
         }
 
-        CompilerConfig cc;
-        cc.memoEntries = memoEntries;
-        IsariaCompiler compiler =
-            [&]() -> IsariaCompiler {
+        // One compiler per known machine description, each with that
+        // machine's cost model; the daemon serves them all and routes
+        // by the request's "target" key. std::deque keeps the
+        // references handed to the server stable as we append.
+        RuleCache cache = RuleCache::fromEnv();
+        std::deque<IsariaCompiler> compilers;
+        const IsariaCompiler *defaultCompiler = nullptr;
+        const std::string defaultName = MachineDesc::fromEnv().name();
+        for (const MachineDesc &machine : knownMachines()) {
+            CompilerConfig cc = compilerConfigFor(machine);
+            cc.memoEntries = memoEntries;
             if (synthesize) {
-                IsaSpec isa;
-                RuleCache cache = RuleCache::fromEnv();
-                SynthConfig synth;
+                SynthConfig synth = synthConfigFor(machine);
                 synth.timeoutSeconds = synthBudget;
                 std::fprintf(stderr,
-                             "isaria_serve: generating rules (budget "
-                             "%.0fs)...\n",
-                             synthBudget);
-                return generateCompiler(isa, cache, synth, cc).compiler;
+                             "isaria_serve: generating rules for %s "
+                             "(budget %.0fs)...\n",
+                             machine.name().c_str(), synthBudget);
+                compilers.push_back(
+                    generateCompiler(IsaSpec(machine), cache, synth, cc)
+                        .compiler);
+            } else {
+                compilers.emplace_back(
+                    assignPhases(diospyrosHandRules(), cc.costModel),
+                    cc);
             }
-            return IsariaCompiler(
-                assignPhases(diospyrosHandRules(), cc.costModel), cc);
-        }();
+            if (machine.name() == defaultName)
+                defaultCompiler = &compilers.back();
+        }
+        ISARIA_ASSERT(defaultCompiler != nullptr,
+                      "session default target missing from the "
+                      "machine registry");
 
-        serve::ServeServer server(compiler, sc);
+        serve::ServeServer server(*defaultCompiler, sc);
+        for (std::size_t i = 0; i < compilers.size(); ++i)
+            server.addTarget(knownMachines()[i].name(), compilers[i]);
         std::string error;
         if (!server.start(&error)) {
             std::fprintf(stderr, "isaria_serve: %s\n", error.c_str());

@@ -91,6 +91,21 @@ field(const serve::JsonValue &root, const char *key)
     return v ? v->text : "";
 }
 
+/** Polls @p done every 2ms for up to a minute. A bounded spin: when
+ *  the condition never comes true the test fails loudly instead of
+ *  hanging until the ctest timeout. */
+template <typename Fn>
+bool
+spinUntil(Fn done)
+{
+    for (int i = 0; i < 30'000; ++i) {
+        if (done())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+}
+
 } // namespace
 
 int
@@ -178,26 +193,33 @@ main()
         // 5. The admission ladder. Two slow conv compiles fill the
         // depth-2 queue (worker=1); once both are charged, a third
         // arrival must be rejected. conv shapes differ so neither is
-        // a memo hit.
+        // a memo hit. The shapes must compile slowly (hundreds of ms)
+        // relative to the 2ms depth polls below, or the whole
+        // request can slip between two polls: small convs like
+        // 3x3/2x2 finish in ~4ms and flake this section.
         auto slowBody = [](int n) {
             return "{\"kernel\": {\"family\": \"conv2d\", \"params\": [" +
                    std::to_string(n) + ", " + std::to_string(n) +
-                   ", 2, 2]}}";
+                   ", 4, 4]}}";
         };
         serve::HttpResponse r1, r2;
         std::thread c1([&] {
-            roundTrip(socketPath, "POST", "/compile", slowBody(3), r1);
+            roundTrip(socketPath, "POST", "/compile", slowBody(6), r1);
         });
         // Admission order must be deterministic: wait for the first
         // request to be charged before launching the second.
-        while (server.service().admission().depth() < 1)
-            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        check(spinUntil([&] {
+                  return server.service().admission().depth() >= 1;
+              }),
+              "first slow compile got charged");
         std::thread c2([&] {
-            roundTrip(socketPath, "POST", "/compile", slowBody(4), r2);
+            roundTrip(socketPath, "POST", "/compile", slowBody(7), r2);
         });
-        while (server.service().admission().depth() < 2)
-            std::this_thread::sleep_for(std::chrono::milliseconds(2));
-        check(roundTrip(socketPath, "POST", "/compile", slowBody(5), r) &&
+        check(spinUntil([&] {
+                  return server.service().admission().depth() >= 2;
+              }),
+              "second slow compile got charged");
+        check(roundTrip(socketPath, "POST", "/compile", slowBody(8), r) &&
                   r.status == 503,
               "arrival past the hard edge answers 503");
         {

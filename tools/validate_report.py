@@ -15,7 +15,7 @@ Exits 0 when all reports are valid, 1 with a diagnostic otherwise.
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 DEGRADE_LEVELS = {"none", "best-so-far", "round-fallback",
                   "scalar-fallback"}
@@ -25,6 +25,7 @@ DEGRADE_LEVELS = {"none", "best-so-far", "round-fallback",
 TOP_REQUIRED = {
     "schema_version": int,
     "kernel": str,
+    "target": str,
     "wall_ns": int,
     "initial_cost": int,
     "final_cost": int,
@@ -141,6 +142,8 @@ def check_report(path):
         )
     if not report["kernel"]:
         fail(f"{path}: empty kernel label")
+    if not report["target"]:
+        fail(f"{path}: empty target name")
     if report["degradation"] not in DEGRADE_LEVELS:
         fail(
             f"{path}: unknown degradation "
@@ -174,7 +177,8 @@ def check_report(path):
     check_metrics(report["metrics"], path)
     print(
         f"validate_report: ok ({path}: kernel "
-        f"{report['kernel']!r}, {len(report['rounds'])} rounds, "
+        f"{report['kernel']!r}, target {report['target']!r}, "
+        f"{len(report['rounds'])} rounds, "
         f"degradation {report['degradation']})"
     )
 
